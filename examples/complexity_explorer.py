@@ -1,0 +1,82 @@
+#!/usr/bin/env python3
+"""Explore the complexity landscape of Figure 5 interactively.
+
+Demonstrates, on scaled synthetic workloads:
+
+* the exponential repair explosion of Example 4 (2^n repairs) and why
+  counting factors through connected components,
+* polynomial L/S/C repair checking vs the exponential witness search
+  behind G repair checking,
+* the PTIME ground-quantifier-free CQA algorithm vs naive
+  repair enumeration (the Rep row of Figure 5).
+
+Run:  python examples/complexity_explorer.py
+"""
+
+import time
+
+from repro.constraints.conflict_graph import build_conflict_graph
+from repro.core.families import Family, is_preferred_repair
+from repro.cqa.tractable import consistent_answer_qf
+from repro.cqa.engine import CqaEngine
+from repro.datagen.generators import (
+    CHAIN_FDS,
+    GRID_FDS,
+    chain_instance,
+    chain_priority_pairs,
+    grid_instance,
+)
+from repro.priorities.priority import Priority, empty_priority
+from repro.query.ast import Atom, Const
+from repro.repairs.enumerate import count_repairs
+from repro.repairs.sampling import random_repair
+
+
+def timed(fn, *args):
+    start = time.perf_counter()
+    result = fn(*args)
+    return result, time.perf_counter() - start
+
+
+def main() -> None:
+    print("Example 4: repair explosion (counted via component factoring)")
+    for n in (4, 8, 16, 32, 64):
+        graph = build_conflict_graph(grid_instance(n), GRID_FDS)
+        count, elapsed = timed(count_repairs, graph)
+        print(f"  n={n:3d}: {count} repairs  ({elapsed * 1e3:7.2f} ms)")
+
+    print("\nRepair checking: PTIME families vs the co-NP G check")
+    for length in (8, 12, 16, 20):
+        instance = chain_instance(length)
+        graph = build_conflict_graph(instance, CHAIN_FDS)
+        priority = Priority(graph, chain_priority_pairs(instance)[: length // 2])
+        candidate = random_repair(graph)
+        line = [f"  chain n={length:3d}:"]
+        for family in (Family.LOCAL, Family.SEMI_GLOBAL, Family.COMMON, Family.GLOBAL):
+            _, elapsed = timed(
+                is_preferred_repair, family, candidate, priority
+            )
+            line.append(f"{family.value}={elapsed * 1e3:7.2f}ms")
+        print(" ".join(line))
+    print("  (G-Rep checking enumerates repairs: watch it pull away)")
+
+    print("\nCQA for a ground fact: tractable algorithm vs naive enumeration")
+    query = Atom("R", [Const(0), Const(0)])
+    for n in (6, 10, 14, 18):
+        instance = grid_instance(n)
+        graph = build_conflict_graph(instance, GRID_FDS)
+        _, fast = timed(consistent_answer_qf, query, graph)
+        engine = CqaEngine(instance, GRID_FDS)
+        verdict, slow = timed(engine.answer, query)
+        print(
+            f"  n={n:3d} ({2 ** n:7d} repairs): "
+            f"tractable {fast * 1e3:8.3f} ms | naive {slow * 1e3:9.2f} ms"
+        )
+
+    print("\nTakeaway: rows of Figure 5 separated empirically —")
+    print("  Rep/L/S/C checking and ground-QF CQA stay polynomial;")
+    print("  G checking and naive CQA blow up with the repair space.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,93 @@
+#!/usr/bin/env python3
+"""Data integration at scale: many sources, partial reliability knowledge.
+
+Generates a synthetic multi-source employee directory (the workload the
+paper's introduction motivates), integrates it into one inconsistent
+relation, and compares conflict-resolution strategies:
+
+* classic CQA (no preferences),
+* preferred CQA under each family (L/S/G/C) with a reliability order,
+* the rank-with-fusion baseline [17],
+* stratified preferred subtheories [4].
+
+Run:  python examples/data_integration.py [seed]
+"""
+
+import random
+import sys
+
+from repro import CqaEngine, Family
+from repro.baselines.ranking import resolve_with_fusion
+from repro.baselines.stratified import preferred_subtheories
+from repro.constraints.conflict_graph import build_conflict_graph
+from repro.datagen.generators import (
+    INTEGRATION_FDS,
+    integration_instance,
+)
+from repro.priorities.builders import priority_from_source_reliability
+
+
+def main(seed: int = 7) -> None:
+    rng = random.Random(seed)
+    instance, source_of = integration_instance(
+        people=12, sources=4, disagreement=0.6, rng=rng
+    )
+    graph = build_conflict_graph(instance, INTEGRATION_FDS)
+    print(
+        f"Integrated {len(instance)} tuples from 4 sources: "
+        f"{graph.edge_count} conflicts across "
+        f"{sum(1 for c in graph.connected_components() if len(c) > 1)} clusters"
+    )
+
+    # The analyst knows s0 is the master system and s3 is a stale
+    # export, but cannot rank s1 against s2 (partial preference, exactly
+    # the paper's Example 3 at scale).
+    reliability = [("s0", "s1"), ("s0", "s2"), ("s1", "s3"), ("s2", "s3")]
+    priority = priority_from_source_reliability(graph, source_of, reliability)
+    print(
+        f"Reliability order orients {len(priority.edges)} of "
+        f"{graph.edge_count} conflicts (total: {priority.is_total})"
+    )
+
+    # How much does each family narrow the repair space?
+    engine = CqaEngine(instance, INTEGRATION_FDS, priority)
+    print("\nRepair-space narrowing:")
+    for family in Family:
+        print(f"  {str(family):7s} {len(engine.repairs(family)):6d} repairs")
+
+    # Certain answers improve monotonically with narrowing.
+    query = "SELECT e.Name, e.Dept FROM Emp e"
+    print(f"\nCertain answers to {query!r}:")
+    for family in (Family.REP, Family.LOCAL, Family.GLOBAL, Family.COMMON):
+        result = engine.sql_certain_answers(query, family)
+        print(
+            f"  {str(family):7s} certain={len(result.certain):3d} "
+            f"possible={len(result.possible):3d} "
+            f"disputed={len(result.disputed):3d}"
+        )
+
+    # Baseline [17]: rank sources, fuse ties — loses information.
+    source_rank = {"s0": 3.0, "s1": 2.0, "s2": 2.0, "s3": 1.0}
+    fusion = resolve_with_fusion(
+        graph, lambda row: source_rank[source_of[row]]
+    )
+    print(
+        f"\nRank/fusion baseline: kept {len(fusion.kept)} real tuples, "
+        f"invented {len(fusion.invented)} fused tuples"
+    )
+
+    # Baseline [4]: strata (s0 | s1,s2 | s3).
+    stratum_of = {"s0": 0, "s1": 1, "s2": 1, "s3": 2}
+    subtheories = preferred_subtheories(
+        graph, lambda row: stratum_of[source_of[row]]
+    )
+    print(f"Stratified subtheories [4]: {len(subtheories)} preferred databases")
+
+    # Spot-check: a person whose department is certain under G-Rep.
+    result = engine.sql_certain_answers(query, Family.GLOBAL)
+    for name, dept in sorted(result.certain)[:5]:
+        print(f"  certain under G-Rep: {name} works in {dept}")
+
+
+if __name__ == "__main__":
+    main(int(sys.argv[1]) if len(sys.argv) > 1 else 7)

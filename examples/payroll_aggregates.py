@@ -1,0 +1,90 @@
+#!/usr/bin/env python3
+"""Aggregate queries over an inconsistent payroll (future-work demo).
+
+The paper's conclusions point to the scalar-aggregation line of [2]:
+an aggregate over an inconsistent database is answered with the range
+[glb, lub] of its values across (preferred) repairs.  This example runs
+a payroll audit three ways:
+
+* closed-form PTIME ranges under the key dependency (classic Rep),
+* exact ranges by enumeration,
+* *preferred* ranges — showing how priorities tighten the audit.
+
+Run:  python examples/payroll_aggregates.py
+"""
+
+from fractions import Fraction
+
+from repro import FunctionalDependency, RelationInstance, RelationSchema
+from repro.constraints.conflict_graph import build_conflict_graph
+from repro.core.families import Family
+from repro.cqa.aggregation import (
+    Aggregate,
+    key_range_consistent_answer,
+    range_consistent_answer,
+)
+from repro.priorities.builders import priority_from_timestamps
+from repro.priorities.priority import empty_priority
+
+
+def fmt(value):
+    if isinstance(value, Fraction):
+        return f"{float(value):.1f}"
+    return str(value)
+
+
+def main() -> None:
+    schema = RelationSchema("Payroll", ["Employee", "Salary:number", "Day:number"])
+    rows = [
+        ("Ada", 120, 10), ("Ada", 140, 30),
+        ("Bob", 95, 12), ("Bob", 90, 5),
+        ("Cyn", 100, 7),
+        ("Hana", 115, 20), ("Hana", 125, 22),
+    ]
+    instance = RelationInstance.from_values(schema, rows)
+    fds = [FunctionalDependency.parse("Employee -> Salary, Day", "Payroll")]
+    graph = build_conflict_graph(instance, fds)
+    print(f"{len(instance)} payroll rows, {graph.edge_count} key conflicts\n")
+
+    print("Closed-form ranges under the key dependency (classic Rep):")
+    for aggregate, attr in (
+        (Aggregate.COUNT_STAR, None),
+        (Aggregate.MIN, "Salary"),
+        (Aggregate.MAX, "Salary"),
+        (Aggregate.SUM, "Salary"),
+        (Aggregate.AVG, "Salary"),
+    ):
+        rng = key_range_consistent_answer(graph, aggregate, attr)
+        label = aggregate.value + (f"({attr})" if attr else "")
+        marker = "exact" if rng.is_exact else "range"
+        print(f"  {label:14s} [{fmt(rng.lower)}, {fmt(rng.upper)}]  ({marker})")
+
+    # Cross-check: the enumeration agrees (it must).
+    exact = range_consistent_answer(
+        empty_priority(graph), Aggregate.SUM, "Salary"
+    )
+    closed = key_range_consistent_answer(graph, Aggregate.SUM, "Salary")
+    assert exact == closed
+    print("\nEnumeration cross-check: SUM ranges agree ✓")
+
+    # Preferences: trust the newest row per employee.
+    timestamps = {row: float(row["Day"]) for row in graph.vertices}
+    priority = priority_from_timestamps(graph, timestamps)
+    print("\nPreferred ranges (newest-wins priority, G-Rep):")
+    for aggregate, attr in (
+        (Aggregate.SUM, "Salary"),
+        (Aggregate.MIN, "Salary"),
+        (Aggregate.AVG, "Salary"),
+    ):
+        classic = range_consistent_answer(priority, aggregate, attr, Family.REP)
+        preferred = range_consistent_answer(priority, aggregate, attr, Family.GLOBAL)
+        label = f"{aggregate.value}({attr})"
+        print(
+            f"  {label:14s} Rep [{fmt(classic.lower)}, {fmt(classic.upper)}]"
+            f"  ->  G-Rep [{fmt(preferred.lower)}, {fmt(preferred.upper)}]"
+        )
+    print("\nWith all conflicts timestamp-resolved, the audit is exact.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,12 @@
+"""Legacy setuptools shim.
+
+The execution environment has no network and no ``wheel`` package, so
+PEP-517 editable installs (which build a wheel) fail; this shim lets
+``pip install -e . --no-use-pep517 --no-build-isolation`` perform a
+classic ``setup.py develop`` install.  All metadata lives in
+``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

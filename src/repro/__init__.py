@@ -1,0 +1,147 @@
+"""repro — Preference-Driven Querying of Inconsistent Relational Databases.
+
+A from-scratch reproduction of Staworko, Chomicki & Marcinkowski
+(EDBT 2006 Workshops): the framework of *preferred repairs* (families
+L-Rep, S-Rep, G-Rep, C-Rep selected by acyclic conflict-graph
+orientations) and *preferred consistent query answers*, together with
+the full substrate: a typed relational model, a first-order query
+language, functional-dependency theory, conflict graphs/hypergraphs,
+repair enumeration, priorities and the winnow operator, plus data
+generators and related-work baselines.
+
+Quickstart::
+
+    from repro import (
+        CqaEngine, Family, FunctionalDependency, RelationInstance,
+        RelationSchema,
+    )
+
+    schema = RelationSchema("Mgr", ["Name", "Dept", "Salary:number"])
+    r = RelationInstance.from_values(schema, [
+        ("Mary", "R&D", 40), ("John", "R&D", 10), ("Mary", "IT", 20),
+    ])
+    fds = [FunctionalDependency.parse("Name -> Dept, Salary", "Mgr"),
+           FunctionalDependency.parse("Dept -> Name, Salary", "Mgr")]
+    engine = CqaEngine(r, fds, family=Family.GLOBAL)
+    engine.answer("EXISTS d, s . Mgr(Mary, d, s) AND s > 30")
+
+See README.md for the architecture overview and DESIGN.md for the
+paper-to-module map.
+"""
+
+from repro.exceptions import (
+    CleaningError,
+    ConstraintError,
+    ConstraintSyntaxError,
+    CyclicPriorityError,
+    NonConflictingPriorityError,
+    PriorityError,
+    QueryBindingError,
+    QueryError,
+    QuerySyntaxError,
+    ReproError,
+    SchemaError,
+    TypeMismatchError,
+    UnknownAttributeError,
+    UnknownRelationError,
+)
+from repro.relational import (
+    Attribute,
+    AttributeType,
+    Database,
+    DatabaseSchema,
+    RelationInstance,
+    RelationSchema,
+    Row,
+    integrate_sources,
+)
+from repro.query import Formula, parse_query, parse_sql, sql_to_formula
+from repro.query.evaluator import answers, evaluate
+from repro.constraints import (
+    ConflictGraph,
+    DenialConstraint,
+    FunctionalDependency,
+    build_conflict_graph,
+    is_consistent,
+)
+from repro.repairs import all_repairs, count_repairs, enumerate_repairs, is_repair
+from repro.priorities import (
+    Priority,
+    empty_priority,
+    priority_from_ranking,
+    priority_from_source_reliability,
+    priority_from_timestamps,
+    winnow,
+)
+from repro.core import (
+    Family,
+    all_cleaning_results,
+    clean,
+    is_globally_optimal,
+    is_locally_optimal,
+    is_preferred_repair,
+    is_semi_globally_optimal,
+    preferred_repairs,
+)
+from repro.cqa import ClosedAnswer, CqaEngine, OpenAnswers, Verdict
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Attribute",
+    "AttributeType",
+    "CleaningError",
+    "ClosedAnswer",
+    "ConflictGraph",
+    "ConstraintError",
+    "ConstraintSyntaxError",
+    "CqaEngine",
+    "CyclicPriorityError",
+    "Database",
+    "DatabaseSchema",
+    "DenialConstraint",
+    "Family",
+    "Formula",
+    "FunctionalDependency",
+    "NonConflictingPriorityError",
+    "OpenAnswers",
+    "Priority",
+    "PriorityError",
+    "QueryBindingError",
+    "QueryError",
+    "QuerySyntaxError",
+    "RelationInstance",
+    "RelationSchema",
+    "ReproError",
+    "Row",
+    "SchemaError",
+    "TypeMismatchError",
+    "UnknownAttributeError",
+    "UnknownRelationError",
+    "Verdict",
+    "all_cleaning_results",
+    "all_repairs",
+    "answers",
+    "build_conflict_graph",
+    "clean",
+    "count_repairs",
+    "empty_priority",
+    "enumerate_repairs",
+    "evaluate",
+    "integrate_sources",
+    "is_consistent",
+    "is_globally_optimal",
+    "is_locally_optimal",
+    "is_preferred_repair",
+    "is_repair",
+    "is_semi_globally_optimal",
+    "parse_query",
+    "parse_sql",
+    "preferred_repairs",
+    "priority_from_ranking",
+    "priority_from_source_reliability",
+    "priority_from_timestamps",
+    "sql_to_formula",
+    "winnow",
+    "__version__",
+]

@@ -1,0 +1,24 @@
+"""Related-work baselines: ETL-style cleaning, rank/fusion, strata."""
+
+from repro.baselines.cleaning import (
+    CleaningOutcome,
+    UnresolvedPolicy,
+    clean_database,
+)
+from repro.baselines.ranking import (
+    FusionResult,
+    resolve_by_rank,
+    resolve_with_fusion,
+)
+from repro.baselines.stratified import preferred_subtheories, stratified_priority
+
+__all__ = [
+    "CleaningOutcome",
+    "FusionResult",
+    "UnresolvedPolicy",
+    "clean_database",
+    "preferred_subtheories",
+    "resolve_by_rank",
+    "resolve_with_fusion",
+    "stratified_priority",
+]

@@ -1,0 +1,87 @@
+"""The data-cleaning baseline the paper argues against (Section 1).
+
+Classical cleaning physically resolves conflicts with the standard
+repertoire of actions [23]: remove a tuple, leave it, or report it to an
+auxiliary *contingency* table.  When the user's preference information
+is incomplete, the "cleaned" database may remain inconsistent (Example
+3) — precisely the failure mode preferred consistent query answers
+avoid.  This module implements that baseline so the examples and
+benchmarks can reproduce the paper's comparison.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import FrozenSet, List, Set, Tuple
+
+from repro.constraints.conflict_graph import ConflictGraph
+from repro.constraints.conflicts import ConflictEdge
+from repro.priorities.priority import Priority
+from repro.relational.rows import Row, sorted_rows
+
+
+class UnresolvedPolicy(enum.Enum):
+    """What to do with conflicts the priority does not orient."""
+
+    #: Leave both tuples in place (the cleaned database may stay
+    #: inconsistent — Example 3's outcome).
+    KEEP = "keep"
+    #: Move both tuples to the contingency table (loses information but
+    #: guarantees consistency of the main result).
+    CONTINGENCY = "contingency"
+
+
+@dataclass(frozen=True)
+class CleaningOutcome:
+    """Result of one cleaning pass."""
+
+    kept: FrozenSet[Row]
+    removed: FrozenSet[Row]
+    contingency: FrozenSet[Row]
+    unresolved_conflicts: Tuple[ConflictEdge, ...]
+
+    @property
+    def is_consistent(self) -> bool:
+        """Whether the kept part is conflict-free."""
+        return not self.unresolved_conflicts
+
+
+def clean_database(
+    priority: Priority,
+    policy: UnresolvedPolicy = UnresolvedPolicy.KEEP,
+) -> CleaningOutcome:
+    """One-shot cleaning: drop every dominated tuple, apply ``policy``.
+
+    A tuple is removed when some tuple dominates it (it lost at least
+    one oriented conflict).  Conflicts between surviving tuples are
+    unresolved: under ``KEEP`` they remain in the kept part; under
+    ``CONTINGENCY`` both parties move to the contingency table.
+
+    Unlike Algorithm 1, this is the *non-iterative* cleaning of typical
+    ETL tools: a removed tuple still "spends" its wins, so the result
+    can differ from the paper's winnow iteration and is generally not a
+    repair.
+    """
+    graph = priority.graph
+    removed: Set[Row] = {
+        row for row in graph.vertices if priority.dominators_of(row)
+    }
+    survivors = graph.vertices - removed
+    unresolved: List[ConflictEdge] = [
+        pair for pair in graph.edges() if pair <= survivors
+    ]
+    contingency: Set[Row] = set()
+    if policy is UnresolvedPolicy.CONTINGENCY:
+        for pair in unresolved:
+            contingency.update(pair)
+        survivors = survivors - contingency
+        unresolved = []
+    return CleaningOutcome(
+        kept=frozenset(survivors),
+        removed=frozenset(removed),
+        contingency=frozenset(contingency),
+        unresolved_conflicts=tuple(
+            sorted(unresolved, key=lambda pair: sorted_rows(pair).__repr__())
+        ),
+    )

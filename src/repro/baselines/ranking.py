@@ -1,0 +1,103 @@
+"""Rank-based conflict resolution with fusion (Motro et al. [17]).
+
+The related-work baseline: a ranking function on tuples resolves each
+conflict by keeping only the highest-ranked tuple.  Under the
+assumption that conflicting tuples never tie, this produces a unique
+repair (satisfying P4).  When ties occur on tuples with numeric values,
+a *fusion* value can be computed from the conflicting tuples — the
+result is then no longer a repair in the sense of Definition 1 (it may
+contain invented tuples), which the paper flags as potential
+information loss.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, FrozenSet, List, Optional, Sequence, Set, Tuple
+
+from repro.constraints.conflict_graph import ConflictGraph
+from repro.exceptions import PriorityError
+from repro.priorities.builders import priority_from_ranking
+from repro.priorities.priority import Priority
+from repro.relational.domain import AttributeType
+from repro.relational.rows import Row, sorted_rows
+
+
+def resolve_by_rank(
+    graph: ConflictGraph, rank_of: Callable[[Row], float]
+) -> FrozenSet[Row]:
+    """The unique repair obtained by always keeping the higher rank.
+
+    Raises :class:`PriorityError` when two conflicting tuples tie —
+    the method's uniqueness assumption is then violated and the caller
+    should fall back to :func:`resolve_with_fusion`.
+    """
+    for pair in graph.edges():
+        first, second = tuple(pair)
+        if rank_of(first) == rank_of(second):
+            raise PriorityError(
+                f"rank tie between conflicting tuples {first!r} and {second!r}"
+            )
+    priority = priority_from_ranking(graph, rank_of)
+    # With a total priority, Algorithm 1 yields the unique repair; the
+    # greedy highest-rank sweep below is the original paper's phrasing
+    # and produces the same result.
+    chosen: Set[Row] = set()
+    for row in sorted(sorted_rows(graph.vertices), key=rank_of, reverse=True):
+        if not graph.neighbours(row) & chosen:
+            chosen.add(row)
+    return frozenset(chosen)
+
+
+@dataclass(frozen=True)
+class FusionResult:
+    """Result of fusion-based resolution: real rows plus fused rows."""
+
+    kept: FrozenSet[Row]
+    fused: Tuple[Row, ...]
+
+    @property
+    def all_rows(self) -> FrozenSet[Row]:
+        return self.kept | frozenset(self.fused)
+
+    @property
+    def invented(self) -> Tuple[Row, ...]:
+        """Fused rows that did not exist in the original instance."""
+        return tuple(row for row in self.fused if row not in self.kept)
+
+
+def resolve_with_fusion(
+    graph: ConflictGraph,
+    rank_of: Callable[[Row], float],
+    numeric_fuse: Callable[[Sequence[int]], int] = lambda xs: sum(xs) // len(xs),
+) -> FusionResult:
+    """Rank-based resolution falling back to fusion on ties.
+
+    Conflict-connected groups whose top rank is unique resolve to the
+    top tuple.  Groups with tied top tuples *fuse*: numeric attributes
+    combine through ``numeric_fuse`` (default: integer mean) and name
+    attributes take the value of the first tied tuple in deterministic
+    order (names cannot be averaged).
+    """
+    kept: Set[Row] = set()
+    fused: List[Row] = []
+    for component in graph.connected_components():
+        members = sorted_rows(component)
+        if len(members) == 1:
+            kept.add(members[0])
+            continue
+        top_rank = max(rank_of(row) for row in members)
+        top = [row for row in members if rank_of(row) == top_rank]
+        if len(top) == 1:
+            kept.add(top[0])
+            continue
+        schema = top[0].schema
+        values = []
+        for position, attribute in enumerate(schema.attributes):
+            column = [row.values[position] for row in top]
+            if attribute.type is AttributeType.NUMBER:
+                values.append(numeric_fuse(column))  # type: ignore[arg-type]
+            else:
+                values.append(column[0])
+        fused.append(Row(schema, values))
+    return FusionResult(frozenset(kept), tuple(fused))

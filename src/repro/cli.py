@@ -1,0 +1,276 @@
+"""Command-line interface.
+
+Subcommands::
+
+    repro conflicts  --csv data.csv --fd "A -> B" [--fd ...]
+    repro repairs    --csv data.csv --fd "A -> B" [--limit N]
+    repro clean      --csv data.csv --fd "A -> B" --prefer-new Timestamp
+    repro cqa        --csv data.csv --fd "A -> B" --family G
+                     --query "EXISTS x . R(x, 1)"
+    repro examples   [--name mgr]
+
+Data can come from CSV (``--csv``, relation named after the file stem
+unless ``--relation`` is given) or from a SQLite database
+(``--sqlite db.sqlite --relation R``).  Priorities are supplied either
+with ``--prefer-new COLUMN`` (newer/larger value wins conflicts) or
+``--prefer-source COLUMN --source-order "s1>s3,s2>s3"``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional, Sequence
+
+from repro.constraints.conflict_graph import build_conflict_graph, render_conflict_graph
+from repro.constraints.fd import FunctionalDependency
+from repro.core.cleaning import clean
+from repro.core.families import Family, preferred_repairs
+from repro.cqa.engine import CqaEngine
+from repro.priorities.builders import (
+    priority_from_ranking,
+    priority_from_source_reliability,
+)
+from repro.priorities.priority import Priority, empty_priority
+from repro.relational.csv_io import read_instance_csv
+from repro.relational.instance import RelationInstance
+from repro.relational.rows import sorted_rows
+from repro.relational.sqlite_io import load_instance
+
+_FAMILY_CODES = {
+    "Rep": Family.REP,
+    "L": Family.LOCAL,
+    "S": Family.SEMI_GLOBAL,
+    "G": Family.GLOBAL,
+    "C": Family.COMMON,
+}
+
+
+def _add_data_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--csv", help="CSV file holding the relation instance")
+    parser.add_argument("--sqlite", help="SQLite database file")
+    parser.add_argument("--relation", help="relation name (SQLite, or CSV override)")
+    parser.add_argument(
+        "--fd",
+        action="append",
+        default=[],
+        metavar="SPEC",
+        help='functional dependency, e.g. "Name -> Dept, Salary" (repeatable)',
+    )
+    parser.add_argument(
+        "--prefer-new",
+        metavar="COLUMN",
+        help="orient conflicts toward larger values of COLUMN (timestamp style)",
+    )
+    parser.add_argument(
+        "--prefer-source",
+        metavar="COLUMN",
+        help="column holding the source label of each tuple",
+    )
+    parser.add_argument(
+        "--source-order",
+        metavar="ORDER",
+        help='reliability order like "s1>s3,s2>s3" (with --prefer-source)',
+    )
+
+
+def _load_instance(args: argparse.Namespace) -> RelationInstance:
+    if args.csv:
+        return read_instance_csv(args.csv, args.relation)
+    if args.sqlite:
+        if not args.relation:
+            raise SystemExit("--sqlite requires --relation")
+        return load_instance(args.sqlite, args.relation)
+    raise SystemExit("provide --csv or --sqlite")
+
+
+def _build_setting(args: argparse.Namespace):
+    instance = _load_instance(args)
+    dependencies = [
+        FunctionalDependency.parse(spec, instance.schema.name) for spec in args.fd
+    ]
+    if not dependencies:
+        raise SystemExit("at least one --fd is required")
+    graph = build_conflict_graph(instance, dependencies)
+    priority = empty_priority(graph)
+    if args.prefer_new:
+        column = args.prefer_new
+        priority = priority_from_ranking(graph, lambda row: row[column])
+    elif args.prefer_source:
+        if not args.source_order:
+            raise SystemExit("--prefer-source requires --source-order")
+        pairs = []
+        for chunk in args.source_order.split(","):
+            better, _, worse = chunk.partition(">")
+            if not worse:
+                raise SystemExit(f"bad --source-order chunk {chunk!r}")
+            pairs.append((better.strip(), worse.strip()))
+        column = args.prefer_source
+        priority = priority_from_source_reliability(
+            graph, {row: row[column] for row in graph.vertices}, pairs
+        )
+    return instance, dependencies, graph, priority
+
+
+def _cmd_conflicts(args: argparse.Namespace) -> int:
+    _, _, graph, priority = _build_setting(args)
+    print(
+        f"{graph.vertex_count} tuples, {graph.edge_count} conflicts, "
+        f"{len(priority.edges)} oriented"
+    )
+    print(render_conflict_graph(graph, orientation=priority.edges))
+    return 0
+
+
+def _cmd_repairs(args: argparse.Namespace) -> int:
+    _, _, graph, priority = _build_setting(args)
+    family = _FAMILY_CODES[args.family]
+    repairs = preferred_repairs(family, priority)
+    shown = repairs[: args.limit] if args.limit else repairs
+    print(f"{family}: {len(repairs)} repair(s)")
+    for index, repair in enumerate(shown):
+        rows = ", ".join(repr(row) for row in sorted_rows(repair))
+        print(f"  [{index}] {{{rows}}}")
+    if args.limit and len(repairs) > args.limit:
+        print(f"  ... {len(repairs) - args.limit} more")
+    return 0
+
+
+def _cmd_clean(args: argparse.Namespace) -> int:
+    _, _, graph, priority = _build_setting(args)
+    result = clean(priority)
+    if not priority.is_total:
+        print(
+            "note: priority is partial; Algorithm 1 output below is one of "
+            "the common repairs (C-Rep)"
+        )
+    for row in sorted_rows(result):
+        print(repr(row))
+    return 0
+
+
+def _cmd_cqa(args: argparse.Namespace) -> int:
+    instance, dependencies, graph, priority = _build_setting(args)
+    family = _FAMILY_CODES[args.family]
+    engine = CqaEngine(instance, dependencies, priority, family)
+    answer = engine.answer(args.query)
+    print(f"family={family} verdict={answer.verdict.value}")
+    print(
+        f"repairs considered: {answer.repairs_considered}, "
+        f"satisfying: {answer.satisfying}"
+    )
+    if answer.counterexample is not None:
+        rows = ", ".join(repr(row) for row in sorted_rows(answer.counterexample))
+        print(f"counterexample repair: {{{rows}}}")
+    return 0 if answer.verdict.value != "undetermined" else 2
+
+
+def _cmd_aggregate(args: argparse.Namespace) -> int:
+    from fractions import Fraction
+
+    from repro.cqa.aggregation import (
+        Aggregate,
+        key_range_consistent_answer,
+        range_consistent_answer,
+    )
+
+    _, _, graph, priority = _build_setting(args)
+    aggregate = Aggregate[args.agg.upper().replace("(*)", "_STAR")]
+    if aggregate.needs_attribute and not args.attribute:
+        raise SystemExit(f"{aggregate.value} requires --attribute")
+    family = _FAMILY_CODES[args.family]
+    if args.closed_form:
+        result = key_range_consistent_answer(graph, aggregate, args.attribute)
+    else:
+        result = range_consistent_answer(
+            priority, aggregate, args.attribute, family
+        )
+
+    def fmt(value):
+        return f"{float(value):.3f}" if isinstance(value, Fraction) else str(value)
+
+    label = aggregate.value + (f"({args.attribute})" if args.attribute else "")
+    kind = "exact" if result.is_exact else "range"
+    print(f"{label} over {family}: [{fmt(result.lower)}, {fmt(result.upper)}] ({kind})")
+    return 0
+
+
+def _cmd_examples(args: argparse.Namespace) -> int:
+    from repro.core.families import family_chain
+    from repro.datagen import paper_instances
+
+    scenarios = {sc.name: sc for sc in paper_instances.all_scenarios()}
+    chosen = [scenarios[args.name]] if args.name else scenarios.values()
+    for scenario in chosen:
+        names = {row: label for label, row in scenario.rows.items()}
+        print(f"=== {scenario.name}: {scenario.graph.edge_count} conflicts ===")
+        print(render_conflict_graph(scenario.graph, names, scenario.priority.edges))
+        for family, repairs in family_chain(scenario.priority).items():
+            rendered = [
+                "{" + ", ".join(sorted(names.get(r, repr(r)) for r in repair)) + "}"
+                for repair in repairs
+            ]
+            print(f"  {family}: {', '.join(rendered)}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Preference-driven querying of inconsistent databases",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    conflicts = subparsers.add_parser("conflicts", help="show the conflict graph")
+    _add_data_arguments(conflicts)
+    conflicts.set_defaults(handler=_cmd_conflicts)
+
+    repairs = subparsers.add_parser("repairs", help="list preferred repairs")
+    _add_data_arguments(repairs)
+    repairs.add_argument("--family", choices=_FAMILY_CODES, default="Rep")
+    repairs.add_argument("--limit", type=int, default=20)
+    repairs.set_defaults(handler=_cmd_repairs)
+
+    clean_cmd = subparsers.add_parser("clean", help="run Algorithm 1")
+    _add_data_arguments(clean_cmd)
+    clean_cmd.set_defaults(handler=_cmd_clean)
+
+    cqa = subparsers.add_parser("cqa", help="preferred consistent query answer")
+    _add_data_arguments(cqa)
+    cqa.add_argument("--family", choices=_FAMILY_CODES, default="Rep")
+    cqa.add_argument("--query", required=True, help="closed first-order query")
+    cqa.set_defaults(handler=_cmd_cqa)
+
+    aggregate = subparsers.add_parser(
+        "aggregate", help="range-consistent aggregate answer"
+    )
+    _add_data_arguments(aggregate)
+    aggregate.add_argument(
+        "--agg",
+        required=True,
+        choices=["count_star", "count", "min", "max", "sum", "avg"],
+        help="aggregate function (count_star = COUNT(*))",
+    )
+    aggregate.add_argument("--attribute", help="attribute to aggregate")
+    aggregate.add_argument("--family", choices=_FAMILY_CODES, default="Rep")
+    aggregate.add_argument(
+        "--closed-form",
+        action="store_true",
+        help="use the PTIME single-key closed form (classic Rep only)",
+    )
+    aggregate.set_defaults(handler=_cmd_aggregate)
+
+    examples = subparsers.add_parser("examples", help="show the paper's examples")
+    examples.add_argument("--name", help="scenario name (default: all)")
+    examples.set_defaults(handler=_cmd_examples)
+
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.handler(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,71 @@
+"""Integrity constraints: FDs, FD theory, conflicts, (hyper)graphs."""
+
+from repro.constraints.fd import (
+    FunctionalDependency,
+    key_dependency,
+    parse_fd_set,
+    validate_fd_set,
+)
+from repro.constraints.fd_theory import (
+    attribute_closure,
+    bcnf_violations,
+    candidate_keys,
+    equivalent,
+    implies,
+    is_3nf,
+    is_bcnf,
+    is_superkey,
+    is_trivial,
+    minimal_cover,
+    project_dependencies,
+)
+from repro.constraints.conflicts import (
+    ConflictEdge,
+    conflicting_pairs,
+    edge,
+    find_conflicts,
+    is_consistent,
+)
+from repro.constraints.conflict_graph import (
+    ConflictGraph,
+    build_conflict_graph,
+    render_conflict_graph,
+)
+from repro.constraints.denial import (
+    ConflictHypergraph,
+    DenialConstraint,
+    build_conflict_hypergraph,
+    fd_as_denial,
+    violation_sets,
+)
+
+__all__ = [
+    "ConflictEdge",
+    "ConflictGraph",
+    "ConflictHypergraph",
+    "DenialConstraint",
+    "FunctionalDependency",
+    "attribute_closure",
+    "bcnf_violations",
+    "build_conflict_graph",
+    "build_conflict_hypergraph",
+    "candidate_keys",
+    "conflicting_pairs",
+    "edge",
+    "equivalent",
+    "fd_as_denial",
+    "find_conflicts",
+    "implies",
+    "is_3nf",
+    "is_bcnf",
+    "is_consistent",
+    "is_superkey",
+    "is_trivial",
+    "key_dependency",
+    "minimal_cover",
+    "parse_fd_set",
+    "project_dependencies",
+    "render_conflict_graph",
+    "validate_fd_set",
+    "violation_sets",
+]

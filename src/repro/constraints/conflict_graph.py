@@ -1,0 +1,224 @@
+"""Conflict graphs (paper Section 2.1, Figure 1).
+
+The conflict graph of an instance ``r`` w.r.t. a set of FDs ``F`` has
+the tuples of ``r`` as vertices and an edge between every conflicting
+pair.  It is a compact representation of the repairs: the repairs of
+``r`` are exactly the *maximal independent sets* of the conflict graph.
+
+The graph also carries, per edge, the set of dependencies violated by
+that pair — useful for diagnostics and for the priority builders that
+assign preferences constraint-by-constraint.
+"""
+
+from __future__ import annotations
+
+from typing import (
+    AbstractSet,
+    Dict,
+    FrozenSet,
+    Iterable,
+    Iterator,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Set,
+    Tuple,
+    Union,
+)
+
+from repro.constraints.conflicts import ConflictEdge, edge, find_conflicts
+from repro.constraints.fd import FunctionalDependency
+from repro.relational.database import Database
+from repro.relational.instance import RelationInstance
+from repro.relational.rows import Row, sorted_rows
+
+
+class ConflictGraph:
+    """An immutable undirected graph over database rows."""
+
+    __slots__ = ("vertices", "_adjacency", "_labels")
+
+    def __init__(
+        self,
+        vertices: Iterable[Row],
+        edges: Union[
+            Mapping[ConflictEdge, Set[FunctionalDependency]],
+            Iterable[ConflictEdge],
+        ],
+    ) -> None:
+        self.vertices: FrozenSet[Row] = frozenset(vertices)
+        if isinstance(edges, Mapping):
+            labels = {pair: frozenset(fds) for pair, fds in edges.items()}
+        else:
+            labels = {pair: frozenset() for pair in edges}
+        adjacency: Dict[Row, Set[Row]] = {vertex: set() for vertex in self.vertices}
+        for pair in labels:
+            first, second = tuple(pair)
+            if first not in adjacency or second not in adjacency:
+                missing = {first, second} - self.vertices
+                raise ValueError(f"edge endpoint(s) {missing} not in vertex set")
+            adjacency[first].add(second)
+            adjacency[second].add(first)
+        self._adjacency: Dict[Row, FrozenSet[Row]] = {
+            vertex: frozenset(neighbours) for vertex, neighbours in adjacency.items()
+        }
+        self._labels: Dict[ConflictEdge, FrozenSet[FunctionalDependency]] = labels
+
+    # Basic accessors --------------------------------------------------------
+
+    def neighbours(self, row: Row) -> FrozenSet[Row]:
+        """The paper's ``n(t)``: all tuples conflicting with ``t``."""
+        return self._adjacency[row]
+
+    def vicinity(self, row: Row) -> FrozenSet[Row]:
+        """The paper's ``v(t) = {t} ∪ n(t)``."""
+        return self._adjacency[row] | {row}
+
+    def are_conflicting(self, first: Row, second: Row) -> bool:
+        """Whether the two rows are adjacent."""
+        return second in self._adjacency.get(first, frozenset())
+
+    def edges(self) -> Iterator[ConflictEdge]:
+        """All undirected edges."""
+        return iter(self._labels)
+
+    def edge_labels(self, pair: ConflictEdge) -> FrozenSet[FunctionalDependency]:
+        """Dependencies violated by the given conflicting pair."""
+        return self._labels[pair]
+
+    @property
+    def edge_count(self) -> int:
+        return len(self._labels)
+
+    @property
+    def vertex_count(self) -> int:
+        return len(self.vertices)
+
+    def isolated_vertices(self) -> FrozenSet[Row]:
+        """Rows involved in no conflict (present in every repair)."""
+        return frozenset(
+            vertex for vertex, adj in self._adjacency.items() if not adj
+        )
+
+    def degree(self, row: Row) -> int:
+        return len(self._adjacency[row])
+
+    # Independent-set predicates ----------------------------------------------
+
+    def is_independent(self, rows: AbstractSet[Row]) -> bool:
+        """No two of the given rows conflict (i.e. the set is consistent)."""
+        rows = set(rows)
+        for row in rows:
+            if self._adjacency.get(row, frozenset()) & rows:
+                return False
+        return True
+
+    def is_maximal_independent(self, rows: AbstractSet[Row]) -> bool:
+        """Independent and not extendable — i.e. a repair (Definition 1)."""
+        rows = set(rows)
+        if not rows <= self.vertices:
+            return False
+        if not self.is_independent(rows):
+            return False
+        for vertex in self.vertices - rows:
+            if not self._adjacency[vertex] & rows:
+                return False
+        return True
+
+    # Derived graphs -----------------------------------------------------------
+
+    def induced(self, rows: AbstractSet[Row]) -> "ConflictGraph":
+        """The subgraph induced by ``rows``."""
+        rows = frozenset(rows) & self.vertices
+        labels = {
+            pair: fds
+            for pair, fds in self._labels.items()
+            if pair <= rows
+        }
+        return ConflictGraph(rows, labels)
+
+    def connected_components(self) -> List[FrozenSet[Row]]:
+        """Connected components (conflicts decompose across components)."""
+        seen: Set[Row] = set()
+        components: List[FrozenSet[Row]] = []
+        for start in sorted_rows(self.vertices):
+            if start in seen:
+                continue
+            stack = [start]
+            component: Set[Row] = set()
+            while stack:
+                vertex = stack.pop()
+                if vertex in component:
+                    continue
+                component.add(vertex)
+                stack.extend(self._adjacency[vertex] - component)
+            seen.update(component)
+            components.append(frozenset(component))
+        return components
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, ConflictGraph):
+            return NotImplemented
+        return self.vertices == other.vertices and set(self._labels) == set(
+            other._labels
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.vertices, frozenset(self._labels)))
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"ConflictGraph({self.vertex_count} vertices, "
+            f"{self.edge_count} edges)"
+        )
+
+
+def build_conflict_graph(
+    data: Union[RelationInstance, Database, Iterable[Row]],
+    dependencies: Sequence[FunctionalDependency],
+) -> ConflictGraph:
+    """Construct the conflict graph of an instance/database w.r.t. FDs."""
+    if isinstance(data, RelationInstance):
+        rows: FrozenSet[Row] = data.rows
+    elif isinstance(data, Database):
+        rows = data.all_rows()
+    else:
+        rows = frozenset(data)
+    return ConflictGraph(rows, find_conflicts(rows, dependencies))
+
+
+def render_conflict_graph(
+    graph: ConflictGraph,
+    names: Optional[Mapping[Row, str]] = None,
+    orientation: Optional[Iterable[Tuple[Row, Row]]] = None,
+) -> str:
+    """ASCII rendering used to reproduce the paper's Figures 1–4.
+
+    Lists each vertex with its adjacency; when ``orientation`` (a set of
+    ``(winner, loser)`` pairs) is supplied, oriented edges are drawn as
+    ``winner -> loser`` and unoriented ones as ``a -- b``.
+    """
+    label = dict(names) if names else {}
+
+    def name_of(row: Row) -> str:
+        return label.get(row, repr(row))
+
+    oriented = {(w, l) for w, l in orientation} if orientation else set()
+    lines = [f"vertices: {', '.join(name_of(r) for r in sorted_rows(graph.vertices))}"]
+    drawn: Set[ConflictEdge] = set()
+    for row in sorted_rows(graph.vertices):
+        for other in sorted_rows(graph.neighbours(row)):
+            pair = edge(row, other)
+            if pair in drawn:
+                continue
+            drawn.add(pair)
+            if (row, other) in oriented:
+                lines.append(f"  {name_of(row)} -> {name_of(other)}")
+            elif (other, row) in oriented:
+                lines.append(f"  {name_of(other)} -> {name_of(row)}")
+            else:
+                lines.append(f"  {name_of(row)} -- {name_of(other)}")
+    if graph.edge_count == 0:
+        lines.append("  (no conflicts)")
+    return "\n".join(lines)

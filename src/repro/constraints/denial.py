@@ -1,0 +1,253 @@
+"""Denial constraints and conflict hypergraphs (paper Section 6).
+
+The paper's closing section points to generalizing conflict graphs to
+*conflict hypergraphs* [6] in order to handle denial constraints, where
+a single conflict may involve more than two tuples.  We implement that
+substrate: denial constraints, hyperedge (violation-set) detection and
+repair enumeration on hypergraphs.  Priorities keep their graph-only
+meaning, exactly as the paper notes ("the current notion of priority
+does not have a clear meaning" on hyperedges).
+
+A denial constraint forbids a joint instantiation of some atoms
+satisfying a condition::
+
+    ¬ ∃ x̄ . R(x̄₁) ∧ ... ∧ R(x̄ₖ) ∧ φ(x̄)
+
+For example, "no two managers of the same department" is the FD-style
+constraint with two atoms; "salaries may not exceed the department
+budget" joins two relations with a ``>`` condition.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, Iterable, Iterator, List, Optional, Sequence, Set, Tuple
+
+from repro.exceptions import ConstraintError
+from repro.query.ast import Atom, Const, Formula, TrueFormula, Var, is_quantifier_free
+from repro.query.evaluator import _compare  # shared comparison semantics
+from repro.query.ast import Comparison, And, Or, Not, Implies, FalseFormula
+from repro.relational.domain import Value
+from repro.relational.rows import Row
+
+
+@dataclass(frozen=True)
+class DenialConstraint:
+    """A denial constraint: atoms that must not jointly hold under a condition."""
+
+    atoms: Tuple[Atom, ...]
+    condition: Formula
+
+    def __init__(
+        self, atoms: Sequence[Atom], condition: Optional[Formula] = None
+    ) -> None:
+        if not atoms:
+            raise ConstraintError("denial constraint needs at least one atom")
+        condition = condition if condition is not None else TrueFormula()
+        if not is_quantifier_free(condition):
+            raise ConstraintError("denial-constraint condition must be quantifier-free")
+        atom_vars = set()
+        for atom in atoms:
+            atom_vars |= atom.free_variables()
+        dangling = condition.free_variables() - atom_vars
+        if dangling:
+            raise ConstraintError(
+                f"condition variables {sorted(dangling)} do not occur in any atom"
+            )
+        object.__setattr__(self, "atoms", tuple(atoms))
+        object.__setattr__(self, "condition", condition)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        atoms = " AND ".join(str(atom) for atom in self.atoms)
+        return f"NOT EXISTS ({atoms} AND {self.condition})"
+
+
+def _condition_holds(condition: Formula, binding: Dict[str, Value]) -> bool:
+    """Evaluate a quantifier-free, atom-free condition under a binding."""
+    if isinstance(condition, TrueFormula):
+        return True
+    if isinstance(condition, FalseFormula):
+        return False
+    if isinstance(condition, Comparison):
+        left = condition.left.value if isinstance(condition.left, Const) else binding[condition.left.name]
+        right = condition.right.value if isinstance(condition.right, Const) else binding[condition.right.name]
+        return _compare(condition.op, left, right)
+    if isinstance(condition, Not):
+        return not _condition_holds(condition.body, binding)
+    if isinstance(condition, And):
+        return all(_condition_holds(part, binding) for part in condition.parts)
+    if isinstance(condition, Or):
+        return any(_condition_holds(part, binding) for part in condition.parts)
+    if isinstance(condition, Implies):
+        return not _condition_holds(condition.antecedent, binding) or _condition_holds(
+            condition.consequent, binding
+        )
+    if isinstance(condition, Atom):
+        raise ConstraintError("denial-constraint conditions may not contain atoms")
+    raise TypeError(f"unexpected condition node {condition!r}")
+
+
+def _match_atom(
+    atom: Atom, row: Row, binding: Dict[str, Value]
+) -> Optional[Dict[str, Value]]:
+    """Extend ``binding`` so that ``atom`` matches ``row``, or ``None``."""
+    if row.relation != atom.relation or len(row.values) != len(atom.terms):
+        return None
+    extension = dict(binding)
+    for term, value in zip(atom.terms, row.values):
+        if isinstance(term, Const):
+            if term.value != value:
+                return None
+        else:
+            bound = extension.get(term.name)
+            if bound is None and term.name not in extension:
+                extension[term.name] = value
+            elif bound != value:
+                return None
+    return extension
+
+
+def violation_sets(
+    rows: Iterable[Row], constraint: DenialConstraint
+) -> Iterator[FrozenSet[Row]]:
+    """All (not necessarily distinct) violation sets of the constraint.
+
+    A violation set is the set of rows instantiating the constraint's
+    atoms under some satisfying binding.  Atoms may map to the same row.
+    """
+    rows = list(rows)
+    by_relation: Dict[str, List[Row]] = {}
+    for row in rows:
+        by_relation.setdefault(row.relation, []).append(row)
+
+    def extend(
+        index: int, binding: Dict[str, Value], chosen: Tuple[Row, ...]
+    ) -> Iterator[FrozenSet[Row]]:
+        if index == len(constraint.atoms):
+            if _condition_holds(constraint.condition, binding):
+                yield frozenset(chosen)
+            return
+        atom = constraint.atoms[index]
+        for row in by_relation.get(atom.relation, ()):
+            extension = _match_atom(atom, row, binding)
+            if extension is not None:
+                yield from extend(index + 1, extension, chosen + (row,))
+
+    yield from extend(0, {}, ())
+
+
+class ConflictHypergraph:
+    """Vertices plus minimal violation hyperedges; repairs are the
+    maximal subsets containing no full hyperedge."""
+
+    __slots__ = ("vertices", "edges")
+
+    def __init__(self, vertices: Iterable[Row], edges: Iterable[FrozenSet[Row]]) -> None:
+        self.vertices: FrozenSet[Row] = frozenset(vertices)
+        minimal: List[FrozenSet[Row]] = []
+        for candidate in sorted(set(edges), key=len):
+            if not candidate:
+                raise ConstraintError("empty hyperedge: the constraint is unsatisfiable")
+            if not candidate <= self.vertices:
+                raise ConstraintError("hyperedge endpoint outside the vertex set")
+            if any(existing <= candidate for existing in minimal):
+                continue
+            minimal.append(candidate)
+        self.edges: Tuple[FrozenSet[Row], ...] = tuple(minimal)
+
+    def is_independent(self, rows: Set[Row]) -> bool:
+        """No hyperedge is fully contained in ``rows``."""
+        return not any(edge <= rows for edge in self.edges)
+
+    def is_maximal_independent(self, rows: Set[Row]) -> bool:
+        rows = set(rows)
+        if not rows <= self.vertices or not self.is_independent(rows):
+            return False
+        return all(
+            not self.is_independent(rows | {vertex})
+            for vertex in self.vertices - rows
+        )
+
+    def maximal_independent_sets(self) -> List[FrozenSet[Row]]:
+        """All repairs w.r.t. the hypergraph (hitting-set search tree).
+
+        Exponential in the worst case, as it must be; fine at the scale
+        where one can afford to enumerate repairs at all.
+        """
+        results: Set[FrozenSet[Row]] = set()
+        seen: Set[FrozenSet[Row]] = set()
+
+        def search(current: FrozenSet[Row]) -> None:
+            if current in seen:
+                return
+            seen.add(current)
+            violated = next(
+                (edge for edge in self.edges if edge <= current), None
+            )
+            if violated is None:
+                results.add(current)
+                return
+            for vertex in violated:
+                search(current - {vertex})
+
+        search(self.vertices)
+        return [
+            candidate
+            for candidate in results
+            if not any(other > candidate for other in results)
+        ]
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"ConflictHypergraph({len(self.vertices)} vertices, "
+            f"{len(self.edges)} edges)"
+        )
+
+
+def build_conflict_hypergraph(
+    rows: Iterable[Row], constraints: Sequence[DenialConstraint]
+) -> ConflictHypergraph:
+    """Construct the conflict hypergraph for a set of denial constraints.
+
+    Singleton violation sets (a row inconsistent by itself) become
+    singleton edges: such rows belong to no repair.
+    """
+    rows = frozenset(rows)
+    edges: Set[FrozenSet[Row]] = set()
+    for constraint in constraints:
+        edges.update(violation_sets(rows, constraint))
+    return ConflictHypergraph(rows, edges)
+
+
+def fd_as_denial(
+    fd, schema
+) -> DenialConstraint:
+    """Translate an FD over ``schema`` into an equivalent denial constraint.
+
+    ``X → Y`` becomes one constraint per RHS attribute ``B``:
+    ``¬∃ t1,t2 . R(t1) ∧ R(t2) ∧ t1.X = t2.X ∧ t1.B ≠ t2.B``.  For a
+    multi-attribute RHS the disjunction of inequalities is used so a
+    single constraint suffices.
+    """
+    first_vars = [Var(f"a_{attr}") for attr in schema.attribute_names]
+    second_vars = [Var(f"b_{attr}") for attr in schema.attribute_names]
+    index = {attr: pos for pos, attr in enumerate(schema.attribute_names)}
+    agreements = [
+        Comparison("=", first_vars[index[attr]], second_vars[index[attr]])
+        for attr in sorted(fd.lhs)
+    ]
+    differences = [
+        Comparison("!=", first_vars[index[attr]], second_vars[index[attr]])
+        for attr in sorted(fd.rhs)
+    ]
+    condition_parts: List[Formula] = list(agreements)
+    condition_parts.append(
+        differences[0] if len(differences) == 1 else Or(differences)
+    )
+    condition: Formula = (
+        condition_parts[0] if len(condition_parts) == 1 else And(condition_parts)
+    )
+    return DenialConstraint(
+        (Atom(schema.name, first_vars), Atom(schema.name, second_vars)),
+        condition,
+    )

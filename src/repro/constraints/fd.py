@@ -1,0 +1,157 @@
+"""Functional dependencies.
+
+A functional dependency ``X → Y`` over relation ``R`` states that any
+two tuples agreeing on all attributes of ``X`` must agree on all
+attributes of ``Y`` (paper, equation (1)).  Two tuples *conflict* w.r.t.
+``X → Y`` when they agree on ``X`` but differ on some attribute of
+``Y``.
+
+Dependencies can be built programmatically or parsed from text::
+
+    FunctionalDependency.parse("Dept -> Name, Salary, Reports", relation="Mgr")
+"""
+
+from __future__ import annotations
+
+import re
+from typing import AbstractSet, FrozenSet, Iterable, List, Optional, Sequence, Tuple
+
+from repro.exceptions import ConstraintError, ConstraintSyntaxError
+from repro.relational.rows import Row
+from repro.relational.schema import RelationSchema
+
+
+class FunctionalDependency:
+    """An FD ``lhs → rhs`` over an optionally named relation.
+
+    When ``relation`` is ``None`` the dependency applies to whatever
+    single relation it is checked against (the paper's one-relation
+    setting); in multi-relation databases every FD must name its
+    relation.
+    """
+
+    __slots__ = ("lhs", "rhs", "relation")
+
+    def __init__(
+        self,
+        lhs: Iterable[str],
+        rhs: Iterable[str],
+        relation: Optional[str] = None,
+    ) -> None:
+        self.lhs: FrozenSet[str] = frozenset(lhs)
+        self.rhs: FrozenSet[str] = frozenset(rhs)
+        self.relation = relation
+        if not self.rhs:
+            raise ConstraintError("functional dependency needs a right-hand side")
+        # An empty LHS is legal: it asserts all tuples agree on RHS.
+
+    @classmethod
+    def parse(cls, text: str, relation: Optional[str] = None) -> "FunctionalDependency":
+        """Parse ``"A, B -> C D"`` (either arrow side may use , or space).
+
+        An optional relation prefix is accepted: ``"Mgr: Dept -> Name"``.
+        """
+        body = text.strip()
+        if ":" in body:
+            prefix, _, body = body.partition(":")
+            prefix = prefix.strip()
+            if relation is not None and prefix != relation:
+                raise ConstraintSyntaxError(
+                    f"dependency names relation {prefix!r} but {relation!r} was given"
+                )
+            relation = prefix
+        if "->" not in body:
+            raise ConstraintSyntaxError(f"missing '->' in dependency {text!r}")
+        lhs_text, _, rhs_text = body.partition("->")
+        lhs = _parse_attribute_list(lhs_text)
+        rhs = _parse_attribute_list(rhs_text)
+        if not rhs:
+            raise ConstraintSyntaxError(f"empty right-hand side in {text!r}")
+        return cls(lhs, rhs, relation)
+
+    def validate_against(self, schema: RelationSchema) -> None:
+        """Check every referenced attribute exists in ``schema``."""
+        if self.relation is not None and self.relation != schema.name:
+            raise ConstraintError(
+                f"dependency over {self.relation!r} checked against "
+                f"relation {schema.name!r}"
+            )
+        for attribute in self.lhs | self.rhs:
+            schema.index_of(attribute)
+
+    def applies_to(self, relation_name: str) -> bool:
+        """Whether this FD constrains the given relation."""
+        return self.relation is None or self.relation == relation_name
+
+    def is_key_for(self, schema: RelationSchema) -> bool:
+        """Whether this FD is a key dependency: lhs → all other attributes."""
+        return self.lhs | self.rhs >= set(schema.attribute_names)
+
+    def conflicting(self, first: Row, second: Row) -> bool:
+        """Whether two rows conflict w.r.t. this dependency.
+
+        Rows of relations this FD does not apply to never conflict.
+        """
+        if first.relation != second.relation:
+            return False
+        if not self.applies_to(first.relation):
+            return False
+        lhs, rhs = sorted(self.lhs), sorted(self.rhs)
+        if not first.agrees_with(second, lhs):
+            return False
+        return not first.agrees_with(second, rhs)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, FunctionalDependency):
+            return NotImplemented
+        return (
+            self.lhs == other.lhs
+            and self.rhs == other.rhs
+            and self.relation == other.relation
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.lhs, self.rhs, self.relation))
+
+    def __repr__(self) -> str:
+        lhs = " ".join(sorted(self.lhs)) or "∅"
+        rhs = " ".join(sorted(self.rhs))
+        prefix = f"{self.relation}: " if self.relation else ""
+        return f"{prefix}{lhs} -> {rhs}"
+
+
+def _parse_attribute_list(text: str) -> Tuple[str, ...]:
+    parts = [part for part in re.split(r"[,\s]+", text.strip()) if part]
+    for part in parts:
+        if not part.replace("_", "").isalnum():
+            raise ConstraintSyntaxError(f"invalid attribute name {part!r}")
+    return tuple(parts)
+
+
+def parse_fd_set(
+    specs: Iterable[str], relation: Optional[str] = None
+) -> List[FunctionalDependency]:
+    """Parse several dependency strings (see :meth:`FunctionalDependency.parse`)."""
+    return [FunctionalDependency.parse(spec, relation) for spec in specs]
+
+
+def key_dependency(
+    schema: RelationSchema, key: Sequence[str]
+) -> FunctionalDependency:
+    """The key dependency ``key → (all other attributes)`` of ``schema``."""
+    key_set = frozenset(key)
+    rest = frozenset(schema.attribute_names) - key_set
+    if not rest:
+        raise ConstraintError(
+            f"key {sorted(key_set)} covers all attributes of {schema.name!r}; "
+            "the dependency would be trivial"
+        )
+    return FunctionalDependency(key_set, rest, schema.name)
+
+
+def validate_fd_set(
+    dependencies: Iterable[FunctionalDependency], schema: RelationSchema
+) -> None:
+    """Validate each dependency against the (single-relation) schema."""
+    for dependency in dependencies:
+        dependency.validate_against(schema)

@@ -1,0 +1,191 @@
+"""Classical functional-dependency theory.
+
+The paper's future-work section suggests refining the complexity
+results "by assuming the conformance of functional dependencies with
+BCNF".  This module supplies the standard machinery needed to even pose
+that question: attribute-set closure, implication, candidate keys,
+BCNF/3NF tests, minimal covers and projection utilities.
+
+All algorithms are the textbook ones (Armstrong axioms are sound and
+complete; closure is computed with the linear-scan fixpoint method).
+"""
+
+from __future__ import annotations
+
+from itertools import combinations
+from typing import AbstractSet, FrozenSet, Iterable, List, Sequence, Set, Tuple
+
+from repro.constraints.fd import FunctionalDependency
+from repro.relational.schema import RelationSchema
+
+
+def attribute_closure(
+    attributes: Iterable[str],
+    dependencies: Sequence[FunctionalDependency],
+) -> FrozenSet[str]:
+    """Closure ``X⁺`` of an attribute set under the given FDs."""
+    closure: Set[str] = set(attributes)
+    changed = True
+    while changed:
+        changed = False
+        for dependency in dependencies:
+            if dependency.lhs <= closure and not dependency.rhs <= closure:
+                closure.update(dependency.rhs)
+                changed = True
+    return frozenset(closure)
+
+
+def implies(
+    dependencies: Sequence[FunctionalDependency],
+    candidate: FunctionalDependency,
+) -> bool:
+    """Whether the FD set logically implies ``candidate`` (via closure)."""
+    return candidate.rhs <= attribute_closure(candidate.lhs, dependencies)
+
+
+def equivalent(
+    first: Sequence[FunctionalDependency],
+    second: Sequence[FunctionalDependency],
+) -> bool:
+    """Whether two FD sets imply each other."""
+    return all(implies(second, fd) for fd in first) and all(
+        implies(first, fd) for fd in second
+    )
+
+
+def is_trivial(dependency: FunctionalDependency) -> bool:
+    """Whether the FD is trivial (``rhs ⊆ lhs``)."""
+    return dependency.rhs <= dependency.lhs
+
+
+def is_superkey(
+    attributes: Iterable[str],
+    schema: RelationSchema,
+    dependencies: Sequence[FunctionalDependency],
+) -> bool:
+    """Whether the attribute set determines every attribute of the schema."""
+    return attribute_closure(attributes, dependencies) >= set(schema.attribute_names)
+
+
+def candidate_keys(
+    schema: RelationSchema,
+    dependencies: Sequence[FunctionalDependency],
+) -> List[FrozenSet[str]]:
+    """All minimal keys of the schema, smallest first.
+
+    Exponential in the number of attributes in the worst case (the
+    problem is inherently so); fine for the schema sizes of this domain.
+    """
+    attributes = tuple(schema.attribute_names)
+    keys: List[FrozenSet[str]] = []
+    for size in range(len(attributes) + 1):
+        for subset in combinations(attributes, size):
+            subset_set = frozenset(subset)
+            if any(key <= subset_set for key in keys):
+                continue
+            if is_superkey(subset_set, schema, dependencies):
+                keys.append(subset_set)
+    return keys
+
+
+def is_bcnf(
+    schema: RelationSchema,
+    dependencies: Sequence[FunctionalDependency],
+) -> bool:
+    """Boyce–Codd normal form: every non-trivial FD has a superkey LHS."""
+    return all(
+        is_trivial(fd) or is_superkey(fd.lhs, schema, dependencies)
+        for fd in dependencies
+    )
+
+
+def bcnf_violations(
+    schema: RelationSchema,
+    dependencies: Sequence[FunctionalDependency],
+) -> List[FunctionalDependency]:
+    """The dependencies witnessing a BCNF violation (empty iff BCNF)."""
+    return [
+        fd
+        for fd in dependencies
+        if not is_trivial(fd) and not is_superkey(fd.lhs, schema, dependencies)
+    ]
+
+
+def is_3nf(
+    schema: RelationSchema,
+    dependencies: Sequence[FunctionalDependency],
+) -> bool:
+    """Third normal form: each RHS attribute is prime or the LHS is a superkey."""
+    prime: Set[str] = set()
+    for key in candidate_keys(schema, dependencies):
+        prime.update(key)
+    for fd in dependencies:
+        if is_trivial(fd) or is_superkey(fd.lhs, schema, dependencies):
+            continue
+        if not fd.rhs - fd.lhs <= prime:
+            return False
+    return True
+
+
+def minimal_cover(
+    dependencies: Sequence[FunctionalDependency],
+) -> List[FunctionalDependency]:
+    """A minimal (canonical) cover of the FD set.
+
+    Standard three phases: split right-hand sides to single attributes,
+    remove extraneous LHS attributes, remove redundant dependencies.
+    The relation tag of each FD is preserved.
+    """
+    # Phase 1: singleton right-hand sides.
+    split: List[FunctionalDependency] = []
+    for fd in dependencies:
+        for attribute in sorted(fd.rhs):
+            if attribute in fd.lhs:
+                continue  # drop trivial parts
+            split.append(FunctionalDependency(fd.lhs, [attribute], fd.relation))
+
+    # Phase 2: remove extraneous left-hand-side attributes.
+    reduced: List[FunctionalDependency] = []
+    for fd in split:
+        lhs = set(fd.lhs)
+        for attribute in sorted(fd.lhs):
+            if len(lhs) == 1:
+                break
+            trimmed = lhs - {attribute}
+            if fd.rhs <= attribute_closure(trimmed, split):
+                lhs = trimmed
+        reduced.append(FunctionalDependency(lhs, fd.rhs, fd.relation))
+
+    # Phase 3: drop redundant dependencies.
+    result: List[FunctionalDependency] = list(dict.fromkeys(reduced))
+    index = 0
+    while index < len(result):
+        fd = result[index]
+        rest = result[:index] + result[index + 1 :]
+        if implies(rest, fd):
+            result = rest
+        else:
+            index += 1
+    return result
+
+
+def project_dependencies(
+    dependencies: Sequence[FunctionalDependency],
+    attributes: AbstractSet[str],
+) -> List[FunctionalDependency]:
+    """FDs implied on a subset of attributes (decomposition support).
+
+    Computes, for every subset ``X`` of ``attributes``, the portion of
+    ``X⁺`` inside ``attributes``; returns a minimal cover of the result.
+    Exponential in ``len(attributes)`` as usual.
+    """
+    attributes = frozenset(attributes)
+    projected: List[FunctionalDependency] = []
+    members = tuple(sorted(attributes))
+    for size in range(1, len(members) + 1):
+        for subset in combinations(members, size):
+            closure = attribute_closure(subset, dependencies)
+            rhs = (closure & attributes) - set(subset)
+            if rhs:
+                projected.append(FunctionalDependency(subset, rhs))
+    return minimal_cover(projected)

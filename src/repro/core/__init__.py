@@ -1,0 +1,75 @@
+"""The paper's contribution: preferred-repair families and their theory."""
+
+from repro.core.cleaning import (
+    all_cleaning_results,
+    clean,
+    is_common_repair,
+)
+from repro.core.lifting import (
+    maximal_under_preference,
+    prefers,
+    strictly_prefers,
+)
+from repro.core.optimality import (
+    globally_optimal_repairs,
+    is_globally_optimal,
+    is_globally_optimal_by_definition,
+    is_locally_optimal,
+    is_semi_globally_optimal,
+    optimality_profile,
+)
+from repro.core.families import (
+    Family,
+    family_chain,
+    is_preferred_repair,
+    preferred_repairs,
+    preferred_repairs_of_instance,
+)
+from repro.core.properties import (
+    PropertyReport,
+    audit_family,
+    check_p1_nonempty,
+    check_p2_monotone,
+    check_p2_monotone_pair,
+    check_p3_nondiscrimination,
+    check_p4_categorical,
+)
+from repro.core.trivial import example6_family, trep_family, trep_family_patched
+from repro.core.cyclic import (
+    CyclicPreference,
+    condensed_preferred_repairs,
+    is_conservative_extension,
+)
+
+__all__ = [
+    "CyclicPreference",
+    "Family",
+    "PropertyReport",
+    "condensed_preferred_repairs",
+    "is_conservative_extension",
+    "all_cleaning_results",
+    "audit_family",
+    "check_p1_nonempty",
+    "check_p2_monotone",
+    "check_p2_monotone_pair",
+    "check_p3_nondiscrimination",
+    "check_p4_categorical",
+    "clean",
+    "example6_family",
+    "family_chain",
+    "globally_optimal_repairs",
+    "is_common_repair",
+    "is_globally_optimal",
+    "is_globally_optimal_by_definition",
+    "is_locally_optimal",
+    "is_preferred_repair",
+    "is_semi_globally_optimal",
+    "maximal_under_preference",
+    "optimality_profile",
+    "preferred_repairs",
+    "preferred_repairs_of_instance",
+    "prefers",
+    "strictly_prefers",
+    "trep_family",
+    "trep_family_patched",
+]

@@ -1,0 +1,144 @@
+"""Algorithm 1 — priority-driven database cleaning (paper Section 2.2).
+
+The algorithm repeatedly applies the winnow operator: it picks any
+currently-undominated tuple, commits to it, and discards its conflict
+neighbourhood, until nothing is left::
+
+    r' ← ∅
+    while ω≻(r) ≠ ∅:
+        choose any x ∈ ω≻(r)
+        r' ← r' ∪ {x}
+        r  ← r \\ ({x} ∪ n(x))
+    return r'
+
+Proposition 1: for a *total* priority the outcome is one unique repair
+regardless of the choices.  For partial priorities different choice
+sequences may produce different repairs; the set of all possible
+outcomes is exactly the family of *common repairs* ``C-Rep``
+(Proposition 7), enumerated here with memoization on the residual
+tuple set.
+"""
+
+from __future__ import annotations
+
+from typing import (
+    AbstractSet,
+    Callable,
+    Dict,
+    FrozenSet,
+    Iterable,
+    List,
+    Optional,
+    Sequence,
+    Set,
+)
+
+from repro.constraints.conflict_graph import ConflictGraph
+from repro.exceptions import CleaningError
+from repro.priorities.priority import Priority
+from repro.priorities.winnow import winnow
+from repro.relational.rows import Row, sorted_rows
+
+#: A chooser receives the winnow set (deterministically ordered) and
+#: returns the tuple to commit next.
+Chooser = Callable[[Sequence[Row]], Row]
+
+
+def _first(candidates: Sequence[Row]) -> Row:
+    return candidates[0]
+
+
+def clean(
+    priority: Priority,
+    chooser: Optional[Chooser] = None,
+    start: Optional[AbstractSet[Row]] = None,
+) -> FrozenSet[Row]:
+    """Run Algorithm 1 and return the constructed repair.
+
+    ``chooser`` resolves Step 3's "choose any x ∈ ω≻(r)"; the default
+    picks the first tuple in deterministic order.  ``start`` restricts
+    the run to a subset of the instance (used by the membership check).
+    """
+    graph = priority.graph
+    chooser = chooser or _first
+    remaining: Set[Row] = set(graph.vertices if start is None else start)
+    result: Set[Row] = set()
+    while remaining:
+        undominated = winnow(priority, remaining)
+        if not undominated:
+            raise CleaningError(
+                "winnow returned no tuple on a nonempty set; "
+                "the priority relation must be cyclic"
+            )
+        candidate = chooser(sorted_rows(undominated))
+        if candidate not in undominated:
+            raise CleaningError(
+                f"chooser returned {candidate!r}, which is not in the winnow set"
+            )
+        result.add(candidate)
+        remaining -= graph.vicinity(candidate)
+    return frozenset(result)
+
+
+def all_cleaning_results(
+    priority: Priority, memoized: bool = True
+) -> List[FrozenSet[Row]]:
+    """Every repair obtainable from Algorithm 1 over all choice sequences.
+
+    By Proposition 7 this is exactly ``C-Rep``.  With ``memoized=True``
+    (default) the search collapses states that share the same residual
+    tuple set; the naive variant re-explores them (ablation ABL2).
+    """
+    graph = priority.graph
+    memo: Dict[FrozenSet[Row], FrozenSet[FrozenSet[Row]]] = {}
+
+    def outcomes(remaining: FrozenSet[Row]) -> FrozenSet[FrozenSet[Row]]:
+        if not remaining:
+            return frozenset({frozenset()})
+        if memoized and remaining in memo:
+            return memo[remaining]
+        undominated = winnow(priority, remaining)
+        if not undominated:
+            raise CleaningError(
+                "winnow returned no tuple on a nonempty set; "
+                "the priority relation must be cyclic"
+            )
+        collected: Set[FrozenSet[Row]] = set()
+        for choice in sorted_rows(undominated):
+            for rest in outcomes(remaining - graph.vicinity(choice)):
+                collected.add(rest | {choice})
+        result = frozenset(collected)
+        if memoized:
+            memo[remaining] = result
+        return result
+
+    return sorted(outcomes(graph.vertices), key=lambda repair: sorted_rows(repair).__repr__())
+
+
+def is_common_repair(candidate: AbstractSet[Row], priority: Priority) -> bool:
+    """C-repair checking in PTIME (Corollary 2).
+
+    Simulates Algorithm 1 with Step-3 choices restricted to
+    ``ω≻(r) ∩ r'`` (Proposition 7): the candidate is a common repair iff
+    the simulation can always proceed and reconstructs it exactly.
+    """
+    graph = priority.graph
+    candidate = frozenset(candidate)
+    if not candidate <= graph.vertices:
+        return False
+    remaining: Set[Row] = set(graph.vertices)
+    chosen: Set[Row] = set()
+    while remaining:
+        undominated = winnow(priority, remaining)
+        if not undominated:
+            raise CleaningError(
+                "winnow returned no tuple on a nonempty set; "
+                "the priority relation must be cyclic"
+            )
+        allowed = undominated & candidate
+        if not allowed:
+            return False
+        choice = sorted_rows(allowed)[0]
+        chosen.add(choice)
+        remaining -= graph.vicinity(choice)
+    return chosen == candidate

@@ -1,0 +1,178 @@
+"""Cyclic preference relations (paper Section 6, future work).
+
+The paper requires priorities to be acyclic and flags "extending our
+approach to cyclic priorities" as an open problem, warning that a
+"modified, conditional, version of monotonicity may be necessary".
+This module implements the natural *condensation semantics* for that
+extension and makes its property profile executable:
+
+Given an arbitrary binary relation on conflicting tuples (cycles
+allowed), collapse its strongly connected components: tuples caught in
+a preference cycle are treated as mutually incomparable (the user's
+evidence about them is contradictory), while preferences between
+distinct components survive.  The result is an acyclic
+:class:`~repro.priorities.priority.Priority` usable with every repair
+family.
+
+Properties (tested in ``tests/core/test_cyclic.py``):
+
+* agrees with the identity on already-acyclic relations;
+* P1/P3/P4 transfer from the underlying family;
+* **monotonicity is conditional**, exactly as the paper anticipates:
+  adding a preference edge can close a cycle, *erase* previously active
+  preferences, and thereby widen the preferred-repair set.  The module
+  exposes :func:`is_conservative_extension` — extensions that do not
+  merge strongly connected components — for which monotonicity is
+  restored.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Iterable, List, Sequence, Set, Tuple
+
+from repro.constraints.conflict_graph import ConflictGraph
+from repro.exceptions import NonConflictingPriorityError
+from repro.priorities.priority import Priority, PriorityEdge
+from repro.relational.rows import Row
+
+
+def _strongly_connected_components(
+    vertices: Iterable[Row], edges: Sequence[PriorityEdge]
+) -> Dict[Row, int]:
+    """Tarjan's algorithm (iterative); returns a component id per vertex."""
+    adjacency: Dict[Row, List[Row]] = {vertex: [] for vertex in vertices}
+    for winner, loser in edges:
+        adjacency.setdefault(winner, []).append(loser)
+        adjacency.setdefault(loser, [])
+
+    index_of: Dict[Row, int] = {}
+    lowlink: Dict[Row, int] = {}
+    on_stack: Set[Row] = set()
+    stack: List[Row] = []
+    component_of: Dict[Row, int] = {}
+    counter = 0
+    components = 0
+
+    for root in adjacency:
+        if root in index_of:
+            continue
+        work: List[Tuple[Row, int]] = [(root, 0)]
+        while work:
+            vertex, child_index = work[-1]
+            if child_index == 0:
+                index_of[vertex] = lowlink[vertex] = counter
+                counter += 1
+                stack.append(vertex)
+                on_stack.add(vertex)
+            advanced = False
+            children = adjacency[vertex]
+            while child_index < len(children):
+                child = children[child_index]
+                child_index += 1
+                if child not in index_of:
+                    work[-1] = (vertex, child_index)
+                    work.append((child, 0))
+                    advanced = True
+                    break
+                if child in on_stack:
+                    lowlink[vertex] = min(lowlink[vertex], index_of[child])
+            if advanced:
+                continue
+            work.pop()
+            if lowlink[vertex] == index_of[vertex]:
+                while True:
+                    member = stack.pop()
+                    on_stack.discard(member)
+                    component_of[member] = components
+                    if member == vertex:
+                        break
+                components += 1
+            if work:
+                parent = work[-1][0]
+                lowlink[parent] = min(lowlink[parent], lowlink[vertex])
+    return component_of
+
+
+class CyclicPreference:
+    """An arbitrary (possibly cyclic) preference on conflicting tuples."""
+
+    __slots__ = ("graph", "edges")
+
+    def __init__(self, graph: ConflictGraph, edges: Iterable[PriorityEdge]) -> None:
+        self.graph = graph
+        self.edges: FrozenSet[PriorityEdge] = frozenset(edges)
+        for winner, loser in self.edges:
+            if not graph.are_conflicting(winner, loser):
+                raise NonConflictingPriorityError(
+                    f"preference relates non-conflicting tuples "
+                    f"{winner!r} and {loser!r}"
+                )
+
+    def components(self) -> Dict[Row, int]:
+        """Strongly-connected-component id of every tuple."""
+        return _strongly_connected_components(self.graph.vertices, tuple(self.edges))
+
+    def condense(self) -> Priority:
+        """The acyclic priority obtained by collapsing preference cycles.
+
+        An edge survives iff its endpoints lie in different strongly
+        connected components of the preference digraph; two-sided and
+        cyclic evidence cancels out.
+        """
+        component_of = self.components()
+        surviving = [
+            (winner, loser)
+            for winner, loser in self.edges
+            if component_of[winner] != component_of[loser]
+        ]
+        return Priority(self.graph, surviving)
+
+    def extend(self, additional: Iterable[PriorityEdge]) -> "CyclicPreference":
+        """Union of preferences (always succeeds — cycles are allowed)."""
+        return CyclicPreference(self.graph, self.edges | frozenset(additional))
+
+    @property
+    def has_cycle(self) -> bool:
+        """Whether any preference cycle (including 2-cycles) exists."""
+        component_of = self.components()
+        return any(
+            component_of[winner] == component_of[loser]
+            for winner, loser in self.edges
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"CyclicPreference({len(self.edges)} edges, cyclic={self.has_cycle})"
+
+
+def is_conservative_extension(
+    base: CyclicPreference, extension: CyclicPreference
+) -> bool:
+    """Whether ``extension`` adds edges without merging any components.
+
+    For conservative extensions the condensed priorities are themselves
+    extensions of one another, so the P2 monotonicity of the underlying
+    family transfers — the "conditional monotonicity" the paper
+    anticipates.
+    """
+    if not extension.edges >= base.edges or extension.graph != base.graph:
+        return False
+    base_components = base.components()
+    extended_components = extension.components()
+    # Merging happened iff two tuples separated before are together now.
+    seen: Dict[int, int] = {}
+    for row in base.graph.vertices:
+        new_id = extended_components[row]
+        old_id = base_components[row]
+        if new_id in seen and seen[new_id] != old_id:
+            return False
+        seen[new_id] = old_id
+    return True
+
+
+def condensed_preferred_repairs(
+    preference: CyclicPreference, family
+) -> List[FrozenSet[Row]]:
+    """Preferred repairs of a family under the condensation semantics."""
+    from repro.core.families import preferred_repairs
+
+    return preferred_repairs(family, preference.condense())

@@ -1,0 +1,128 @@
+"""Executable checkers for the axioms P1–P4 (paper Section 1).
+
+A *family of preferred repairs* assigns to every priority a set of
+repairs.  The paper postulates:
+
+* **P1 non-emptiness** — ``RepΦ ≠ ∅``;
+* **P2 monotonicity** — ``Φ ⊆ Ψ ⇒ RepΨ ⊆ RepΦ``;
+* **P3 non-discrimination** — ``Rep∅ = Rep``;
+* **P4 categoricity** — ``Φ total ⇒ |RepΦ| = 1``.
+
+These are ∀-statements over all priorities, so they cannot be *proved*
+by testing; the checkers here *refute or corroborate* them on concrete
+scenarios, and the property-based test-suite runs them over randomized
+instances.  A family is represented extensionally as a callable
+``Priority → list of repairs``.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Callable, FrozenSet, List, Optional, Sequence, Tuple
+
+from repro.constraints.conflict_graph import ConflictGraph
+from repro.priorities.priority import Priority
+from repro.relational.rows import Row
+from repro.repairs.enumerate import enumerate_repairs
+
+Repair = FrozenSet[Row]
+FamilyFunction = Callable[[Priority], Sequence[Repair]]
+
+
+def check_p1_nonempty(family: FamilyFunction, priority: Priority) -> bool:
+    """P1 on one scenario: the selected repair set is nonempty."""
+    return len(family(priority)) > 0
+
+
+def check_p2_monotone_pair(
+    family: FamilyFunction, smaller: Priority, larger: Priority
+) -> bool:
+    """P2 on one extension pair: ``Rep(larger) ⊆ Rep(smaller)``."""
+    if not larger.is_extension_of(smaller):
+        raise ValueError("second priority does not extend the first")
+    return set(family(larger)) <= set(family(smaller))
+
+
+def check_p2_monotone(
+    family: FamilyFunction,
+    priority: Priority,
+    samples: int = 8,
+    rng: Optional[random.Random] = None,
+) -> bool:
+    """P2 against sampled extensions of ``priority`` (and one total one)."""
+    rng = rng or random.Random(0)
+    extensions: List[Priority] = []
+    free = priority.unoriented_edges()
+    if free:
+        extensions.append(priority.some_total_extension())
+    for _ in range(samples):
+        if not free:
+            break
+        chosen = rng.sample(free, rng.randint(1, len(free)))
+        additional = []
+        for pair in chosen:
+            first, second = tuple(pair)
+            additional.append((first, second) if rng.random() < 0.5 else (second, first))
+        try:
+            extensions.append(priority.extend(additional))
+        except Exception:
+            continue  # random orientation may be cyclic; skip it
+    base = set(family(priority))
+    return all(set(family(extension)) <= base for extension in extensions)
+
+
+def check_p3_nondiscrimination(
+    family: FamilyFunction, graph: ConflictGraph
+) -> bool:
+    """P3: with the empty priority, every repair is selected."""
+    from repro.priorities.priority import empty_priority
+
+    selected = set(family(empty_priority(graph)))
+    return selected == set(enumerate_repairs(graph))
+
+
+def check_p4_categorical(
+    family: FamilyFunction, priority: Priority
+) -> Optional[bool]:
+    """P4 on one scenario: a total priority selects exactly one repair.
+
+    Returns ``None`` when the priority is not total (P4 says nothing).
+    """
+    if not priority.is_total:
+        return None
+    return len(family(priority)) == 1
+
+
+@dataclass
+class PropertyReport:
+    """Outcome of running all four checkers on one scenario."""
+
+    p1: bool
+    p2: bool
+    p3: bool
+    p4: Optional[bool]
+    violations: Tuple[str, ...] = field(default_factory=tuple)
+
+    @property
+    def all_hold(self) -> bool:
+        return self.p1 and self.p2 and self.p3 and (self.p4 is not False)
+
+
+def audit_family(
+    family: FamilyFunction,
+    priority: Priority,
+    samples: int = 8,
+    rng: Optional[random.Random] = None,
+) -> PropertyReport:
+    """Run every property checker on one scenario and report."""
+    p1 = check_p1_nonempty(family, priority)
+    p2 = check_p2_monotone(family, priority, samples, rng)
+    p3 = check_p3_nondiscrimination(family, priority.graph)
+    p4 = check_p4_categorical(family, priority)
+    violations = tuple(
+        name
+        for name, outcome in (("P1", p1), ("P2", p2), ("P3", p3), ("P4", p4))
+        if outcome is False
+    )
+    return PropertyReport(p1, p2, p3, p4, violations)

@@ -1,0 +1,62 @@
+"""The paper's adversarial "trivial" families (Examples 6 and 10).
+
+Section 3 motivates the optimality notions by exhibiting families that
+satisfy most of P1–P4 while making essentially no use of the priority:
+
+* **Example 6** — return *all* repairs unless the priority is total, in
+  which case return the single Algorithm-1 repair.  Satisfies P1–P4 yet
+  ignores every partial priority.
+* **Example 10 (T-Rep)** — fix one canonical total extension of the
+  given priority and return the Algorithm-1 repair for it.  This is a
+  family of *globally optimal* repairs satisfying P1 and P4 (the paper
+  also lists P3; as written the construction returns a single repair
+  even for the empty priority, so P3 fails unless the extension choice
+  is special-cased — both readings are provided).  Crucially it violates
+  **P2 monotonicity**, which is the paper's point: optimality alone does
+  not prevent groundless elimination of repairs.
+"""
+
+from __future__ import annotations
+
+from typing import FrozenSet, List
+
+from repro.core.cleaning import clean
+from repro.priorities.priority import Priority
+from repro.relational.rows import Row, sorted_rows
+from repro.repairs.enumerate import enumerate_repairs
+
+Repair = FrozenSet[Row]
+
+
+def example6_family(priority: Priority) -> List[Repair]:
+    """Example 6: all repairs unless total, then the Algorithm-1 repair."""
+    if priority.is_total:
+        return [clean(priority)]
+    return sorted(
+        enumerate_repairs(priority.graph),
+        key=lambda repair: sorted_rows(repair).__repr__(),
+    )
+
+
+def trep_family(priority: Priority) -> List[Repair]:
+    """Example 10's T-Rep, literally as written.
+
+    Deterministically completes the priority to a total one and returns
+    the unique Algorithm-1 repair of the completion.  Always a single
+    globally optimal repair — P1 and P4 hold, P2 and P3 fail in general.
+    """
+    return [clean(priority.some_total_extension())]
+
+
+def trep_family_patched(priority: Priority) -> List[Repair]:
+    """T-Rep with the empty priority special-cased to all repairs.
+
+    This variant matches the property profile the paper states for
+    Example 10 (P1, P3, P4 — but not P2).
+    """
+    if priority.is_empty:
+        return sorted(
+            enumerate_repairs(priority.graph),
+            key=lambda repair: sorted_rows(repair).__repr__(),
+        )
+    return [clean(priority.some_total_extension())]

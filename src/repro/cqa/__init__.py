@@ -1,0 +1,33 @@
+"""Consistent query answering: verdicts, naive engine, tractable cases."""
+
+from repro.cqa.answers import ClosedAnswer, OpenAnswers, Verdict
+from repro.cqa.engine import CqaEngine
+from repro.cqa.tractable import (
+    consistent_answer_qf,
+    is_consistently_true_qf,
+    some_repair_satisfies_qf,
+)
+from repro.cqa.aggregation import (
+    Aggregate,
+    AggregateRange,
+    aggregate_value,
+    key_range_consistent_answer,
+    range_consistent_answer,
+)
+from repro.cqa.hypergraph_cqa import DenialCqaEngine
+
+__all__ = [
+    "Aggregate",
+    "AggregateRange",
+    "ClosedAnswer",
+    "CqaEngine",
+    "DenialCqaEngine",
+    "OpenAnswers",
+    "Verdict",
+    "aggregate_value",
+    "consistent_answer_qf",
+    "is_consistently_true_qf",
+    "key_range_consistent_answer",
+    "range_consistent_answer",
+    "some_repair_satisfies_qf",
+]

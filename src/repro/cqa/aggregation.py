@@ -1,0 +1,209 @@
+"""Range-consistent answers to scalar aggregation queries.
+
+The paper's future-work section points to refining its results "along
+the lines of [2]" (Arenas et al., *Scalar Aggregation in Inconsistent
+Databases*, TCS 2003): an aggregate query over an inconsistent database
+is answered with the **range** [glb, lub] of values the aggregate takes
+across the (preferred) repairs.  This module supplies:
+
+* exact ranges by enumeration over any preferred-repair family
+  (:func:`range_consistent_answer`), and
+* closed-form PTIME ranges for the single-key-dependency case
+  (:func:`key_range_consistent_answer`), where the conflict graph is a
+  disjoint union of cliques and each aggregate decomposes per clique —
+  the tractable cases identified by [2].
+
+Supported aggregates: COUNT(*), COUNT(A), MIN(A), MAX(A), SUM(A) and
+AVG(A) (exact rational).  Narrowing the repair family can only narrow
+the range (property-tested): preferences sharpen aggregate answers the
+same way they sharpen boolean ones.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from fractions import Fraction
+from typing import AbstractSet, Dict, Iterable, List, Optional, Sequence, Union
+
+from repro.constraints.conflict_graph import ConflictGraph
+from repro.core.families import Family, preferred_repairs
+from repro.exceptions import QueryError
+from repro.priorities.priority import Priority
+from repro.relational.rows import Row
+
+Number = Union[int, Fraction]
+
+
+class Aggregate(enum.Enum):
+    """Scalar aggregate functions of [2]."""
+
+    COUNT_STAR = "COUNT(*)"
+    COUNT = "COUNT"
+    MIN = "MIN"
+    MAX = "MAX"
+    SUM = "SUM"
+    AVG = "AVG"
+
+    @property
+    def needs_attribute(self) -> bool:
+        return self is not Aggregate.COUNT_STAR
+
+
+@dataclass(frozen=True)
+class AggregateRange:
+    """The glb/lub answer to an aggregate query.
+
+    ``lower is None`` (and ``upper``) encode an aggregate undefined in
+    some repair (MIN/MAX/AVG over an empty repair — possible only when
+    the instance itself is empty, since repairs are maximal).
+    """
+
+    lower: Optional[Number]
+    upper: Optional[Number]
+
+    @property
+    def is_exact(self) -> bool:
+        """Whether every (preferred) repair agrees on the value."""
+        return self.lower == self.upper
+
+    def __contains__(self, value: Number) -> bool:
+        if self.lower is None or self.upper is None:
+            return False
+        return self.lower <= value <= self.upper
+
+    def widens(self, other: "AggregateRange") -> bool:
+        """Whether this range contains ``other`` (used by monotonicity)."""
+        if other.lower is None:
+            return True
+        if self.lower is None:
+            return False
+        return self.lower <= other.lower and other.upper <= self.upper
+
+
+def aggregate_value(
+    rows: Iterable[Row], aggregate: Aggregate, attribute: Optional[str] = None
+) -> Optional[Number]:
+    """The aggregate of a concrete (repaired) set of rows."""
+    if aggregate.needs_attribute and attribute is None:
+        raise QueryError(f"{aggregate.value} requires an attribute")
+    rows = list(rows)
+    if aggregate is Aggregate.COUNT_STAR:
+        return len(rows)
+    values = [row[attribute] for row in rows]  # type: ignore[index]
+    for value in values:
+        if not isinstance(value, int) and aggregate is not Aggregate.COUNT:
+            raise QueryError(
+                f"aggregate {aggregate.value} needs a numeric attribute, "
+                f"got value {value!r}"
+            )
+    if aggregate is Aggregate.COUNT:
+        return len(values)
+    if not values:
+        return None
+    if aggregate is Aggregate.MIN:
+        return min(values)
+    if aggregate is Aggregate.MAX:
+        return max(values)
+    if aggregate is Aggregate.SUM:
+        return sum(values)
+    if aggregate is Aggregate.AVG:
+        return Fraction(sum(values), len(values))
+    raise QueryError(f"unknown aggregate {aggregate!r}")  # pragma: no cover
+
+
+def range_consistent_answer(
+    priority: Priority,
+    aggregate: Aggregate,
+    attribute: Optional[str] = None,
+    family: Family = Family.REP,
+    repairs: Optional[Sequence[AbstractSet[Row]]] = None,
+) -> AggregateRange:
+    """Exact [glb, lub] over the preferred repairs of ``family``.
+
+    Enumeration-based, so exponential in the worst case — the honest
+    cost of exact ranges; the closed form below covers the PTIME case.
+    """
+    pool = (
+        list(repairs)
+        if repairs is not None
+        else preferred_repairs(family, priority)
+    )
+    if not pool:
+        raise QueryError("no preferred repairs (P1 violated?)")
+    values = [aggregate_value(repair, aggregate, attribute) for repair in pool]
+    defined = [value for value in values if value is not None]
+    if not defined:
+        return AggregateRange(None, None)
+    if len(defined) != len(values):
+        # Mixed defined/undefined can only happen on empty instances.
+        return AggregateRange(None, None)
+    return AggregateRange(min(defined), max(defined))
+
+
+def _clique_groups(graph: ConflictGraph) -> List[List[Row]]:
+    """Connected components, verified to be cliques (one-key case)."""
+    groups: List[List[Row]] = []
+    for component in graph.connected_components():
+        members = list(component)
+        for row in members:
+            if len(graph.neighbours(row) & component) != len(members) - 1:
+                raise QueryError(
+                    "closed-form aggregate ranges require a single key "
+                    "dependency (conflict components must be cliques)"
+                )
+        groups.append(members)
+    return groups
+
+
+def key_range_consistent_answer(
+    graph: ConflictGraph,
+    aggregate: Aggregate,
+    attribute: Optional[str] = None,
+) -> AggregateRange:
+    """PTIME [glb, lub] under one key dependency (classic ``Rep``).
+
+    With a key dependency the conflict graph is a disjoint union of
+    cliques and every repair picks exactly one tuple per clique, so the
+    aggregates decompose:
+
+    * COUNT(*) / COUNT(A): the number of cliques — exact.
+    * SUM: [Σ clique-min, Σ clique-max].
+    * AVG: SUM range divided by the (constant) count.
+    * MIN: glb is the global minimum; lub is the minimum over cliques
+      of the clique maximum (choose each clique's largest value).
+    * MAX: dually, glb = max over cliques of the clique minimum,
+      lub = global maximum.
+    """
+    if aggregate.needs_attribute and attribute is None:
+        raise QueryError(f"{aggregate.value} requires an attribute")
+    groups = _clique_groups(graph)
+    if aggregate in (Aggregate.COUNT_STAR, Aggregate.COUNT):
+        return AggregateRange(len(groups), len(groups))
+    if not groups:
+        return AggregateRange(None, None)
+
+    per_group: List[List[int]] = []
+    for group in groups:
+        values = [row[attribute] for row in group]  # type: ignore[index]
+        for value in values:
+            if not isinstance(value, int):
+                raise QueryError(
+                    f"aggregate {aggregate.value} needs a numeric attribute"
+                )
+        per_group.append(values)
+
+    minima = [min(values) for values in per_group]
+    maxima = [max(values) for values in per_group]
+    if aggregate is Aggregate.SUM:
+        return AggregateRange(sum(minima), sum(maxima))
+    if aggregate is Aggregate.AVG:
+        count = len(groups)
+        return AggregateRange(
+            Fraction(sum(minima), count), Fraction(sum(maxima), count)
+        )
+    if aggregate is Aggregate.MIN:
+        return AggregateRange(min(minima), min(maxima))
+    if aggregate is Aggregate.MAX:
+        return AggregateRange(max(minima), max(maxima))
+    raise QueryError(f"unknown aggregate {aggregate!r}")  # pragma: no cover

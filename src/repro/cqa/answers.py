@@ -1,0 +1,74 @@
+"""Answer types for (preferred) consistent query answering.
+
+For a closed query ``Q`` and a family of preferred repairs, the paper
+defines ``true`` to be the X-consistent answer when every preferred
+repair satisfies ``Q`` (Definition 3).  Symmetrically ``false`` is the
+X-consistent answer when no preferred repair satisfies ``Q``; otherwise
+the answer is undetermined — the inconsistency leaves both outcomes
+possible.  :class:`Verdict` captures this three-valued outcome.
+
+For open queries, :class:`OpenAnswers` carries the *certain* answers
+(tuples in the answer of every preferred repair) and the *possible*
+answers (tuples in the answer of at least one).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import FrozenSet, Optional, Tuple
+
+from repro.core.families import Family
+from repro.relational.domain import Value
+from repro.relational.rows import Row
+
+
+class Verdict(enum.Enum):
+    """Three-valued outcome of a closed query over preferred repairs."""
+
+    TRUE = "true"
+    FALSE = "false"
+    UNDETERMINED = "undetermined"
+
+    @property
+    def as_bool(self) -> Optional[bool]:
+        """The classical truth value, or ``None`` when undetermined."""
+        if self is Verdict.TRUE:
+            return True
+        if self is Verdict.FALSE:
+            return False
+        return None
+
+
+@dataclass(frozen=True)
+class ClosedAnswer:
+    """Result of closed-query CQA under one family."""
+
+    family: Family
+    verdict: Verdict
+    repairs_considered: int
+    satisfying: int
+    #: A preferred repair falsifying the query, when one exists and the
+    #: engine kept it (drives the "why not certain?" diagnostics).
+    counterexample: Optional[FrozenSet[Row]] = None
+
+    @property
+    def is_consistent_answer_true(self) -> bool:
+        """Definition 3: true holds in *every* preferred repair."""
+        return self.verdict is Verdict.TRUE
+
+
+@dataclass(frozen=True)
+class OpenAnswers:
+    """Certain and possible answers of an open query under one family."""
+
+    family: Family
+    variables: Tuple[str, ...]
+    certain: FrozenSet[Tuple[Value, ...]]
+    possible: FrozenSet[Tuple[Value, ...]]
+    repairs_considered: int
+
+    @property
+    def disputed(self) -> FrozenSet[Tuple[Value, ...]]:
+        """Answers true in some but not all preferred repairs."""
+        return self.possible - self.certain

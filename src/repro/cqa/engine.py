@@ -1,0 +1,217 @@
+"""The preferred consistent-query-answering engine.
+
+:class:`CqaEngine` wires the whole stack together: it builds the
+conflict graph of an instance w.r.t. its FDs, attaches a priority,
+materializes (lazily, with caching) the preferred repairs of any family,
+and answers closed and open queries under Definition 3 semantics.
+
+The evaluation strategy mirrors the complexity results of Section 4:
+preferred consistent answering is a *counterexample search* — a closed
+query fails to be consistently true as soon as one preferred repair
+falsifies it — so repairs stream through the engine with early exit,
+and for the polynomial families (L, S, C) each candidate repair is
+admitted by its PTIME membership check before the query is evaluated.
+"""
+
+from __future__ import annotations
+
+from typing import (
+    Dict,
+    FrozenSet,
+    Iterable,
+    Iterator,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+    Union,
+)
+
+from repro.constraints.conflict_graph import ConflictGraph, build_conflict_graph
+from repro.constraints.fd import FunctionalDependency
+from repro.core.cleaning import all_cleaning_results
+from repro.core.families import Family, preferred_repairs
+from repro.core.optimality import is_locally_optimal, is_semi_globally_optimal
+from repro.cqa.answers import ClosedAnswer, OpenAnswers, Verdict
+from repro.exceptions import QueryError
+from repro.priorities.priority import Priority, PriorityEdge
+from repro.query.ast import Formula
+from repro.query.evaluator import answers as evaluate_answers
+from repro.query.evaluator import evaluate, make_context
+from repro.query.parser import parse_query
+from repro.query.sql import sql_to_formula
+from repro.relational.database import Database
+from repro.relational.instance import RelationInstance
+from repro.relational.rows import Row
+from repro.repairs.enumerate import enumerate_repairs
+
+Repair = FrozenSet[Row]
+
+_STREAMING_FILTERS = {
+    Family.REP: lambda repair, priority: True,
+    Family.LOCAL: lambda repair, priority: is_locally_optimal(repair, priority),
+    Family.SEMI_GLOBAL: lambda repair, priority: is_semi_globally_optimal(
+        repair, priority
+    ),
+}
+
+
+class CqaEngine:
+    """Answers queries over an inconsistent instance under a repair family."""
+
+    def __init__(
+        self,
+        data: Union[RelationInstance, Database],
+        dependencies: Sequence[FunctionalDependency],
+        priority: Union[Priority, Iterable[PriorityEdge], None] = None,
+        family: Family = Family.REP,
+    ) -> None:
+        self.data = data
+        self.dependencies = tuple(dependencies)
+        self.graph: ConflictGraph = build_conflict_graph(data, self.dependencies)
+        if isinstance(priority, Priority):
+            if priority.graph != self.graph:
+                raise QueryError(
+                    "priority was built over a different conflict graph"
+                )
+            self.priority = priority
+        else:
+            self.priority = Priority(self.graph, priority or ())
+        self.family = family
+        self._repair_cache: Dict[Family, List[Repair]] = {}
+
+    # Repair access ----------------------------------------------------------
+
+    def repairs(self, family: Optional[Family] = None) -> List[Repair]:
+        """Materialized preferred repairs of the (given or default) family."""
+        family = family or self.family
+        if family not in self._repair_cache:
+            pool = self._repair_cache.get(Family.REP)
+            self._repair_cache[family] = preferred_repairs(
+                family, self.priority, pool
+            )
+        return self._repair_cache[family]
+
+    def _stream_repairs(self, family: Family) -> Iterator[Repair]:
+        """Preferred repairs with early-exit-friendly streaming."""
+        if family in self._repair_cache:
+            yield from self._repair_cache[family]
+            return
+        if family in _STREAMING_FILTERS:
+            accept = _STREAMING_FILTERS[family]
+            for repair in enumerate_repairs(self.graph):
+                if accept(repair, self.priority):
+                    yield repair
+            return
+        # G and C need global information; materialize through the cache.
+        yield from self.repairs(family)
+
+    # Closed queries -----------------------------------------------------------
+
+    def _to_formula(self, query: Union[str, Formula]) -> Formula:
+        from repro.query.validate import check_against_schema
+
+        formula = parse_query(query) if isinstance(query, str) else query
+        if isinstance(self.data, Database):
+            schema = self.data.schema
+        else:
+            from repro.relational.schema import DatabaseSchema
+
+            schema = DatabaseSchema([self.data.schema])
+        return check_against_schema(formula, schema)
+
+    def is_consistently_true(
+        self, query: Union[str, Formula], family: Optional[Family] = None
+    ) -> bool:
+        """Definition 3 with early exit on the first falsifying repair."""
+        family = family or self.family
+        formula = self._to_formula(query)
+        if not formula.is_closed:
+            raise QueryError(
+                "closed-query CQA requires a closed formula; "
+                "use certain_answers() for open queries"
+            )
+        for repair in self._stream_repairs(family):
+            if not evaluate(formula, repair):
+                return False
+        return True
+
+    def answer(
+        self, query: Union[str, Formula], family: Optional[Family] = None
+    ) -> ClosedAnswer:
+        """Full three-valued verdict with counts and a counterexample."""
+        family = family or self.family
+        formula = self._to_formula(query)
+        if not formula.is_closed:
+            raise QueryError("answer() requires a closed formula")
+        considered = 0
+        satisfying = 0
+        counterexample: Optional[Repair] = None
+        for repair in self._stream_repairs(family):
+            considered += 1
+            if evaluate(formula, repair):
+                satisfying += 1
+            elif counterexample is None:
+                counterexample = repair
+        if considered == 0:
+            # Cannot happen for P1-respecting families; defensive only.
+            verdict = Verdict.UNDETERMINED
+        elif satisfying == considered:
+            verdict = Verdict.TRUE
+        elif satisfying == 0:
+            verdict = Verdict.FALSE
+        else:
+            verdict = Verdict.UNDETERMINED
+        return ClosedAnswer(family, verdict, considered, satisfying, counterexample)
+
+    # Open queries ---------------------------------------------------------------
+
+    def certain_answers(
+        self,
+        query: Union[str, Formula],
+        variables: Optional[Tuple[str, ...]] = None,
+        family: Optional[Family] = None,
+    ) -> OpenAnswers:
+        """Certain/possible answer sets of an open query (along [1, 7])."""
+        family = family or self.family
+        formula = self._to_formula(query)
+        if variables is None:
+            variables = tuple(sorted(formula.free_variables()))
+        certain: Optional[FrozenSet[Tuple]] = None
+        possible: FrozenSet[Tuple] = frozenset()
+        considered = 0
+        for repair in self._stream_repairs(family):
+            considered += 1
+            result = evaluate_answers(formula, repair, variables)
+            certain = result if certain is None else certain & result
+            possible = possible | result
+        return OpenAnswers(
+            family,
+            variables,
+            certain if certain is not None else frozenset(),
+            possible,
+            considered,
+        )
+
+    def sql_certain_answers(
+        self, sql: str, family: Optional[Family] = None
+    ) -> OpenAnswers:
+        """Certain answers for a conjunctive SQL query."""
+        if not isinstance(self.data, Database):
+            schema_source = Database.single(self.data)
+        else:
+            schema_source = self.data
+        formula, variables = sql_to_formula(sql, schema_source.schema)
+        return self.certain_answers(formula, variables, family)
+
+    # Diagnostics -------------------------------------------------------------------
+
+    def summary(self) -> Dict[str, object]:
+        """Human-oriented snapshot of the engine's inconsistency state."""
+        return {
+            "tuples": self.graph.vertex_count,
+            "conflicts": self.graph.edge_count,
+            "oriented": len(self.priority.edges),
+            "priority_total": self.priority.is_total,
+            "family": str(self.family),
+        }

@@ -1,0 +1,111 @@
+"""Consistent query answering over denial constraints (paper Section 6).
+
+The paper's closing generalization: replace the conflict graph with a
+conflict *hypergraph* [6] so that denial constraints — where a single
+violation can involve more than two tuples, possibly across relations —
+are supported.  Repairs are the maximal subsets containing no full
+hyperedge; consistent answers keep Definition 3's shape (true iff true
+in every repair).
+
+Priorities are deliberately *not* lifted here: the paper notes that
+with hyperedges "the current notion of priority does not have a clear
+meaning", so this engine serves the classic ``Rep`` family only.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional, Sequence, Tuple, Union
+
+from repro.constraints.denial import (
+    ConflictHypergraph,
+    DenialConstraint,
+    build_conflict_hypergraph,
+)
+from repro.core.families import Family
+from repro.cqa.answers import ClosedAnswer, OpenAnswers, Verdict
+from repro.exceptions import QueryError
+from repro.query.ast import Formula
+from repro.query.evaluator import answers as evaluate_answers
+from repro.query.evaluator import evaluate
+from repro.query.parser import parse_query
+from repro.relational.database import Database
+from repro.relational.instance import RelationInstance
+from repro.relational.rows import Row
+
+
+class DenialCqaEngine:
+    """Consistent answers w.r.t. a set of denial constraints."""
+
+    def __init__(
+        self,
+        data: Union[RelationInstance, Database, Iterable[Row]],
+        constraints: Sequence[DenialConstraint],
+    ) -> None:
+        if isinstance(data, RelationInstance):
+            rows = data.rows
+        elif isinstance(data, Database):
+            rows = data.all_rows()
+        else:
+            rows = frozenset(data)
+        self.constraints = tuple(constraints)
+        self.hypergraph: ConflictHypergraph = build_conflict_hypergraph(
+            rows, self.constraints
+        )
+        self._repairs = None
+
+    def repairs(self):
+        """All hypergraph repairs (cached)."""
+        if self._repairs is None:
+            self._repairs = self.hypergraph.maximal_independent_sets()
+        return self._repairs
+
+    @staticmethod
+    def _to_formula(query: Union[str, Formula]) -> Formula:
+        return parse_query(query) if isinstance(query, str) else query
+
+    def answer(self, query: Union[str, Formula]) -> ClosedAnswer:
+        """Three-valued consistent answer to a closed query."""
+        formula = self._to_formula(query)
+        if not formula.is_closed:
+            raise QueryError("answer() requires a closed formula")
+        considered = 0
+        satisfying = 0
+        counterexample = None
+        for repair in self.repairs():
+            considered += 1
+            if evaluate(formula, repair):
+                satisfying += 1
+            elif counterexample is None:
+                counterexample = repair
+        if considered and satisfying == considered:
+            verdict = Verdict.TRUE
+        elif satisfying == 0 and considered:
+            verdict = Verdict.FALSE
+        else:
+            verdict = Verdict.UNDETERMINED
+        return ClosedAnswer(Family.REP, verdict, considered, satisfying, counterexample)
+
+    def certain_answers(
+        self,
+        query: Union[str, Formula],
+        variables: Optional[Tuple[str, ...]] = None,
+    ) -> OpenAnswers:
+        """Certain/possible answers of an open query over the repairs."""
+        formula = self._to_formula(query)
+        if variables is None:
+            variables = tuple(sorted(formula.free_variables()))
+        certain = None
+        possible = frozenset()
+        considered = 0
+        for repair in self.repairs():
+            considered += 1
+            result = evaluate_answers(formula, repair, variables)
+            certain = result if certain is None else certain & result
+            possible = possible | result
+        return OpenAnswers(
+            Family.REP,
+            variables,
+            certain if certain is not None else frozenset(),
+            possible,
+            considered,
+        )

@@ -1,0 +1,150 @@
+"""Polynomial-time consistent answers for ground quantifier-free queries.
+
+Figure 5's first row states that for the plain repair family ``Rep``,
+consistent answers to {∀,∃}-free queries are computable in PTIME; the
+algorithmics originate in the conflict-graph machinery of [6, 7].  The
+procedure implemented here:
+
+``true`` is the consistent answer to ground quantifier-free ``Q``
+iff no repair satisfies ``¬Q``.  Put ``¬Q`` in DNF; each disjunct is a
+conjunction of ground literals and is satisfiable in *some* repair iff
+
+1. every ground comparison in it holds (they do not depend on the data);
+2. its positive facts ``P`` exist in the instance and are pairwise
+   non-conflicting;
+3. for every negated fact ``n`` present in the instance and not already
+   in conflict with ``P``, a *witness* neighbour ``w(n)`` can be chosen
+   such that ``P ∪ {w(n) | n}`` is conflict-free — a repair containing a
+   neighbour of ``n`` necessarily excludes ``n``, and any independent
+   set extends to a repair.
+
+With the query fixed, the number of literals is a constant ``k``, and
+the witness search is ``O(n^k)`` — polynomial data complexity.  The
+benchmark F5.qf exhibits the polynomial-vs-exponential crossover against
+the naive repair-enumeration evaluator.
+"""
+
+from __future__ import annotations
+
+from itertools import product
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.constraints.conflict_graph import ConflictGraph
+from repro.cqa.answers import Verdict
+from repro.exceptions import QueryError
+from repro.query.ast import Atom, Comparison, Formula, Not, is_ground
+from repro.query.evaluator import _compare
+from repro.query.normalize import LiteralConjunction, to_dnf
+from repro.relational.rows import Row
+
+
+class _RowIndex:
+    """Maps ground atoms to instance rows."""
+
+    def __init__(self, graph: ConflictGraph) -> None:
+        self._index: Dict[Tuple[str, Tuple], Row] = {
+            (row.relation, row.values): row for row in graph.vertices
+        }
+
+    def lookup(self, atom: Atom) -> Optional[Row]:
+        values = tuple(term.value for term in atom.terms)  # type: ignore[union-attr]
+        return self._index.get((atom.relation, values))
+
+
+def _comparisons_hold(comparisons: Sequence[Comparison]) -> bool:
+    for comparison in comparisons:
+        left = comparison.left.value  # type: ignore[union-attr]
+        right = comparison.right.value  # type: ignore[union-attr]
+        if not _compare(comparison.op, left, right):
+            return False
+    return True
+
+
+def _disjunct_satisfiable_in_some_repair(
+    literals: LiteralConjunction, graph: ConflictGraph, index: _RowIndex
+) -> bool:
+    if not _comparisons_hold(literals.comparisons):
+        return False
+
+    positives: Set[Row] = set()
+    for atom in literals.positive:
+        row = index.lookup(atom)
+        if row is None:
+            return False  # fact absent from the instance: no repair has it
+        positives.add(row)
+    if not graph.is_independent(positives):
+        return False
+
+    # Rows that can never join a repair containing the positives.
+    blocked = {
+        vertex
+        for row in positives
+        for vertex in graph.neighbours(row)
+    }
+
+    pending: List[Row] = []
+    for atom in literals.negative:
+        row = index.lookup(atom)
+        if row is None:
+            continue  # fact absent: every repair excludes it already
+        if row in positives:
+            return False  # contradictory literals
+        if row in blocked:
+            continue  # conflicts with a positive: auto-excluded
+        pending.append(row)
+
+    # Choose an independent witness neighbour for each pending negative.
+    candidate_sets: List[List[Row]] = []
+    for row in pending:
+        candidates = [
+            witness
+            for witness in graph.neighbours(row)
+            if witness not in blocked
+        ]
+        if not candidates:
+            # Every neighbour conflicts with the positives, so any repair
+            # containing the positives contains `row` by maximality.
+            return False
+        candidate_sets.append(sorted(candidates))
+
+    for witnesses in product(*candidate_sets):
+        chosen = positives | set(witnesses)
+        if graph.is_independent(chosen):
+            return True
+    return False
+
+
+def some_repair_satisfies_qf(query: Formula, graph: ConflictGraph) -> bool:
+    """Whether *some* repair satisfies a ground quantifier-free query."""
+    if not is_ground(query):
+        raise QueryError(
+            "the tractable algorithm handles ground quantifier-free queries"
+        )
+    index = _RowIndex(graph)
+    for literal_list in to_dnf(query):
+        literals = LiteralConjunction.from_literals(literal_list)
+        if _disjunct_satisfiable_in_some_repair(literals, graph, index):
+            return True
+    return False
+
+
+def consistent_answer_qf(query: Formula, graph: ConflictGraph) -> Verdict:
+    """Three-valued consistent answer to a ground quantifier-free query.
+
+    PTIME in the data (Figure 5 row ``Rep``, column {∀,∃}-free).
+    """
+    if not is_ground(query):
+        raise QueryError(
+            "the tractable algorithm handles ground quantifier-free queries"
+        )
+    negation_satisfiable = some_repair_satisfies_qf(Not(query), graph)
+    if not negation_satisfiable:
+        return Verdict.TRUE
+    if not some_repair_satisfies_qf(query, graph):
+        return Verdict.FALSE
+    return Verdict.UNDETERMINED
+
+
+def is_consistently_true_qf(query: Formula, graph: ConflictGraph) -> bool:
+    """``true`` iff every repair satisfies the ground QF query (PTIME)."""
+    return consistent_answer_qf(query, graph) is Verdict.TRUE

@@ -1,0 +1,196 @@
+"""Synthetic instance generators for tests and benchmarks.
+
+The paper reports data-complexity results, so the benchmark harness
+needs instance families whose size ``n`` scales while the schema,
+dependencies and query stay fixed.  Each generator below produces a
+structurally controlled inconsistency pattern:
+
+* :func:`grid_instance` — Example 4's pattern generalized: ``groups``
+  key-groups of ``per_group`` mutually conflicting tuples; the number
+  of repairs is ``per_group ** groups``.
+* :func:`chain_instance` — Example 9's pattern generalized: a path of
+  conflicts alternating between two FDs; repairs are the maximal
+  independent sets of a path (Fibonacci-many).
+* :func:`duplicated_grid_instance` — Example 8's pattern generalized:
+  each group holds ``dup`` duplicates (agreeing on the FD) plus one
+  challenger, exercising the L-vs-S separation.
+* :func:`random_inconsistent_instance` — random key-violating instance
+  with a target conflict rate.
+* :func:`integration_instance` — several individually consistent
+  sources over one key, merged (Example 1's provenance structure),
+  returning per-tuple source labels for reliability priorities.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.constraints.fd import FunctionalDependency
+from repro.relational.instance import RelationInstance
+from repro.relational.rows import Row
+from repro.relational.schema import RelationSchema
+
+GRID_SCHEMA = RelationSchema("R", ["A:number", "B:number"])
+GRID_FDS = (FunctionalDependency.parse("A -> B", "R"),)
+
+CHAIN_SCHEMA = RelationSchema("R", ["A:number", "B:number", "C:number", "D:number"])
+CHAIN_FDS = (
+    FunctionalDependency.parse("A -> B", "R"),
+    FunctionalDependency.parse("C -> D", "R"),
+)
+
+DUP_SCHEMA = RelationSchema("R", ["A:number", "B:number", "C:number"])
+DUP_FDS = (FunctionalDependency.parse("A -> B", "R"),)
+
+
+def grid_instance(groups: int, per_group: int = 2) -> RelationInstance:
+    """``groups`` disjoint cliques of ``per_group`` conflicting tuples.
+
+    ``per_group=2`` is exactly Example 4's ``r_groups``; the repair
+    count is ``per_group ** groups``.
+    """
+    return RelationInstance.from_values(
+        GRID_SCHEMA,
+        [(g, b) for g in range(groups) for b in range(per_group)],
+    )
+
+
+def chain_instance(length: int) -> RelationInstance:
+    """A conflict *path* of ``length`` tuples alternating two FDs.
+
+    Tuple ``t_i`` conflicts with ``t_{i+1}`` via ``C → D`` for even
+    ``i`` and via ``A → B`` for odd ``i`` — the zigzag of Figure 4.
+    Distinctness is kept by spreading the untouched attributes.
+    """
+    if length < 1:
+        raise ValueError("chain length must be positive")
+    values: List[Tuple[int, int, int, int]] = []
+    for i in range(length):
+        # Consecutive tuples share an A-group (even i) or a C-group
+        # (odd i) and differ on the dependent attribute there.
+        a_group = (i + 1) // 2
+        c_group = length + 1 + i // 2
+        values.append((a_group, i % 2, c_group, i % 2))
+    return RelationInstance.from_values(CHAIN_SCHEMA, values)
+
+
+def chain_rows(instance: RelationInstance) -> List[Row]:
+    """The rows of a chain instance in path order ``t_0, t_1, ...``.
+
+    The generator encodes the path index ``i`` as ``2*A - B`` (the
+    ``A``-group advances every other step and ``B`` holds the parity),
+    so the order is recoverable from the data itself.
+    """
+    return sorted(instance.rows, key=lambda row: 2 * row["A"] - row["B"])
+
+
+def chain_priority_pairs(instance: RelationInstance) -> List[Tuple[Row, Row]]:
+    """The priority chain ``t_0 ≻ t_1 ≻ ...`` for a chain instance."""
+    ordered = chain_rows(instance)
+    return [(ordered[i], ordered[i + 1]) for i in range(len(ordered) - 1)]
+
+
+def duplicated_grid_instance(groups: int, dup: int = 2) -> RelationInstance:
+    """Example 8's pattern, ``groups`` times.
+
+    Each group ``g`` holds ``dup`` duplicates agreeing on ``A → B``
+    (differing only on ``C``) plus one challenger with a different
+    ``B``; the challenger conflicts with every duplicate, while the
+    duplicates do not conflict with each other.
+    """
+    values: List[Tuple[int, int, int]] = []
+    for g in range(groups):
+        for d in range(dup):
+            values.append((g, 0, d))
+        values.append((g, 1, dup))
+    return RelationInstance.from_values(DUP_SCHEMA, values)
+
+
+def duplicated_grid_priority_pairs(
+    instance: RelationInstance,
+) -> List[Tuple[Row, Row]]:
+    """Challenger ≻ every duplicate, per group (Example 8's priority)."""
+    pairs: List[Tuple[Row, Row]] = []
+    by_group: Dict[int, List[Row]] = {}
+    for row in instance.rows:
+        by_group.setdefault(row["A"], []).append(row)
+    for rows in by_group.values():
+        challengers = [row for row in rows if row["B"] == 1]
+        duplicates = [row for row in rows if row["B"] == 0]
+        for challenger in challengers:
+            for duplicate in duplicates:
+                pairs.append((challenger, duplicate))
+    return pairs
+
+
+def random_inconsistent_instance(
+    n: int,
+    key_domain: Optional[int] = None,
+    value_domain: int = 4,
+    rng: Optional[random.Random] = None,
+) -> RelationInstance:
+    """``n`` random tuples over R(A,B) with key ``A → B``.
+
+    ``key_domain`` controls the conflict rate: fewer key values mean
+    larger conflict cliques.  Defaults to ``max(1, n // 2)`` which
+    yields a mix of consistent and conflicting tuples.
+    """
+    rng = rng or random.Random()
+    key_domain = key_domain if key_domain is not None else max(1, n // 2)
+    seen = set()
+    values: List[Tuple[int, int]] = []
+    while len(values) < n:
+        candidate = (rng.randrange(key_domain), rng.randrange(value_domain))
+        if candidate not in seen:
+            seen.add(candidate)
+            values.append(candidate)
+        elif len(seen) >= key_domain * value_domain:
+            break
+    return RelationInstance.from_values(GRID_SCHEMA, values)
+
+
+INTEGRATION_SCHEMA = RelationSchema(
+    "Emp", ["Name", "Dept", "Salary:number"]
+)
+INTEGRATION_FDS = (
+    FunctionalDependency.parse("Name -> Dept, Salary", "Emp"),
+)
+
+
+def integration_instance(
+    people: int,
+    sources: int,
+    disagreement: float = 0.5,
+    rng: Optional[random.Random] = None,
+) -> Tuple[RelationInstance, Dict[Row, str]]:
+    """Merge ``sources`` consistent sources reporting on ``people``.
+
+    Each source knows a random subset of people; with probability
+    ``disagreement`` it reports a divergent department/salary, creating
+    key conflicts across sources.  Returns the merged instance and the
+    tuple → source-name labels used by reliability priorities.
+    """
+    rng = rng or random.Random()
+    departments = ["R&D", "IT", "PR", "HR", "Sales"]
+    truth = {
+        f"p{i}": (rng.choice(departments), 10 * rng.randrange(1, 10))
+        for i in range(people)
+    }
+    labels: Dict[Row, str] = {}
+    rows: List[Row] = []
+    for s in range(sources):
+        source_name = f"s{s}"
+        for person, (dept, salary) in truth.items():
+            if rng.random() < 0.4:
+                continue  # this source does not know this person
+            if rng.random() < disagreement:
+                dept = rng.choice(departments)
+                salary = 10 * rng.randrange(1, 10)
+            row = Row(INTEGRATION_SCHEMA, (person, dept, salary))
+            rows.append(row)
+            # Identical reports from several sources collapse into one
+            # tuple; keep the most reliable (lowest-index) label.
+            if row not in labels:
+                labels[row] = source_name
+    return RelationInstance(INTEGRATION_SCHEMA, rows), labels

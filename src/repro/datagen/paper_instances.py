@@ -1,0 +1,333 @@
+"""The paper's worked examples as executable fixtures.
+
+Single source of truth for every instance, dependency set, priority and
+query appearing in the paper (Examples 1–10, Figures 1–4).  Tests,
+benchmarks and the runnable examples all build on these constructors so
+the reproduced artifacts stay in lockstep with the text.
+
+Erratum (Example 9).  The tuple values printed in the paper
+(``ta=(1,1,0,0), tb=(1,2,1,1), tc=(2,1,1,2), td=(2,2,2,1),
+te=(0,0,2,2)``) make the conflict graph the 5-vertex *path*
+``ta–tb–tc–td–te``, which has **four** maximal independent sets, not the
+two the paper lists, and under the printed priority chain
+``ta≻tb≻tc≻td≻te`` the semi-globally optimal repairs collapse to
+``{ta,tc,te}`` alone — contradicting the claim that both listed repairs
+are semi-globally optimal.  One can prove no total priority on the path
+makes both alternating repairs semi-globally optimal.  The claims *are*
+simultaneously realizable when every "odd" tuple conflicts with every
+"even" tuple (complete bipartite ``K_{3,2}``) and only the chain is
+oriented (matching Section 3.3's remark that "the user provides
+priority only for some of the violated functional dependencies" — the
+priority is partial, not total).  :func:`example9_printed` exposes the
+literal values; :func:`example9_reconstructed` exposes the
+claims-conformant reconstruction.  EXPERIMENTS.md records both.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from repro.constraints.conflict_graph import ConflictGraph, build_conflict_graph
+from repro.constraints.fd import FunctionalDependency
+from repro.priorities.priority import Priority
+from repro.query.ast import Formula
+from repro.query.parser import parse_query
+from repro.relational.instance import RelationInstance
+from repro.relational.rows import Row
+from repro.relational.schema import RelationSchema
+
+
+@dataclass(frozen=True)
+class Scenario:
+    """A paper example bundled for direct use in tests and benches."""
+
+    name: str
+    instance: RelationInstance
+    dependencies: Tuple[FunctionalDependency, ...]
+    graph: ConflictGraph
+    priority: Priority
+    #: Paper-facing tuple names (``ta``, ``tb``, ...) to rows.
+    rows: Dict[str, Row]
+
+    def row_set(self, *names: str) -> frozenset:
+        """The frozenset of rows with the given paper names."""
+        return frozenset(self.rows[name] for name in names)
+
+
+# ---------------------------------------------------------------------------
+# Examples 1-3: the Mgr data-integration scenario
+# ---------------------------------------------------------------------------
+
+#: Query Q1 — "does John earn more than Mary?" (Example 1).  With
+#: Mgr(Name, Dept, Salary, Reports), x=Dept, y=Salary, z=Reports.
+Q1_TEXT = (
+    "EXISTS x1, y1, z1, x2, y2, z2 . "
+    "Mgr(Mary, x1, y1, z1) AND Mgr(John, x2, y2, z2) AND y1 < y2"
+)
+
+#: Query Q2 — "does Mary earn more and write fewer reports than John?"
+#: (Example 3).
+Q2_TEXT = (
+    "EXISTS x1, y1, z1, x2, y2, z2 . "
+    "Mgr(Mary, x1, y1, z1) AND Mgr(John, x2, y2, z2) AND y1 > y2 AND z1 < z2"
+)
+
+
+def mgr_schema() -> RelationSchema:
+    """The schema ``Mgr(Name, Dept, Salary, Reports)`` of Example 1."""
+    return RelationSchema(
+        "Mgr", ["Name", "Dept", "Salary:number", "Reports:number"]
+    )
+
+
+def mgr_dependencies() -> Tuple[FunctionalDependency, ...]:
+    """fd1: Dept → Name Salary Reports; fd2: Name → Dept Salary Reports."""
+    return (
+        FunctionalDependency.parse("Dept -> Name, Salary, Reports", "Mgr"),
+        FunctionalDependency.parse("Name -> Dept, Salary, Reports", "Mgr"),
+    )
+
+
+def mgr_sources() -> Tuple[RelationInstance, RelationInstance, RelationInstance]:
+    """The three consistent sources s1, s2, s3 (salaries in thousands)."""
+    schema = mgr_schema()
+    s1 = RelationInstance.from_values(schema, [("Mary", "R&D", 40, 3)])
+    s2 = RelationInstance.from_values(schema, [("John", "R&D", 10, 2)])
+    s3 = RelationInstance.from_values(
+        schema, [("Mary", "IT", 20, 1), ("John", "PR", 30, 4)]
+    )
+    return s1, s2, s3
+
+
+def mgr_source_of() -> Dict[Row, str]:
+    """Tuple → source-name map for the integrated Mgr instance."""
+    s1, s2, s3 = mgr_sources()
+    labels: Dict[Row, str] = {}
+    for name, source in (("s1", s1), ("s2", s2), ("s3", s3)):
+        for row in source:
+            labels[row] = name
+    return labels
+
+
+def mgr_scenario(with_priority: bool = True) -> Scenario:
+    """Examples 1–3: ``r = s1 ∪ s2 ∪ s3`` with the Example-3 priority.
+
+    The priority encodes "s3 is less reliable than s1 and than s2; the
+    relative reliability of s1 and s2 is unknown", orienting the two
+    conflicts that involve s3 tuples and leaving the s1-vs-s2 conflict
+    open.  Pass ``with_priority=False`` for the bare Example-1 setting.
+    """
+    from repro.priorities.builders import priority_from_source_reliability
+
+    s1, s2, s3 = mgr_sources()
+    instance = s1.union(s2).union(s3)
+    dependencies = mgr_dependencies()
+    graph = build_conflict_graph(instance, dependencies)
+    if with_priority:
+        priority = priority_from_source_reliability(
+            graph, mgr_source_of(), [("s1", "s3"), ("s2", "s3")]
+        )
+    else:
+        priority = Priority(graph, ())
+    schema = instance.schema
+    rows = {
+        "mary_rd": Row(schema, ("Mary", "R&D", 40, 3)),
+        "john_rd": Row(schema, ("John", "R&D", 10, 2)),
+        "mary_it": Row(schema, ("Mary", "IT", 20, 1)),
+        "john_pr": Row(schema, ("John", "PR", 30, 4)),
+    }
+    return Scenario("mgr", instance, dependencies, graph, priority, rows)
+
+
+def q1() -> Formula:
+    """Parsed query Q1."""
+    return parse_query(Q1_TEXT)
+
+
+def q2() -> Formula:
+    """Parsed query Q2."""
+    return parse_query(Q2_TEXT)
+
+
+# ---------------------------------------------------------------------------
+# Example 4 / Figure 1: the 2^n-repair grid
+# ---------------------------------------------------------------------------
+
+
+def example4_schema() -> RelationSchema:
+    return RelationSchema("R", ["A:number", "B:number"])
+
+
+def example4_instance(n: int) -> RelationInstance:
+    """``r_n = {(0,0),(0,1),...,(n-1,0),(n-1,1)}`` over R(A,B)."""
+    schema = example4_schema()
+    return RelationInstance.from_values(
+        schema, [(i, b) for i in range(n) for b in (0, 1)]
+    )
+
+
+def example4_scenario(n: int = 4) -> Scenario:
+    """Example 4 with the FD ``A → B``; Figure 1 is the case n = 4."""
+    instance = example4_instance(n)
+    dependencies = (FunctionalDependency.parse("A -> B", "R"),)
+    graph = build_conflict_graph(instance, dependencies)
+    rows = {
+        f"t{i}{b}": Row(instance.schema, (i, b)) for i in range(n) for b in (0, 1)
+    }
+    return Scenario(
+        f"example4_n{n}", instance, dependencies, graph, Priority(graph, ()), rows
+    )
+
+
+# ---------------------------------------------------------------------------
+# Example 7 / Figure 2: priorities on one key dependency
+# ---------------------------------------------------------------------------
+
+
+def example7_scenario() -> Scenario:
+    """R(A,B), key A → B, r = {ta=(1,1), tb=(1,2), tc=(1,3)},
+    priority ta ≻ tc and ta ≻ tb.  Only {ta} is locally optimal."""
+    schema = RelationSchema("R", ["A:number", "B:number"])
+    instance = RelationInstance.from_values(schema, [(1, 1), (1, 2), (1, 3)])
+    dependencies = (FunctionalDependency.parse("A -> B", "R"),)
+    graph = build_conflict_graph(instance, dependencies)
+    ta, tb, tc = (Row(schema, (1, b)) for b in (1, 2, 3))
+    priority = Priority(graph, [(ta, tc), (ta, tb)])
+    return Scenario(
+        "example7",
+        instance,
+        dependencies,
+        graph,
+        priority,
+        {"ta": ta, "tb": tb, "tc": tc},
+    )
+
+
+# ---------------------------------------------------------------------------
+# Example 8 / Figure 3: duplicates defeat local optimality
+# ---------------------------------------------------------------------------
+
+
+def example8_scenario() -> Scenario:
+    """R(A,B,C), FD A → B, r = {ta=(1,1,1), tb=(1,1,2), tc=(1,2,3)},
+    total priority tc ≻ ta, tc ≻ tb.  Repairs {ta,tb} and {tc} are both
+    locally optimal; only {tc} is semi-globally optimal."""
+    schema = RelationSchema("R", ["A:number", "B:number", "C:number"])
+    instance = RelationInstance.from_values(
+        schema, [(1, 1, 1), (1, 1, 2), (1, 2, 3)]
+    )
+    dependencies = (FunctionalDependency.parse("A -> B", "R"),)
+    graph = build_conflict_graph(instance, dependencies)
+    ta = Row(schema, (1, 1, 1))
+    tb = Row(schema, (1, 1, 2))
+    tc = Row(schema, (1, 2, 3))
+    priority = Priority(graph, [(tc, ta), (tc, tb)])
+    return Scenario(
+        "example8",
+        instance,
+        dependencies,
+        graph,
+        priority,
+        {"ta": ta, "tb": tb, "tc": tc},
+    )
+
+
+# ---------------------------------------------------------------------------
+# Example 9 / Figure 4: two variants (printed values vs reconstruction)
+# ---------------------------------------------------------------------------
+
+
+def example9_printed() -> Scenario:
+    """Example 9 with the tuple values exactly as printed.
+
+    The conflict graph is the path ``ta–tb–tc–td–te`` (A→B gives
+    ta–tb and tc–td; C→D gives tb–tc and td–te).  See the module
+    docstring: with these values the paper's stated repair set and
+    S-Rep are not reproduced; tests assert the *actual* semantics.
+    """
+    schema = RelationSchema(
+        "R", ["A:number", "B:number", "C:number", "D:number"]
+    )
+    values = {
+        "ta": (1, 1, 0, 0),
+        "tb": (1, 2, 1, 1),
+        "tc": (2, 1, 1, 2),
+        "td": (2, 2, 2, 1),
+        "te": (0, 0, 2, 2),
+    }
+    instance = RelationInstance.from_values(schema, values.values())
+    dependencies = (
+        FunctionalDependency.parse("A -> B", "R"),
+        FunctionalDependency.parse("C -> D", "R"),
+    )
+    graph = build_conflict_graph(instance, dependencies)
+    rows = {name: Row(schema, vals) for name, vals in values.items()}
+    priority = Priority(
+        graph,
+        [
+            (rows["ta"], rows["tb"]),
+            (rows["tb"], rows["tc"]),
+            (rows["tc"], rows["td"]),
+            (rows["td"], rows["te"]),
+        ],
+    )
+    return Scenario("example9_printed", instance, dependencies, graph, priority, rows)
+
+
+def example9_reconstructed() -> Scenario:
+    """Example 9 with values realizing every claim of the paper.
+
+    The conflict graph is complete bipartite between {ta,tc,te} and
+    {tb,td} (so the repairs are exactly ``r1 = {ta,tc,te}`` and
+    ``r2 = {tb,td}``), both FDs contribute conflicts, and only the
+    chain ``ta≻tb≻tc≻td≻te`` is oriented (a *partial* priority, per
+    Section 3.3).  Then S-Rep = {r1, r2} (non-categoricity), G-Rep =
+    {r1} (Section 3.3's "r2 is not globally optimal and r1 is") and
+    C-Rep = {r1}.
+    """
+    schema = RelationSchema(
+        "R", ["A:number", "B:number", "C:number", "D:number"]
+    )
+    # A is constant so A→B links every B=1 tuple with every B=2 tuple
+    # (complete bipartite); C→D additionally creates the tb–te conflict,
+    # so both dependencies participate ("mutual conflicts").
+    values = {
+        "ta": (1, 1, 0, 0),
+        "tb": (1, 2, 1, 1),
+        "tc": (1, 1, 2, 0),
+        "td": (1, 2, 2, 0),
+        "te": (1, 1, 1, 2),
+    }
+    instance = RelationInstance.from_values(schema, values.values())
+    dependencies = (
+        FunctionalDependency.parse("A -> B", "R"),
+        FunctionalDependency.parse("C -> D", "R"),
+    )
+    graph = build_conflict_graph(instance, dependencies)
+    rows = {name: Row(schema, vals) for name, vals in values.items()}
+    priority = Priority(
+        graph,
+        [
+            (rows["ta"], rows["tb"]),
+            (rows["tb"], rows["tc"]),
+            (rows["tc"], rows["td"]),
+            (rows["td"], rows["te"]),
+        ],
+    )
+    return Scenario(
+        "example9_reconstructed", instance, dependencies, graph, priority, rows
+    )
+
+
+def all_scenarios() -> List[Scenario]:
+    """Every paper scenario (used by sweeping property tests)."""
+    return [
+        mgr_scenario(),
+        mgr_scenario(with_priority=False),
+        example4_scenario(3),
+        example7_scenario(),
+        example8_scenario(),
+        example9_printed(),
+        example9_reconstructed(),
+    ]

@@ -1,0 +1,65 @@
+"""Exception hierarchy for the :mod:`repro` library.
+
+Every error raised by the library derives from :class:`ReproError`, so
+callers can catch a single base class.  Subclasses are split by subsystem
+(schema, query language, constraints, priorities) to allow targeted
+handling without string matching on messages.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class of all errors raised by the library."""
+
+
+class SchemaError(ReproError):
+    """Raised for malformed schemas or schema/instance mismatches."""
+
+
+class TypeMismatchError(SchemaError):
+    """Raised when a value does not match its attribute's declared type."""
+
+
+class UnknownAttributeError(SchemaError):
+    """Raised when an attribute name is not part of a relation schema."""
+
+
+class UnknownRelationError(SchemaError):
+    """Raised when a relation name is not part of a database schema."""
+
+
+class QueryError(ReproError):
+    """Base class for query-language errors."""
+
+
+class QuerySyntaxError(QueryError):
+    """Raised by the parser on malformed query text."""
+
+
+class QueryBindingError(QueryError):
+    """Raised when a formula is evaluated with unbound free variables."""
+
+
+class ConstraintError(ReproError):
+    """Base class for integrity-constraint errors."""
+
+
+class ConstraintSyntaxError(ConstraintError):
+    """Raised when a dependency string cannot be parsed."""
+
+
+class PriorityError(ReproError):
+    """Base class for priority-relation errors."""
+
+
+class CyclicPriorityError(PriorityError):
+    """Raised when a priority relation contains a cycle."""
+
+
+class NonConflictingPriorityError(PriorityError):
+    """Raised when a priority relates tuples that are not in conflict."""
+
+
+class CleaningError(ReproError):
+    """Raised when Algorithm 1 cannot proceed (e.g. bad restriction set)."""

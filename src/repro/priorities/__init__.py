@@ -1,0 +1,26 @@
+"""Priorities: acyclic conflict-graph orientations, winnow, builders."""
+
+from repro.priorities.priority import Priority, PriorityEdge, empty_priority
+from repro.priorities.winnow import winnow, winnow_naive
+from repro.priorities.builders import (
+    priority_from_pairs,
+    priority_from_ranking,
+    priority_from_relation,
+    priority_from_source_reliability,
+    priority_from_timestamps,
+    random_priority,
+)
+
+__all__ = [
+    "Priority",
+    "PriorityEdge",
+    "empty_priority",
+    "priority_from_pairs",
+    "priority_from_ranking",
+    "priority_from_relation",
+    "priority_from_source_reliability",
+    "priority_from_timestamps",
+    "random_priority",
+    "winnow",
+    "winnow_naive",
+]

@@ -1,0 +1,335 @@
+"""Priorities: acyclic orientations of the conflict graph (Definition 2).
+
+A priority ``≻`` is a binary relation on the tuples of the instance that
+(i) relates only *conflicting* tuples and (ii) is acyclic (no ``x ≻* x``
+through the transitive closure).  ``x ≻ y`` reads "x dominates y": when
+forced to choose, the user prefers to keep ``x`` and drop ``y``.
+
+Extending a priority orients further conflict edges; a priority that
+cannot be extended is *total* (every conflict edge oriented).  The class
+also decides the side condition of Theorem 2 — whether the priority can
+be extended to a *cyclic* orientation of the conflict graph — via mixed-
+graph reachability.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import (
+    AbstractSet,
+    Dict,
+    FrozenSet,
+    Iterable,
+    Iterator,
+    List,
+    Optional,
+    Sequence,
+    Set,
+    Tuple,
+)
+
+from repro.constraints.conflict_graph import ConflictGraph
+from repro.constraints.conflicts import ConflictEdge, edge
+from repro.exceptions import CyclicPriorityError, NonConflictingPriorityError
+from repro.relational.rows import Row, sorted_rows
+
+#: A directed priority edge: (winner, loser) meaning winner ≻ loser.
+PriorityEdge = Tuple[Row, Row]
+
+
+class Priority:
+    """An immutable priority relation over a fixed conflict graph."""
+
+    __slots__ = ("graph", "edges", "_winners_over", "_losers_to")
+
+    def __init__(self, graph: ConflictGraph, edges: Iterable[PriorityEdge] = ()) -> None:
+        self.graph = graph
+        self.edges: FrozenSet[PriorityEdge] = frozenset(edges)
+        winners_over: Dict[Row, Set[Row]] = {}
+        losers_to: Dict[Row, Set[Row]] = {}
+        for winner, loser in self.edges:
+            if not graph.are_conflicting(winner, loser):
+                raise NonConflictingPriorityError(
+                    f"priority relates non-conflicting tuples {winner!r} and {loser!r}"
+                )
+            winners_over.setdefault(loser, set()).add(winner)
+            losers_to.setdefault(winner, set()).add(loser)
+        self._winners_over = {row: frozenset(s) for row, s in winners_over.items()}
+        self._losers_to = {row: frozenset(s) for row, s in losers_to.items()}
+        self._assert_acyclic()
+
+    def _assert_acyclic(self) -> None:
+        # Iterative DFS with colouring over the priority digraph.
+        WHITE, GREY, BLACK = 0, 1, 2
+        colour: Dict[Row, int] = {}
+        for start in self._losers_to:
+            if colour.get(start, WHITE) != WHITE:
+                continue
+            stack: List[Tuple[Row, Iterator[Row]]] = [
+                (start, iter(self._losers_to.get(start, ())))
+            ]
+            colour[start] = GREY
+            while stack:
+                vertex, children = stack[-1]
+                advanced = False
+                for child in children:
+                    state = colour.get(child, WHITE)
+                    if state == GREY:
+                        raise CyclicPriorityError(
+                            f"priority contains a cycle through {child!r}"
+                        )
+                    if state == WHITE:
+                        colour[child] = GREY
+                        stack.append((child, iter(self._losers_to.get(child, ()))))
+                        advanced = True
+                        break
+                if not advanced:
+                    colour[vertex] = BLACK
+                    stack.pop()
+
+    # Core relation ----------------------------------------------------------
+
+    def dominates(self, winner: Row, loser: Row) -> bool:
+        """Whether ``winner ≻ loser`` (the base relation, not its closure)."""
+        return (winner, loser) in self.edges
+
+    def dominators_of(self, row: Row) -> FrozenSet[Row]:
+        """All tuples that dominate ``row``."""
+        return self._winners_over.get(row, frozenset())
+
+    def dominated_by(self, row: Row) -> FrozenSet[Row]:
+        """All tuples that ``row`` dominates."""
+        return self._losers_to.get(row, frozenset())
+
+    def oriented_edges(self) -> FrozenSet[ConflictEdge]:
+        """Conflict edges that carry an orientation."""
+        return frozenset(edge(winner, loser) for winner, loser in self.edges)
+
+    def unoriented_edges(self) -> List[ConflictEdge]:
+        """Conflict edges without an orientation (extension points)."""
+        oriented = self.oriented_edges()
+        return [pair for pair in self.graph.edges() if pair not in oriented]
+
+    @property
+    def is_total(self) -> bool:
+        """Whether every conflict edge is oriented (cannot be extended)."""
+        return len(self.edges) == self.graph.edge_count
+
+    @property
+    def is_empty(self) -> bool:
+        return not self.edges
+
+    # Extension machinery ------------------------------------------------------
+
+    def extend(self, additional: Iterable[PriorityEdge]) -> "Priority":
+        """The priority extended by further orientations (``Φ ⊆ Ψ``).
+
+        Raises if the result orients a non-conflict pair, re-orients an
+        already-oriented edge in the opposite direction (that would be a
+        2-cycle), or introduces any cycle.
+        """
+        return Priority(self.graph, self.edges | frozenset(additional))
+
+    def is_extension_of(self, other: "Priority") -> bool:
+        """Whether this priority extends ``other`` (``other ⊆ self``)."""
+        return self.graph == other.graph and self.edges >= other.edges
+
+    def total_extensions(self, limit: Optional[int] = None) -> Iterator["Priority"]:
+        """All total acyclic extensions of this priority.
+
+        Backtracks over the unoriented conflict edges, maintaining
+        reachability incrementally through trial construction; the
+        number of total extensions can be exponential, so an optional
+        ``limit`` caps the enumeration.
+        """
+        free = [tuple(sorted_rows(pair)) for pair in self.unoriented_edges()]
+        free.sort(key=repr)
+        produced = 0
+
+        def backtrack(index: int, chosen: List[PriorityEdge]) -> Iterator["Priority"]:
+            nonlocal produced
+            if limit is not None and produced >= limit:
+                return
+            if index == len(free):
+                try:
+                    candidate = self.extend(chosen)
+                except CyclicPriorityError:
+                    return
+                produced += 1
+                yield candidate
+                return
+            first, second = free[index]
+            for directed in ((first, second), (second, first)):
+                chosen.append(directed)
+                # Prune: partial orientations that are already cyclic can
+                # never be completed acyclically.
+                if not _creates_cycle(self, chosen):
+                    yield from backtrack(index + 1, chosen)
+                chosen.pop()
+
+        yield from backtrack(0, [])
+
+    def some_total_extension(self) -> "Priority":
+        """One canonical total extension (orient free edges along a
+        deterministic topological-ish vertex order)."""
+        order = _extension_order(self)
+        position = {row: pos for pos, row in enumerate(order)}
+        additional = []
+        for pair in self.unoriented_edges():
+            first, second = tuple(pair)
+            if position[first] < position[second]:
+                additional.append((first, second))
+            else:
+                additional.append((second, first))
+        return self.extend(additional)
+
+    # Theorem 2 side condition ---------------------------------------------------
+
+    def extendable_to_cyclic_orientation(self) -> bool:
+        """Whether some orientation of *all* conflict edges extending this
+        priority contains a directed cycle.
+
+        Mixed-graph argument: a cyclic extension exists iff either the
+        unoriented subgraph alone contains a (graph) cycle — orient it
+        around — or some oriented edge ``u → v`` closes with a mixed
+        path from ``v`` back to ``u`` (oriented edges forward, free
+        edges either way).  Shortest mixed paths are simple, so the
+        witness cycle never reuses an edge.
+        """
+        free_adj: Dict[Row, Set[Row]] = {row: set() for row in self.graph.vertices}
+        for pair in self.unoriented_edges():
+            first, second = tuple(pair)
+            free_adj[first].add(second)
+            free_adj[second].add(first)
+        if _undirected_has_cycle(free_adj):
+            return True
+        for winner, loser in self.edges:
+            if self._mixed_reaches(loser, winner, free_adj):
+                return True
+        return False
+
+    def _mixed_reaches(
+        self, source: Row, target: Row, free_adj: Dict[Row, Set[Row]]
+    ) -> bool:
+        seen = {source}
+        queue = deque([source])
+        while queue:
+            vertex = queue.popleft()
+            if vertex == target:
+                return True
+            successors = set(self._losers_to.get(vertex, frozenset()))
+            successors |= free_adj.get(vertex, set())
+            for nxt in successors:
+                if nxt not in seen:
+                    seen.add(nxt)
+                    queue.append(nxt)
+        return False
+
+    # Misc -----------------------------------------------------------------------
+
+    def restricted_to(self, rows: AbstractSet[Row]) -> "Priority":
+        """Priority induced on a subset of tuples (subgraph priority)."""
+        sub = self.graph.induced(rows)
+        kept = [
+            (winner, loser)
+            for winner, loser in self.edges
+            if winner in rows and loser in rows
+        ]
+        return Priority(sub, kept)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Priority):
+            return NotImplemented
+        return self.graph == other.graph and self.edges == other.edges
+
+    def __hash__(self) -> int:
+        return hash((self.graph, self.edges))
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Priority({len(self.edges)}/{self.graph.edge_count} edges oriented)"
+
+
+def _creates_cycle(base: Priority, extra: Sequence[PriorityEdge]) -> bool:
+    """Whether base edges plus ``extra`` contain a directed cycle."""
+    adjacency: Dict[Row, Set[Row]] = {}
+    for winner, loser in base.edges:
+        adjacency.setdefault(winner, set()).add(loser)
+    for winner, loser in extra:
+        adjacency.setdefault(winner, set()).add(loser)
+    WHITE, GREY, BLACK = 0, 1, 2
+    colour: Dict[Row, int] = {}
+
+    def visit(start: Row) -> bool:
+        stack: List[Tuple[Row, Iterator[Row]]] = [
+            (start, iter(adjacency.get(start, ())))
+        ]
+        colour[start] = GREY
+        while stack:
+            vertex, children = stack[-1]
+            advanced = False
+            for child in children:
+                state = colour.get(child, WHITE)
+                if state == GREY:
+                    return True
+                if state == WHITE:
+                    colour[child] = GREY
+                    stack.append((child, iter(adjacency.get(child, ()))))
+                    advanced = True
+                    break
+            if not advanced:
+                colour[vertex] = BLACK
+                stack.pop()
+        return False
+
+    return any(
+        colour.get(vertex, WHITE) == WHITE and visit(vertex) for vertex in adjacency
+    )
+
+
+def _undirected_has_cycle(adjacency: Dict[Row, Set[Row]]) -> bool:
+    """Cycle detection in an undirected graph via union-find."""
+    parent: Dict[Row, Row] = {}
+
+    def find(row: Row) -> Row:
+        parent.setdefault(row, row)
+        while parent[row] != row:
+            parent[row] = parent[parent[row]]
+            row = parent[row]
+        return row
+
+    seen_edges: Set[FrozenSet[Row]] = set()
+    for vertex, neighbours in adjacency.items():
+        for other in neighbours:
+            pair = frozenset((vertex, other))
+            if pair in seen_edges:
+                continue
+            seen_edges.add(pair)
+            root_a, root_b = find(vertex), find(other)
+            if root_a == root_b:
+                return True
+            parent[root_a] = root_b
+    return False
+
+
+def _extension_order(priority: Priority) -> List[Row]:
+    """A vertex order consistent with the priority (topological order of
+    the priority digraph, deterministic tie-break)."""
+    indegree: Dict[Row, int] = {row: 0 for row in priority.graph.vertices}
+    for _, loser in priority.edges:
+        indegree[loser] += 1
+    ready = sorted_rows([row for row, deg in indegree.items() if deg == 0])
+    order: List[Row] = []
+    ready_set = list(ready)
+    while ready_set:
+        vertex = ready_set.pop(0)
+        order.append(vertex)
+        for loser in sorted_rows(priority.dominated_by(vertex)):
+            indegree[loser] -= 1
+            if indegree[loser] == 0:
+                ready_set.append(loser)
+    return order
+
+
+def empty_priority(graph: ConflictGraph) -> Priority:
+    """The empty priority ``Φ = ∅`` over the conflict graph."""
+    return Priority(graph, ())

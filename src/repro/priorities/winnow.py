@@ -1,0 +1,39 @@
+"""The winnow operator ω≻ (Chomicki, TODS 2003; paper Section 2.2).
+
+``winnow(priority, rows)`` returns the tuples of ``rows`` not dominated
+by any other tuple of ``rows``.  Algorithm 1 applies winnow repeatedly
+to build a clean database.
+
+Two implementations are provided: the quadratic literal reading of the
+definition and the indexed one that consults the priority's dominator
+index (the default).  The ablation benchmark ABL4 compares them.
+"""
+
+from __future__ import annotations
+
+from typing import AbstractSet, FrozenSet, Iterable, Set
+
+from repro.priorities.priority import Priority
+from repro.relational.rows import Row
+
+
+def winnow(priority: Priority, rows: AbstractSet[Row]) -> FrozenSet[Row]:
+    """ω≻(rows): the ≻-undominated tuples of ``rows`` (indexed)."""
+    rows = rows if isinstance(rows, (set, frozenset)) else frozenset(rows)
+    return frozenset(
+        row for row in rows if not (priority.dominators_of(row) & rows)
+    )
+
+
+def winnow_naive(priority: Priority, rows: AbstractSet[Row]) -> FrozenSet[Row]:
+    """ω≻(rows) by the literal all-pairs definition (ablation baseline)."""
+    rows = frozenset(rows)
+    kept: Set[Row] = set()
+    for candidate in rows:
+        if not any(
+            priority.dominates(other, candidate)
+            for other in rows
+            if other != candidate
+        ):
+            kept.add(candidate)
+    return frozenset(kept)

@@ -1,0 +1,55 @@
+"""First-order query language: AST, parser, evaluator, SQL frontend."""
+
+from repro.query.ast import (
+    And,
+    Atom,
+    Comparison,
+    Const,
+    Exists,
+    FalseFormula,
+    Forall,
+    Formula,
+    Implies,
+    Not,
+    Or,
+    Term,
+    TrueFormula,
+    Var,
+    constants_of,
+    is_ground,
+    is_quantifier_free,
+)
+from repro.query.parser import parse_query
+from repro.query.evaluator import EvaluationContext, answers, evaluate, make_context
+from repro.query.normalize import LiteralConjunction, to_dnf, to_nnf
+from repro.query.sql import parse_sql, sql_to_formula
+
+__all__ = [
+    "And",
+    "Atom",
+    "Comparison",
+    "Const",
+    "EvaluationContext",
+    "Exists",
+    "FalseFormula",
+    "Forall",
+    "Formula",
+    "Implies",
+    "LiteralConjunction",
+    "Not",
+    "Or",
+    "Term",
+    "TrueFormula",
+    "Var",
+    "answers",
+    "constants_of",
+    "evaluate",
+    "is_ground",
+    "is_quantifier_free",
+    "make_context",
+    "parse_query",
+    "parse_sql",
+    "sql_to_formula",
+    "to_dnf",
+    "to_nnf",
+]

@@ -1,0 +1,285 @@
+"""Model-theoretic evaluation of first-order queries.
+
+Closed formulas are evaluated in the standard sense (``r |= Q``) with
+*active-domain* quantifier semantics: quantified variables range over
+the values occurring in the instance plus the constants of the query.
+This is the usual choice in the consistent-query-answering literature
+and coincides with natural semantics on safe queries.
+
+Order comparisons hold only between naturals (the paper interprets
+``<``/``>`` over ``N``); comparing names with an order operator yields
+false rather than an error, so mixed-domain quantification is harmless.
+
+Existential blocks are evaluated with *conjunct-guided candidate
+narrowing*: when the quantified body is a conjunction containing a
+positive relational atom that mentions the variable, candidate values
+are drawn from the matching column of that relation instead of the whole
+active domain.  The narrowing is sound (every satisfying valuation must
+satisfy each conjunct) and makes conjunctive-query evaluation behave
+like an index-nested-loop join instead of a domain product.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Iterable, Iterator, List, Mapping, Optional, Set, Tuple
+
+from repro.exceptions import QueryBindingError
+from repro.query.ast import (
+    And,
+    Atom,
+    COMPARISON_OPS,
+    Comparison,
+    Const,
+    EQUALITY_OPS,
+    Exists,
+    FalseFormula,
+    Forall,
+    Formula,
+    Implies,
+    Not,
+    Or,
+    TrueFormula,
+    Var,
+    constants_of,
+)
+from repro.relational.domain import Value, values_comparable
+from repro.relational.rows import Row
+
+Binding = Dict[str, Value]
+
+
+class EvaluationContext:
+    """Indexed view of a set of rows used during evaluation.
+
+    Holds, per relation, the set of value tuples, and the active domain
+    (instance values plus any extra values, typically query constants).
+    Building a context is linear in the data; evaluating many queries
+    against the same repair can share one context.
+    """
+
+    __slots__ = ("relations", "adom")
+
+    def __init__(self, rows: Iterable[Row], extra_domain: Iterable[Value] = ()) -> None:
+        relations: Dict[str, Set[Tuple[Value, ...]]] = {}
+        adom: Set[Value] = set(extra_domain)
+        for row in rows:
+            relations.setdefault(row.relation, set()).add(row.values)
+            adom.update(row.values)
+        self.relations = relations
+        self.adom = adom
+
+    def tuples_of(self, relation: str) -> Set[Tuple[Value, ...]]:
+        return self.relations.get(relation, set())
+
+
+def _resolve(term, binding: Binding) -> Value:
+    if isinstance(term, Const):
+        return term.value
+    value = binding.get(term.name)
+    if value is None and term.name not in binding:
+        raise QueryBindingError(f"unbound variable {term.name!r}")
+    return value
+
+
+def _compare(op: str, left: Value, right: Value) -> bool:
+    if op in EQUALITY_OPS:
+        return COMPARISON_OPS[op](left, right)
+    if not values_comparable(left, right):
+        return False
+    return COMPARISON_OPS[op](left, right)
+
+
+def _atom_holds(atom: Atom, context: EvaluationContext, binding: Binding) -> bool:
+    values = tuple(_resolve(term, binding) for term in atom.terms)
+    return values in context.tuples_of(atom.relation)
+
+
+def _conjuncts(formula: Formula) -> Tuple[Formula, ...]:
+    return formula.parts if isinstance(formula, And) else (formula,)
+
+
+def _atom_candidates(
+    atom: Atom, variable: str, context: EvaluationContext, binding: Binding
+) -> Set[Value]:
+    """Values ``variable`` can take so that ``atom`` may hold."""
+    candidates: Set[Value] = set()
+    for values in context.tuples_of(atom.relation):
+        if len(values) != len(atom.terms):
+            continue
+        chosen: Optional[Value] = None
+        compatible = True
+        for term, value in zip(atom.terms, values):
+            if isinstance(term, Const):
+                if term.value != value:
+                    compatible = False
+                    break
+            elif term.name == variable:
+                if chosen is None:
+                    chosen = value
+                elif chosen != value:
+                    compatible = False
+                    break
+            elif term.name in binding:
+                if binding[term.name] != value:
+                    compatible = False
+                    break
+        if compatible and chosen is not None:
+            candidates.add(chosen)
+    return candidates
+
+
+def _candidate_values(
+    variable: str, body: Formula, context: EvaluationContext, binding: Binding
+) -> Set[Value]:
+    """Sound candidate set for an existential variable.
+
+    Inspects the top-level conjuncts of ``body``: a positive atom or an
+    equality pinning the variable restricts its possible values.  Falls
+    back to the active domain when no conjunct constrains the variable.
+    """
+    best: Optional[Set[Value]] = None
+    for conjunct in _conjuncts(body):
+        candidates: Optional[Set[Value]] = None
+        if isinstance(conjunct, Atom) and variable in conjunct.free_variables():
+            candidates = _atom_candidates(conjunct, variable, context, binding)
+        elif isinstance(conjunct, Comparison) and conjunct.op == "=":
+            left, right = conjunct.left, conjunct.right
+            if isinstance(left, Var) and left.name == variable:
+                other = right
+            elif isinstance(right, Var) and right.name == variable:
+                other = left
+            else:
+                continue
+            if isinstance(other, Const):
+                candidates = {other.value}
+            elif other.name in binding:
+                candidates = {binding[other.name]}
+        if candidates is not None and (best is None or len(candidates) < len(best)):
+            best = candidates
+            if not best:
+                return best
+    return best if best is not None else set(context.adom)
+
+
+def _holds(formula: Formula, context: EvaluationContext, binding: Binding) -> bool:
+    if isinstance(formula, TrueFormula):
+        return True
+    if isinstance(formula, FalseFormula):
+        return False
+    if isinstance(formula, Atom):
+        return _atom_holds(formula, context, binding)
+    if isinstance(formula, Comparison):
+        return _compare(
+            formula.op,
+            _resolve(formula.left, binding),
+            _resolve(formula.right, binding),
+        )
+    if isinstance(formula, Not):
+        return not _holds(formula.body, context, binding)
+    if isinstance(formula, And):
+        return all(_holds(part, context, binding) for part in formula.parts)
+    if isinstance(formula, Or):
+        return any(_holds(part, context, binding) for part in formula.parts)
+    if isinstance(formula, Implies):
+        return not _holds(formula.antecedent, context, binding) or _holds(
+            formula.consequent, context, binding
+        )
+    if isinstance(formula, Exists):
+        variable, rest = formula.variables[0], formula.variables[1:]
+        remainder: Formula = Exists(rest, formula.body) if rest else formula.body
+        for value in _candidate_values(variable, formula.body, context, binding):
+            binding[variable] = value
+            try:
+                if _holds(remainder, context, binding):
+                    return True
+            finally:
+                del binding[variable]
+        return False
+    if isinstance(formula, Forall):
+        variable, rest = formula.variables[0], formula.variables[1:]
+        remainder = Forall(rest, formula.body) if rest else formula.body
+        for value in context.adom:
+            binding[variable] = value
+            try:
+                if not _holds(remainder, context, binding):
+                    return False
+            finally:
+                del binding[variable]
+        return True
+    raise TypeError(f"unknown formula node {formula!r}")
+
+
+def make_context(rows: Iterable[Row], query: Optional[Formula] = None) -> EvaluationContext:
+    """Build an evaluation context for ``rows`` (plus query constants)."""
+    extra = constants_of(query) if query is not None else ()
+    return EvaluationContext(rows, extra)
+
+
+def evaluate(
+    formula: Formula,
+    rows: Iterable[Row],
+    binding: Optional[Mapping[str, Value]] = None,
+    context: Optional[EvaluationContext] = None,
+) -> bool:
+    """Whether the (possibly pre-bound) formula holds in the given rows.
+
+    ``rows`` may be any iterable of :class:`Row` (an instance, a repair,
+    a database's :meth:`all_rows`).  Free variables must be covered by
+    ``binding``.
+    """
+    if context is None:
+        context = make_context(rows, formula)
+    working: Binding = dict(binding) if binding else {}
+    missing = formula.free_variables() - set(working)
+    if missing:
+        raise QueryBindingError(f"unbound free variables: {sorted(missing)}")
+    return _holds(formula, context, working)
+
+
+def _enumerate_bindings(
+    variables: Tuple[str, ...],
+    formula: Formula,
+    context: EvaluationContext,
+    binding: Binding,
+) -> Iterator[Binding]:
+    if not variables:
+        if _holds(formula, context, binding):
+            yield dict(binding)
+        return
+    variable, rest = variables[0], variables[1:]
+    for value in _candidate_values(variable, formula, context, binding):
+        binding[variable] = value
+        yield from _enumerate_bindings(rest, formula, context, binding)
+        del binding[variable]
+
+
+def answers(
+    formula: Formula,
+    rows: Iterable[Row],
+    variables: Optional[Tuple[str, ...]] = None,
+    context: Optional[EvaluationContext] = None,
+) -> FrozenSet[Tuple[Value, ...]]:
+    """Answer set of an open formula: satisfying assignments to ``variables``.
+
+    ``variables`` defaults to the sorted free variables of the formula;
+    pass an explicit tuple to control answer-column order.  Free
+    variables omitted from ``variables`` are projected away
+    (existentially): the answer keeps each combination of the requested
+    columns that some extension satisfies.
+    """
+    if variables is None:
+        variables = tuple(sorted(formula.free_variables()))
+    unknown = set(variables) - formula.free_variables()
+    if unknown:
+        raise QueryBindingError(
+            f"answer variables {sorted(unknown)} are not free in the formula"
+        )
+    projected = tuple(sorted(formula.free_variables() - set(variables)))
+    if context is None:
+        context = make_context(rows, formula)
+    results: List[Tuple[Value, ...]] = []
+    for binding in _enumerate_bindings(
+        tuple(variables) + projected, formula, context, {}
+    ):
+        results.append(tuple(binding[name] for name in variables))
+    return frozenset(results)

@@ -1,0 +1,157 @@
+"""Normal forms for quantifier-free formulas.
+
+The tractable consistent-query-answering algorithm for {∀,∃}-free
+queries (Figure 5, row ``Rep``; algorithmics from [6, 7]) works on the
+*disjunctive normal form* of the negated query: ``true`` is a consistent
+answer to quantifier-free ``Q`` iff no repair satisfies ``¬Q``, and
+satisfiability of a conjunction of literals in *some* repair admits a
+polynomial witness search on the conflict graph.
+
+This module provides negation normal form (NNF), DNF conversion with a
+safety bound on blow-up, and a structured :class:`LiteralConjunction`
+view (positive facts / negated facts / ground comparisons).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+from repro.exceptions import QueryError
+from repro.query.ast import (
+    And,
+    Atom,
+    Comparison,
+    FalseFormula,
+    Formula,
+    Implies,
+    Not,
+    Or,
+    TrueFormula,
+    is_quantifier_free,
+)
+
+#: Safety valve: DNF conversion refuses to produce more than this many
+#: disjuncts (the query is part of the *fixed* input in data complexity,
+#: so any constant is principled; this one is generous).
+MAX_DNF_DISJUNCTS = 4096
+
+
+def to_nnf(formula: Formula) -> Formula:
+    """Negation normal form of a quantifier-free formula.
+
+    Eliminates ``IMPLIES`` and pushes ``NOT`` down to literals;
+    negated comparisons are replaced by their complementary operator.
+    """
+    if not is_quantifier_free(formula):
+        raise QueryError("NNF conversion requires a quantifier-free formula")
+    return _nnf(formula, negate=False)
+
+
+def _nnf(formula: Formula, negate: bool) -> Formula:
+    if isinstance(formula, TrueFormula):
+        return FalseFormula() if negate else formula
+    if isinstance(formula, FalseFormula):
+        return TrueFormula() if negate else formula
+    if isinstance(formula, Atom):
+        return Not(formula) if negate else formula
+    if isinstance(formula, Comparison):
+        return formula.negated() if negate else formula
+    if isinstance(formula, Not):
+        return _nnf(formula.body, not negate)
+    if isinstance(formula, And):
+        parts = [_nnf(part, negate) for part in formula.parts]
+        return Or(parts) if negate else And(parts)
+    if isinstance(formula, Or):
+        parts = [_nnf(part, negate) for part in formula.parts]
+        return And(parts) if negate else Or(parts)
+    if isinstance(formula, Implies):
+        rewritten = Or((Not(formula.antecedent), formula.consequent))
+        return _nnf(rewritten, negate)
+    raise TypeError(f"unexpected formula node {formula!r}")
+
+
+def to_dnf(formula: Formula) -> List[List[Formula]]:
+    """DNF of a quantifier-free formula as a list of literal lists.
+
+    Each inner list is a conjunction of literals (atoms, negated atoms,
+    comparisons); the outer list is their disjunction.  Trivially-true
+    disjuncts collapse the result to ``[[]]`` (the empty conjunction);
+    an unsatisfiable formula yields ``[]``.
+    """
+    nnf = to_nnf(formula)
+    disjuncts = _dnf(nnf)
+    cleaned: List[List[Formula]] = []
+    for disjunct in disjuncts:
+        literals: List[Formula] = []
+        trivially_false = False
+        for literal in disjunct:
+            if isinstance(literal, TrueFormula):
+                continue
+            if isinstance(literal, FalseFormula):
+                trivially_false = True
+                break
+            literals.append(literal)
+        if trivially_false:
+            continue
+        if not literals:
+            return [[]]
+        cleaned.append(literals)
+    return cleaned
+
+
+def _dnf(formula: Formula) -> List[Tuple[Formula, ...]]:
+    if isinstance(formula, Or):
+        result: List[Tuple[Formula, ...]] = []
+        for part in formula.parts:
+            result.extend(_dnf(part))
+            _check_size(result)
+        return result
+    if isinstance(formula, And):
+        result = [()]
+        for part in formula.parts:
+            branches = _dnf(part)
+            result = [left + right for left in result for right in branches]
+            _check_size(result)
+        return result
+    return [(formula,)]
+
+
+def _check_size(disjuncts: Sequence[object]) -> None:
+    if len(disjuncts) > MAX_DNF_DISJUNCTS:
+        raise QueryError(
+            f"DNF conversion exceeded {MAX_DNF_DISJUNCTS} disjuncts; "
+            "the query is too large for the tractable algorithm"
+        )
+
+
+@dataclass(frozen=True)
+class LiteralConjunction:
+    """A conjunction of ground literals, split by kind."""
+
+    positive: Tuple[Atom, ...]
+    negative: Tuple[Atom, ...]
+    comparisons: Tuple[Comparison, ...]
+
+    @classmethod
+    def from_literals(cls, literals: Sequence[Formula]) -> "LiteralConjunction":
+        positive: List[Atom] = []
+        negative: List[Atom] = []
+        comparisons: List[Comparison] = []
+        for literal in literals:
+            if isinstance(literal, Atom):
+                positive.append(literal)
+            elif isinstance(literal, Not) and isinstance(literal.body, Atom):
+                negative.append(literal.body)
+            elif isinstance(literal, Comparison):
+                comparisons.append(literal)
+            else:
+                raise QueryError(f"not a literal: {literal}")
+        return cls(tuple(positive), tuple(negative), tuple(comparisons))
+
+    @property
+    def is_ground(self) -> bool:
+        return (
+            all(atom.is_ground for atom in self.positive + self.negative)
+            and not any(comp.free_variables() for comp in self.comparisons)
+        )

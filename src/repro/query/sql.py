@@ -1,0 +1,240 @@
+"""A conjunctive-SQL frontend.
+
+Figure 5 of the paper distinguishes {∀,∃}-free queries from *conjunctive
+queries*; the natural surface syntax for the latter is a SQL
+``SELECT``-``FROM``-``WHERE`` block over one or more (self-)joined
+relations with an equality/inequality predicate.  This module parses
+that fragment and translates it to existentially quantified first-order
+formulas consumable by the CQA engines::
+
+    SELECT m1.Salary FROM Mgr m1, Mgr m2
+    WHERE m1.Name = 'Mary' AND m2.Name = 'John' AND m1.Salary > m2.Salary
+
+Boolean (closed) queries are expressed by ``SELECT 1 FROM ... WHERE ...``
+or by omitting the select list target, and translate to a closed
+``EXISTS`` formula.
+
+Only the conjunctive fragment is accepted (no OR, no subqueries, no
+aggregation); richer queries should be written directly in the
+first-order syntax of :mod:`repro.query.parser`.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+from repro.exceptions import QuerySyntaxError
+from repro.query.ast import And, Atom, Comparison, Const, Exists, Formula, Term, Var
+from repro.relational.schema import DatabaseSchema
+
+_SQL_TOKEN_RE = re.compile(
+    r"""
+    (?P<ws>\s+|--[^\n]*)
+  | (?P<number>\d+)
+  | (?P<string>'(?:[^'']|'')*')
+  | (?P<ident>[A-Za-z_][A-Za-z_0-9]*)
+  | (?P<op><=|>=|!=|<>|=|<|>)
+  | (?P<punct>[(),.*])
+    """,
+    re.VERBOSE,
+)
+
+_SQL_KEYWORDS = {"SELECT", "FROM", "WHERE", "AND", "AS", "DISTINCT"}
+
+
+@dataclass(frozen=True)
+class _Token:
+    kind: str
+    text: str
+    position: int
+
+
+def _tokenize_sql(text: str) -> List[_Token]:
+    tokens: List[_Token] = []
+    position = 0
+    while position < len(text):
+        match = _SQL_TOKEN_RE.match(text, position)
+        if match is None:
+            raise QuerySyntaxError(
+                f"unexpected character {text[position]!r} at offset {position}"
+            )
+        position = match.end()
+        if match.lastgroup == "ws":
+            continue
+        value = match.group()
+        if match.lastgroup == "ident" and value.upper() in _SQL_KEYWORDS:
+            tokens.append(_Token("keyword", value.upper(), match.start()))
+        elif match.lastgroup == "op" and value == "<>":
+            tokens.append(_Token("op", "!=", match.start()))
+        else:
+            tokens.append(_Token(match.lastgroup or "punct", value, match.start()))
+    tokens.append(_Token("eof", "", len(text)))
+    return tokens
+
+
+@dataclass(frozen=True)
+class ColumnRef:
+    """A ``alias.Attribute`` reference in the select or where clause."""
+
+    alias: str
+    attribute: str
+
+
+@dataclass(frozen=True)
+class SelectQuery:
+    """Parsed conjunctive SQL query (pre-translation)."""
+
+    select: Tuple[ColumnRef, ...]  # empty means boolean query
+    tables: Tuple[Tuple[str, str], ...]  # (relation, alias)
+    predicates: Tuple[Tuple[str, object, object], ...]  # (op, lhs, rhs)
+
+    @property
+    def is_boolean(self) -> bool:
+        return not self.select
+
+
+class _SqlParser:
+    def __init__(self, text: str) -> None:
+        self._tokens = _tokenize_sql(text)
+        self._index = 0
+
+    @property
+    def _current(self) -> _Token:
+        return self._tokens[self._index]
+
+    def _advance(self) -> _Token:
+        token = self._current
+        self._index += 1
+        return token
+
+    def _error(self, message: str) -> QuerySyntaxError:
+        token = self._current
+        return QuerySyntaxError(f"{message} (near {token.text!r} at {token.position})")
+
+    def _accept(self, kind: str, text: Optional[str] = None) -> Optional[_Token]:
+        token = self._current
+        if token.kind == kind and (text is None or token.text == text):
+            return self._advance()
+        return None
+
+    def _expect(self, kind: str, text: Optional[str] = None) -> _Token:
+        token = self._accept(kind, text)
+        if token is None:
+            raise self._error(f"expected {text or kind}")
+        return token
+
+    def parse(self) -> SelectQuery:
+        self._expect("keyword", "SELECT")
+        self._accept("keyword", "DISTINCT")
+        select = self._select_list()
+        self._expect("keyword", "FROM")
+        tables = [self._table()]
+        while self._accept("punct", ","):
+            tables.append(self._table())
+        predicates: List[Tuple[str, object, object]] = []
+        if self._accept("keyword", "WHERE"):
+            predicates.append(self._predicate())
+            while self._accept("keyword", "AND"):
+                predicates.append(self._predicate())
+        if self._current.kind != "eof":
+            raise self._error("trailing input after query")
+        return SelectQuery(tuple(select), tuple(tables), tuple(predicates))
+
+    def _select_list(self) -> List[ColumnRef]:
+        # `SELECT 1` and `SELECT *`... `1` means boolean; `*` is rejected
+        # because answer-column order would be ambiguous across aliases.
+        if self._accept("number", "1"):
+            return []
+        if self._current.kind == "punct" and self._current.text == "*":
+            raise self._error("SELECT * is not supported; list columns explicitly")
+        refs = [self._column_ref()]
+        while self._accept("punct", ","):
+            refs.append(self._column_ref())
+        return refs
+
+    def _column_ref(self) -> ColumnRef:
+        alias = self._expect("ident").text
+        self._expect("punct", ".")
+        attribute = self._expect("ident").text
+        return ColumnRef(alias, attribute)
+
+    def _table(self) -> Tuple[str, str]:
+        relation = self._expect("ident").text
+        self._accept("keyword", "AS")
+        alias_token = self._accept("ident")
+        alias = alias_token.text if alias_token else relation
+        return relation, alias
+
+    def _operand(self) -> object:
+        token = self._current
+        if token.kind == "number":
+            self._advance()
+            return int(token.text)
+        if token.kind == "string":
+            self._advance()
+            return token.text[1:-1].replace("''", "'")
+        if token.kind == "ident":
+            return self._column_ref()
+        raise self._error("expected a column reference or literal")
+
+    def _predicate(self) -> Tuple[str, object, object]:
+        left = self._operand()
+        op = self._expect("op").text
+        right = self._operand()
+        return op, left, right
+
+
+def parse_sql(text: str) -> SelectQuery:
+    """Parse a conjunctive ``SELECT`` query into its clause structure."""
+    return _SqlParser(text).parse()
+
+
+def sql_to_formula(
+    query: Union[str, SelectQuery], schema: DatabaseSchema
+) -> Tuple[Formula, Tuple[str, ...]]:
+    """Translate conjunctive SQL to first-order logic.
+
+    Returns ``(formula, answer_variables)``.  Boolean queries yield a
+    closed ``EXISTS`` formula and an empty variable tuple; queries with a
+    select list yield an open formula whose free variables (in select
+    order) are the answer columns.
+    """
+    if isinstance(query, str):
+        query = parse_sql(query)
+
+    variable_of: Dict[ColumnRef, Var] = {}
+    atoms: List[Atom] = []
+    for relation_name, alias in query.tables:
+        relation = schema.relation(relation_name)
+        terms: List[Term] = []
+        for attribute in relation.attribute_names:
+            ref = ColumnRef(alias, attribute)
+            if ref in variable_of:
+                raise QuerySyntaxError(f"duplicate table alias {alias!r}")
+            variable = Var(f"v_{alias}_{attribute}")
+            variable_of[ref] = variable
+            terms.append(variable)
+        atoms.append(Atom(relation_name, terms))
+
+    def to_term(operand: object) -> Term:
+        if isinstance(operand, ColumnRef):
+            if operand not in variable_of:
+                raise QuerySyntaxError(
+                    f"unknown column {operand.alias}.{operand.attribute}"
+                )
+            return variable_of[operand]
+        return Const(operand)  # type: ignore[arg-type]
+
+    parts: List[Formula] = list(atoms)
+    for op, left, right in query.predicates:
+        parts.append(Comparison(op, to_term(left), to_term(right)))
+    body: Formula = parts[0] if len(parts) == 1 else And(parts)
+
+    answer_vars = tuple(variable_of[ref].name for ref in query.select)
+    bound = sorted(
+        {var.name for var in variable_of.values()} - set(answer_vars)
+    )
+    formula: Formula = Exists(bound, body) if bound else body
+    return formula, answer_vars

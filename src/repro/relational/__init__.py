@@ -1,0 +1,48 @@
+"""Relational substrate: typed domains, schemas, rows, instances, storage."""
+
+from repro.relational.domain import AttributeType, Value, infer_type, values_comparable
+from repro.relational.schema import (
+    Attribute,
+    DatabaseSchema,
+    RelationSchema,
+    schema_from_mapping,
+)
+from repro.relational.rows import Row, sorted_rows
+from repro.relational.instance import RelationInstance
+from repro.relational.database import Database, integrate_sources
+from repro.relational.csv_io import (
+    instance_to_csv_text,
+    read_instance_csv,
+    read_instance_csv_text,
+    write_instance_csv,
+)
+from repro.relational.sqlite_io import (
+    load_database,
+    load_instance,
+    save_database,
+    save_instance,
+)
+
+__all__ = [
+    "Attribute",
+    "AttributeType",
+    "Database",
+    "DatabaseSchema",
+    "RelationInstance",
+    "RelationSchema",
+    "Row",
+    "Value",
+    "infer_type",
+    "instance_to_csv_text",
+    "integrate_sources",
+    "load_database",
+    "load_instance",
+    "read_instance_csv",
+    "read_instance_csv_text",
+    "save_database",
+    "save_instance",
+    "schema_from_mapping",
+    "sorted_rows",
+    "values_comparable",
+    "write_instance_csv",
+]

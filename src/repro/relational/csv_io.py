@@ -1,0 +1,133 @@
+"""CSV import/export for relation instances.
+
+The header row carries attribute names, optionally with ``:number`` /
+``:name`` type suffixes (``Salary:number``).  Without suffixes, types are
+inferred per column: a column whose every field parses as a non-negative
+integer becomes NUMBER, otherwise NAME.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+from pathlib import Path
+from typing import List, Optional, Sequence, Union
+
+from repro.exceptions import SchemaError
+from repro.relational.domain import AttributeType
+from repro.relational.instance import RelationInstance
+from repro.relational.schema import Attribute, RelationSchema
+
+
+def _is_natural(text: str) -> bool:
+    try:
+        return int(text) >= 0
+    except ValueError:
+        return False
+
+
+def _schema_from_header(
+    relation_name: str, header: Sequence[str], records: List[List[str]]
+) -> RelationSchema:
+    """Build a schema from a CSV header, inferring untyped columns."""
+    attributes: List[Attribute] = []
+    for col, raw in enumerate(header):
+        raw = raw.strip()
+        if ":" in raw:
+            name, _, type_text = raw.partition(":")
+            try:
+                attr_type = AttributeType(type_text.strip())
+            except ValueError as exc:
+                raise SchemaError(f"unknown column type in header: {raw!r}") from exc
+            attributes.append(Attribute(name.strip(), attr_type))
+        else:
+            fields = [record[col] for record in records]
+            numeric = bool(fields) and all(_is_natural(field) for field in fields)
+            attributes.append(
+                Attribute(raw, AttributeType.NUMBER if numeric else AttributeType.NAME)
+            )
+    return RelationSchema(relation_name, attributes)
+
+
+def read_instance_csv(
+    path: Union[str, Path],
+    relation_name: Optional[str] = None,
+    schema: Optional[RelationSchema] = None,
+) -> RelationInstance:
+    """Load a relation instance from a CSV file.
+
+    If ``schema`` is given it is used directly (the header is validated
+    against it); otherwise a schema is built from the header, with the
+    relation named after the file stem unless ``relation_name`` is given.
+    """
+    path = Path(path)
+    with path.open(newline="") as handle:
+        return read_instance_csv_text(
+            handle.read(), relation_name or path.stem, schema
+        )
+
+
+def read_instance_csv_text(
+    text: str,
+    relation_name: str,
+    schema: Optional[RelationSchema] = None,
+) -> RelationInstance:
+    """Load a relation instance from CSV text (see :func:`read_instance_csv`)."""
+    reader = csv.reader(io.StringIO(text))
+    try:
+        header = next(reader)
+    except StopIteration as exc:
+        raise SchemaError("CSV input is empty (missing header row)") from exc
+    records = [record for record in reader if record]
+    for record in records:
+        if len(record) != len(header):
+            raise SchemaError(
+                f"CSV record {record!r} has {len(record)} fields, "
+                f"expected {len(header)}"
+            )
+    if schema is None:
+        schema = _schema_from_header(relation_name, header, records)
+    else:
+        header_names = [cell.partition(":")[0].strip() for cell in header]
+        if tuple(header_names) != schema.attribute_names:
+            raise SchemaError(
+                f"CSV header {header_names} does not match schema "
+                f"{schema.attribute_names}"
+            )
+    tuples = []
+    for record in records:
+        if len(record) != schema.arity:
+            raise SchemaError(
+                f"CSV record {record!r} has {len(record)} fields, "
+                f"expected {schema.arity}"
+            )
+        # Numeric fields tolerate surrounding whitespace; name fields are
+        # taken verbatim (whitespace can be significant in a name value).
+        tuples.append(
+            tuple(
+                attr.type.parse(
+                    field.strip() if attr.type is AttributeType.NUMBER else field
+                )
+                for attr, field in zip(schema.attributes, record)
+            )
+        )
+    return RelationInstance.from_values(schema, tuples)
+
+
+def write_instance_csv(instance: RelationInstance, path: Union[str, Path]) -> None:
+    """Write an instance to CSV with a typed header (round-trippable)."""
+    path = Path(path)
+    with path.open("w", newline="") as handle:
+        handle.write(instance_to_csv_text(instance))
+
+
+def instance_to_csv_text(instance: RelationInstance) -> str:
+    """Render an instance as CSV text with a typed header."""
+    buffer = io.StringIO()
+    writer = csv.writer(buffer)
+    writer.writerow(
+        f"{attr.name}:{attr.type.value}" for attr in instance.schema.attributes
+    )
+    for row in instance.sorted():
+        writer.writerow(row.values)
+    return buffer.getvalue()

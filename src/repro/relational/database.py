@@ -1,0 +1,137 @@
+"""Multi-relation databases.
+
+The paper restricts itself to a single relation for clarity; the library
+supports full databases.  A :class:`Database` is an immutable mapping
+from relation names to :class:`RelationInstance` objects.  All
+repair-related machinery operates on the set of *all* rows of the
+database (conflicts are intra-relation because functional dependencies
+are), so a repair of a database is again represented as a frozenset of
+rows drawn from possibly many relations.
+"""
+
+from __future__ import annotations
+
+from typing import (
+    AbstractSet,
+    Dict,
+    FrozenSet,
+    Iterable,
+    Iterator,
+    Mapping,
+    Sequence,
+    Set,
+)
+
+from repro.exceptions import SchemaError, UnknownRelationError
+from repro.relational.domain import Value
+from repro.relational.instance import RelationInstance
+from repro.relational.rows import Row
+from repro.relational.schema import DatabaseSchema, RelationSchema
+
+
+class Database:
+    """An immutable collection of relation instances."""
+
+    __slots__ = ("schema", "_instances")
+
+    def __init__(self, instances: Iterable[RelationInstance]) -> None:
+        by_name: Dict[str, RelationInstance] = {}
+        for instance in instances:
+            if instance.schema.name in by_name:
+                raise SchemaError(
+                    f"duplicate relation instance {instance.schema.name!r}"
+                )
+            by_name[instance.schema.name] = instance
+        self._instances = by_name
+        self.schema = DatabaseSchema(inst.schema for inst in by_name.values())
+
+    @classmethod
+    def single(cls, instance: RelationInstance) -> "Database":
+        """A database holding exactly one relation (the paper's setting)."""
+        return cls([instance])
+
+    @classmethod
+    def from_rows(cls, schema: DatabaseSchema, rows: Iterable[Row]) -> "Database":
+        """Reassemble a database from a flat set of rows over ``schema``."""
+        buckets: Dict[str, Set[Row]] = {name: set() for name in schema.relation_names}
+        for row in rows:
+            if not schema.has_relation(row.relation):
+                raise UnknownRelationError(
+                    f"row {row!r} is not over schema {schema!r}"
+                )
+            buckets[row.relation].add(row)
+        return cls(
+            RelationInstance(schema.relation(name), bucket)
+            for name, bucket in buckets.items()
+        )
+
+    def relation(self, name: str) -> RelationInstance:
+        """Instance of relation ``name``."""
+        try:
+            return self._instances[name]
+        except KeyError as exc:
+            raise UnknownRelationError(f"unknown relation {name!r}") from exc
+
+    def all_rows(self) -> FrozenSet[Row]:
+        """Every row of every relation (vertices of the conflict graph)."""
+        rows: Set[Row] = set()
+        for instance in self._instances.values():
+            rows.update(instance.rows)
+        return frozenset(rows)
+
+    def restrict(self, rows: AbstractSet[Row]) -> "Database":
+        """The sub-database containing only the given rows."""
+        return Database(
+            instance.restrict(rows) for instance in self._instances.values()
+        )
+
+    def active_domain(self) -> Set[Value]:
+        """All values appearing anywhere in the database."""
+        domain: Set[Value] = set()
+        for instance in self._instances.values():
+            domain.update(instance.active_domain())
+        return domain
+
+    def union(self, other: "Database") -> "Database":
+        """Relation-wise union (used to integrate data sources)."""
+        if set(self._instances) != set(other._instances):
+            raise SchemaError("cannot union databases over different schemas")
+        return Database(
+            self._instances[name].union(other._instances[name])
+            for name in self._instances
+        )
+
+    def __iter__(self) -> Iterator[RelationInstance]:
+        return iter(self._instances.values())
+
+    def __len__(self) -> int:
+        return sum(len(instance) for instance in self._instances.values())
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Database):
+            return NotImplemented
+        return self._instances == other._instances
+
+    def __hash__(self) -> int:
+        return hash(frozenset(self._instances.items()))
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        parts = ", ".join(
+            f"{name}: {len(inst)} rows" for name, inst in sorted(self._instances.items())
+        )
+        return f"Database({parts})"
+
+
+def integrate_sources(sources: Sequence[RelationInstance]) -> RelationInstance:
+    """Union a list of (individually consistent) sources into one instance.
+
+    This is the data-integration scenario of Example 1: autonomous sources
+    contribute conflicting tuples and the integrated instance
+    ``r = s1 ∪ s2 ∪ ... ∪ sk`` may violate the integrity constraints.
+    """
+    if not sources:
+        raise SchemaError("need at least one source to integrate")
+    merged = sources[0]
+    for source in sources[1:]:
+        merged = merged.union(source)
+    return merged

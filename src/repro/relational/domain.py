@@ -1,0 +1,88 @@
+"""Typed value domains of the paper's data model.
+
+The paper (Section 2) works with two disjoint domains: *uninterpreted
+names* ``D`` and *natural numbers* ``N``.  Constants with different names
+are different, and the comparison symbols ``<``/``>`` carry their natural
+interpretation over ``N`` only.
+
+We model names as Python strings and naturals as non-negative Python
+integers.  :class:`AttributeType` tags each attribute with its domain and
+provides validation and parsing helpers used by the schema layer and the
+CSV loader.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Union
+
+from repro.exceptions import TypeMismatchError
+
+#: A database value: an uninterpreted name (str) or a natural number (int).
+Value = Union[str, int]
+
+
+class AttributeType(enum.Enum):
+    """Domain of an attribute: uninterpreted names or natural numbers."""
+
+    NAME = "name"
+    NUMBER = "number"
+
+    def validate(self, value: Value) -> Value:
+        """Return ``value`` if it belongs to this domain, else raise.
+
+        Booleans are rejected as numbers even though ``bool`` subclasses
+        ``int`` — they are almost certainly a caller bug.
+        """
+        if self is AttributeType.NAME:
+            if isinstance(value, str):
+                return value
+            raise TypeMismatchError(
+                f"expected an uninterpreted name (str), got {value!r}"
+            )
+        if isinstance(value, bool) or not isinstance(value, int):
+            raise TypeMismatchError(
+                f"expected a natural number (int), got {value!r}"
+            )
+        if value < 0:
+            raise TypeMismatchError(
+                f"natural numbers are non-negative, got {value!r}"
+            )
+        return value
+
+    def parse(self, text: str) -> Value:
+        """Parse a textual field (e.g. from CSV) into this domain."""
+        if self is AttributeType.NAME:
+            return text
+        try:
+            return self.validate(int(text))
+        except ValueError as exc:
+            raise TypeMismatchError(
+                f"cannot parse {text!r} as a natural number"
+            ) from exc
+
+    @property
+    def is_ordered(self) -> bool:
+        """Whether ``<`` and ``>`` are meaningful on this domain."""
+        return self is AttributeType.NUMBER
+
+
+def infer_type(value: Value) -> AttributeType:
+    """Infer the domain of a Python value (used by schema inference)."""
+    if isinstance(value, bool) or isinstance(value, int):
+        if isinstance(value, bool):
+            raise TypeMismatchError(f"booleans are not database values: {value!r}")
+        return AttributeType.NUMBER
+    if isinstance(value, str):
+        return AttributeType.NAME
+    raise TypeMismatchError(f"unsupported value {value!r}")
+
+
+def values_comparable(left: Value, right: Value) -> bool:
+    """Whether ``<``/``>`` apply to the pair (both must be naturals)."""
+    return (
+        isinstance(left, int)
+        and isinstance(right, int)
+        and not isinstance(left, bool)
+        and not isinstance(right, bool)
+    )

@@ -1,0 +1,98 @@
+"""Relation instances: finite sets of rows over one schema.
+
+The paper's ``r`` is a finite first-order structure; here it is an
+immutable set of :class:`~repro.relational.rows.Row` objects.  Instances
+support set algebra (union, difference, subset tests) — repairs are
+subsets of instances — plus the active-domain computation the query
+evaluator needs.
+"""
+
+from __future__ import annotations
+
+from typing import AbstractSet, FrozenSet, Iterable, Iterator, Sequence, Set, Tuple
+
+from repro.exceptions import SchemaError
+from repro.relational.domain import Value
+from repro.relational.rows import Row, sorted_rows
+from repro.relational.schema import RelationSchema
+
+
+class RelationInstance:
+    """An immutable finite instance of one relation schema."""
+
+    __slots__ = ("schema", "rows")
+
+    def __init__(self, schema: RelationSchema, rows: Iterable[Row] = ()) -> None:
+        rows = frozenset(rows)
+        for row in rows:
+            if row.relation != schema.name:
+                raise SchemaError(
+                    f"row {row!r} belongs to relation {row.relation!r}, "
+                    f"not {schema.name!r}"
+                )
+        self.schema = schema
+        self.rows: FrozenSet[Row] = rows
+
+    @classmethod
+    def from_values(
+        cls, schema: RelationSchema, tuples: Iterable[Sequence[Value]]
+    ) -> "RelationInstance":
+        """Build an instance from raw value sequences."""
+        return cls(schema, (Row(schema, values) for values in tuples))
+
+    def row(self, *values: Value) -> Row:
+        """Construct (not insert) a row over this instance's schema."""
+        return Row(self.schema, values)
+
+    def with_rows(self, rows: Iterable[Row]) -> "RelationInstance":
+        """A new instance with ``rows`` added."""
+        return RelationInstance(self.schema, self.rows | frozenset(rows))
+
+    def without_rows(self, rows: Iterable[Row]) -> "RelationInstance":
+        """A new instance with ``rows`` removed."""
+        return RelationInstance(self.schema, self.rows - frozenset(rows))
+
+    def restrict(self, rows: AbstractSet[Row]) -> "RelationInstance":
+        """The subinstance containing only rows present in ``rows``."""
+        return RelationInstance(self.schema, self.rows & frozenset(rows))
+
+    def active_domain(self) -> Set[Value]:
+        """All values appearing in the instance."""
+        domain: Set[Value] = set()
+        for row in self.rows:
+            domain.update(row.values)
+        return domain
+
+    def union(self, other: "RelationInstance") -> "RelationInstance":
+        """Set union of two instances over the same schema."""
+        if other.schema != self.schema:
+            raise SchemaError("cannot union instances over different schemas")
+        return RelationInstance(self.schema, self.rows | other.rows)
+
+    def issubset(self, other: "RelationInstance") -> bool:
+        return self.rows <= other.rows
+
+    def sorted(self) -> Tuple[Row, ...]:
+        """Rows in deterministic listing order."""
+        return tuple(sorted_rows(self.rows))
+
+    def __contains__(self, row: object) -> bool:
+        return row in self.rows
+
+    def __iter__(self) -> Iterator[Row]:
+        return iter(self.rows)
+
+    def __len__(self) -> int:
+        return len(self.rows)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, RelationInstance):
+            return NotImplemented
+        return self.schema == other.schema and self.rows == other.rows
+
+    def __hash__(self) -> int:
+        return hash((self.schema, self.rows))
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        body = ", ".join(repr(row) for row in self.sorted())
+        return f"{{{body}}}"

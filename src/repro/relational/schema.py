@@ -1,0 +1,179 @@
+"""Relation and database schemas.
+
+A :class:`RelationSchema` is an ordered list of typed attributes; a
+:class:`DatabaseSchema` maps relation names to relation schemas.  The
+paper works with a single relation ``R`` over attributes ``U`` "for the
+sake of clarity" and notes the framework extends to multiple relations
+along the lines of [7]; we support both.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Iterator, Mapping, Sequence, Tuple, Union
+
+from repro.exceptions import SchemaError, UnknownAttributeError, UnknownRelationError
+from repro.relational.domain import AttributeType, Value
+
+
+@dataclass(frozen=True)
+class Attribute:
+    """A named, typed attribute of a relation schema."""
+
+    name: str
+    type: AttributeType = AttributeType.NAME
+
+    def __post_init__(self) -> None:
+        if not self.name or not self.name.replace("_", "").isalnum():
+            raise SchemaError(f"invalid attribute name {self.name!r}")
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{self.name}:{self.type.value}"
+
+
+def _coerce_attribute(spec: Union[Attribute, str, Tuple[str, AttributeType]]) -> Attribute:
+    """Accept ``Attribute``, ``"Name"``, ``"Name:number"`` or ``(name, type)``."""
+    if isinstance(spec, Attribute):
+        return spec
+    if isinstance(spec, tuple):
+        name, attr_type = spec
+        return Attribute(name, attr_type)
+    if ":" in spec:
+        name, _, type_text = spec.partition(":")
+        try:
+            attr_type = AttributeType(type_text.strip())
+        except ValueError as exc:
+            raise SchemaError(f"unknown attribute type {type_text!r}") from exc
+        return Attribute(name.strip(), attr_type)
+    return Attribute(spec.strip())
+
+
+class RelationSchema:
+    """Schema of a single relation: a name and an ordered attribute list.
+
+    Attribute specs may be :class:`Attribute` objects, bare names
+    (defaulting to the NAME domain), ``"Salary:number"`` strings, or
+    ``(name, AttributeType)`` pairs::
+
+        RelationSchema("Mgr", ["Name", "Dept", "Salary:number", "Reports:number"])
+    """
+
+    __slots__ = ("name", "attributes", "_index")
+
+    def __init__(
+        self,
+        name: str,
+        attributes: Sequence[Union[Attribute, str, Tuple[str, AttributeType]]],
+    ) -> None:
+        if not name or not name.replace("_", "").isalnum():
+            raise SchemaError(f"invalid relation name {name!r}")
+        attrs = tuple(_coerce_attribute(spec) for spec in attributes)
+        if not attrs:
+            raise SchemaError(f"relation {name!r} must have at least one attribute")
+        names = [attr.name for attr in attrs]
+        if len(set(names)) != len(names):
+            raise SchemaError(f"duplicate attribute names in relation {name!r}: {names}")
+        self.name = name
+        self.attributes = attrs
+        self._index: Dict[str, int] = {attr.name: pos for pos, attr in enumerate(attrs)}
+
+    @property
+    def attribute_names(self) -> Tuple[str, ...]:
+        """Attribute names in schema order."""
+        return tuple(attr.name for attr in self.attributes)
+
+    @property
+    def arity(self) -> int:
+        """Number of attributes."""
+        return len(self.attributes)
+
+    def index_of(self, attribute: str) -> int:
+        """Position of ``attribute``; raises :class:`UnknownAttributeError`."""
+        try:
+            return self._index[attribute]
+        except KeyError as exc:
+            raise UnknownAttributeError(
+                f"relation {self.name!r} has no attribute {attribute!r}"
+            ) from exc
+
+    def type_of(self, attribute: str) -> AttributeType:
+        """Domain of ``attribute``."""
+        return self.attributes[self.index_of(attribute)].type
+
+    def has_attribute(self, attribute: str) -> bool:
+        """Whether ``attribute`` belongs to this schema."""
+        return attribute in self._index
+
+    def validate_values(self, values: Sequence[Value]) -> Tuple[Value, ...]:
+        """Type-check a value sequence against the schema; return a tuple."""
+        if len(values) != self.arity:
+            raise SchemaError(
+                f"relation {self.name!r} has arity {self.arity}, "
+                f"got {len(values)} values: {values!r}"
+            )
+        return tuple(
+            attr.type.validate(value) for attr, value in zip(self.attributes, values)
+        )
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, RelationSchema):
+            return NotImplemented
+        return self.name == other.name and self.attributes == other.attributes
+
+    def __hash__(self) -> int:
+        return hash((self.name, self.attributes))
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        attrs = ", ".join(str(attr) for attr in self.attributes)
+        return f"RelationSchema({self.name}({attrs}))"
+
+
+class DatabaseSchema:
+    """A collection of relation schemas keyed by relation name."""
+
+    __slots__ = ("_relations",)
+
+    def __init__(self, relations: Iterable[RelationSchema]) -> None:
+        self._relations: Dict[str, RelationSchema] = {}
+        for relation in relations:
+            if relation.name in self._relations:
+                raise SchemaError(f"duplicate relation name {relation.name!r}")
+            self._relations[relation.name] = relation
+
+    @property
+    def relation_names(self) -> Tuple[str, ...]:
+        return tuple(self._relations)
+
+    def relation(self, name: str) -> RelationSchema:
+        """Schema of relation ``name``; raises :class:`UnknownRelationError`."""
+        try:
+            return self._relations[name]
+        except KeyError as exc:
+            raise UnknownRelationError(f"unknown relation {name!r}") from exc
+
+    def has_relation(self, name: str) -> bool:
+        return name in self._relations
+
+    def __iter__(self) -> Iterator[RelationSchema]:
+        return iter(self._relations.values())
+
+    def __len__(self) -> int:
+        return len(self._relations)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, DatabaseSchema):
+            return NotImplemented
+        return self._relations == other._relations
+
+    def __hash__(self) -> int:
+        return hash(tuple(sorted(self._relations.items())))
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"DatabaseSchema({sorted(self._relations)})"
+
+
+def schema_from_mapping(spec: Mapping[str, Sequence[str]]) -> DatabaseSchema:
+    """Build a :class:`DatabaseSchema` from ``{"R": ["A", "B:number"], ...}``."""
+    return DatabaseSchema(
+        RelationSchema(name, attrs) for name, attrs in spec.items()
+    )

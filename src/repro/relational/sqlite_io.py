@@ -1,0 +1,178 @@
+"""SQLite persistence for relation instances and databases.
+
+Uses only the standard-library :mod:`sqlite3` driver.  Each relation is
+stored as a table whose columns mirror the schema (NAME attributes become
+``TEXT``, NUMBER attributes become ``INTEGER``), plus a companion
+``_repro_schema`` table recording declared attribute types so that
+round-trips preserve domains exactly even for empty instances.
+
+Connections are always used through context managers and queries are
+parameterized — never string-interpolated — per standard database-code
+hygiene.
+"""
+
+from __future__ import annotations
+
+import sqlite3
+from pathlib import Path
+from typing import Iterable, List, Optional, Union
+
+from repro.exceptions import SchemaError, UnknownRelationError
+from repro.relational.domain import AttributeType
+from repro.relational.database import Database
+from repro.relational.instance import RelationInstance
+from repro.relational.schema import Attribute, RelationSchema
+
+_SCHEMA_TABLE = "_repro_schema"
+
+_SQL_TYPES = {
+    AttributeType.NAME: "TEXT",
+    AttributeType.NUMBER: "INTEGER",
+}
+
+
+def _quote_ident(name: str) -> str:
+    """Quote an identifier; names are validated by the schema layer."""
+    return '"' + name.replace('"', '""') + '"'
+
+
+def _ensure_schema_table(connection: sqlite3.Connection) -> None:
+    connection.execute(
+        f"CREATE TABLE IF NOT EXISTS {_SCHEMA_TABLE} ("
+        "relation TEXT NOT NULL, position INTEGER NOT NULL, "
+        "attribute TEXT NOT NULL, type TEXT NOT NULL, "
+        "PRIMARY KEY (relation, position))"
+    )
+
+
+def save_instance(
+    instance: RelationInstance, target: Union[str, Path, sqlite3.Connection]
+) -> None:
+    """Store ``instance`` into a SQLite database file or open connection.
+
+    Any existing table of the same name is replaced.
+    """
+    own = not isinstance(target, sqlite3.Connection)
+    connection = sqlite3.connect(target) if own else target
+    try:
+        with connection:
+            _ensure_schema_table(connection)
+            name = instance.schema.name
+            connection.execute(f"DROP TABLE IF EXISTS {_quote_ident(name)}")
+            columns = ", ".join(
+                f"{_quote_ident(attr.name)} {_SQL_TYPES[attr.type]} NOT NULL"
+                for attr in instance.schema.attributes
+            )
+            connection.execute(f"CREATE TABLE {_quote_ident(name)} ({columns})")
+            connection.execute(
+                f"DELETE FROM {_SCHEMA_TABLE} WHERE relation = ?", (name,)
+            )
+            connection.executemany(
+                f"INSERT INTO {_SCHEMA_TABLE} VALUES (?, ?, ?, ?)",
+                [
+                    (name, pos, attr.name, attr.type.value)
+                    for pos, attr in enumerate(instance.schema.attributes)
+                ],
+            )
+            placeholders = ", ".join("?" for _ in instance.schema.attributes)
+            connection.executemany(
+                f"INSERT INTO {_quote_ident(name)} VALUES ({placeholders})",
+                [row.values for row in instance.sorted()],
+            )
+    finally:
+        if own:
+            connection.close()
+
+
+def load_instance(
+    source: Union[str, Path, sqlite3.Connection], relation_name: str
+) -> RelationInstance:
+    """Load one relation instance from a SQLite database."""
+    own = not isinstance(source, sqlite3.Connection)
+    connection = sqlite3.connect(source) if own else source
+    try:
+        schema = _load_schema(connection, relation_name)
+        cursor = connection.execute(f"SELECT * FROM {_quote_ident(relation_name)}")
+        loaded_columns = [description[0] for description in cursor.description]
+        if tuple(loaded_columns) != schema.attribute_names:
+            raise SchemaError(
+                f"table columns {loaded_columns} do not match recorded schema "
+                f"{schema.attribute_names}"
+            )
+        return RelationInstance.from_values(schema, cursor.fetchall())
+    finally:
+        if own:
+            connection.close()
+
+
+def _load_schema(connection: sqlite3.Connection, relation_name: str) -> RelationSchema:
+    _ensure_schema_table(connection)
+    cursor = connection.execute(
+        f"SELECT attribute, type FROM {_SCHEMA_TABLE} "
+        "WHERE relation = ? ORDER BY position",
+        (relation_name,),
+    )
+    records = cursor.fetchall()
+    if records:
+        return RelationSchema(
+            relation_name,
+            [Attribute(attr, AttributeType(type_text)) for attr, type_text in records],
+        )
+    # Fall back to SQLite's own catalog for tables created outside repro.
+    cursor = connection.execute(
+        "SELECT name, type FROM pragma_table_info(?) ORDER BY cid", (relation_name,)
+    )
+    records = cursor.fetchall()
+    if not records:
+        raise UnknownRelationError(
+            f"no table {relation_name!r} in the SQLite database"
+        )
+    attributes = [
+        Attribute(
+            attr,
+            AttributeType.NUMBER if sql_type.upper().startswith("INT") else AttributeType.NAME,
+        )
+        for attr, sql_type in records
+    ]
+    return RelationSchema(relation_name, attributes)
+
+
+def save_database(
+    database: Database, target: Union[str, Path, sqlite3.Connection]
+) -> None:
+    """Store every relation of ``database`` (see :func:`save_instance`)."""
+    own = not isinstance(target, sqlite3.Connection)
+    connection = sqlite3.connect(target) if own else target
+    try:
+        for instance in database:
+            save_instance(instance, connection)
+    finally:
+        if own:
+            connection.close()
+
+
+def load_database(
+    source: Union[str, Path, sqlite3.Connection],
+    relation_names: Optional[Iterable[str]] = None,
+) -> Database:
+    """Load several relations into a :class:`Database`.
+
+    Without ``relation_names``, loads every relation recorded in the
+    companion schema table.
+    """
+    own = not isinstance(source, sqlite3.Connection)
+    connection = sqlite3.connect(source) if own else source
+    try:
+        if relation_names is None:
+            _ensure_schema_table(connection)
+            cursor = connection.execute(
+                f"SELECT DISTINCT relation FROM {_SCHEMA_TABLE} ORDER BY relation"
+            )
+            relation_names = [record[0] for record in cursor.fetchall()]
+        instances: List[RelationInstance] = [
+            load_instance(connection, name) for name in relation_names
+        ]
+        return Database(instances)
+    finally:
+        if own:
+            connection.close()

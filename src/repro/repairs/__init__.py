@@ -1,0 +1,30 @@
+"""Repairs: enumeration, checking and sampling of maximal consistent subsets."""
+
+from repro.repairs.enumerate import (
+    Repair,
+    all_repairs,
+    count_repairs,
+    enumerate_repairs,
+    repairs_capped,
+)
+from repro.repairs.checking import (
+    complete_to_repair,
+    consistent_subinstance,
+    is_repair,
+    is_repair_on_graph,
+)
+from repro.repairs.sampling import random_repair, sample_repairs
+
+__all__ = [
+    "Repair",
+    "all_repairs",
+    "complete_to_repair",
+    "consistent_subinstance",
+    "count_repairs",
+    "enumerate_repairs",
+    "is_repair",
+    "is_repair_on_graph",
+    "random_repair",
+    "repairs_capped",
+    "sample_repairs",
+]

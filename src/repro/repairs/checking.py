@@ -1,0 +1,73 @@
+"""Repair checking (the ``B`` problem family of Section 4.1).
+
+For the plain repair family ``Rep`` the check is polynomial (first row
+of Figure 5): a candidate ``r'`` is a repair of ``r`` w.r.t. ``F`` iff
+it is a consistent subset of ``r`` and every excluded tuple conflicts
+with some retained tuple (maximality).
+"""
+
+from __future__ import annotations
+
+from typing import AbstractSet, Iterable, Sequence
+
+from repro.constraints.conflict_graph import ConflictGraph, build_conflict_graph
+from repro.constraints.conflicts import is_consistent
+from repro.constraints.fd import FunctionalDependency
+from repro.relational.instance import RelationInstance
+from repro.relational.rows import Row
+
+
+def is_repair(
+    candidate: AbstractSet[Row],
+    instance: RelationInstance,
+    dependencies: Sequence[FunctionalDependency],
+) -> bool:
+    """Definition 1: maximal subset of the instance consistent with F."""
+    candidate = frozenset(candidate)
+    if not candidate <= instance.rows:
+        return False
+    if not is_consistent(candidate, dependencies):
+        return False
+    # Maximality: every excluded tuple must conflict with a kept tuple.
+    for excluded in instance.rows - candidate:
+        with_one_more = candidate | {excluded}
+        if is_consistent(with_one_more, dependencies):
+            return False
+    return True
+
+
+def is_repair_on_graph(candidate: AbstractSet[Row], graph: ConflictGraph) -> bool:
+    """Graph-level repair check: maximal independent set test (PTIME)."""
+    return graph.is_maximal_independent(candidate)
+
+
+def consistent_subinstance(
+    candidate: AbstractSet[Row],
+    instance: RelationInstance,
+    dependencies: Sequence[FunctionalDependency],
+) -> bool:
+    """Weaker check: consistent subset (not necessarily maximal)."""
+    candidate = frozenset(candidate)
+    return candidate <= instance.rows and is_consistent(candidate, dependencies)
+
+
+def complete_to_repair(
+    consistent_seed: AbstractSet[Row], graph: ConflictGraph
+) -> frozenset:
+    """Extend a consistent (independent) set to some repair containing it.
+
+    Adds remaining non-conflicting vertices greedily in deterministic
+    order; the result is a maximal independent set ⊇ seed.  Used by the
+    global-optimality witness search and by Theorem 1-style arguments.
+    """
+    from repro.relational.rows import sorted_rows  # local import avoids cycle
+
+    chosen = set(consistent_seed)
+    if not graph.is_independent(chosen):
+        raise ValueError("seed set is not conflict-free")
+    for vertex in sorted_rows(graph.vertices):
+        if vertex in chosen:
+            continue
+        if not (graph.vicinity(vertex) - {vertex}) & chosen:
+            chosen.add(vertex)
+    return frozenset(chosen)

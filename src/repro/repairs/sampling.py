@@ -1,0 +1,55 @@
+"""Random repair sampling.
+
+Exact enumeration is exponential; the samplers here draw maximal
+independent sets cheaply for testing and for benchmark workload
+construction.  The greedy sampler is *not* uniform over repairs (no
+polynomial uniform sampler is known — counting is #P-hard); it is
+uniform over the random-permutation greedy process, which suffices for
+property-based testing and workload diversity.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import FrozenSet, Iterator, List, Optional, Set
+
+from repro.constraints.conflict_graph import ConflictGraph
+from repro.relational.rows import Row, sorted_rows
+
+
+def random_repair(
+    graph: ConflictGraph, rng: Optional[random.Random] = None
+) -> FrozenSet[Row]:
+    """One maximal independent set from a random greedy pass."""
+    rng = rng or random.Random()
+    order = sorted_rows(graph.vertices)
+    rng.shuffle(order)
+    chosen: Set[Row] = set()
+    for vertex in order:
+        if not graph.neighbours(vertex) & chosen:
+            chosen.add(vertex)
+    return frozenset(chosen)
+
+
+def sample_repairs(
+    graph: ConflictGraph,
+    count: int,
+    rng: Optional[random.Random] = None,
+    distinct: bool = False,
+    max_attempts_factor: int = 20,
+) -> List[FrozenSet[Row]]:
+    """Draw ``count`` repairs (optionally distinct).
+
+    With ``distinct=True`` the sampler retries up to
+    ``count * max_attempts_factor`` times and may return fewer repairs
+    than requested when the repair space is small.
+    """
+    rng = rng or random.Random()
+    if not distinct:
+        return [random_repair(graph, rng) for _ in range(count)]
+    seen: Set[FrozenSet[Row]] = set()
+    attempts = 0
+    while len(seen) < count and attempts < count * max_attempts_factor:
+        seen.add(random_repair(graph, rng))
+        attempts += 1
+    return sorted(seen, key=lambda repair: sorted_rows(repair).__repr__())

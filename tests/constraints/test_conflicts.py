@@ -1,0 +1,161 @@
+"""Unit tests for conflict detection and conflict graphs."""
+
+import pytest
+
+from repro.constraints.conflict_graph import (
+    ConflictGraph,
+    build_conflict_graph,
+    render_conflict_graph,
+)
+from repro.constraints.conflicts import (
+    conflicting_pairs,
+    edge,
+    find_conflicts,
+    is_consistent,
+)
+from repro.constraints.fd import FunctionalDependency
+from repro.datagen.paper_instances import (
+    example4_scenario,
+    mgr_dependencies,
+    mgr_scenario,
+)
+from repro.relational.database import Database
+from repro.relational.instance import RelationInstance
+from repro.relational.rows import Row
+from repro.relational.schema import RelationSchema
+
+KV = RelationSchema("R", ["A:number", "B:number"])
+KEY = (FunctionalDependency.parse("A -> B", "R"),)
+
+
+def kv(*pairs):
+    return RelationInstance.from_values(KV, pairs)
+
+
+class TestConflictDetection:
+    def test_consistent_instance(self):
+        assert is_consistent(kv((1, 1), (2, 2)).rows, KEY)
+
+    def test_inconsistent_instance(self):
+        assert not is_consistent(kv((1, 1), (1, 2)).rows, KEY)
+
+    def test_pairs_report_dependency(self):
+        pairs = list(conflicting_pairs(kv((1, 1), (1, 2)).rows, KEY))
+        assert len(pairs) == 1
+        assert pairs[0][2] == KEY[0]
+
+    def test_duplicates_on_rhs_do_not_conflict(self):
+        schema = RelationSchema("R", ["A:number", "B:number", "C:number"])
+        fds = (FunctionalDependency.parse("A -> B", "R"),)
+        instance = RelationInstance.from_values(
+            schema, [(1, 1, 1), (1, 1, 2), (1, 2, 3)]
+        )
+        conflicts = find_conflicts(instance.rows, fds)
+        ta, tb, tc = (
+            Row(schema, (1, 1, 1)),
+            Row(schema, (1, 1, 2)),
+            Row(schema, (1, 2, 3)),
+        )
+        assert edge(ta, tb) not in conflicts
+        assert edge(ta, tc) in conflicts
+        assert edge(tb, tc) in conflicts
+
+    def test_edge_labels_accumulate_dependencies(self):
+        # A pair violating two FDs is labelled with both.
+        mgr = mgr_scenario()
+        mary_rd, john_rd = mgr.rows["mary_rd"], mgr.rows["john_rd"]
+        conflicts = find_conflicts(mgr.instance.rows, mgr.dependencies)
+        labels = conflicts[edge(mary_rd, john_rd)]
+        assert mgr.dependencies[0] in labels  # Dept -> ...
+
+    def test_mgr_example_has_three_conflicts(self):
+        mgr = mgr_scenario()
+        conflicts = find_conflicts(mgr.instance.rows, mgr.dependencies)
+        assert len(conflicts) == 3
+
+
+class TestConflictGraph:
+    def test_neighbours_and_vicinity(self):
+        scenario = mgr_scenario()
+        mary_rd = scenario.rows["mary_rd"]
+        neighbours = scenario.graph.neighbours(mary_rd)
+        assert neighbours == {scenario.rows["john_rd"], scenario.rows["mary_it"]}
+        assert scenario.graph.vicinity(mary_rd) == neighbours | {mary_rd}
+
+    def test_isolated_vertices(self):
+        graph = build_conflict_graph(kv((1, 1), (1, 2), (5, 5)), KEY)
+        isolated = graph.isolated_vertices()
+        assert isolated == {Row(KV, (5, 5))}
+
+    def test_degree(self):
+        scenario = mgr_scenario()
+        assert scenario.graph.degree(scenario.rows["mary_it"]) == 1
+
+    def test_independent_set_checks(self):
+        scenario = mgr_scenario()
+        r1 = scenario.row_set("mary_rd", "john_pr")
+        assert scenario.graph.is_independent(r1)
+        assert scenario.graph.is_maximal_independent(r1)
+        assert not scenario.graph.is_maximal_independent(
+            scenario.row_set("john_pr")
+        )
+        assert not scenario.graph.is_independent(
+            scenario.row_set("mary_rd", "john_rd")
+        )
+
+    def test_maximality_rejects_foreign_rows(self):
+        scenario = mgr_scenario()
+        foreign = Row(scenario.instance.schema, ("Zoe", "HR", 5, 5))
+        assert not scenario.graph.is_maximal_independent({foreign})
+
+    def test_induced_subgraph(self):
+        scenario = mgr_scenario()
+        keep = scenario.row_set("mary_rd", "john_rd", "john_pr")
+        sub = scenario.graph.induced(keep)
+        assert sub.vertex_count == 3
+        assert sub.edge_count == 2  # mary_rd-john_rd and john_rd-john_pr
+
+    def test_connected_components(self):
+        graph = build_conflict_graph(kv((1, 1), (1, 2), (2, 1), (2, 2), (9, 9)), KEY)
+        components = graph.connected_components()
+        sizes = sorted(len(c) for c in components)
+        assert sizes == [1, 2, 2]
+
+    def test_figure1_grid_structure(self):
+        scenario = example4_scenario(4)
+        assert scenario.graph.vertex_count == 8
+        assert scenario.graph.edge_count == 4
+        assert len(scenario.graph.connected_components()) == 4
+
+    def test_edge_endpoint_validation(self):
+        row_a, row_b = Row(KV, (1, 1)), Row(KV, (1, 2))
+        with pytest.raises(ValueError):
+            ConflictGraph([row_a], [edge(row_a, row_b)])
+
+    def test_multi_relation_database_conflicts_are_intra_relation(self):
+        other = RelationSchema("S", ["A:number", "B:number"])
+        db = Database(
+            [
+                kv((1, 1), (1, 2)),
+                RelationInstance.from_values(other, [(1, 3)]),
+            ]
+        )
+        fds = (
+            FunctionalDependency.parse("A -> B", "R"),
+            FunctionalDependency.parse("A -> B", "S"),
+        )
+        graph = build_conflict_graph(db, fds)
+        assert graph.edge_count == 1  # only within R
+
+
+class TestRendering:
+    def test_render_with_orientation(self):
+        scenario = mgr_scenario()
+        names = {row: label for label, row in scenario.rows.items()}
+        art = render_conflict_graph(scenario.graph, names, scenario.priority.edges)
+        assert "mary_rd -> mary_it" in art
+        assert "john_pr -- mary_rd" not in art  # that pair never conflicts
+
+    def test_render_conflict_free(self):
+        graph = build_conflict_graph(kv((1, 1)), KEY)
+        assert "(no conflicts)" in render_conflict_graph(graph)

@@ -1,0 +1,165 @@
+"""Unit tests for denial constraints and conflict hypergraphs (paper §6)."""
+
+import pytest
+
+from repro.constraints.conflict_graph import build_conflict_graph
+from repro.constraints.denial import (
+    ConflictHypergraph,
+    DenialConstraint,
+    build_conflict_hypergraph,
+    fd_as_denial,
+    violation_sets,
+)
+from repro.constraints.fd import FunctionalDependency
+from repro.exceptions import ConstraintError
+from repro.query.ast import Atom, Comparison, Var
+from repro.relational.instance import RelationInstance
+from repro.relational.rows import Row
+from repro.relational.schema import RelationSchema
+
+EMP = RelationSchema("Emp", ["Name", "Dept", "Salary:number"])
+BUDGET = RelationSchema("Budget", ["Dept", "Cap:number"])
+
+
+def no_overpaid() -> DenialConstraint:
+    """¬∃ n,d,s,c . Emp(n,d,s) ∧ Budget(d,c) ∧ s > c."""
+    return DenialConstraint(
+        (
+            Atom("Emp", [Var("n"), Var("d"), Var("s")]),
+            Atom("Budget", [Var("d"), Var("c")]),
+        ),
+        Comparison(">", Var("s"), Var("c")),
+    )
+
+
+class TestDenialConstraint:
+    def test_condition_variables_must_occur_in_atoms(self):
+        with pytest.raises(ConstraintError):
+            DenialConstraint(
+                (Atom("Emp", [Var("n"), Var("d"), Var("s")]),),
+                Comparison(">", Var("s"), Var("zz")),
+            )
+
+    def test_needs_at_least_one_atom(self):
+        with pytest.raises(ConstraintError):
+            DenialConstraint((), None)
+
+    def test_quantified_condition_rejected(self):
+        from repro.query.ast import Exists
+
+        with pytest.raises(ConstraintError):
+            DenialConstraint(
+                (Atom("Emp", [Var("n"), Var("d"), Var("s")]),),
+                Exists(["x"], Comparison("=", Var("x"), Var("s"))),
+            )
+
+
+class TestViolationSets:
+    def test_cross_relation_violation(self):
+        emp = RelationInstance.from_values(
+            EMP, [("Mary", "R&D", 40), ("John", "R&D", 10)]
+        )
+        budget = RelationInstance.from_values(BUDGET, [("R&D", 20)])
+        rows = emp.rows | budget.rows
+        violations = set(violation_sets(rows, no_overpaid()))
+        assert violations == {
+            frozenset({Row(EMP, ("Mary", "R&D", 40)), Row(BUDGET, ("R&D", 20))})
+        }
+
+    def test_no_violations(self):
+        emp = RelationInstance.from_values(EMP, [("Mary", "R&D", 10)])
+        budget = RelationInstance.from_values(BUDGET, [("R&D", 20)])
+        assert list(violation_sets(emp.rows | budget.rows, no_overpaid())) == []
+
+    def test_single_tuple_violation(self):
+        # A tuple can violate a constraint by itself (Salary > 100).
+        constraint = DenialConstraint(
+            (Atom("Emp", [Var("n"), Var("d"), Var("s")]),),
+            Comparison(">", Var("s"), 100),
+        )
+        emp = RelationInstance.from_values(EMP, [("Mary", "R&D", 400)])
+        violations = list(violation_sets(emp.rows, constraint))
+        assert violations == [frozenset(emp.rows)]
+
+
+class TestHypergraph:
+    def test_superset_edges_pruned(self):
+        rows = RelationInstance.from_values(EMP, [("A", "X", 1), ("B", "X", 2)]).rows
+        row_a, row_b = sorted(rows)
+        hyper = ConflictHypergraph(rows, [frozenset({row_a}), frozenset({row_a, row_b})])
+        assert hyper.edges == (frozenset({row_a}),)
+
+    def test_empty_edge_rejected(self):
+        with pytest.raises(ConstraintError):
+            ConflictHypergraph([], [frozenset()])
+
+    def test_repairs_exclude_singleton_violators(self):
+        constraint = DenialConstraint(
+            (Atom("Emp", [Var("n"), Var("d"), Var("s")]),),
+            Comparison(">", Var("s"), 100),
+        )
+        emp = RelationInstance.from_values(
+            EMP, [("Mary", "R&D", 400), ("John", "PR", 10)]
+        )
+        hyper = build_conflict_hypergraph(emp.rows, [constraint])
+        repairs = hyper.maximal_independent_sets()
+        assert repairs == [frozenset({Row(EMP, ("John", "PR", 10))})]
+
+    def test_ternary_conflicts(self):
+        # "No three employees in one department": each violating triple
+        # is a 3-element hyperedge, and repairs keep at most two.
+        constraint = DenialConstraint(
+            (
+                Atom("Emp", [Var("n1"), Var("d"), Var("s1")]),
+                Atom("Emp", [Var("n2"), Var("d"), Var("s2")]),
+                Atom("Emp", [Var("n3"), Var("d"), Var("s3")]),
+            ),
+            # All three distinct.
+            Comparison("!=", Var("n1"), Var("n2"))
+            & Comparison("!=", Var("n2"), Var("n3"))
+            & Comparison("!=", Var("n1"), Var("n3")),
+        )
+        emp = RelationInstance.from_values(
+            EMP, [("A", "X", 1), ("B", "X", 2), ("C", "X", 3)]
+        )
+        hyper = build_conflict_hypergraph(emp.rows, [constraint])
+        repairs = hyper.maximal_independent_sets()
+        assert len(repairs) == 3
+        assert all(len(repair) == 2 for repair in repairs)
+
+    def test_is_maximal_independent(self):
+        emp = RelationInstance.from_values(EMP, [("A", "X", 1), ("B", "X", 2)])
+        hyper = build_conflict_hypergraph(emp.rows, [])
+        assert hyper.is_maximal_independent(set(emp.rows))
+        assert not hyper.is_maximal_independent(set())
+
+
+class TestFdAsDenial:
+    def test_fd_translation_matches_conflict_graph(self):
+        schema = RelationSchema("R", ["A:number", "B:number", "C:number"])
+        fd = FunctionalDependency.parse("A -> B, C", "R")
+        instance = RelationInstance.from_values(
+            schema, [(1, 1, 1), (1, 1, 2), (1, 2, 1), (2, 5, 5)]
+        )
+        graph = build_conflict_graph(instance, [fd])
+        hyper = build_conflict_hypergraph(
+            instance.rows, [fd_as_denial(fd, schema)]
+        )
+        graph_edges = {frozenset(pair) for pair in graph.edges()}
+        assert set(hyper.edges) == graph_edges
+
+    def test_fd_translation_repairs_agree(self):
+        from repro.repairs.enumerate import enumerate_repairs
+
+        schema = RelationSchema("R", ["A:number", "B:number"])
+        fd = FunctionalDependency.parse("A -> B", "R")
+        instance = RelationInstance.from_values(
+            schema, [(1, 1), (1, 2), (2, 1), (2, 2)]
+        )
+        graph = build_conflict_graph(instance, [fd])
+        hyper = build_conflict_hypergraph(
+            instance.rows, [fd_as_denial(fd, schema)]
+        )
+        assert set(hyper.maximal_independent_sets()) == set(
+            enumerate_repairs(graph)
+        )

@@ -1,0 +1,127 @@
+"""Unit tests for functional dependencies."""
+
+import pytest
+
+from repro.constraints.fd import (
+    FunctionalDependency,
+    key_dependency,
+    parse_fd_set,
+    validate_fd_set,
+)
+from repro.exceptions import ConstraintError, ConstraintSyntaxError
+from repro.relational.rows import Row
+from repro.relational.schema import RelationSchema
+
+MGR = RelationSchema("Mgr", ["Name", "Dept", "Salary:number", "Reports:number"])
+
+
+class TestParsing:
+    def test_basic(self):
+        fd = FunctionalDependency.parse("Dept -> Name, Salary")
+        assert fd.lhs == {"Dept"}
+        assert fd.rhs == {"Name", "Salary"}
+
+    def test_space_separated_rhs(self):
+        fd = FunctionalDependency.parse("A B -> C D")
+        assert fd.lhs == {"A", "B"} and fd.rhs == {"C", "D"}
+
+    def test_relation_prefix(self):
+        fd = FunctionalDependency.parse("Mgr: Dept -> Name")
+        assert fd.relation == "Mgr"
+
+    def test_relation_prefix_conflict(self):
+        with pytest.raises(ConstraintSyntaxError):
+            FunctionalDependency.parse("Mgr: Dept -> Name", relation="Emp")
+
+    def test_empty_lhs_allowed(self):
+        fd = FunctionalDependency.parse(" -> A")
+        assert fd.lhs == frozenset()
+
+    def test_missing_arrow(self):
+        with pytest.raises(ConstraintSyntaxError):
+            FunctionalDependency.parse("A B C")
+
+    def test_empty_rhs(self):
+        with pytest.raises(ConstraintSyntaxError):
+            FunctionalDependency.parse("A -> ")
+
+    def test_bad_attribute_name(self):
+        with pytest.raises(ConstraintSyntaxError):
+            FunctionalDependency.parse("A -> B-C")
+
+    def test_parse_fd_set(self):
+        fds = parse_fd_set(["A -> B", "B -> C"], relation="R")
+        assert all(fd.relation == "R" for fd in fds)
+
+
+class TestConflicting:
+    def test_conflict_detected(self):
+        fd = FunctionalDependency.parse("Dept -> Name", "Mgr")
+        a = Row(MGR, ("Mary", "R&D", 40, 3))
+        b = Row(MGR, ("John", "R&D", 10, 2))
+        assert fd.conflicting(a, b)
+        assert fd.conflicting(b, a)
+
+    def test_agreement_on_rhs_is_no_conflict(self):
+        fd = FunctionalDependency.parse("Name -> Dept", "Mgr")
+        a = Row(MGR, ("Mary", "R&D", 40, 3))
+        b = Row(MGR, ("Mary", "R&D", 10, 2))
+        assert not fd.conflicting(a, b)
+
+    def test_different_lhs_is_no_conflict(self):
+        fd = FunctionalDependency.parse("Dept -> Name", "Mgr")
+        a = Row(MGR, ("Mary", "R&D", 40, 3))
+        b = Row(MGR, ("John", "IT", 10, 2))
+        assert not fd.conflicting(a, b)
+
+    def test_other_relation_is_no_conflict(self):
+        fd = FunctionalDependency.parse("Dept -> Name", "Emp")
+        a = Row(MGR, ("Mary", "R&D", 40, 3))
+        b = Row(MGR, ("John", "R&D", 10, 2))
+        assert not fd.conflicting(a, b)
+
+    def test_multi_attribute_rhs_any_difference(self):
+        fd = FunctionalDependency.parse("Name -> Dept, Salary", "Mgr")
+        a = Row(MGR, ("Mary", "R&D", 40, 3))
+        b = Row(MGR, ("Mary", "R&D", 10, 3))
+        assert fd.conflicting(a, b)
+
+
+class TestValidation:
+    def test_validate_against_schema(self):
+        fd = FunctionalDependency.parse("Dept -> Name", "Mgr")
+        fd.validate_against(MGR)  # no exception
+
+    def test_unknown_attribute_rejected(self):
+        fd = FunctionalDependency.parse("Dept -> Bogus", "Mgr")
+        with pytest.raises(Exception):
+            fd.validate_against(MGR)
+
+    def test_wrong_relation_rejected(self):
+        fd = FunctionalDependency.parse("Dept -> Name", "Emp")
+        with pytest.raises(ConstraintError):
+            fd.validate_against(MGR)
+
+    def test_validate_fd_set(self):
+        validate_fd_set(parse_fd_set(["Dept -> Name"], "Mgr"), MGR)
+
+
+class TestKeyDependency:
+    def test_key_builds_full_rhs(self):
+        fd = key_dependency(MGR, ["Name"])
+        assert fd.rhs == {"Dept", "Salary", "Reports"}
+        assert fd.is_key_for(MGR)
+
+    def test_non_key_detected(self):
+        fd = FunctionalDependency.parse("Name -> Dept", "Mgr")
+        assert not fd.is_key_for(MGR)
+
+    def test_trivial_key_rejected(self):
+        with pytest.raises(ConstraintError):
+            key_dependency(MGR, MGR.attribute_names)
+
+    def test_equality_and_hash(self):
+        a = FunctionalDependency.parse("A -> B")
+        b = FunctionalDependency(["A"], ["B"])
+        assert a == b and hash(a) == hash(b)
+        assert a != FunctionalDependency(["A"], ["B"], "R")

@@ -1,0 +1,141 @@
+"""Unit tests for classical FD theory (closure, keys, normal forms)."""
+
+from repro.constraints.fd import FunctionalDependency
+from repro.constraints.fd_theory import (
+    attribute_closure,
+    bcnf_violations,
+    candidate_keys,
+    equivalent,
+    implies,
+    is_3nf,
+    is_bcnf,
+    is_superkey,
+    is_trivial,
+    minimal_cover,
+    project_dependencies,
+)
+from repro.relational.schema import RelationSchema
+
+
+def fd(text):
+    return FunctionalDependency.parse(text)
+
+
+R_ABCD = RelationSchema("R", ["A", "B", "C", "D"])
+
+
+class TestClosure:
+    def test_textbook_closure(self):
+        fds = [fd("A -> B"), fd("B -> C")]
+        assert attribute_closure(["A"], fds) == {"A", "B", "C"}
+
+    def test_closure_without_applicable_fds(self):
+        assert attribute_closure(["D"], [fd("A -> B")]) == {"D"}
+
+    def test_multi_attribute_lhs(self):
+        fds = [fd("A B -> C")]
+        assert attribute_closure(["A"], fds) == {"A"}
+        assert attribute_closure(["A", "B"], fds) == {"A", "B", "C"}
+
+    def test_empty_lhs_fd_applies_everywhere(self):
+        assert attribute_closure([], [fd(" -> A")]) == {"A"}
+
+
+class TestImplication:
+    def test_transitivity_implied(self):
+        fds = [fd("A -> B"), fd("B -> C")]
+        assert implies(fds, fd("A -> C"))
+
+    def test_not_implied(self):
+        assert not implies([fd("A -> B")], fd("B -> A"))
+
+    def test_equivalence(self):
+        first = [fd("A -> B"), fd("B -> C")]
+        second = [fd("A -> B, C"), fd("B -> C")]
+        assert equivalent(first, second)
+        assert not equivalent(first, [fd("A -> B")])
+
+    def test_trivial(self):
+        assert is_trivial(FunctionalDependency(["A", "B"], ["A"]))
+        assert not is_trivial(fd("A -> B"))
+
+
+class TestKeys:
+    def test_is_superkey(self):
+        fds = [fd("A -> B"), fd("B -> C D")]
+        assert is_superkey(["A"], R_ABCD, fds)
+        assert not is_superkey(["B"], R_ABCD, fds)
+
+    def test_candidate_keys_minimal(self):
+        fds = [fd("A -> B C D"), fd("B C -> A")]
+        keys = candidate_keys(R_ABCD, fds)
+        assert frozenset({"A"}) in keys
+        assert frozenset({"B", "C"}) in keys
+        # No superset of a key is listed.
+        assert not any(k > frozenset({"A"}) for k in keys)
+
+    def test_no_fds_key_is_everything(self):
+        keys = candidate_keys(R_ABCD, [])
+        assert keys == [frozenset({"A", "B", "C", "D"})]
+
+
+class TestNormalForms:
+    def test_bcnf_holds_for_key_fds(self):
+        fds = [fd("A -> B C D")]
+        assert is_bcnf(R_ABCD, fds)
+        assert bcnf_violations(R_ABCD, fds) == []
+
+    def test_bcnf_violation_detected(self):
+        fds = [fd("A -> B C D"), fd("B -> C")]
+        assert not is_bcnf(R_ABCD, fds)
+        assert fd("B -> C") in bcnf_violations(R_ABCD, fds)
+
+    def test_3nf_with_prime_rhs(self):
+        # Classic: R(A,B,C), A→B, B→A: B→A has prime RHS.
+        schema = RelationSchema("R", ["A", "B", "C"])
+        fds = [fd("A B -> C"), fd("C -> B")]
+        assert is_3nf(schema, fds)
+        assert not is_bcnf(schema, fds)
+
+    def test_mgr_example_is_bcnf(self):
+        schema = RelationSchema(
+            "Mgr", ["Name", "Dept", "Salary:number", "Reports:number"]
+        )
+        fds = [
+            FunctionalDependency.parse("Dept -> Name, Salary, Reports"),
+            FunctionalDependency.parse("Name -> Dept, Salary, Reports"),
+        ]
+        assert is_bcnf(schema, fds)
+
+
+class TestMinimalCover:
+    def test_splits_rhs(self):
+        cover = minimal_cover([fd("A -> B C")])
+        assert all(len(item.rhs) == 1 for item in cover)
+        assert equivalent(cover, [fd("A -> B C")])
+
+    def test_removes_redundant_fd(self):
+        cover = minimal_cover([fd("A -> B"), fd("B -> C"), fd("A -> C")])
+        assert equivalent(cover, [fd("A -> B"), fd("B -> C")])
+        assert len(cover) == 2
+
+    def test_trims_extraneous_lhs(self):
+        cover = minimal_cover([fd("A -> B"), fd("A B -> C")])
+        assert fd("A -> C") in cover or implies(cover, fd("A -> C"))
+        assert all(item.lhs == {"A"} for item in cover)
+
+    def test_preserves_equivalence(self):
+        original = [fd("A -> B C"), fd("B -> C"), fd("A C -> D")]
+        assert equivalent(minimal_cover(original), original)
+
+
+class TestProjection:
+    def test_transitive_dependency_projected(self):
+        fds = [fd("A -> B"), fd("B -> C")]
+        projected = project_dependencies(fds, {"A", "C"})
+        assert implies(projected, fd("A -> C"))
+
+    def test_projection_drops_outside_attributes(self):
+        fds = [fd("A -> B")]
+        projected = project_dependencies(fds, {"A", "C"})
+        assert all(item.lhs | item.rhs <= {"A", "C"} for item in projected)

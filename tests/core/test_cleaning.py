@@ -1,0 +1,121 @@
+"""Unit and property tests for Algorithm 1 and C-Rep (Props 1 and 7)."""
+
+import pytest
+from hypothesis import given, settings
+
+from repro.core.cleaning import all_cleaning_results, clean, is_common_repair
+from repro.datagen.paper_instances import (
+    example7_scenario,
+    example8_scenario,
+    example9_reconstructed,
+    mgr_scenario,
+)
+from repro.exceptions import CleaningError
+from repro.repairs.enumerate import enumerate_repairs
+from tests.conftest import key_priorities, two_fd_priorities
+
+
+class TestCleanAlgorithm1:
+    def test_result_is_a_repair(self):
+        scenario = mgr_scenario()
+        result = clean(scenario.priority)
+        assert scenario.graph.is_maximal_independent(result)
+
+    def test_total_priority_unique_result(self):
+        """Proposition 1: any sequence of choices yields the same repair."""
+        scenario = example8_scenario()
+        assert scenario.priority.is_total
+        first = clean(scenario.priority, chooser=lambda c: c[0])
+        last = clean(scenario.priority, chooser=lambda c: c[-1])
+        assert first == last == scenario.row_set("tc")
+
+    @given(two_fd_priorities())
+    @settings(max_examples=50, deadline=None)
+    def test_total_priorities_are_confluent(self, data):
+        """Proposition 1 on random instances."""
+        _, priority = data
+        total = priority.some_total_extension()
+        assert clean(total, chooser=lambda c: c[0]) == clean(
+            total, chooser=lambda c: c[-1]
+        )
+
+    def test_chooser_must_pick_from_winnow(self):
+        scenario = example7_scenario()
+        with pytest.raises(CleaningError):
+            clean(scenario.priority, chooser=lambda c: scenario.rows["tb"])
+
+    def test_empty_instance(self):
+        from repro.constraints.conflict_graph import ConflictGraph
+        from repro.priorities.priority import Priority
+
+        graph = ConflictGraph([], [])
+        assert clean(Priority(graph, ())) == frozenset()
+
+
+class TestAllCleaningResults:
+    def test_mgr_common_repairs(self):
+        scenario = mgr_scenario()
+        results = all_cleaning_results(scenario.priority)
+        assert set(results) == {
+            scenario.row_set("mary_rd", "john_pr"),
+            scenario.row_set("john_rd", "mary_it"),
+        }
+
+    def test_empty_priority_gives_all_repairs(self):
+        """With no orientations, Algorithm 1 can reach every repair."""
+        scenario = mgr_scenario(with_priority=False)
+        results = set(all_cleaning_results(scenario.priority))
+        assert results == set(enumerate_repairs(scenario.graph))
+
+    def test_reconstructed_example9_single_common_repair(self):
+        scenario = example9_reconstructed()
+        results = all_cleaning_results(scenario.priority)
+        assert results == [scenario.row_set("ta", "tc", "te")]
+
+    def test_memoized_equals_naive(self):
+        scenario = mgr_scenario()
+        assert set(all_cleaning_results(scenario.priority, memoized=True)) == set(
+            all_cleaning_results(scenario.priority, memoized=False)
+        )
+
+    @given(two_fd_priorities())
+    @settings(max_examples=40, deadline=None)
+    def test_results_are_repairs(self, data):
+        _, priority = data
+        for result in all_cleaning_results(priority):
+            assert priority.graph.is_maximal_independent(result) or (
+                not priority.graph.vertices and result == frozenset()
+            )
+
+
+class TestCommonRepairChecking:
+    def test_membership_by_simulation(self):
+        """Proposition 7 / Corollary 2: the PTIME simulation check."""
+        scenario = mgr_scenario()
+        assert is_common_repair(
+            scenario.row_set("mary_rd", "john_pr"), scenario.priority
+        )
+        assert not is_common_repair(
+            scenario.row_set("mary_it", "john_pr"), scenario.priority
+        )
+
+    def test_non_repair_rejected(self):
+        scenario = mgr_scenario()
+        assert not is_common_repair(scenario.row_set("mary_rd"), scenario.priority)
+
+    @given(key_priorities())
+    @settings(max_examples=50, deadline=None)
+    def test_simulation_agrees_with_enumeration_key(self, data):
+        _, priority = data
+        common = set(all_cleaning_results(priority))
+        for repair in enumerate_repairs(priority.graph):
+            assert is_common_repair(repair, priority) == (repair in common)
+
+    @given(two_fd_priorities())
+    @settings(max_examples=50, deadline=None)
+    def test_simulation_agrees_with_enumeration_two_fd(self, data):
+        """Confluence of the restricted simulation (Proposition 7)."""
+        _, priority = data
+        common = set(all_cleaning_results(priority))
+        for repair in enumerate_repairs(priority.graph):
+            assert is_common_repair(repair, priority) == (repair in common)

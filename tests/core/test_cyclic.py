@@ -1,0 +1,107 @@
+"""Tests for the cyclic-preference extension (paper §6 future work)."""
+
+import pytest
+from hypothesis import given, settings
+
+from repro.constraints.conflict_graph import build_conflict_graph
+from repro.core.cyclic import (
+    CyclicPreference,
+    condensed_preferred_repairs,
+    is_conservative_extension,
+)
+from repro.core.families import Family, preferred_repairs
+from repro.datagen.generators import GRID_FDS, GRID_SCHEMA
+from repro.exceptions import NonConflictingPriorityError
+from repro.relational.instance import RelationInstance
+from repro.relational.rows import Row
+from tests.conftest import key_priorities
+
+
+def triangle():
+    instance = RelationInstance.from_values(GRID_SCHEMA, [(1, 1), (1, 2), (1, 3)])
+    graph = build_conflict_graph(instance, GRID_FDS)
+    t1, t2, t3 = (Row(GRID_SCHEMA, (1, b)) for b in (1, 2, 3))
+    return graph, t1, t2, t3
+
+
+class TestCondensation:
+    def test_acyclic_preference_is_preserved(self):
+        graph, t1, t2, t3 = triangle()
+        preference = CyclicPreference(graph, [(t1, t2), (t2, t3)])
+        assert not preference.has_cycle
+        assert preference.condense().edges == {(t1, t2), (t2, t3)}
+
+    def test_two_cycle_cancels(self):
+        graph, t1, t2, _ = triangle()
+        preference = CyclicPreference(graph, [(t1, t2), (t2, t1)])
+        assert preference.has_cycle
+        assert preference.condense().is_empty
+
+    def test_three_cycle_cancels(self):
+        graph, t1, t2, t3 = triangle()
+        preference = CyclicPreference(graph, [(t1, t2), (t2, t3), (t3, t1)])
+        assert preference.condense().is_empty
+
+    def test_edges_out_of_a_cycle_survive(self):
+        # 4-clique: cycle among three tuples, all dominating the fourth.
+        instance = RelationInstance.from_values(
+            GRID_SCHEMA, [(1, 1), (1, 2), (1, 3), (1, 4)]
+        )
+        graph = build_conflict_graph(instance, GRID_FDS)
+        t1, t2, t3, t4 = (Row(GRID_SCHEMA, (1, b)) for b in (1, 2, 3, 4))
+        preference = CyclicPreference(
+            graph, [(t1, t2), (t2, t3), (t3, t1), (t1, t4), (t2, t4)]
+        )
+        condensed = preference.condense()
+        assert condensed.edges == {(t1, t4), (t2, t4)}
+
+    def test_validation_still_applies(self):
+        instance = RelationInstance.from_values(GRID_SCHEMA, [(1, 1), (2, 2)])
+        graph = build_conflict_graph(instance, GRID_FDS)
+        with pytest.raises(NonConflictingPriorityError):
+            CyclicPreference(graph, [(Row(GRID_SCHEMA, (1, 1)), Row(GRID_SCHEMA, (2, 2)))])
+
+    @given(key_priorities())
+    @settings(max_examples=40, deadline=None)
+    def test_condense_is_identity_on_acyclic(self, data):
+        _, priority = data
+        preference = CyclicPreference(priority.graph, priority.edges)
+        assert preference.condense() == priority
+
+
+class TestConditionalMonotonicity:
+    def test_closing_a_cycle_is_not_conservative(self):
+        graph, t1, t2, t3 = triangle()
+        base = CyclicPreference(graph, [(t1, t2)])
+        closed = base.extend([(t2, t1)])
+        assert not is_conservative_extension(base, closed)
+
+    def test_adding_cross_component_edge_is_conservative(self):
+        graph, t1, t2, t3 = triangle()
+        base = CyclicPreference(graph, [(t1, t2)])
+        extended = base.extend([(t1, t3)])
+        assert is_conservative_extension(base, extended)
+
+    def test_monotonicity_fails_on_cycle_closure(self):
+        """Paper §6: naive P2 does not survive cyclic preferences —
+        closing a cycle erases preferences and *widens* the repair set."""
+        graph, t1, t2, t3 = triangle()
+        base = CyclicPreference(graph, [(t1, t2), (t1, t3)])
+        narrowed = set(condensed_preferred_repairs(base, Family.GLOBAL))
+        assert narrowed == {frozenset({t1})}
+        widened = base.extend([(t2, t1)])
+        result = set(condensed_preferred_repairs(widened, Family.GLOBAL))
+        # t1 ≻ t2 evidence cancelled; {t2} repairs become admissible.
+        assert not result <= narrowed
+
+    @given(key_priorities(max_tuples=6))
+    @settings(max_examples=30, deadline=None)
+    def test_monotonicity_holds_for_conservative_extensions(self, data):
+        _, priority = data
+        base = CyclicPreference(priority.graph, set())
+        extended = CyclicPreference(priority.graph, priority.edges)
+        if not is_conservative_extension(base, extended):
+            return
+        base_repairs = set(condensed_preferred_repairs(base, Family.GLOBAL))
+        extended_repairs = set(condensed_preferred_repairs(extended, Family.GLOBAL))
+        assert extended_repairs <= base_repairs

@@ -1,0 +1,127 @@
+"""Unit and property tests for the L/S/G/C families and their checkers."""
+
+import pytest
+from hypothesis import given, settings
+
+from repro.core.families import (
+    Family,
+    family_chain,
+    is_preferred_repair,
+    preferred_repairs,
+    preferred_repairs_of_instance,
+)
+from repro.datagen.paper_instances import (
+    example7_scenario,
+    example8_scenario,
+    example9_reconstructed,
+    mgr_scenario,
+)
+from repro.repairs.enumerate import enumerate_repairs
+from tests.conftest import two_fd_priorities
+
+
+class TestPaperFamilies:
+    def test_example7(self):
+        scenario = example7_scenario()
+        chain = family_chain(scenario.priority)
+        only_ta = [scenario.row_set("ta")]
+        assert chain[Family.LOCAL] == only_ta
+        assert chain[Family.SEMI_GLOBAL] == only_ta
+        assert chain[Family.GLOBAL] == only_ta
+        assert chain[Family.COMMON] == only_ta
+        assert len(chain[Family.REP]) == 3
+
+    def test_example8(self):
+        scenario = example8_scenario()
+        chain = family_chain(scenario.priority)
+        assert set(chain[Family.LOCAL]) == {
+            scenario.row_set("ta", "tb"),
+            scenario.row_set("tc"),
+        }
+        assert chain[Family.SEMI_GLOBAL] == [scenario.row_set("tc")]
+        assert chain[Family.GLOBAL] == [scenario.row_set("tc")]
+        assert chain[Family.COMMON] == [scenario.row_set("tc")]
+
+    def test_example9_reconstructed(self):
+        scenario = example9_reconstructed()
+        chain = family_chain(scenario.priority)
+        r1 = scenario.row_set("ta", "tc", "te")
+        r2 = scenario.row_set("tb", "td")
+        assert set(chain[Family.REP]) == {r1, r2}
+        assert set(chain[Family.SEMI_GLOBAL]) == {r1, r2}  # non-categorical
+        assert chain[Family.GLOBAL] == [r1]
+        assert chain[Family.COMMON] == [r1]
+
+    def test_mgr_preferred_repairs(self):
+        scenario = mgr_scenario()
+        expected = {
+            scenario.row_set("mary_rd", "john_pr"),
+            scenario.row_set("john_rd", "mary_it"),
+        }
+        for family in (Family.LOCAL, Family.SEMI_GLOBAL, Family.GLOBAL, Family.COMMON):
+            assert set(preferred_repairs(family, scenario.priority)) == expected
+
+
+class TestContainmentChain:
+    @given(two_fd_priorities())
+    @settings(max_examples=60, deadline=None)
+    def test_c_subset_g_subset_s_subset_l_subset_rep(self, data):
+        """Propositions 3, 4, 6: C ⊆ G ⊆ S ⊆ L ⊆ Rep."""
+        _, priority = data
+        chain = family_chain(priority)
+        c = set(chain[Family.COMMON])
+        g = set(chain[Family.GLOBAL])
+        s = set(chain[Family.SEMI_GLOBAL])
+        l = set(chain[Family.LOCAL])
+        rep = set(chain[Family.REP])
+        assert c <= g <= s <= l <= rep
+
+    @given(two_fd_priorities())
+    @settings(max_examples=60, deadline=None)
+    def test_all_families_nonempty(self, data):
+        """P1 for every family (C-Rep nonempty ⟹ all supersets too)."""
+        _, priority = data
+        chain = family_chain(priority)
+        for family, repairs in chain.items():
+            assert repairs, f"{family} empty"
+
+
+class TestMembershipCheckers:
+    @given(two_fd_priorities(max_tuples=6))
+    @settings(max_examples=40, deadline=None)
+    def test_checkers_agree_with_enumerators(self, data):
+        """X-repair checking (Section 4.1) matches X-Rep membership."""
+        _, priority = data
+        pool = list(enumerate_repairs(priority.graph))
+        chain = family_chain(priority, pool)
+        for family in Family:
+            selected = set(chain[family])
+            for repair in pool:
+                assert is_preferred_repair(family, repair, priority, pool) == (
+                    repair in selected
+                ), f"{family} disagreed"
+
+    def test_checkers_reject_non_repairs(self):
+        scenario = mgr_scenario()
+        not_a_repair = scenario.row_set("mary_rd")
+        for family in Family:
+            assert not is_preferred_repair(family, not_a_repair, scenario.priority)
+
+
+class TestConvenienceApi:
+    def test_preferred_repairs_of_instance(self):
+        scenario = mgr_scenario()
+        repairs = preferred_repairs_of_instance(
+            Family.GLOBAL,
+            scenario.instance,
+            scenario.dependencies,
+            list(scenario.priority.edges),
+        )
+        assert set(repairs) == {
+            scenario.row_set("mary_rd", "john_pr"),
+            scenario.row_set("john_rd", "mary_it"),
+        }
+
+    def test_family_str(self):
+        assert str(Family.GLOBAL) == "G-Rep"
+        assert str(Family.REP) == "Rep"

@@ -1,0 +1,65 @@
+"""Unit tests for the ≪ preference lifting (Proposition 5 machinery)."""
+
+from repro.core.lifting import (
+    maximal_under_preference,
+    prefers,
+    strictly_prefers,
+)
+from repro.datagen.paper_instances import example9_reconstructed, mgr_scenario
+from repro.priorities.priority import empty_priority
+
+
+class TestPrefers:
+    def test_subset_is_vacuously_preferred(self):
+        scenario = mgr_scenario()
+        r1 = scenario.row_set("mary_rd", "john_pr")
+        assert prefers(scenario.priority, frozenset(), r1)
+        assert prefers(scenario.priority, r1, r1)
+
+    def test_requires_domination_of_every_loss(self):
+        scenario = example9_reconstructed()
+        r1 = scenario.row_set("ta", "tc", "te")
+        r2 = scenario.row_set("tb", "td")
+        # r2 ≪ r1 (tb dominated by ta, td by tc)…
+        assert prefers(scenario.priority, r2, r1)
+        # …but not the converse: nothing dominates ta.
+        assert not prefers(scenario.priority, r1, r2)
+
+    def test_empty_priority_never_strictly_prefers(self):
+        scenario = mgr_scenario()
+        empty = empty_priority(scenario.graph)
+        repairs = [
+            scenario.row_set("mary_rd", "john_pr"),
+            scenario.row_set("john_rd", "mary_it"),
+            scenario.row_set("mary_it", "john_pr"),
+        ]
+        for first in repairs:
+            for second in repairs:
+                assert not strictly_prefers(empty, first, second)
+
+    def test_non_transitivity_is_possible(self):
+        """≪ is not an order in general; maximality is on the raw
+        relation.  Here we just document that chains of ≪ may skip."""
+        scenario = mgr_scenario()
+        r1 = scenario.row_set("mary_rd", "john_pr")
+        r3 = scenario.row_set("mary_it", "john_pr")
+        assert strictly_prefers(scenario.priority, r3, r1)
+
+
+class TestMaximalUnderPreference:
+    def test_singleton_pool(self):
+        scenario = mgr_scenario()
+        r1 = scenario.row_set("mary_rd", "john_pr")
+        assert maximal_under_preference(scenario.priority, [r1]) == [r1]
+
+    def test_dominated_repairs_removed(self):
+        scenario = mgr_scenario()
+        r1 = scenario.row_set("mary_rd", "john_pr")
+        r2 = scenario.row_set("john_rd", "mary_it")
+        r3 = scenario.row_set("mary_it", "john_pr")
+        result = maximal_under_preference(scenario.priority, [r1, r2, r3])
+        assert set(result) == {r1, r2}
+
+    def test_empty_pool(self):
+        scenario = mgr_scenario()
+        assert maximal_under_preference(scenario.priority, []) == []

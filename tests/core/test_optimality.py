@@ -1,0 +1,143 @@
+"""Unit and property tests for local/semi-global/global optimality."""
+
+from hypothesis import given, settings
+
+from repro.core.lifting import prefers, strictly_prefers
+from repro.core.optimality import (
+    globally_optimal_repairs,
+    is_globally_optimal,
+    is_globally_optimal_by_definition,
+    is_locally_optimal,
+    is_semi_globally_optimal,
+    optimality_profile,
+)
+from repro.datagen.paper_instances import (
+    example7_scenario,
+    example8_scenario,
+    example9_printed,
+    example9_reconstructed,
+    mgr_scenario,
+)
+from repro.repairs.enumerate import enumerate_repairs
+from tests.conftest import key_priorities, two_fd_priorities
+
+
+class TestExample7Local:
+    def test_only_ta_is_locally_optimal(self):
+        scenario = example7_scenario()
+        assert is_locally_optimal(scenario.row_set("ta"), scenario.priority)
+        assert not is_locally_optimal(scenario.row_set("tb"), scenario.priority)
+        assert not is_locally_optimal(scenario.row_set("tc"), scenario.priority)
+
+
+class TestExample8SemiGlobal:
+    def test_duplicates_defeat_local_but_not_semi_global(self):
+        scenario = example8_scenario()
+        duplicates = scenario.row_set("ta", "tb")
+        challenger = scenario.row_set("tc")
+        # Both repairs are locally optimal (paper: "All the repairs are
+        # locally optimal").
+        assert is_locally_optimal(duplicates, scenario.priority)
+        assert is_locally_optimal(challenger, scenario.priority)
+        # Semi-global optimality rejects the duplicates.
+        assert not is_semi_globally_optimal(duplicates, scenario.priority)
+        assert is_semi_globally_optimal(challenger, scenario.priority)
+
+
+class TestExample9Global:
+    def test_reconstructed_global_selects_r1(self):
+        """Section 3.3: r2 is not globally optimal and r1 is."""
+        scenario = example9_reconstructed()
+        r1 = scenario.row_set("ta", "tc", "te")
+        r2 = scenario.row_set("tb", "td")
+        assert is_semi_globally_optimal(r1, scenario.priority)
+        assert is_semi_globally_optimal(r2, scenario.priority)
+        assert is_globally_optimal(r1, scenario.priority)
+        assert not is_globally_optimal(r2, scenario.priority)
+
+    def test_printed_values_collapse_to_r1(self):
+        """Erratum record: with the printed values the S-family is {r1}."""
+        scenario = example9_printed()
+        r1 = scenario.row_set("ta", "tc", "te")
+        r2 = scenario.row_set("tb", "td")
+        assert is_semi_globally_optimal(r1, scenario.priority)
+        assert not is_semi_globally_optimal(r2, scenario.priority)
+
+
+class TestLifting:
+    def test_preference_on_mgr(self):
+        scenario = mgr_scenario()
+        r1 = scenario.row_set("mary_rd", "john_pr")
+        r3 = scenario.row_set("mary_it", "john_pr")
+        assert strictly_prefers(scenario.priority, r3, r1)
+        assert not strictly_prefers(scenario.priority, r1, r3)
+
+    def test_prefers_is_vacuous_on_equal_sets(self):
+        scenario = mgr_scenario()
+        r1 = scenario.row_set("mary_rd", "john_pr")
+        assert prefers(scenario.priority, r1, r1)
+        assert not strictly_prefers(scenario.priority, r1, r1)
+
+    def test_proposition5_on_reconstruction(self):
+        scenario = example9_reconstructed()
+        r1 = scenario.row_set("ta", "tc", "te")
+        r2 = scenario.row_set("tb", "td")
+        assert strictly_prefers(scenario.priority, r2, r1)
+        assert not strictly_prefers(scenario.priority, r1, r2)
+
+
+class TestContainments:
+    @given(two_fd_priorities())
+    @settings(max_examples=60, deadline=None)
+    def test_global_implies_semi_global_implies_local(self, data):
+        """Section 3: global ⟹ semi-global ⟹ local."""
+        _, priority = data
+        repairs = list(enumerate_repairs(priority.graph))
+        for repair in repairs:
+            profile = optimality_profile(repair, priority)
+            if profile["global"]:
+                assert profile["semi_global"]
+            if profile["semi_global"]:
+                assert profile["local"]
+
+    @given(key_priorities(max_tuples=6))
+    @settings(max_examples=40, deadline=None)
+    def test_key_dependency_local_equals_semi_global(self, data):
+        """Proposition 3: for one key dependency L-Rep = S-Rep."""
+        _, priority = data
+        for repair in enumerate_repairs(priority.graph):
+            assert is_locally_optimal(repair, priority) == is_semi_globally_optimal(
+                repair, priority
+            )
+
+    @given(two_fd_priorities(max_tuples=6))
+    @settings(max_examples=40, deadline=None)
+    def test_proposition5_definition_equivalence(self, data):
+        """Global optimality: Prop 5 (≪-maximal) ≡ replacement definition."""
+        _, priority = data
+        repairs = list(enumerate_repairs(priority.graph))
+        for repair in repairs:
+            assert is_globally_optimal(
+                repair, priority, repairs
+            ) == is_globally_optimal_by_definition(repair, priority)
+
+    @given(two_fd_priorities())
+    @settings(max_examples=50, deadline=None)
+    def test_globally_optimal_repairs_nonempty(self, data):
+        """P1 for G-Rep (part of Proposition 4)."""
+        _, priority = data
+        repairs = list(enumerate_repairs(priority.graph))
+        assert globally_optimal_repairs(priority, repairs)
+
+
+class TestEmptyPriorityNeutrality:
+    @given(two_fd_priorities())
+    @settings(max_examples=30, deadline=None)
+    def test_every_repair_optimal_without_priorities(self, data):
+        from repro.priorities.priority import empty_priority
+
+        _, priority = data
+        empty = empty_priority(priority.graph)
+        for repair in enumerate_repairs(priority.graph):
+            profile = optimality_profile(repair, empty)
+            assert profile["local"] and profile["semi_global"] and profile["global"]

@@ -1,0 +1,172 @@
+"""Tests for range-consistent aggregate answers (paper future work / [2])."""
+
+from fractions import Fraction
+
+import pytest
+from hypothesis import given, settings
+
+from repro.constraints.conflict_graph import build_conflict_graph
+from repro.core.families import Family
+from repro.cqa.aggregation import (
+    Aggregate,
+    AggregateRange,
+    aggregate_value,
+    key_range_consistent_answer,
+    range_consistent_answer,
+)
+from repro.datagen.generators import GRID_FDS, GRID_SCHEMA
+from repro.datagen.paper_instances import mgr_scenario
+from repro.exceptions import QueryError
+from repro.priorities.priority import Priority, empty_priority
+from repro.relational.instance import RelationInstance
+from tests.conftest import key_instances, key_priorities
+
+
+def kv(*pairs):
+    instance = RelationInstance.from_values(GRID_SCHEMA, pairs)
+    return build_conflict_graph(instance, GRID_FDS)
+
+
+class TestAggregateValue:
+    def test_count_star(self):
+        graph = kv((1, 1), (2, 2))
+        assert aggregate_value(graph.vertices, Aggregate.COUNT_STAR) == 2
+
+    def test_min_max_sum(self):
+        graph = kv((1, 5), (2, 7))
+        rows = graph.vertices
+        assert aggregate_value(rows, Aggregate.MIN, "B") == 5
+        assert aggregate_value(rows, Aggregate.MAX, "B") == 7
+        assert aggregate_value(rows, Aggregate.SUM, "B") == 12
+
+    def test_avg_is_exact_rational(self):
+        graph = kv((1, 1), (2, 2))
+        assert aggregate_value(graph.vertices, Aggregate.AVG, "B") == Fraction(3, 2)
+
+    def test_empty_min_is_none(self):
+        assert aggregate_value([], Aggregate.MIN, "B") is None
+
+    def test_missing_attribute_rejected(self):
+        with pytest.raises(QueryError):
+            aggregate_value([], Aggregate.MIN)
+
+    def test_non_numeric_rejected(self):
+        scenario = mgr_scenario()
+        with pytest.raises(QueryError):
+            aggregate_value(scenario.instance.rows, Aggregate.SUM, "Name")
+
+
+class TestRangeByEnumeration:
+    def test_sum_range_over_repairs(self):
+        graph = kv((0, 1), (0, 5), (1, 10))
+        result = range_consistent_answer(
+            empty_priority(graph), Aggregate.SUM, "B"
+        )
+        assert result == AggregateRange(11, 15)
+        assert not result.is_exact
+        assert 12 in result and 20 not in result
+
+    def test_count_star_exact_for_key(self):
+        graph = kv((0, 1), (0, 2), (1, 1))
+        result = range_consistent_answer(
+            empty_priority(graph), Aggregate.COUNT_STAR
+        )
+        assert result == AggregateRange(2, 2)
+        assert result.is_exact
+
+    def test_preferences_narrow_the_range(self):
+        scenario = mgr_scenario()
+        classic = range_consistent_answer(
+            scenario.priority, Aggregate.SUM, "Salary", Family.REP
+        )
+        preferred = range_consistent_answer(
+            scenario.priority, Aggregate.SUM, "Salary", Family.GLOBAL
+        )
+        assert classic.widens(preferred)
+        # r1 sums to 70, r2 to 30, the dropped r3 to 50.
+        assert preferred == AggregateRange(30, 70)
+        assert classic == AggregateRange(30, 70)
+
+    def test_min_over_preferred_repairs(self):
+        scenario = mgr_scenario()
+        result = range_consistent_answer(
+            scenario.priority, Aggregate.MIN, "Salary", Family.GLOBAL
+        )
+        assert result == AggregateRange(10, 30)
+
+
+class TestClosedForm:
+    def test_matches_paper_style_example(self):
+        graph = kv((0, 1), (0, 5), (1, 10), (2, 3), (2, 4))
+        assert key_range_consistent_answer(graph, Aggregate.SUM, "B") == (
+            AggregateRange(1 + 10 + 3, 5 + 10 + 4)
+        )
+        assert key_range_consistent_answer(graph, Aggregate.MIN, "B") == (
+            AggregateRange(1, 4)
+        )
+        assert key_range_consistent_answer(graph, Aggregate.MAX, "B") == (
+            AggregateRange(10, 10)
+        )
+        assert key_range_consistent_answer(graph, Aggregate.COUNT_STAR) == (
+            AggregateRange(3, 3)
+        )
+
+    def test_avg_closed_form(self):
+        graph = kv((0, 2), (0, 4), (1, 6))
+        result = key_range_consistent_answer(graph, Aggregate.AVG, "B")
+        assert result == AggregateRange(Fraction(8, 2), Fraction(10, 2))
+
+    def test_empty_instance(self):
+        graph = kv()
+        assert key_range_consistent_answer(graph, Aggregate.MIN, "B") == (
+            AggregateRange(None, None)
+        )
+        assert key_range_consistent_answer(graph, Aggregate.COUNT_STAR) == (
+            AggregateRange(0, 0)
+        )
+
+    def test_rejects_non_clique_components(self):
+        from repro.datagen.generators import CHAIN_FDS, chain_instance
+
+        instance = chain_instance(4)
+        graph = build_conflict_graph(instance, CHAIN_FDS)
+        with pytest.raises(QueryError):
+            key_range_consistent_answer(graph, Aggregate.SUM, "B")
+
+    @pytest.mark.parametrize(
+        "aggregate,attribute",
+        [
+            (Aggregate.COUNT_STAR, None),
+            (Aggregate.COUNT, "B"),
+            (Aggregate.MIN, "B"),
+            (Aggregate.MAX, "B"),
+            (Aggregate.SUM, "B"),
+            (Aggregate.AVG, "B"),
+        ],
+    )
+    @given(instance=key_instances(max_tuples=7))
+    @settings(max_examples=30, deadline=None)
+    def test_closed_form_equals_enumeration(self, aggregate, attribute, instance):
+        graph = build_conflict_graph(instance, GRID_FDS)
+        if not graph.vertices:
+            return
+        closed = key_range_consistent_answer(graph, aggregate, attribute)
+        exact = range_consistent_answer(
+            empty_priority(graph), aggregate, attribute
+        )
+        assert closed == exact
+
+
+class TestMonotonicityAcrossFamilies:
+    @given(key_priorities(max_tuples=6))
+    @settings(max_examples=30, deadline=None)
+    def test_narrower_families_give_narrower_ranges(self, data):
+        _, priority = data
+        if not priority.graph.vertices:
+            return
+        rep = range_consistent_answer(priority, Aggregate.SUM, "B", Family.REP)
+        for family in (Family.LOCAL, Family.SEMI_GLOBAL, Family.GLOBAL, Family.COMMON):
+            narrowed = range_consistent_answer(
+                priority, Aggregate.SUM, "B", family
+            )
+            assert rep.widens(narrowed), family

@@ -1,0 +1,45 @@
+"""Unit tests for the answer types (verdicts, open answers)."""
+
+from repro.core.families import Family
+from repro.cqa.answers import ClosedAnswer, OpenAnswers, Verdict
+
+
+class TestVerdict:
+    def test_as_bool(self):
+        assert Verdict.TRUE.as_bool is True
+        assert Verdict.FALSE.as_bool is False
+        assert Verdict.UNDETERMINED.as_bool is None
+
+    def test_values_for_cli(self):
+        assert {v.value for v in Verdict} == {"true", "false", "undetermined"}
+
+
+class TestClosedAnswer:
+    def test_is_consistent_answer_true(self):
+        answer = ClosedAnswer(Family.REP, Verdict.TRUE, 3, 3)
+        assert answer.is_consistent_answer_true
+        assert not ClosedAnswer(
+            Family.REP, Verdict.UNDETERMINED, 3, 1
+        ).is_consistent_answer_true
+
+
+class TestOpenAnswers:
+    def test_disputed(self):
+        answers = OpenAnswers(
+            Family.REP,
+            ("n",),
+            certain=frozenset({("a",)}),
+            possible=frozenset({("a",), ("b",)}),
+            repairs_considered=2,
+        )
+        assert answers.disputed == {("b",)}
+
+    def test_no_dispute_when_equal(self):
+        answers = OpenAnswers(
+            Family.GLOBAL,
+            ("n",),
+            certain=frozenset({("a",)}),
+            possible=frozenset({("a",)}),
+            repairs_considered=1,
+        )
+        assert answers.disputed == frozenset()

@@ -1,0 +1,171 @@
+"""Tests for the PTIME ground-quantifier-free CQA algorithm.
+
+Figure 5, row ``Rep``, column "{∀,∃}-free queries": consistent answers
+are computable in polynomial time.  The property tests cross-check the
+witness-search algorithm against the naive evaluate-in-every-repair
+semantics on random instances.
+"""
+
+import pytest
+from hypothesis import given, settings
+
+from repro.constraints.conflict_graph import build_conflict_graph
+from repro.cqa.answers import Verdict
+from repro.cqa.tractable import (
+    consistent_answer_qf,
+    is_consistently_true_qf,
+    some_repair_satisfies_qf,
+)
+from repro.datagen.generators import GRID_FDS, GRID_SCHEMA
+from repro.datagen.paper_instances import example4_scenario, mgr_scenario
+from repro.exceptions import QueryError
+from repro.query.ast import And, Atom, Comparison, Const, Not, Or, Var
+from repro.query.evaluator import evaluate
+from repro.query.parser import parse_query
+from repro.repairs.enumerate import enumerate_repairs
+from tests.conftest import key_instances
+
+
+def fact(*values):
+    return Atom("R", [Const(v) for v in values])
+
+
+def naive_consistent_answer(query, graph):
+    satisfied = 0
+    total = 0
+    for repair in enumerate_repairs(graph):
+        total += 1
+        if evaluate(query, repair):
+            satisfied += 1
+    if satisfied == total:
+        return Verdict.TRUE
+    if satisfied == 0:
+        return Verdict.FALSE
+    return Verdict.UNDETERMINED
+
+
+class TestGroundFacts:
+    def test_unconflicted_fact_is_certain(self):
+        scenario = example4_scenario(2)
+        graph = build_conflict_graph(
+            scenario.instance.with_rows([scenario.instance.row(9, 9)]), GRID_FDS
+        )
+        assert consistent_answer_qf(fact(9, 9), graph) is Verdict.TRUE
+
+    def test_conflicted_fact_is_undetermined(self):
+        scenario = example4_scenario(2)
+        assert consistent_answer_qf(fact(0, 0), scenario.graph) is Verdict.UNDETERMINED
+
+    def test_absent_fact_is_false(self):
+        scenario = example4_scenario(2)
+        assert consistent_answer_qf(fact(7, 7), scenario.graph) is Verdict.FALSE
+
+    def test_negated_conflicted_fact(self):
+        scenario = example4_scenario(2)
+        assert (
+            consistent_answer_qf(Not(fact(0, 0)), scenario.graph)
+            is Verdict.UNDETERMINED
+        )
+
+    def test_disjunction_of_alternatives_is_true(self):
+        # Every repair keeps (0,0) or (0,1).
+        scenario = example4_scenario(2)
+        query = Or([fact(0, 0), fact(0, 1)])
+        assert consistent_answer_qf(query, scenario.graph) is Verdict.TRUE
+
+    def test_conjunction_of_conflicting_facts_is_false(self):
+        scenario = example4_scenario(2)
+        query = And([fact(0, 0), fact(0, 1)])
+        assert consistent_answer_qf(query, scenario.graph) is Verdict.FALSE
+
+    def test_comparisons_are_data_independent(self):
+        scenario = example4_scenario(2)
+        assert is_consistently_true_qf(
+            parse_query("1 < 2 OR R(0, 0)"), scenario.graph
+        )
+
+    def test_non_ground_rejected(self):
+        scenario = example4_scenario(2)
+        with pytest.raises(QueryError):
+            consistent_answer_qf(Atom("R", [Var("x"), Const(0)]), scenario.graph)
+        with pytest.raises(QueryError):
+            some_repair_satisfies_qf(
+                parse_query("EXISTS x . R(x, 0)"), scenario.graph
+            )
+
+
+class TestWitnessSearch:
+    def test_negative_literal_needs_excluding_witness(self):
+        # Some repair excludes (0,0): the one containing (0,1).
+        scenario = example4_scenario(1)
+        assert some_repair_satisfies_qf(Not(fact(0, 0)), scenario.graph)
+
+    def test_forced_tuple_cannot_be_excluded(self):
+        # (9,9) conflicts with nothing, so every repair contains it.
+        from repro.relational.instance import RelationInstance
+
+        instance = RelationInstance.from_values(GRID_SCHEMA, [(9, 9)])
+        graph = build_conflict_graph(instance, GRID_FDS)
+        assert not some_repair_satisfies_qf(Not(fact(9, 9)), graph)
+
+    def test_incompatible_positive_facts(self):
+        scenario = example4_scenario(1)
+        assert not some_repair_satisfies_qf(
+            And([fact(0, 0), fact(0, 1)]), scenario.graph
+        )
+
+    def test_contradictory_literals(self):
+        scenario = example4_scenario(1)
+        assert not some_repair_satisfies_qf(
+            And([fact(0, 0), Not(fact(0, 0))]), scenario.graph
+        )
+
+    def test_witnesses_must_be_mutually_consistent(self):
+        # Exclude both (0,0) and (0,1): their only witnesses are each
+        # other, which conflict — no repair excludes both.
+        scenario = example4_scenario(1)
+        query = And([Not(fact(0, 0)), Not(fact(0, 1))])
+        assert not some_repair_satisfies_qf(query, scenario.graph)
+
+
+QUERY_POOL = [
+    fact(0, 0),
+    Not(fact(0, 1)),
+    Or([fact(0, 0), fact(1, 1)]),
+    And([fact(0, 0), Not(fact(1, 0))]),
+    Or([And([fact(0, 0), fact(1, 1)]), Not(fact(0, 2))]),
+    And([Or([fact(0, 0), fact(0, 1)]), Or([fact(1, 0), Not(fact(1, 1))])]),
+    Not(And([fact(0, 0), fact(1, 0)])),
+    Or([Comparison("<", Const(1), Const(2)), fact(2, 2)]),
+    And([Comparison(">", Const(1), Const(2)), fact(0, 0)]),
+]
+
+
+class TestAgainstNaive:
+    @pytest.mark.parametrize("query", QUERY_POOL)
+    @given(instance=key_instances(max_tuples=7))
+    @settings(max_examples=25, deadline=None)
+    def test_tractable_equals_naive(self, query, instance):
+        graph = build_conflict_graph(instance, GRID_FDS)
+        assert consistent_answer_qf(query, graph) == naive_consistent_answer(
+            query, graph
+        )
+
+    def test_on_mgr_example(self):
+        scenario = mgr_scenario()
+        mary = Atom("Mgr", [Const("Mary"), Const("R&D"), Const(40), Const(3)])
+        john = Atom("Mgr", [Const("John"), Const("PR"), Const(30), Const(4)])
+        assert consistent_answer_qf(mary, scenario.graph) is Verdict.UNDETERMINED
+        assert (
+            consistent_answer_qf(Or([mary, john]), scenario.graph)
+            is Verdict.UNDETERMINED
+        )
+        someone = Or(
+            [
+                mary,
+                john,
+                Atom("Mgr", [Const("John"), Const("R&D"), Const(10), Const(2)]),
+                Atom("Mgr", [Const("Mary"), Const("IT"), Const(20), Const(1)]),
+            ]
+        )
+        assert consistent_answer_qf(someone, scenario.graph) is Verdict.TRUE

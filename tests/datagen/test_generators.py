@@ -1,0 +1,121 @@
+"""Unit tests for workload generators."""
+
+import random
+
+import pytest
+
+from repro.constraints.conflict_graph import build_conflict_graph
+from repro.constraints.conflicts import is_consistent
+from repro.datagen.generators import (
+    CHAIN_FDS,
+    DUP_FDS,
+    GRID_FDS,
+    INTEGRATION_FDS,
+    chain_instance,
+    chain_priority_pairs,
+    chain_rows,
+    duplicated_grid_instance,
+    duplicated_grid_priority_pairs,
+    grid_instance,
+    integration_instance,
+    random_inconsistent_instance,
+)
+from repro.priorities.priority import Priority
+from repro.repairs.enumerate import count_repairs
+
+
+class TestGrid:
+    def test_repair_count(self):
+        graph = build_conflict_graph(grid_instance(4, per_group=3), GRID_FDS)
+        assert count_repairs(graph) == 3**4
+
+    def test_groups_are_cliques(self):
+        graph = build_conflict_graph(grid_instance(2, per_group=4), GRID_FDS)
+        components = graph.connected_components()
+        assert sorted(len(c) for c in components) == [4, 4]
+        for component in components:
+            for row in component:
+                assert graph.degree(row) == 3
+
+
+class TestChain:
+    def test_graph_is_a_path(self):
+        graph = build_conflict_graph(chain_instance(6), CHAIN_FDS)
+        degrees = sorted(graph.degree(v) for v in graph.vertices)
+        assert degrees == [1, 1, 2, 2, 2, 2]
+        assert len(graph.connected_components()) == 1
+
+    def test_both_fds_participate(self):
+        graph = build_conflict_graph(chain_instance(5), CHAIN_FDS)
+        violated = set()
+        for pair in graph.edges():
+            violated.update(graph.edge_labels(pair))
+        assert len(violated) == 2
+
+    def test_chain_rows_order(self):
+        instance = chain_instance(5)
+        ordered = chain_rows(instance)
+        graph = build_conflict_graph(instance, CHAIN_FDS)
+        for first, second in zip(ordered, ordered[1:]):
+            assert graph.are_conflicting(first, second)
+
+    def test_chain_priority_is_total(self):
+        instance = chain_instance(7)
+        graph = build_conflict_graph(instance, CHAIN_FDS)
+        priority = Priority(graph, chain_priority_pairs(instance))
+        assert priority.is_total
+
+    def test_length_one(self):
+        instance = chain_instance(1)
+        assert len(instance) == 1
+        assert is_consistent(instance.rows, CHAIN_FDS)
+
+    def test_bad_length(self):
+        with pytest.raises(ValueError):
+            chain_instance(0)
+
+
+class TestDuplicatedGrid:
+    def test_structure_matches_example8(self):
+        instance = duplicated_grid_instance(1, dup=2)
+        graph = build_conflict_graph(instance, DUP_FDS)
+        assert graph.vertex_count == 3
+        assert graph.edge_count == 2  # challenger vs each duplicate
+
+    def test_priority_orients_challenger_over_duplicates(self):
+        instance = duplicated_grid_instance(2, dup=3)
+        graph = build_conflict_graph(instance, DUP_FDS)
+        priority = Priority(graph, duplicated_grid_priority_pairs(instance))
+        assert priority.is_total
+        assert len(priority.edges) == 6
+
+
+class TestRandomInstance:
+    def test_size_and_reproducibility(self):
+        a = random_inconsistent_instance(20, rng=random.Random(1))
+        b = random_inconsistent_instance(20, rng=random.Random(1))
+        assert a == b
+        assert len(a) == 20
+
+    def test_small_key_domain_forces_conflicts(self):
+        instance = random_inconsistent_instance(
+            12, key_domain=2, rng=random.Random(3)
+        )
+        assert not is_consistent(instance.rows, GRID_FDS)
+
+
+class TestIntegration:
+    def test_labels_cover_all_rows(self):
+        instance, labels = integration_instance(6, 3, rng=random.Random(5))
+        assert set(labels) == set(instance.rows)
+
+    def test_disagreement_creates_conflicts(self):
+        instance, _ = integration_instance(
+            10, 4, disagreement=0.9, rng=random.Random(11)
+        )
+        assert not is_consistent(instance.rows, INTEGRATION_FDS)
+
+    def test_reproducible(self):
+        a, _ = integration_instance(5, 2, rng=random.Random(9))
+        b, _ = integration_instance(5, 2, rng=random.Random(9))
+        assert a == b

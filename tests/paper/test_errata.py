@@ -1,0 +1,120 @@
+"""Reproduction findings: errata and clarifications to the paper.
+
+Reproducing every claim surfaced three places where the printed text
+does not hold as stated.  Each test below is a *witness*: it pins the
+discrepancy down to a concrete instance so future readers can verify
+both the failure of the printed claim and the corrected reading.
+EXPERIMENTS.md carries the narrative.
+
+E1. Example 9's tuple values give a path conflict graph with four
+    repairs, not the listed two; under the printed total chain priority
+    S-Rep collapses to one repair, so the example cannot witness
+    non-categoricity of S-Rep.
+
+E2. Under *any total* priority, S-Rep is a singleton — the first
+    Algorithm-1-chosen tuple missing from another repair dominates all
+    of its neighbours there (exchange argument).  Hence S-Rep satisfies
+    P4, contrary to Section 3.2's reading; the separation Example 9 is
+    after (S non-categorical while G is categorical) exists only for
+    partial priorities, matching Section 3.3's own phrasing.
+
+E3. Proposition 4's side claim "for one functional dependency G-Rep
+    coincides with S-Rep" fails for partial priorities: a single FD can
+    produce a complete bipartite conflict graph on which a chain
+    priority leaves S-Rep = {r1, r2} but G-Rep = {r1}.  Empirically the
+    coincidence holds for total priorities (where both are singletons).
+"""
+
+from hypothesis import given, settings
+
+from repro.constraints.conflict_graph import build_conflict_graph
+from repro.constraints.fd import FunctionalDependency
+from repro.core.cleaning import clean
+from repro.core.families import Family, preferred_repairs
+from repro.datagen.paper_instances import example9_printed
+from repro.priorities.priority import Priority
+from repro.relational.instance import RelationInstance
+from repro.relational.rows import Row
+from repro.relational.schema import RelationSchema
+from repro.repairs.enumerate import enumerate_repairs
+from tests.conftest import key_priorities, two_fd_priorities
+
+
+class TestE1PrintedExample9:
+    def test_repair_set_has_four_elements_not_two(self):
+        scenario = example9_printed()
+        repairs = set(enumerate_repairs(scenario.graph))
+        r1 = scenario.row_set("ta", "tc", "te")
+        r2 = scenario.row_set("tb", "td")
+        extra1 = scenario.row_set("ta", "td")
+        extra2 = scenario.row_set("tb", "te")
+        assert repairs == {r1, r2, extra1, extra2}
+
+    def test_r2_is_not_semi_globally_optimal_as_printed(self):
+        from repro.core.optimality import is_semi_globally_optimal
+
+        scenario = example9_printed()
+        r2 = scenario.row_set("tb", "td")
+        # ta ≻ tb and n(ta) ∩ r2 = {tb}: swapping tb for ta improves.
+        assert not is_semi_globally_optimal(r2, scenario.priority)
+
+
+class TestE2TotalPrioritiesMakeSRepCategorical:
+    @given(two_fd_priorities(max_tuples=7))
+    @settings(max_examples=60, deadline=None)
+    def test_s_rep_is_singleton_for_total_priorities(self, data):
+        _, priority = data
+        total = priority.some_total_extension()
+        s_rep = preferred_repairs(Family.SEMI_GLOBAL, total)
+        assert len(s_rep) == 1
+        assert s_rep[0] == clean(total)
+
+    @given(key_priorities(max_tuples=7))
+    @settings(max_examples=60, deadline=None)
+    def test_g_equals_s_for_total_priorities(self, data):
+        _, priority = data
+        total = priority.some_total_extension()
+        assert preferred_repairs(Family.GLOBAL, total) == preferred_repairs(
+            Family.SEMI_GLOBAL, total
+        )
+
+
+class TestE3OneFdDoesNotForceGEqualsS:
+    def _counterexample(self):
+        """K_{3,2} from a single FD A → B plus the chain priority."""
+        schema = RelationSchema("R", ["A:number", "B:number", "C:number"])
+        values = {
+            "ta": (1, 1, 0),
+            "tb": (1, 2, 1),
+            "tc": (1, 1, 2),
+            "td": (1, 2, 3),
+            "te": (1, 1, 4),
+        }
+        instance = RelationInstance.from_values(schema, values.values())
+        fds = (FunctionalDependency.parse("A -> B", "R"),)
+        graph = build_conflict_graph(instance, fds)
+        rows = {name: Row(schema, vals) for name, vals in values.items()}
+        priority = Priority(
+            graph,
+            [
+                (rows["ta"], rows["tb"]),
+                (rows["tb"], rows["tc"]),
+                (rows["tc"], rows["td"]),
+                (rows["td"], rows["te"]),
+            ],
+        )
+        return rows, priority
+
+    def test_single_fd_separates_s_from_g(self):
+        rows, priority = self._counterexample()
+        r1 = frozenset({rows["ta"], rows["tc"], rows["te"]})
+        r2 = frozenset({rows["tb"], rows["td"]})
+        s_rep = set(preferred_repairs(Family.SEMI_GLOBAL, priority))
+        g_rep = set(preferred_repairs(Family.GLOBAL, priority))
+        assert s_rep == {r1, r2}
+        assert g_rep == {r1}
+        assert s_rep != g_rep  # Proposition 4's side claim fails here
+
+    def test_counterexample_priority_is_partial(self):
+        _, priority = self._counterexample()
+        assert not priority.is_total

@@ -1,0 +1,124 @@
+"""Golden tests for Examples 1-3 (the Mgr data-integration story).
+
+Walks the paper's introduction end to end: integrating three consistent
+sources yields three conflicts (Example 1); the repairs and the failure
+of classic CQA on Q1 (Example 2); incomplete cleaning vs preferred
+consistent answers on Q2 (Example 3).
+"""
+
+import pytest
+
+from repro.baselines.cleaning import UnresolvedPolicy, clean_database
+from repro.constraints.conflicts import edge, find_conflicts, is_consistent
+from repro.core.families import Family
+from repro.cqa.answers import Verdict
+from repro.cqa.engine import CqaEngine
+from repro.datagen.paper_instances import (
+    Q1_TEXT,
+    Q2_TEXT,
+    mgr_dependencies,
+    mgr_scenario,
+    mgr_sources,
+)
+from repro.query.evaluator import evaluate
+from repro.query.parser import parse_query
+from repro.relational.database import integrate_sources
+
+
+class TestExample1:
+    def test_sources_are_individually_consistent(self):
+        for source in mgr_sources():
+            assert is_consistent(source.rows, mgr_dependencies())
+
+    def test_integration_yields_three_conflicts(self):
+        scenario = mgr_scenario()
+        conflicts = find_conflicts(scenario.instance.rows, scenario.dependencies)
+        fd1, fd2 = scenario.dependencies
+        assert conflicts == {
+            edge(scenario.rows["mary_rd"], scenario.rows["john_rd"]): {fd1},
+            edge(scenario.rows["mary_rd"], scenario.rows["mary_it"]): {fd2},
+            edge(scenario.rows["john_rd"], scenario.rows["john_pr"]): {fd2},
+        }
+
+    def test_q1_true_in_the_inconsistent_instance(self):
+        """'The answer to Q1 in r is true but this is misleading.'"""
+        scenario = mgr_scenario()
+        assert evaluate(parse_query(Q1_TEXT), scenario.instance)
+
+    def test_integrate_sources_helper(self):
+        merged = integrate_sources(list(mgr_sources()))
+        assert len(merged) == 4
+
+
+class TestExample2:
+    def test_three_repairs(self):
+        scenario = mgr_scenario()
+        engine = CqaEngine(scenario.instance, scenario.dependencies)
+        assert set(engine.repairs()) == {
+            scenario.row_set("mary_rd", "john_pr"),   # r1
+            scenario.row_set("john_rd", "mary_it"),   # r2
+            scenario.row_set("mary_it", "john_pr"),   # r3
+        }
+
+    def test_q1_false_in_r1_and_r2(self):
+        scenario = mgr_scenario()
+        q1 = parse_query(Q1_TEXT)
+        assert not evaluate(q1, scenario.row_set("mary_rd", "john_pr"))
+        assert not evaluate(q1, scenario.row_set("john_rd", "mary_it"))
+        assert evaluate(q1, scenario.row_set("mary_it", "john_pr"))
+
+    def test_true_is_not_a_consistent_answer_to_q1(self):
+        scenario = mgr_scenario()
+        engine = CqaEngine(scenario.instance, scenario.dependencies)
+        assert not engine.is_consistently_true(Q1_TEXT)
+
+
+class TestExample3:
+    def test_cleaning_with_incomplete_information_stays_inconsistent(self):
+        scenario = mgr_scenario()
+        outcome = clean_database(scenario.priority, UnresolvedPolicy.KEEP)
+        assert outcome.kept == scenario.row_set("mary_rd", "john_rd")
+        assert not is_consistent(outcome.kept, scenario.dependencies)
+
+    def test_q2_false_in_the_cleaned_database(self):
+        scenario = mgr_scenario()
+        cleaned = clean_database(scenario.priority).kept
+        assert not evaluate(parse_query(Q2_TEXT), cleaned)
+
+    def test_false_is_the_consistent_answer_in_the_cleaned_database(self):
+        scenario = mgr_scenario()
+        cleaned = scenario.instance.restrict(
+            clean_database(scenario.priority).kept
+        )
+        engine = CqaEngine(cleaned, scenario.dependencies)
+        assert engine.answer(Q2_TEXT).verdict is Verdict.FALSE
+
+    def test_q2_undetermined_in_r_classically(self):
+        """'Neither false nor true is a consistent answer to Q2 in r.'"""
+        scenario = mgr_scenario()
+        engine = CqaEngine(scenario.instance, scenario.dependencies)
+        assert engine.answer(Q2_TEXT).verdict is Verdict.UNDETERMINED
+
+    def test_preferred_repairs_are_r1_and_r2(self):
+        scenario = mgr_scenario()
+        engine = CqaEngine(
+            scenario.instance,
+            scenario.dependencies,
+            scenario.priority,
+            Family.GLOBAL,
+        )
+        assert set(engine.repairs()) == {
+            scenario.row_set("mary_rd", "john_pr"),
+            scenario.row_set("john_rd", "mary_it"),
+        }
+
+    @pytest.mark.parametrize(
+        "family", [Family.LOCAL, Family.SEMI_GLOBAL, Family.GLOBAL, Family.COMMON]
+    )
+    def test_true_is_the_preferred_consistent_answer_to_q2(self, family):
+        """'True is the preferred consistent answer to Q2.'"""
+        scenario = mgr_scenario()
+        engine = CqaEngine(
+            scenario.instance, scenario.dependencies, scenario.priority, family
+        )
+        assert engine.answer(Q2_TEXT).verdict is Verdict.TRUE

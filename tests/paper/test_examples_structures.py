@@ -1,0 +1,147 @@
+"""Golden tests for Examples 4-9 and Figures 1-4.
+
+Each test reconstructs a figure's conflict graph programmatically and
+asserts the exact vertex, edge and orientation sets, plus the repair
+families the surrounding example claims.
+"""
+
+from repro.constraints.conflict_graph import render_conflict_graph
+from repro.core.families import Family, family_chain
+from repro.datagen.paper_instances import (
+    example4_scenario,
+    example7_scenario,
+    example8_scenario,
+    example9_printed,
+    example9_reconstructed,
+)
+from repro.repairs.enumerate import count_repairs, enumerate_repairs
+
+
+class TestExample4Figure1:
+    def test_repairs_are_all_choice_functions(self):
+        """'The set of all repairs of r_n ... is equal to the set
+        {0,1}^n of all functions from {0..n-1} to {0,1}.'"""
+        scenario = example4_scenario(4)
+        repairs = set(enumerate_repairs(scenario.graph))
+        assert len(repairs) == 2**4
+        expected = set()
+        for mask in range(2**4):
+            expected.add(
+                frozenset(
+                    scenario.rows[f"t{i}{(mask >> i) & 1}"] for i in range(4)
+                )
+            )
+        assert repairs == expected
+
+    def test_figure1_conflict_graph(self):
+        """Figure 1: four disjoint edges (0,0)-(0,1) ... (3,0)-(3,1)."""
+        scenario = example4_scenario(4)
+        assert scenario.graph.vertex_count == 8
+        assert scenario.graph.edge_count == 4
+        for i in range(4):
+            assert scenario.graph.are_conflicting(
+                scenario.rows[f"t{i}0"], scenario.rows[f"t{i}1"]
+            )
+
+    def test_consistent_relation_repairs_to_itself(self):
+        """'The set of repairs of a consistent relation r contains only r.'"""
+        from repro.constraints.conflict_graph import build_conflict_graph
+        from repro.datagen.generators import GRID_FDS, GRID_SCHEMA
+        from repro.relational.instance import RelationInstance
+
+        instance = RelationInstance.from_values(GRID_SCHEMA, [(0, 0), (1, 1)])
+        graph = build_conflict_graph(instance, GRID_FDS)
+        assert list(enumerate_repairs(graph)) == [instance.rows]
+
+
+class TestExample7Figure2:
+    def test_figure2_orientation(self):
+        scenario = example7_scenario()
+        names = {row: label for label, row in scenario.rows.items()}
+        art = render_conflict_graph(scenario.graph, names, scenario.priority.edges)
+        assert "ta -> tb" in art
+        assert "ta -> tc" in art
+        assert "tb -- tc" in art  # the tb-tc conflict stays unoriented
+
+    def test_repairs_and_locally_preferred(self):
+        scenario = example7_scenario()
+        chain = family_chain(scenario.priority)
+        assert set(chain[Family.REP]) == {
+            scenario.row_set("ta"),
+            scenario.row_set("tb"),
+            scenario.row_set("tc"),
+        }
+        assert chain[Family.LOCAL] == [scenario.row_set("ta")]
+
+
+class TestExample8Figure3:
+    def test_figure3_structure(self):
+        """tc conflicts with both duplicates; ta and tb do not conflict."""
+        scenario = example8_scenario()
+        graph = scenario.graph
+        assert graph.are_conflicting(scenario.rows["tc"], scenario.rows["ta"])
+        assert graph.are_conflicting(scenario.rows["tc"], scenario.rows["tb"])
+        assert not graph.are_conflicting(scenario.rows["ta"], scenario.rows["tb"])
+        assert scenario.priority.is_total
+
+    def test_non_categoricity_of_lrep(self):
+        """Example 8: both repairs are locally optimal under a *total*
+        priority, so L-Rep violates P4."""
+        scenario = example8_scenario()
+        chain = family_chain(scenario.priority)
+        assert set(chain[Family.REP]) == set(chain[Family.LOCAL])
+        assert len(chain[Family.LOCAL]) == 2
+
+
+class TestExample9Figure4:
+    def test_printed_values_yield_a_path(self):
+        """Erratum: the printed tuples give the path ta-tb-tc-td-te."""
+        scenario = example9_printed()
+        graph = scenario.graph
+        order = ["ta", "tb", "tc", "td", "te"]
+        for first, second in zip(order, order[1:]):
+            assert graph.are_conflicting(
+                scenario.rows[first], scenario.rows[second]
+            )
+        assert graph.edge_count == 4
+        assert count_repairs(graph) == 4  # not 2 as printed
+
+    def test_printed_priority_is_total_on_the_path(self):
+        scenario = example9_printed()
+        assert scenario.priority.is_total
+
+    def test_printed_semantics_collapse(self):
+        """Erratum: with the printed data S-Rep = G-Rep = C-Rep = {r1}."""
+        scenario = example9_printed()
+        chain = family_chain(scenario.priority)
+        r1 = [scenario.row_set("ta", "tc", "te")]
+        assert chain[Family.SEMI_GLOBAL] == r1
+        assert chain[Family.GLOBAL] == r1
+        assert chain[Family.COMMON] == r1
+
+    def test_reconstruction_realizes_the_claims(self):
+        """The K_{3,2} reconstruction: Rep = {r1, r2} exactly,
+        S-Rep = {r1, r2} (non-categoricity of S under the *partial*
+        chain priority), G-Rep = {r1} (Section 3.3), C-Rep = {r1}."""
+        scenario = example9_reconstructed()
+        chain = family_chain(scenario.priority)
+        r1 = scenario.row_set("ta", "tc", "te")
+        r2 = scenario.row_set("tb", "td")
+        assert set(chain[Family.REP]) == {r1, r2}
+        assert set(chain[Family.SEMI_GLOBAL]) == {r1, r2}
+        assert chain[Family.GLOBAL] == [r1]
+        assert chain[Family.COMMON] == [r1]
+
+    def test_reconstruction_uses_both_dependencies(self):
+        scenario = example9_reconstructed()
+        violated = set()
+        for pair in scenario.graph.edges():
+            violated.update(scenario.graph.edge_labels(pair))
+        assert len(violated) == 2
+
+    def test_reconstruction_priority_is_partial(self):
+        """Section 3.3: 'the user provides priority only for some of
+        the violated functional dependencies'."""
+        scenario = example9_reconstructed()
+        assert not scenario.priority.is_total
+        assert len(scenario.priority.unoriented_edges()) == 2

@@ -1,0 +1,53 @@
+"""Unit and property tests for the winnow operator ω≻."""
+
+from hypothesis import given, settings
+
+from repro.constraints.conflict_graph import build_conflict_graph
+from repro.datagen.generators import GRID_FDS
+from repro.datagen.paper_instances import example7_scenario, mgr_scenario
+from repro.priorities.priority import Priority, empty_priority
+from repro.priorities.winnow import winnow, winnow_naive
+from tests.conftest import key_priorities
+
+
+class TestWinnow:
+    def test_undominated_survive(self):
+        scenario = example7_scenario()
+        result = winnow(scenario.priority, scenario.graph.vertices)
+        assert result == scenario.row_set("ta")
+
+    def test_empty_priority_keeps_everything(self):
+        scenario = mgr_scenario()
+        priority = empty_priority(scenario.graph)
+        assert winnow(priority, scenario.graph.vertices) == scenario.graph.vertices
+
+    def test_domination_is_relative_to_the_set(self):
+        scenario = example7_scenario()
+        ta, tb = scenario.rows["ta"], scenario.rows["tb"]
+        # Without ta in the set, tb is no longer dominated.
+        assert winnow(scenario.priority, {tb}) == {tb}
+
+    def test_winnow_of_empty_set(self):
+        scenario = example7_scenario()
+        assert winnow(scenario.priority, frozenset()) == frozenset()
+
+    def test_mgr_winnow(self):
+        scenario = mgr_scenario()
+        result = winnow(scenario.priority, scenario.graph.vertices)
+        assert result == scenario.row_set("mary_rd", "john_rd")
+
+    @given(key_priorities())
+    @settings(max_examples=60, deadline=None)
+    def test_indexed_equals_naive(self, data):
+        _, priority = data
+        rows = priority.graph.vertices
+        assert winnow(priority, rows) == winnow_naive(priority, rows)
+
+    @given(key_priorities())
+    @settings(max_examples=60, deadline=None)
+    def test_winnow_nonempty_on_nonempty_set(self, data):
+        """Acyclic priorities always leave an undominated tuple."""
+        _, priority = data
+        rows = priority.graph.vertices
+        if rows:
+            assert winnow(priority, rows)

@@ -1,0 +1,132 @@
+"""Adversarial check: the optimized evaluator vs naive semantics.
+
+The evaluator narrows existential candidates through positive conjuncts
+(an index-nested-loop style optimization).  Soundness and completeness
+of that narrowing is the kind of property a subtle bug would silently
+break, so we cross-check against a brute-force evaluator that expands
+every quantifier over the full active domain.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.query.ast import (
+    And,
+    Atom,
+    Comparison,
+    Const,
+    Exists,
+    Forall,
+    Formula,
+    Not,
+    Or,
+    Var,
+    constants_of,
+)
+from repro.query.evaluator import EvaluationContext, evaluate
+from tests.conftest import key_instances
+
+VARS = ("x", "y", "z")
+
+
+def brute_force(formula: Formula, rows, binding=None):
+    """Reference semantics: full active-domain expansion."""
+    context = EvaluationContext(rows, constants_of(formula))
+    adom = sorted(context.adom, key=repr)
+    binding = dict(binding or {})
+
+    def ev(node, env):
+        if isinstance(node, Atom):
+            values = tuple(
+                term.value if isinstance(term, Const) else env[term.name]
+                for term in node.terms
+            )
+            return values in context.tuples_of(node.relation)
+        if isinstance(node, Comparison):
+            from repro.query.evaluator import _compare, _resolve
+
+            return _compare(
+                node.op, _resolve(node.left, env), _resolve(node.right, env)
+            )
+        if isinstance(node, Not):
+            return not ev(node.body, env)
+        if isinstance(node, And):
+            return all(ev(p, env) for p in node.parts)
+        if isinstance(node, Or):
+            return any(ev(p, env) for p in node.parts)
+        if isinstance(node, Exists):
+            def expand(names, env2):
+                if not names:
+                    return ev(node.body, env2)
+                return any(
+                    expand(names[1:], {**env2, names[0]: value})
+                    for value in adom
+                )
+
+            return expand(list(node.variables), env)
+        if isinstance(node, Forall):
+            def expand(names, env2):
+                if not names:
+                    return ev(node.body, env2)
+                return all(
+                    expand(names[1:], {**env2, names[0]: value})
+                    for value in adom
+                )
+
+            return expand(list(node.variables), env)
+        raise TypeError(node)
+
+    return ev(formula, binding)
+
+
+@st.composite
+def quantified_formulas(draw):
+    """Small closed formulas with one or two quantifier blocks."""
+    def term(allowed_vars):
+        return draw(
+            st.one_of(
+                st.sampled_from([Var(v) for v in allowed_vars]),
+                st.builds(Const, st.integers(min_value=0, max_value=2)),
+            )
+        )
+
+    used = list(draw(st.sets(st.sampled_from(VARS), min_size=1, max_size=2)))
+    leaves = []
+    for _ in range(draw(st.integers(min_value=1, max_value=3))):
+        if draw(st.booleans()):
+            leaves.append(Atom("R", [term(used), term(used)]))
+        else:
+            leaves.append(
+                Comparison(
+                    draw(st.sampled_from(["=", "!=", "<", ">"])),
+                    term(used),
+                    term(used),
+                )
+            )
+    body: Formula = leaves[0]
+    for leaf in leaves[1:]:
+        connective = draw(st.sampled_from(["and", "or"]))
+        body = And([body, leaf]) if connective == "and" else Or([body, leaf])
+    if draw(st.booleans()):
+        body = Not(body)
+    quantifier = draw(st.sampled_from([Exists, Forall]))
+    return quantifier(used, body)
+
+
+class TestEvaluatorAgainstBruteForce:
+    @given(key_instances(max_tuples=5), quantified_formulas())
+    @settings(max_examples=150, deadline=None)
+    def test_closed_formulas_agree(self, instance, formula):
+        assert evaluate(formula, instance) == brute_force(formula, instance)
+
+    @given(key_instances(max_tuples=5), quantified_formulas())
+    @settings(max_examples=100, deadline=None)
+    def test_negated_formulas_agree(self, instance, formula):
+        negated = Not(formula)
+        assert evaluate(negated, instance) == brute_force(negated, instance)
+
+    @given(key_instances(max_tuples=5), quantified_formulas(), quantified_formulas())
+    @settings(max_examples=80, deadline=None)
+    def test_conjunctions_of_quantified_blocks_agree(self, instance, f1, f2):
+        combined = And([f1, f2])
+        assert evaluate(combined, instance) == brute_force(combined, instance)

@@ -1,0 +1,141 @@
+"""Cross-cutting invariants of the substrates, property-tested.
+
+These are not claims from the paper but structural facts the paper's
+machinery silently relies on; pinning them guards the implementation
+against regressions that golden tests would miss.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.constraints.conflict_graph import build_conflict_graph
+from repro.datagen.generators import GRID_FDS
+from repro.priorities.winnow import winnow
+from repro.query.ast import And, Atom, Comparison, Const, Not, Or
+from repro.query.evaluator import evaluate
+from repro.query.normalize import to_dnf, to_nnf
+from repro.repairs.enumerate import enumerate_repairs
+from tests.conftest import key_instances, key_priorities
+
+
+class TestRepairStructure:
+    @given(key_instances())
+    @settings(max_examples=50, deadline=None)
+    def test_tuple_in_every_repair_iff_isolated(self, instance):
+        graph = build_conflict_graph(instance, GRID_FDS)
+        repairs = list(enumerate_repairs(graph))
+        in_all = set(graph.vertices)
+        for repair in repairs:
+            in_all &= repair
+        assert in_all == graph.isolated_vertices()
+
+    @given(key_instances())
+    @settings(max_examples=50, deadline=None)
+    def test_every_tuple_is_in_some_repair(self, instance):
+        """Repairs cover the instance: each tuple is consistent alone."""
+        graph = build_conflict_graph(instance, GRID_FDS)
+        covered = set()
+        for repair in enumerate_repairs(graph):
+            covered |= repair
+        assert covered == graph.vertices
+
+    @given(key_instances())
+    @settings(max_examples=50, deadline=None)
+    def test_repairs_are_pairwise_incomparable(self, instance):
+        graph = build_conflict_graph(instance, GRID_FDS)
+        repairs = list(enumerate_repairs(graph))
+        for i, first in enumerate(repairs):
+            for second in repairs[i + 1 :]:
+                assert not first <= second and not second <= first
+
+
+class TestWinnowInvariants:
+    @given(key_priorities())
+    @settings(max_examples=50, deadline=None)
+    def test_winnow_is_idempotent(self, data):
+        _, priority = data
+        rows = priority.graph.vertices
+        once = winnow(priority, rows)
+        assert winnow(priority, once) == once
+
+    @given(key_priorities())
+    @settings(max_examples=50, deadline=None)
+    def test_winnow_is_monotone_shrinking(self, data):
+        _, priority = data
+        rows = priority.graph.vertices
+        assert winnow(priority, rows) <= rows
+
+    @given(key_priorities())
+    @settings(max_examples=50, deadline=None)
+    def test_winnow_antitone_in_priority(self, data):
+        """More orientations can only shrink the winnow set."""
+        from repro.priorities.priority import empty_priority
+
+        _, priority = data
+        rows = priority.graph.vertices
+        baseline = winnow(empty_priority(priority.graph), rows)
+        assert winnow(priority, rows) <= baseline
+
+
+# ---------------------------------------------------------------------------
+# Ground-formula strategies for evaluator/normal-form semantics checks
+# ---------------------------------------------------------------------------
+
+
+def ground_formulas(depth=3):
+    atoms = st.builds(
+        lambda a, b: Atom("R", [Const(a), Const(b)]),
+        st.integers(min_value=0, max_value=2),
+        st.integers(min_value=0, max_value=2),
+    )
+    comparisons = st.builds(
+        lambda op, a, b: Comparison(op, Const(a), Const(b)),
+        st.sampled_from(["=", "!=", "<", ">", "<=", ">="]),
+        st.integers(min_value=0, max_value=3),
+        st.integers(min_value=0, max_value=3),
+    )
+    leaves = st.one_of(atoms, comparisons)
+    return st.recursive(
+        leaves,
+        lambda children: st.one_of(
+            st.builds(Not, children),
+            st.builds(lambda a, b: And([a, b]), children, children),
+            st.builds(lambda a, b: Or([a, b]), children, children),
+        ),
+        max_leaves=8,
+    )
+
+
+class TestNormalFormSemantics:
+    @given(key_instances(max_tuples=6), ground_formulas())
+    @settings(max_examples=80, deadline=None)
+    def test_nnf_preserves_truth(self, instance, formula):
+        assert evaluate(to_nnf(formula), instance) == evaluate(formula, instance)
+
+    @given(key_instances(max_tuples=6), ground_formulas())
+    @settings(max_examples=80, deadline=None)
+    def test_dnf_preserves_truth(self, instance, formula):
+        disjuncts = to_dnf(formula)
+        reconstructed = any(
+            all(evaluate(literal, instance) for literal in conjunction)
+            for conjunction in disjuncts
+        )
+        assert reconstructed == evaluate(formula, instance)
+
+    @given(key_instances(max_tuples=6), ground_formulas())
+    @settings(max_examples=80, deadline=None)
+    def test_negation_is_involutive(self, instance, formula):
+        assert evaluate(Not(Not(formula)), instance) == evaluate(formula, instance)
+
+
+class TestTractableCqaAgainstDnfSemantics:
+    @given(key_instances(max_tuples=6), ground_formulas())
+    @settings(max_examples=60, deadline=None)
+    def test_some_repair_satisfies_is_sound_and_complete(self, instance, formula):
+        from repro.cqa.tractable import some_repair_satisfies_qf
+
+        graph = build_conflict_graph(instance, GRID_FDS)
+        expected = any(
+            evaluate(formula, repair) for repair in enumerate_repairs(graph)
+        )
+        assert some_repair_satisfies_qf(formula, graph) == expected

@@ -1,0 +1,51 @@
+"""Property-based round-trip tests for the persistence layers."""
+
+import sqlite3
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.relational.csv_io import instance_to_csv_text, read_instance_csv_text
+from repro.relational.instance import RelationInstance
+from repro.relational.schema import RelationSchema
+from repro.relational.sqlite_io import load_instance, save_instance
+
+#: Printable names without CSV-hostile control characters; the csv
+#: module handles quoting/commas/quotes itself, which the test relies on.
+names = st.text(
+    alphabet=st.characters(
+        whitelist_categories=("L", "N", "P", "S", "Z"), max_codepoint=0x2FF
+    ),
+    max_size=12,
+)
+naturals = st.integers(min_value=0, max_value=10**9)
+
+MIXED = RelationSchema("T", ["Label", "Amount:number", "Note"])
+
+
+@st.composite
+def mixed_instances(draw):
+    rows = draw(
+        st.lists(st.tuples(names, naturals, names), max_size=12, unique=True)
+    )
+    return RelationInstance.from_values(MIXED, rows)
+
+
+class TestCsvRoundTrip:
+    @given(mixed_instances())
+    @settings(max_examples=60, deadline=None)
+    def test_csv_text_round_trip(self, instance):
+        text = instance_to_csv_text(instance)
+        assert read_instance_csv_text(text, "T") == instance
+
+
+class TestSqliteRoundTrip:
+    @given(mixed_instances())
+    @settings(max_examples=40, deadline=None)
+    def test_sqlite_round_trip_in_memory(self, instance):
+        connection = sqlite3.connect(":memory:")
+        try:
+            save_instance(instance, connection)
+            assert load_instance(connection, "T") == instance
+        finally:
+            connection.close()

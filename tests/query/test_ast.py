@@ -1,0 +1,149 @@
+"""Unit tests for the formula AST."""
+
+import pytest
+
+from repro.exceptions import QueryError
+from repro.query.ast import (
+    And,
+    Atom,
+    Comparison,
+    Const,
+    Exists,
+    FalseFormula,
+    Forall,
+    Implies,
+    Not,
+    Or,
+    TrueFormula,
+    Var,
+    constants_of,
+    is_ground,
+    is_quantifier_free,
+)
+
+
+class TestTerms:
+    def test_atom_coerces_raw_values(self):
+        atom = Atom("R", ["x", 3])
+        # Lowercase convention applies to the parser only; the AST keeps
+        # raw Python values as constants.
+        assert atom.terms == (Const("x"), Const(3))
+
+    def test_atom_keeps_vars(self):
+        atom = Atom("R", [Var("x"), Const(1)])
+        assert atom.free_variables() == {"x"}
+
+    def test_bool_rejected_as_term(self):
+        with pytest.raises(QueryError):
+            Atom("R", [True])
+
+
+class TestFreeVariables:
+    def test_comparison(self):
+        assert Comparison("<", Var("x"), Const(3)).free_variables() == {"x"}
+
+    def test_exists_binds(self):
+        formula = Exists(["x"], Atom("R", [Var("x"), Var("y")]))
+        assert formula.free_variables() == {"y"}
+
+    def test_nested_connectives(self):
+        formula = And(
+            [
+                Atom("R", [Var("x")]),
+                Or([Atom("R", [Var("y")]), Not(Atom("R", [Var("z")]))]),
+            ]
+        )
+        assert formula.free_variables() == {"x", "y", "z"}
+
+    def test_is_closed(self):
+        assert Exists(["x"], Atom("R", [Var("x")])).is_closed
+        assert not Atom("R", [Var("x")]).is_closed
+
+
+class TestSubstitute:
+    def test_atom_substitution(self):
+        atom = Atom("R", [Var("x"), Var("y")])
+        bound = atom.substitute({"x": 1})
+        assert bound == Atom("R", [Const(1), Var("y")])
+
+    def test_quantifier_shadowing(self):
+        formula = Exists(["x"], Atom("R", [Var("x"), Var("y")]))
+        bound = formula.substitute({"x": 9, "y": 2})
+        # x is bound by the quantifier and must not be replaced.
+        assert bound == Exists(["x"], Atom("R", [Var("x"), Const(2)]))
+
+    def test_comparison_substitution(self):
+        comp = Comparison("<", Var("x"), Var("y")).substitute({"y": 5})
+        assert comp == Comparison("<", Var("x"), Const(5))
+
+
+class TestStructure:
+    def test_and_flattens(self):
+        inner = And([Atom("R", [Const(1)]), Atom("R", [Const(2)])])
+        outer = And([inner, Atom("R", [Const(3)])])
+        assert len(outer.parts) == 3
+
+    def test_or_flattens(self):
+        inner = Or([Atom("R", [Const(1)]), Atom("R", [Const(2)])])
+        outer = Or([Atom("R", [Const(0)]), inner])
+        assert len(outer.parts) == 3
+
+    def test_empty_connectives_rejected(self):
+        with pytest.raises(QueryError):
+            And([])
+        with pytest.raises(QueryError):
+            Or([])
+
+    def test_duplicate_quantifier_vars_rejected(self):
+        with pytest.raises(QueryError):
+            Exists(["x", "x"], Atom("R", [Var("x")]))
+
+    def test_operator_sugar(self):
+        a = Atom("R", [Const(1)])
+        b = Atom("R", [Const(2)])
+        assert isinstance(a & b, And)
+        assert isinstance(a | b, Or)
+        assert isinstance(~a, Not)
+        assert isinstance(a.implies(b), Implies)
+
+    def test_unknown_comparison_op_rejected(self):
+        with pytest.raises(QueryError):
+            Comparison("~", Const(1), Const(2))
+
+    def test_negated_comparison(self):
+        assert Comparison("<", Var("x"), Const(1)).negated().op == ">="
+        assert Comparison("=", Var("x"), Const(1)).negated().op == "!="
+
+
+class TestPredicates:
+    def test_constants_of(self):
+        formula = Exists(
+            ["x"],
+            And(
+                [
+                    Atom("R", [Var("x"), Const("Mary")]),
+                    Comparison(">", Var("x"), Const(7)),
+                ]
+            ),
+        )
+        assert constants_of(formula) == {"Mary", 7}
+
+    def test_is_quantifier_free(self):
+        assert is_quantifier_free(Not(Atom("R", [Const(1)])))
+        assert not is_quantifier_free(Exists(["x"], Atom("R", [Var("x")])))
+        assert not is_quantifier_free(Not(Forall(["x"], Atom("R", [Var("x")]))))
+
+    def test_is_ground(self):
+        assert is_ground(And([Atom("R", [Const(1)]), TrueFormula()]))
+        assert not is_ground(Atom("R", [Var("x")]))
+        assert not is_ground(Exists(["x"], Atom("R", [Var("x")])))
+
+    def test_equality_and_hash(self):
+        a = Exists(["x"], Atom("R", [Var("x")]))
+        b = Exists(["x"], Atom("R", [Var("x")]))
+        assert a == b and hash(a) == hash(b)
+        assert a != Forall(["x"], Atom("R", [Var("x")]))
+
+    def test_true_false_substitute_to_self(self):
+        assert TrueFormula().substitute({"x": 1}) == TrueFormula()
+        assert FalseFormula().substitute({}) == FalseFormula()

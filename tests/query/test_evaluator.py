@@ -1,0 +1,156 @@
+"""Unit tests for the model-theoretic evaluator."""
+
+import pytest
+
+from repro.exceptions import QueryBindingError
+from repro.query.evaluator import EvaluationContext, answers, evaluate, make_context
+from repro.query.parser import parse_query
+from repro.relational.instance import RelationInstance
+from repro.relational.schema import RelationSchema
+
+SCHEMA = RelationSchema("Mgr", ["Name", "Dept", "Salary:number"])
+ROWS = RelationInstance.from_values(
+    SCHEMA,
+    [
+        ("Mary", "R&D", 40),
+        ("John", "PR", 30),
+        ("Eve", "IT", 40),
+    ],
+)
+
+
+def holds(text, rows=ROWS, **binding):
+    return evaluate(parse_query(text), rows, binding or None)
+
+
+class TestGroundEvaluation:
+    def test_present_fact(self):
+        assert holds("Mgr(Mary, 'R&D', 40)")
+
+    def test_absent_fact(self):
+        assert not holds("Mgr(Mary, 'R&D', 41)")
+
+    def test_negation(self):
+        assert holds("NOT Mgr(Mary, 'IT', 40)")
+
+    def test_comparisons_on_numbers(self):
+        assert holds("40 > 30")
+        assert holds("30 <= 30")
+        assert not holds("30 > 40")
+
+    def test_equality_on_names(self):
+        assert holds("Mary = Mary")
+        assert holds("Mary != John")
+
+    def test_order_on_names_is_false(self):
+        # < is interpreted over the naturals N only (paper Section 2).
+        assert not holds("Mary < John")
+        assert not holds("John < Mary")
+
+    def test_order_on_mixed_domains_is_false(self):
+        assert not holds("Mary < 40")
+
+    def test_connectives(self):
+        assert holds("Mgr(Mary, 'R&D', 40) AND 1 < 2")
+        assert holds("Mgr(Mary, 'IT', 0) OR Mgr(John, 'PR', 30)")
+        assert holds("Mgr(Mary, 'IT', 0) IMPLIES FALSE")
+
+
+class TestQuantifiers:
+    def test_exists(self):
+        assert holds("EXISTS d, s . Mgr(Mary, d, s)")
+
+    def test_exists_with_comparison(self):
+        assert holds("EXISTS n, d, s . Mgr(n, d, s) AND s > 35")
+        assert not holds("EXISTS n, d, s . Mgr(n, d, s) AND s > 45")
+
+    def test_exists_join(self):
+        # Two managers share a salary.
+        assert holds(
+            "EXISTS n1, d1, n2, d2, s . "
+            "Mgr(n1, d1, s) AND Mgr(n2, d2, s) AND n1 != n2"
+        )
+
+    def test_forall(self):
+        assert holds("FORALL n, d, s . Mgr(n, d, s) IMPLIES s >= 30")
+        assert not holds("FORALL n, d, s . Mgr(n, d, s) IMPLIES s >= 40")
+
+    def test_forall_over_active_domain(self):
+        # Quantification ranges over all values of the instance, not
+        # just a column, so a vacuous claim about rows still holds.
+        assert holds("FORALL x . Mgr(x, x, x) IMPLIES FALSE")
+
+    def test_exists_unguarded_variable_uses_domain(self):
+        assert holds("EXISTS x . x = 40")
+        # 41 occurs neither in the instance nor the query's own
+        # constants other than the comparison; it *does* occur as a
+        # query constant, so the domain includes it.
+        assert holds("EXISTS x . x = 41")
+
+    def test_nested_alternation(self):
+        assert holds(
+            "FORALL n, d, s . Mgr(n, d, s) IMPLIES "
+            "(EXISTS n2, d2, s2 . Mgr(n2, d2, s2) AND s2 >= s)"
+        )
+
+
+class TestBindingsAndErrors:
+    def test_explicit_binding(self):
+        assert holds("Mgr(n, d, 40)", n="Mary", d="R&D")
+
+    def test_missing_binding_raises(self):
+        with pytest.raises(QueryBindingError):
+            holds("Mgr(n, 'R&D', 40)")
+
+    def test_context_reuse(self):
+        query = parse_query("EXISTS d, s . Mgr(Mary, d, s)")
+        context = make_context(ROWS, query)
+        assert evaluate(query, ROWS, context=context)
+
+
+class TestOpenAnswers:
+    def test_projection(self):
+        result = answers(parse_query("Mgr(n, d, 40)"), ROWS, ("n",))
+        assert result == {("Mary",), ("Eve",)}
+
+    def test_two_columns_ordered(self):
+        result = answers(parse_query("Mgr(n, d, 40)"), ROWS, ("d", "n"))
+        assert result == {("R&D", "Mary"), ("IT", "Eve")}
+
+    def test_default_variable_order_is_sorted(self):
+        result = answers(parse_query("Mgr(n, d, 40)"), ROWS)
+        assert result == {("R&D", "Mary"), ("IT", "Eve")}
+
+    def test_join_answers(self):
+        text = (
+            "EXISTS d1, d2 . Mgr(n1, d1, s) AND Mgr(n2, d2, s) AND n1 != n2"
+        )
+        result = answers(parse_query(text), ROWS, ("n1", "n2", "s"))
+        assert ("Mary", "Eve", 40) in result
+        assert ("Eve", "Mary", 40) in result
+
+    def test_projection_of_free_variables(self):
+        # Variables omitted from the answer tuple are existential.
+        result = answers(parse_query("Mgr(n, d, s)"), ROWS, ("s",))
+        assert result == {(40,), (30,)}
+
+    def test_unknown_answer_variable_rejected(self):
+        with pytest.raises(QueryBindingError):
+            answers(parse_query("Mgr(n, d, s)"), ROWS, ("nope",))
+
+    def test_negation_in_open_query(self):
+        text = "EXISTS d, s . Mgr(n, d, s) AND NOT Mgr(n, 'PR', 30)"
+        result = answers(parse_query(text), ROWS, ("n",))
+        assert result == {("Mary",), ("Eve",)}
+
+
+class TestEmptyInstance:
+    def test_exists_false_on_empty(self):
+        empty = RelationInstance(SCHEMA)
+        assert not evaluate(parse_query("EXISTS n, d, s . Mgr(n, d, s)"), empty)
+
+    def test_forall_true_on_empty(self):
+        empty = RelationInstance(SCHEMA)
+        assert evaluate(
+            parse_query("FORALL n, d, s . Mgr(n, d, s) IMPLIES FALSE"), empty
+        )

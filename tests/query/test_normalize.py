@@ -1,0 +1,99 @@
+"""Unit tests for NNF/DNF conversion."""
+
+import pytest
+
+from repro.exceptions import QueryError
+from repro.query.ast import And, Atom, Comparison, Const, Exists, Not, Or, Var
+from repro.query.normalize import LiteralConjunction, to_dnf, to_nnf
+from repro.query.parser import parse_query
+
+
+def a(i):
+    return Atom("R", [Const(i)])
+
+
+class TestNnf:
+    def test_negated_and_becomes_or(self):
+        formula = to_nnf(Not(And([a(1), a(2)])))
+        assert isinstance(formula, Or)
+        assert all(isinstance(p, Not) for p in formula.parts)
+
+    def test_negated_or_becomes_and(self):
+        formula = to_nnf(Not(Or([a(1), a(2)])))
+        assert isinstance(formula, And)
+
+    def test_double_negation_cancels(self):
+        assert to_nnf(Not(Not(a(1)))) == a(1)
+
+    def test_implication_eliminated(self):
+        formula = to_nnf(parse_query("R(1) IMPLIES R(2)"))
+        assert isinstance(formula, Or)
+
+    def test_negated_comparison_flips_operator(self):
+        formula = to_nnf(Not(Comparison("<", Const(1), Const(2))))
+        assert formula == Comparison(">=", Const(1), Const(2))
+
+    def test_quantifier_rejected(self):
+        with pytest.raises(QueryError):
+            to_nnf(Exists(["x"], Atom("R", [Var("x")])))
+
+    def test_negated_true(self):
+        from repro.query.ast import FalseFormula, TrueFormula
+
+        assert to_nnf(Not(TrueFormula())) == FalseFormula()
+
+
+class TestDnf:
+    def test_atom_is_single_disjunct(self):
+        assert to_dnf(a(1)) == [[a(1)]]
+
+    def test_or_splits(self):
+        assert len(to_dnf(Or([a(1), a(2)]))) == 2
+
+    def test_and_over_or_distributes(self):
+        formula = And([a(1), Or([a(2), a(3)])])
+        disjuncts = to_dnf(formula)
+        assert len(disjuncts) == 2
+        assert all(len(d) == 2 for d in disjuncts)
+
+    def test_true_disjunct_collapses(self):
+        from repro.query.ast import TrueFormula
+
+        assert to_dnf(Or([TrueFormula(), a(1)])) == [[]]
+
+    def test_false_disjunct_dropped(self):
+        from repro.query.ast import FalseFormula
+
+        disjuncts = to_dnf(Or([FalseFormula(), a(1)]))
+        assert disjuncts == [[a(1)]]
+
+    def test_unsatisfiable_gives_empty(self):
+        from repro.query.ast import FalseFormula
+
+        assert to_dnf(FalseFormula()) == []
+
+    def test_negated_query_example(self):
+        # ¬(R(1) ∧ ¬R(2)) → ¬R(1) ∨ R(2)
+        disjuncts = to_dnf(Not(And([a(1), Not(a(2))])))
+        assert [Not(a(1))] in disjuncts
+        assert [a(2)] in disjuncts
+
+
+class TestLiteralConjunction:
+    def test_split_by_kind(self):
+        literals = LiteralConjunction.from_literals(
+            [a(1), Not(a(2)), Comparison("<", Const(1), Const(2))]
+        )
+        assert literals.positive == (a(1),)
+        assert literals.negative == (a(2),)
+        assert len(literals.comparisons) == 1
+
+    def test_non_literal_rejected(self):
+        with pytest.raises(QueryError):
+            LiteralConjunction.from_literals([And([a(1), a(2)])])
+
+    def test_is_ground(self):
+        literals = LiteralConjunction.from_literals([a(1)])
+        assert literals.is_ground
+        open_literals = LiteralConjunction.from_literals([Atom("R", [Var("x")])])
+        assert not open_literals.is_ground

@@ -1,0 +1,107 @@
+"""Unit tests for the conjunctive-SQL frontend."""
+
+import pytest
+
+from repro.exceptions import QuerySyntaxError
+from repro.query.evaluator import answers, evaluate
+from repro.query.sql import parse_sql, sql_to_formula
+from repro.relational.database import Database
+from repro.relational.instance import RelationInstance
+from repro.relational.schema import RelationSchema
+
+SCHEMA = RelationSchema("Mgr", ["Name", "Dept", "Salary:number"])
+DB = Database.single(
+    RelationInstance.from_values(
+        SCHEMA,
+        [("Mary", "R&D", 40), ("John", "PR", 30), ("Eve", "IT", 40)],
+    )
+)
+ROWS = DB.all_rows()
+
+
+class TestParseSql:
+    def test_structure(self):
+        query = parse_sql(
+            "SELECT m.Name FROM Mgr m WHERE m.Salary > 30 AND m.Dept = 'R&D'"
+        )
+        assert query.tables == (("Mgr", "m"),)
+        assert len(query.predicates) == 2
+        assert not query.is_boolean
+
+    def test_boolean_query(self):
+        assert parse_sql("SELECT 1 FROM Mgr m").is_boolean
+
+    def test_alias_defaults_to_relation(self):
+        query = parse_sql("SELECT Mgr.Name FROM Mgr")
+        assert query.tables == (("Mgr", "Mgr"),)
+
+    def test_as_keyword(self):
+        query = parse_sql("SELECT x.Name FROM Mgr AS x")
+        assert query.tables == (("Mgr", "x"),)
+
+    def test_star_rejected(self):
+        with pytest.raises(QuerySyntaxError):
+            parse_sql("SELECT * FROM Mgr")
+
+    def test_trailing_garbage_rejected(self):
+        with pytest.raises(QuerySyntaxError):
+            parse_sql("SELECT 1 FROM Mgr m ORDER BY 1")
+
+    def test_quoted_literal_with_escape(self):
+        query = parse_sql("SELECT 1 FROM Mgr m WHERE m.Dept = 'it''s'")
+        assert query.predicates[0][2] == "it's"
+
+
+class TestTranslationClosed:
+    def test_boolean_becomes_closed_exists(self):
+        formula, variables = sql_to_formula(
+            "SELECT 1 FROM Mgr m WHERE m.Salary > 35", DB.schema
+        )
+        assert variables == ()
+        assert formula.is_closed
+        assert evaluate(formula, ROWS)
+
+    def test_boolean_false(self):
+        formula, _ = sql_to_formula(
+            "SELECT 1 FROM Mgr m WHERE m.Salary > 99", DB.schema
+        )
+        assert not evaluate(formula, ROWS)
+
+    def test_self_join(self):
+        formula, _ = sql_to_formula(
+            "SELECT 1 FROM Mgr a, Mgr b "
+            "WHERE a.Salary = b.Salary AND a.Name != b.Name",
+            DB.schema,
+        )
+        assert evaluate(formula, ROWS)
+
+
+class TestTranslationOpen:
+    def test_answers(self):
+        formula, variables = sql_to_formula(
+            "SELECT m.Name FROM Mgr m WHERE m.Salary = 40", DB.schema
+        )
+        assert answers(formula, ROWS, variables) == {("Mary",), ("Eve",)}
+
+    def test_join_answers(self):
+        formula, variables = sql_to_formula(
+            "SELECT a.Name, b.Name FROM Mgr a, Mgr b "
+            "WHERE a.Salary > b.Salary",
+            DB.schema,
+        )
+        result = answers(formula, ROWS, variables)
+        assert result == {("Mary", "John"), ("Eve", "John")}
+
+    def test_unknown_column_rejected(self):
+        with pytest.raises(QuerySyntaxError):
+            sql_to_formula("SELECT m.Name FROM Mgr m WHERE m.Bogus = 1", DB.schema)
+
+    def test_duplicate_alias_rejected(self):
+        with pytest.raises(QuerySyntaxError):
+            sql_to_formula("SELECT m.Name FROM Mgr m, Mgr m", DB.schema)
+
+    def test_unknown_relation_rejected(self):
+        from repro.exceptions import UnknownRelationError
+
+        with pytest.raises(UnknownRelationError):
+            sql_to_formula("SELECT t.X FROM Team t", DB.schema)

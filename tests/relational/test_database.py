@@ -1,0 +1,94 @@
+"""Unit tests for multi-relation databases and source integration."""
+
+import pytest
+
+from repro.exceptions import SchemaError, UnknownRelationError
+from repro.relational.database import Database, integrate_sources
+from repro.relational.instance import RelationInstance
+from repro.relational.rows import Row
+from repro.relational.schema import RelationSchema
+
+R = RelationSchema("R", ["A:number", "B:number"])
+S = RelationSchema("S", ["X", "Y"])
+
+
+def make_db():
+    return Database(
+        [
+            RelationInstance.from_values(R, [(1, 1), (2, 2)]),
+            RelationInstance.from_values(S, [("a", "b")]),
+        ]
+    )
+
+
+class TestDatabase:
+    def test_relation_lookup(self):
+        assert len(make_db().relation("R")) == 2
+
+    def test_unknown_relation(self):
+        with pytest.raises(UnknownRelationError):
+            make_db().relation("T")
+
+    def test_duplicate_relation_rejected(self):
+        with pytest.raises(SchemaError):
+            Database([RelationInstance(R), RelationInstance(R)])
+
+    def test_all_rows_spans_relations(self):
+        assert len(make_db().all_rows()) == 3
+
+    def test_len_counts_all_tuples(self):
+        assert len(make_db()) == 3
+
+    def test_active_domain_spans_relations(self):
+        assert make_db().active_domain() == {1, 2, "a", "b"}
+
+    def test_single(self):
+        db = Database.single(RelationInstance.from_values(R, [(1, 1)]))
+        assert db.schema.relation_names == ("R",)
+
+    def test_restrict(self):
+        db = make_db()
+        keep = Row(R, (1, 1))
+        restricted = db.restrict({keep})
+        assert restricted.all_rows() == frozenset({keep})
+        # Schema is preserved even for emptied relations.
+        assert restricted.schema.has_relation("S")
+
+    def test_from_rows_round_trip(self):
+        db = make_db()
+        rebuilt = Database.from_rows(db.schema, db.all_rows())
+        assert rebuilt == db
+
+    def test_from_rows_rejects_foreign(self):
+        other = RelationSchema("T", ["Z"])
+        with pytest.raises(UnknownRelationError):
+            Database.from_rows(make_db().schema, [Row(other, ("v",))])
+
+    def test_union(self):
+        db1 = make_db()
+        db2 = Database(
+            [
+                RelationInstance.from_values(R, [(9, 9)]),
+                RelationInstance(S),
+            ]
+        )
+        merged = db1.union(db2)
+        assert len(merged.relation("R")) == 3
+
+    def test_union_schema_mismatch(self):
+        db1 = make_db()
+        db2 = Database([RelationInstance(R)])
+        with pytest.raises(SchemaError):
+            db1.union(db2)
+
+
+class TestIntegrateSources:
+    def test_union_of_sources(self):
+        s1 = RelationInstance.from_values(R, [(1, 1)])
+        s2 = RelationInstance.from_values(R, [(1, 2)])
+        merged = integrate_sources([s1, s2])
+        assert len(merged) == 2
+
+    def test_requires_at_least_one_source(self):
+        with pytest.raises(SchemaError):
+            integrate_sources([])

@@ -1,0 +1,84 @@
+"""Unit tests for the typed value domains."""
+
+import pytest
+
+from repro.exceptions import TypeMismatchError
+from repro.relational.domain import (
+    AttributeType,
+    infer_type,
+    values_comparable,
+)
+
+
+class TestAttributeTypeValidate:
+    def test_name_accepts_strings(self):
+        assert AttributeType.NAME.validate("Mary") == "Mary"
+
+    def test_name_accepts_empty_string(self):
+        assert AttributeType.NAME.validate("") == ""
+
+    def test_name_rejects_integers(self):
+        with pytest.raises(TypeMismatchError):
+            AttributeType.NAME.validate(3)
+
+    def test_number_accepts_naturals(self):
+        assert AttributeType.NUMBER.validate(0) == 0
+        assert AttributeType.NUMBER.validate(41) == 41
+
+    def test_number_rejects_negative(self):
+        with pytest.raises(TypeMismatchError):
+            AttributeType.NUMBER.validate(-1)
+
+    def test_number_rejects_strings(self):
+        with pytest.raises(TypeMismatchError):
+            AttributeType.NUMBER.validate("3")
+
+    def test_number_rejects_booleans(self):
+        with pytest.raises(TypeMismatchError):
+            AttributeType.NUMBER.validate(True)
+
+
+class TestAttributeTypeParse:
+    def test_parse_number(self):
+        assert AttributeType.NUMBER.parse("42") == 42
+
+    def test_parse_number_rejects_garbage(self):
+        with pytest.raises(TypeMismatchError):
+            AttributeType.NUMBER.parse("4x")
+
+    def test_parse_number_rejects_negative(self):
+        with pytest.raises(TypeMismatchError):
+            AttributeType.NUMBER.parse("-4")
+
+    def test_parse_name_is_identity(self):
+        assert AttributeType.NAME.parse("R&D") == "R&D"
+
+
+class TestOrdering:
+    def test_numbers_are_ordered(self):
+        assert AttributeType.NUMBER.is_ordered
+
+    def test_names_are_not_ordered(self):
+        assert not AttributeType.NAME.is_ordered
+
+    def test_values_comparable_only_for_two_naturals(self):
+        assert values_comparable(1, 2)
+        assert not values_comparable(1, "a")
+        assert not values_comparable("a", "b")
+        assert not values_comparable(True, 1)
+
+
+class TestInferType:
+    def test_infer_number(self):
+        assert infer_type(7) is AttributeType.NUMBER
+
+    def test_infer_name(self):
+        assert infer_type("x") is AttributeType.NAME
+
+    def test_infer_rejects_bool(self):
+        with pytest.raises(TypeMismatchError):
+            infer_type(True)
+
+    def test_infer_rejects_float(self):
+        with pytest.raises(TypeMismatchError):
+            infer_type(1.5)

@@ -1,0 +1,79 @@
+"""Unit tests for relation instances."""
+
+import pytest
+
+from repro.exceptions import SchemaError
+from repro.relational.instance import RelationInstance
+from repro.relational.rows import Row
+from repro.relational.schema import RelationSchema
+
+SCHEMA = RelationSchema("R", ["A:number", "B:number"])
+
+
+def make(*pairs):
+    return RelationInstance.from_values(SCHEMA, pairs)
+
+
+class TestConstruction:
+    def test_from_values(self):
+        instance = make((1, 2), (3, 4))
+        assert len(instance) == 2
+
+    def test_set_semantics_dedupes(self):
+        assert len(make((1, 2), (1, 2))) == 1
+
+    def test_rejects_foreign_rows(self):
+        other = RelationSchema("S", ["A:number", "B:number"])
+        with pytest.raises(SchemaError):
+            RelationInstance(SCHEMA, [Row(other, (1, 2))])
+
+    def test_row_constructor_helper(self):
+        instance = make()
+        row = instance.row(5, 6)
+        assert row["A"] == 5 and row.relation == "R"
+
+
+class TestSetAlgebra:
+    def test_union(self):
+        assert len(make((1, 1)).union(make((2, 2)))) == 2
+
+    def test_union_requires_same_schema(self):
+        other = RelationInstance.from_values(
+            RelationSchema("S", ["A:number", "B:number"]), [(1, 1)]
+        )
+        with pytest.raises(SchemaError):
+            make((1, 1)).union(other)
+
+    def test_with_and_without_rows(self):
+        instance = make((1, 1))
+        extra = instance.row(2, 2)
+        grown = instance.with_rows([extra])
+        assert extra in grown
+        shrunk = grown.without_rows([extra])
+        assert extra not in shrunk and len(shrunk) == 1
+
+    def test_restrict(self):
+        instance = make((1, 1), (2, 2))
+        keep = instance.row(1, 1)
+        assert set(instance.restrict({keep})) == {keep}
+
+    def test_issubset(self):
+        small = make((1, 1))
+        big = make((1, 1), (2, 2))
+        assert small.issubset(big)
+        assert not big.issubset(small)
+
+
+class TestDomainsAndOrder:
+    def test_active_domain(self):
+        assert make((1, 2), (2, 3)).active_domain() == {1, 2, 3}
+
+    def test_sorted_is_deterministic(self):
+        a = make((3, 1), (1, 1), (2, 2)).sorted()
+        b = make((2, 2), (3, 1), (1, 1)).sorted()
+        assert a == b
+
+    def test_equality_and_hash(self):
+        assert make((1, 1)) == make((1, 1))
+        assert hash(make((1, 1))) == hash(make((1, 1)))
+        assert make((1, 1)) != make((1, 2))

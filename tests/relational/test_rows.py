@@ -1,0 +1,100 @@
+"""Unit tests for immutable rows."""
+
+import pytest
+
+from repro.exceptions import SchemaError, UnknownAttributeError
+from repro.relational.rows import Row, sorted_rows
+from repro.relational.schema import RelationSchema
+
+SCHEMA = RelationSchema("Mgr", ["Name", "Dept", "Salary:number"])
+
+
+class TestRowBasics:
+    def test_attribute_access(self):
+        row = Row(SCHEMA, ("Mary", "R&D", 40))
+        assert row["Name"] == "Mary"
+        assert row["Salary"] == 40
+
+    def test_unknown_attribute(self):
+        row = Row(SCHEMA, ("Mary", "R&D", 40))
+        with pytest.raises(UnknownAttributeError):
+            row["Reports"]
+
+    def test_relation_name(self):
+        assert Row(SCHEMA, ("Mary", "R&D", 40)).relation == "Mgr"
+
+    def test_type_validation_on_construction(self):
+        with pytest.raises(SchemaError):
+            Row(SCHEMA, ("Mary", "R&D", "forty"))
+
+    def test_arity_validation(self):
+        with pytest.raises(SchemaError):
+            Row(SCHEMA, ("Mary", "R&D"))
+
+    def test_immutability(self):
+        row = Row(SCHEMA, ("Mary", "R&D", 40))
+        with pytest.raises(AttributeError):
+            row.values = ("X", "Y", 1)
+
+    def test_iteration_and_len(self):
+        row = Row(SCHEMA, ("Mary", "R&D", 40))
+        assert list(row) == ["Mary", "R&D", 40]
+        assert len(row) == 3
+
+
+class TestRowEquality:
+    def test_equal_by_relation_and_values(self):
+        other_schema = RelationSchema("Mgr", ["Name", "Dept", "Salary:number"])
+        assert Row(SCHEMA, ("Mary", "R&D", 40)) == Row(
+            other_schema, ("Mary", "R&D", 40)
+        )
+
+    def test_different_values_not_equal(self):
+        assert Row(SCHEMA, ("Mary", "R&D", 40)) != Row(SCHEMA, ("Mary", "R&D", 41))
+
+    def test_different_relation_not_equal(self):
+        other = RelationSchema("Emp", ["Name", "Dept", "Salary:number"])
+        assert Row(SCHEMA, ("Mary", "R&D", 40)) != Row(other, ("Mary", "R&D", 40))
+
+    def test_hash_consistent_with_equality(self):
+        a = Row(SCHEMA, ("Mary", "R&D", 40))
+        b = Row(SCHEMA, ("Mary", "R&D", 40))
+        assert len({a, b}) == 1
+
+
+class TestRowOperations:
+    def test_project(self):
+        row = Row(SCHEMA, ("Mary", "R&D", 40))
+        assert row.project(["Salary", "Name"]) == (40, "Mary")
+
+    def test_agrees_with(self):
+        a = Row(SCHEMA, ("Mary", "R&D", 40))
+        b = Row(SCHEMA, ("Mary", "IT", 40))
+        assert a.agrees_with(b, ["Name", "Salary"])
+        assert not a.agrees_with(b, ["Dept"])
+
+    def test_replace(self):
+        row = Row(SCHEMA, ("Mary", "R&D", 40))
+        updated = row.replace(Salary=50)
+        assert updated["Salary"] == 50
+        assert row["Salary"] == 40  # original untouched
+
+    def test_replace_validates_types(self):
+        row = Row(SCHEMA, ("Mary", "R&D", 40))
+        with pytest.raises(SchemaError):
+            row.replace(Salary="lots")
+
+
+class TestRowOrdering:
+    def test_sorted_rows_is_deterministic(self):
+        rows = [
+            Row(SCHEMA, ("Mary", "R&D", 40)),
+            Row(SCHEMA, ("John", "PR", 30)),
+            Row(SCHEMA, ("John", "PR", 4)),
+        ]
+        assert sorted_rows(set(rows)) == sorted_rows(set(reversed(rows)))
+
+    def test_numbers_sort_numerically(self):
+        schema = RelationSchema("R", ["A:number"])
+        rows = [Row(schema, (value,)) for value in (10, 2, 33)]
+        assert [row["A"] for row in sorted_rows(rows)] == [2, 10, 33]

@@ -1,0 +1,127 @@
+"""Unit tests for relation and database schemas."""
+
+import pytest
+
+from repro.exceptions import SchemaError, UnknownAttributeError, UnknownRelationError
+from repro.relational.domain import AttributeType
+from repro.relational.schema import (
+    Attribute,
+    DatabaseSchema,
+    RelationSchema,
+    schema_from_mapping,
+)
+
+
+class TestAttribute:
+    def test_default_type_is_name(self):
+        assert Attribute("Dept").type is AttributeType.NAME
+
+    def test_invalid_name_rejected(self):
+        with pytest.raises(SchemaError):
+            Attribute("bad name")
+
+
+class TestRelationSchemaConstruction:
+    def test_string_specs_with_type_suffix(self):
+        schema = RelationSchema("Mgr", ["Name", "Salary:number"])
+        assert schema.type_of("Name") is AttributeType.NAME
+        assert schema.type_of("Salary") is AttributeType.NUMBER
+
+    def test_tuple_specs(self):
+        schema = RelationSchema("R", [("A", AttributeType.NUMBER)])
+        assert schema.type_of("A") is AttributeType.NUMBER
+
+    def test_attribute_objects_pass_through(self):
+        attr = Attribute("X", AttributeType.NUMBER)
+        schema = RelationSchema("R", [attr])
+        assert schema.attributes == (attr,)
+
+    def test_duplicate_attributes_rejected(self):
+        with pytest.raises(SchemaError):
+            RelationSchema("R", ["A", "A"])
+
+    def test_empty_attribute_list_rejected(self):
+        with pytest.raises(SchemaError):
+            RelationSchema("R", [])
+
+    def test_unknown_type_suffix_rejected(self):
+        with pytest.raises(SchemaError):
+            RelationSchema("R", ["A:float"])
+
+    def test_invalid_relation_name_rejected(self):
+        with pytest.raises(SchemaError):
+            RelationSchema("bad name", ["A"])
+
+
+class TestRelationSchemaAccess:
+    def test_index_of(self):
+        schema = RelationSchema("R", ["A", "B", "C"])
+        assert schema.index_of("B") == 1
+
+    def test_index_of_unknown_attribute(self):
+        schema = RelationSchema("R", ["A"])
+        with pytest.raises(UnknownAttributeError):
+            schema.index_of("Z")
+
+    def test_attribute_names_ordered(self):
+        schema = RelationSchema("R", ["C", "A", "B"])
+        assert schema.attribute_names == ("C", "A", "B")
+
+    def test_arity(self):
+        assert RelationSchema("R", ["A", "B"]).arity == 2
+
+    def test_has_attribute(self):
+        schema = RelationSchema("R", ["A"])
+        assert schema.has_attribute("A")
+        assert not schema.has_attribute("B")
+
+
+class TestValidateValues:
+    def test_wrong_arity_rejected(self):
+        schema = RelationSchema("R", ["A", "B"])
+        with pytest.raises(SchemaError):
+            schema.validate_values(("x",))
+
+    def test_type_checked(self):
+        schema = RelationSchema("R", ["A:number"])
+        with pytest.raises(SchemaError):
+            schema.validate_values(("not a number",))
+
+    def test_valid_values_become_tuple(self):
+        schema = RelationSchema("R", ["A", "B:number"])
+        assert schema.validate_values(["x", 3]) == ("x", 3)
+
+
+class TestSchemaEquality:
+    def test_equal_schemas(self):
+        assert RelationSchema("R", ["A"]) == RelationSchema("R", ["A"])
+
+    def test_different_types_not_equal(self):
+        assert RelationSchema("R", ["A"]) != RelationSchema("R", ["A:number"])
+
+    def test_hashable(self):
+        assert len({RelationSchema("R", ["A"]), RelationSchema("R", ["A"])}) == 1
+
+
+class TestDatabaseSchema:
+    def test_lookup(self):
+        db = DatabaseSchema([RelationSchema("R", ["A"]), RelationSchema("S", ["B"])])
+        assert db.relation("S").attribute_names == ("B",)
+
+    def test_unknown_relation(self):
+        db = DatabaseSchema([RelationSchema("R", ["A"])])
+        with pytest.raises(UnknownRelationError):
+            db.relation("T")
+
+    def test_duplicate_relations_rejected(self):
+        with pytest.raises(SchemaError):
+            DatabaseSchema([RelationSchema("R", ["A"]), RelationSchema("R", ["B"])])
+
+    def test_from_mapping(self):
+        db = schema_from_mapping({"R": ["A", "B:number"]})
+        assert db.relation("R").type_of("B") is AttributeType.NUMBER
+
+    def test_iteration_and_len(self):
+        db = schema_from_mapping({"R": ["A"], "S": ["B"]})
+        assert len(db) == 2
+        assert {schema.name for schema in db} == {"R", "S"}

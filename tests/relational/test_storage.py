@@ -1,0 +1,122 @@
+"""Unit tests for CSV and SQLite persistence."""
+
+import sqlite3
+
+import pytest
+
+from repro.exceptions import SchemaError, UnknownRelationError
+from repro.relational.csv_io import (
+    instance_to_csv_text,
+    read_instance_csv,
+    read_instance_csv_text,
+    write_instance_csv,
+)
+from repro.relational.database import Database
+from repro.relational.domain import AttributeType
+from repro.relational.instance import RelationInstance
+from repro.relational.schema import RelationSchema
+from repro.relational.sqlite_io import (
+    load_database,
+    load_instance,
+    save_database,
+    save_instance,
+)
+
+SCHEMA = RelationSchema("Mgr", ["Name", "Dept", "Salary:number"])
+
+
+def sample_instance():
+    return RelationInstance.from_values(
+        SCHEMA, [("Mary", "R&D", 40), ("John", "PR", 30)]
+    )
+
+
+class TestCsv:
+    def test_round_trip_text(self):
+        instance = sample_instance()
+        text = instance_to_csv_text(instance)
+        again = read_instance_csv_text(text, "Mgr")
+        assert again == instance
+
+    def test_round_trip_file(self, tmp_path):
+        instance = sample_instance()
+        path = tmp_path / "mgr.csv"
+        write_instance_csv(instance, path)
+        assert read_instance_csv(path, "Mgr") == instance
+
+    def test_relation_name_defaults_to_stem(self, tmp_path):
+        path = tmp_path / "Mgr.csv"
+        write_instance_csv(sample_instance(), path)
+        assert read_instance_csv(path).schema.name == "Mgr"
+
+    def test_type_inference_without_suffix(self):
+        text = "Name,Salary\nMary,40\nJohn,30\n"
+        instance = read_instance_csv_text(text, "Emp")
+        assert instance.schema.type_of("Salary") is AttributeType.NUMBER
+        assert instance.schema.type_of("Name") is AttributeType.NAME
+
+    def test_mixed_column_stays_name(self):
+        text = "A\n1\nx\n"
+        instance = read_instance_csv_text(text, "R")
+        assert instance.schema.type_of("A") is AttributeType.NAME
+
+    def test_explicit_schema_header_check(self):
+        with pytest.raises(SchemaError):
+            read_instance_csv_text("X,Y\n1,2\n", "Mgr", SCHEMA)
+
+    def test_empty_input_rejected(self):
+        with pytest.raises(SchemaError):
+            read_instance_csv_text("", "R")
+
+    def test_bad_record_arity(self):
+        with pytest.raises(SchemaError):
+            read_instance_csv_text("A,B\n1\n", "R")
+
+
+class TestSqlite:
+    def test_round_trip_file(self, tmp_path):
+        instance = sample_instance()
+        path = tmp_path / "db.sqlite"
+        save_instance(instance, path)
+        assert load_instance(path, "Mgr") == instance
+
+    def test_round_trip_preserves_types_when_empty(self, tmp_path):
+        empty = RelationInstance(SCHEMA)
+        path = tmp_path / "db.sqlite"
+        save_instance(empty, path)
+        loaded = load_instance(path, "Mgr")
+        assert loaded.schema == SCHEMA
+
+    def test_unknown_relation(self, tmp_path):
+        path = tmp_path / "db.sqlite"
+        save_instance(sample_instance(), path)
+        with pytest.raises(UnknownRelationError):
+            load_instance(path, "Nope")
+
+    def test_database_round_trip(self, tmp_path):
+        other = RelationSchema("Dept", ["Dept", "Budget:number"])
+        db = Database(
+            [
+                sample_instance(),
+                RelationInstance.from_values(other, [("R&D", 100)]),
+            ]
+        )
+        path = tmp_path / "db.sqlite"
+        save_database(db, path)
+        assert load_database(path) == db
+
+    def test_load_foreign_table_via_pragma(self, tmp_path):
+        path = tmp_path / "db.sqlite"
+        with sqlite3.connect(path) as connection:
+            connection.execute("CREATE TABLE T (X TEXT NOT NULL, N INTEGER NOT NULL)")
+            connection.execute("INSERT INTO T VALUES ('a', 1)")
+        instance = load_instance(str(path), "T")
+        assert instance.schema.type_of("N") is AttributeType.NUMBER
+        assert len(instance) == 1
+
+    def test_save_replaces_existing_table(self, tmp_path):
+        path = tmp_path / "db.sqlite"
+        save_instance(sample_instance(), path)
+        smaller = RelationInstance.from_values(SCHEMA, [("Solo", "IT", 1)])
+        save_instance(smaller, path)
+        assert load_instance(path, "Mgr") == smaller

@@ -1,0 +1,91 @@
+"""Unit and property tests for repair checking and completion."""
+
+import pytest
+from hypothesis import given, settings
+
+from repro.constraints.conflict_graph import build_conflict_graph
+from repro.datagen.generators import GRID_FDS
+from repro.datagen.paper_instances import mgr_scenario
+from repro.repairs.checking import (
+    complete_to_repair,
+    consistent_subinstance,
+    is_repair,
+    is_repair_on_graph,
+)
+from repro.repairs.enumerate import enumerate_repairs
+from tests.conftest import key_instances
+
+
+class TestIsRepair:
+    def test_true_repair_accepted(self):
+        scenario = mgr_scenario()
+        assert is_repair(
+            scenario.row_set("mary_rd", "john_pr"),
+            scenario.instance,
+            scenario.dependencies,
+        )
+
+    def test_non_maximal_rejected(self):
+        scenario = mgr_scenario()
+        assert not is_repair(
+            scenario.row_set("mary_rd"), scenario.instance, scenario.dependencies
+        )
+
+    def test_inconsistent_rejected(self):
+        scenario = mgr_scenario()
+        assert not is_repair(
+            scenario.row_set("mary_rd", "john_rd"),
+            scenario.instance,
+            scenario.dependencies,
+        )
+
+    def test_non_subset_rejected(self):
+        scenario = mgr_scenario()
+        from repro.relational.rows import Row
+
+        foreign = Row(scenario.instance.schema, ("Zoe", "HR", 1, 1))
+        assert not is_repair(
+            {foreign}, scenario.instance, scenario.dependencies
+        )
+
+    def test_consistent_subinstance(self):
+        scenario = mgr_scenario()
+        assert consistent_subinstance(
+            scenario.row_set("mary_rd"), scenario.instance, scenario.dependencies
+        )
+        assert not consistent_subinstance(
+            scenario.row_set("mary_rd", "john_rd"),
+            scenario.instance,
+            scenario.dependencies,
+        )
+
+    @given(key_instances())
+    @settings(max_examples=50, deadline=None)
+    def test_graph_check_agrees_with_definition(self, instance):
+        graph = build_conflict_graph(instance, GRID_FDS)
+        for repair in enumerate_repairs(graph):
+            assert is_repair(repair, instance, GRID_FDS)
+            assert is_repair_on_graph(repair, graph)
+
+
+class TestCompleteToRepair:
+    def test_completion_contains_seed(self):
+        scenario = mgr_scenario()
+        seed = scenario.row_set("mary_it")
+        completed = complete_to_repair(seed, scenario.graph)
+        assert seed <= completed
+        assert scenario.graph.is_maximal_independent(completed)
+
+    def test_completion_rejects_conflicting_seed(self):
+        scenario = mgr_scenario()
+        with pytest.raises(ValueError):
+            complete_to_repair(
+                scenario.row_set("mary_rd", "john_rd"), scenario.graph
+            )
+
+    @given(key_instances())
+    @settings(max_examples=50, deadline=None)
+    def test_empty_seed_always_completes(self, instance):
+        graph = build_conflict_graph(instance, GRID_FDS)
+        completed = complete_to_repair(frozenset(), graph)
+        assert graph.is_maximal_independent(completed) or not graph.vertices

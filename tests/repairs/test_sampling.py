@@ -1,0 +1,43 @@
+"""Unit tests for repair sampling."""
+
+import random
+
+from hypothesis import given, settings
+
+from repro.constraints.conflict_graph import build_conflict_graph
+from repro.datagen.generators import GRID_FDS
+from repro.datagen.paper_instances import example4_scenario
+from repro.repairs.sampling import random_repair, sample_repairs
+from tests.conftest import key_instances
+
+
+class TestRandomRepair:
+    @given(key_instances())
+    @settings(max_examples=50, deadline=None)
+    def test_sample_is_a_repair(self, instance):
+        graph = build_conflict_graph(instance, GRID_FDS)
+        repair = random_repair(graph, random.Random(7))
+        assert graph.is_maximal_independent(repair) or not graph.vertices
+
+    def test_deterministic_with_seed(self):
+        graph = build_conflict_graph(example4_scenario(5).instance, GRID_FDS)
+        assert random_repair(graph, random.Random(3)) == random_repair(
+            graph, random.Random(3)
+        )
+
+    def test_diversity_over_seeds(self):
+        graph = build_conflict_graph(example4_scenario(6).instance, GRID_FDS)
+        samples = {random_repair(graph, random.Random(seed)) for seed in range(20)}
+        assert len(samples) > 1
+
+
+class TestSampleRepairs:
+    def test_distinct_sampling_caps_at_space_size(self):
+        graph = build_conflict_graph(example4_scenario(2).instance, GRID_FDS)
+        distinct = sample_repairs(graph, 50, random.Random(0), distinct=True)
+        assert 1 <= len(distinct) <= 4
+        assert len(set(distinct)) == len(distinct)
+
+    def test_non_distinct_returns_exact_count(self):
+        graph = build_conflict_graph(example4_scenario(3).instance, GRID_FDS)
+        assert len(sample_repairs(graph, 10, random.Random(0))) == 10

@@ -1,0 +1,239 @@
+"""End-to-end tests of the command-line interface."""
+
+import pytest
+
+from repro.cli import main
+from repro.datagen.paper_instances import mgr_scenario
+from repro.relational.csv_io import write_instance_csv
+from repro.relational.sqlite_io import save_instance
+
+
+@pytest.fixture
+def mgr_csv(tmp_path):
+    path = tmp_path / "Mgr.csv"
+    scenario = mgr_scenario()
+    # Add a Source column so the CLI can build the reliability priority.
+    from repro.relational.instance import RelationInstance
+    from repro.relational.schema import RelationSchema
+    from repro.datagen.paper_instances import mgr_source_of
+
+    schema = RelationSchema(
+        "Mgr", ["Name", "Dept", "Salary:number", "Reports:number", "Source"]
+    )
+    sources = mgr_source_of()
+    instance = RelationInstance.from_values(
+        schema,
+        [tuple(row.values) + (sources[row],) for row in scenario.instance],
+    )
+    write_instance_csv(instance, path)
+    return path
+
+
+MGR_FDS = ["Dept -> Name, Salary, Reports", "Name -> Dept, Salary, Reports"]
+
+
+def fd_args():
+    args = []
+    for spec in MGR_FDS:
+        args.extend(["--fd", spec])
+    return args
+
+
+class TestConflictsCommand:
+    def test_renders_graph(self, mgr_csv, capsys):
+        assert main(["conflicts", "--csv", str(mgr_csv), *fd_args()]) == 0
+        out = capsys.readouterr().out
+        assert "3 conflicts" in out
+
+
+class TestRepairsCommand:
+    def test_lists_repairs(self, mgr_csv, capsys):
+        assert main(["repairs", "--csv", str(mgr_csv), *fd_args()]) == 0
+        out = capsys.readouterr().out
+        assert "Rep: 3 repair(s)" in out
+
+    def test_family_with_source_priority(self, mgr_csv, capsys):
+        code = main(
+            [
+                "repairs",
+                "--csv",
+                str(mgr_csv),
+                *fd_args(),
+                "--family",
+                "G",
+                "--prefer-source",
+                "Source",
+                "--source-order",
+                "s1>s3,s2>s3",
+            ]
+        )
+        assert code == 0
+        assert "G-Rep: 2 repair(s)" in capsys.readouterr().out
+
+
+class TestCleanCommand:
+    def test_clean_with_ranking(self, mgr_csv, capsys):
+        code = main(
+            [
+                "clean",
+                "--csv",
+                str(mgr_csv),
+                *fd_args(),
+                "--prefer-new",
+                "Salary",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Mary" in out
+
+
+class TestCqaCommand:
+    def test_cqa_verdict(self, mgr_csv, capsys):
+        code = main(
+            [
+                "cqa",
+                "--csv",
+                str(mgr_csv),
+                *fd_args(),
+                "--family",
+                "G",
+                "--prefer-source",
+                "Source",
+                "--source-order",
+                "s1>s3,s2>s3",
+                "--query",
+                "EXISTS x1,y1,z1,s1,x2,y2,z2,s2 . "
+                "Mgr(Mary,x1,y1,z1,s1) AND Mgr(John,x2,y2,z2,s2) AND y1 > y2",
+            ]
+        )
+        assert code == 0
+        assert "verdict=true" in capsys.readouterr().out
+
+    def test_undetermined_exit_code(self, mgr_csv, capsys):
+        code = main(
+            [
+                "cqa",
+                "--csv",
+                str(mgr_csv),
+                *fd_args(),
+                "--query",
+                "EXISTS x1,y1,z1,s1,x2,y2,z2,s2 . "
+                "Mgr(Mary,x1,y1,z1,s1) AND Mgr(John,x2,y2,z2,s2) AND y1 > y2",
+            ]
+        )
+        assert code == 2
+        assert "verdict=undetermined" in capsys.readouterr().out
+
+
+class TestSqliteSource:
+    def test_repairs_from_sqlite(self, tmp_path, capsys):
+        scenario = mgr_scenario()
+        path = tmp_path / "db.sqlite"
+        save_instance(scenario.instance, path)
+        code = main(
+            [
+                "repairs",
+                "--sqlite",
+                str(path),
+                "--relation",
+                "Mgr",
+                *fd_args(),
+            ]
+        )
+        assert code == 0
+        assert "3 repair(s)" in capsys.readouterr().out
+
+    def test_sqlite_requires_relation(self, tmp_path):
+        with pytest.raises(SystemExit):
+            main(["repairs", "--sqlite", str(tmp_path / "x.sqlite"), "--fd", "A -> B"])
+
+
+class TestExamplesCommand:
+    def test_all_examples(self, capsys):
+        assert main(["examples"]) == 0
+        out = capsys.readouterr().out
+        assert "example9_reconstructed" in out
+        assert "G-Rep" in out
+
+    def test_single_example(self, capsys):
+        assert main(["examples", "--name", "example7"]) == 0
+        out = capsys.readouterr().out
+        assert "example7" in out
+
+
+class TestAggregateCommand:
+    def test_sum_range(self, mgr_csv, capsys):
+        code = main(
+            [
+                "aggregate",
+                "--csv",
+                str(mgr_csv),
+                *fd_args(),
+                "--agg",
+                "sum",
+                "--attribute",
+                "Salary",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "SUM(Salary) over Rep: [30, 70]" in out
+
+    def test_preferred_family_range(self, mgr_csv, capsys):
+        code = main(
+            [
+                "aggregate",
+                "--csv",
+                str(mgr_csv),
+                *fd_args(),
+                "--agg",
+                "max",
+                "--attribute",
+                "Salary",
+                "--family",
+                "G",
+                "--prefer-source",
+                "Source",
+                "--source-order",
+                "s1>s3,s2>s3",
+            ]
+        )
+        assert code == 0
+        assert "MAX(Salary) over G-Rep: [20, 40]" in capsys.readouterr().out
+
+    def test_count_star(self, mgr_csv, capsys):
+        code = main(
+            ["aggregate", "--csv", str(mgr_csv), *fd_args(), "--agg", "count_star"]
+        )
+        assert code == 0
+        assert "(exact)" in capsys.readouterr().out
+
+    def test_missing_attribute(self, mgr_csv):
+        with pytest.raises(SystemExit):
+            main(["aggregate", "--csv", str(mgr_csv), *fd_args(), "--agg", "sum"])
+
+
+class TestArgumentErrors:
+    def test_missing_data_source(self):
+        with pytest.raises(SystemExit):
+            main(["repairs", "--fd", "A -> B"])
+
+    def test_missing_fd(self, mgr_csv):
+        with pytest.raises(SystemExit):
+            main(["repairs", "--csv", str(mgr_csv)])
+
+    def test_bad_source_order(self, mgr_csv):
+        with pytest.raises(SystemExit):
+            main(
+                [
+                    "repairs",
+                    "--csv",
+                    str(mgr_csv),
+                    *fd_args(),
+                    "--prefer-source",
+                    "Source",
+                    "--source-order",
+                    "garbage",
+                ]
+            )

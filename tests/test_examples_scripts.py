@@ -1,0 +1,45 @@
+"""Smoke tests: the runnable examples execute and print their story.
+
+``complexity_explorer.py`` is exercised by the benchmark suite instead
+(its naive-CQA sweep is deliberately slow).
+"""
+
+import runpy
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parent.parent / "examples"
+
+
+def run_example(name, capsys, argv=None):
+    old_argv = sys.argv
+    sys.argv = [name] + (argv or [])
+    try:
+        runpy.run_path(str(EXAMPLES / name), run_name="__main__")
+    finally:
+        sys.argv = old_argv
+    return capsys.readouterr().out
+
+
+class TestExampleScripts:
+    def test_quickstart(self, capsys):
+        out = run_example("quickstart.py", capsys)
+        assert "Preferred repairs (G-Rep):" in out
+        assert "preferred (G-Rep):     true" in out
+
+    def test_data_integration(self, capsys):
+        out = run_example("data_integration.py", capsys, ["3"])
+        assert "Repair-space narrowing:" in out
+        assert "G-Rep" in out
+
+    def test_hr_cleaning(self, capsys):
+        out = run_example("hr_cleaning.py", capsys)
+        assert "Ada is at L6                 -> true" in out
+        assert "Hana earns exactly 125       -> undetermined" in out
+
+    def test_payroll_aggregates(self, capsys):
+        out = run_example("payroll_aggregates.py", capsys)
+        assert "SUM(Salary)" in out
+        assert "Enumeration cross-check: SUM ranges agree" in out

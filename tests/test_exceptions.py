@@ -1,0 +1,43 @@
+"""Tests of the exception hierarchy contract."""
+
+import pytest
+
+from repro import exceptions
+
+
+class TestHierarchy:
+    @pytest.mark.parametrize(
+        "exc",
+        [
+            exceptions.SchemaError,
+            exceptions.TypeMismatchError,
+            exceptions.UnknownAttributeError,
+            exceptions.UnknownRelationError,
+            exceptions.QueryError,
+            exceptions.QuerySyntaxError,
+            exceptions.QueryBindingError,
+            exceptions.ConstraintError,
+            exceptions.ConstraintSyntaxError,
+            exceptions.PriorityError,
+            exceptions.CyclicPriorityError,
+            exceptions.NonConflictingPriorityError,
+            exceptions.CleaningError,
+        ],
+    )
+    def test_all_derive_from_repro_error(self, exc):
+        assert issubclass(exc, exceptions.ReproError)
+
+    def test_specific_parentage(self):
+        assert issubclass(exceptions.TypeMismatchError, exceptions.SchemaError)
+        assert issubclass(exceptions.QuerySyntaxError, exceptions.QueryError)
+        assert issubclass(exceptions.CyclicPriorityError, exceptions.PriorityError)
+        assert issubclass(
+            exceptions.ConstraintSyntaxError, exceptions.ConstraintError
+        )
+
+    def test_catch_all_in_practice(self):
+        """A caller catching ReproError sees library errors, not bugs."""
+        from repro.query.parser import parse_query
+
+        with pytest.raises(exceptions.ReproError):
+            parse_query("NOT (")

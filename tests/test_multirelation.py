@@ -1,0 +1,126 @@
+"""Integration tests: multi-relation databases (paper §2 remark).
+
+The paper restricts exposition to one relation and notes the framework
+"can be easily extended to handle databases with multiple relations"
+along the lines of [7].  These tests exercise that extension through
+the whole stack: conflicts per relation, priorities spanning relations,
+preferred repairs and cross-relation conjunctive queries.
+"""
+
+import pytest
+
+from repro.core.families import Family
+from repro.cqa.answers import Verdict
+from repro.cqa.engine import CqaEngine
+from repro.constraints.conflict_graph import build_conflict_graph
+from repro.constraints.fd import FunctionalDependency
+from repro.priorities.builders import priority_from_ranking
+from repro.relational.database import Database
+from repro.relational.instance import RelationInstance
+from repro.relational.schema import RelationSchema
+
+EMP = RelationSchema("Emp", ["Name", "Dept", "Level:number"])
+DEPT = RelationSchema("Dept", ["Dept", "Head", "Floor:number"])
+
+FDS = (
+    FunctionalDependency.parse("Name -> Dept, Level", "Emp"),
+    FunctionalDependency.parse("Dept -> Head, Floor", "Dept"),
+)
+
+
+def sample_db():
+    emp = RelationInstance.from_values(
+        EMP,
+        [
+            ("Mary", "R&D", 6),
+            ("Mary", "IT", 5),   # conflicting report for Mary
+            ("John", "PR", 4),
+        ],
+    )
+    dept = RelationInstance.from_values(
+        DEPT,
+        [
+            ("R&D", "Mary", 3),
+            ("R&D", "John", 2),  # conflicting head for R&D
+            ("PR", "Zoe", 1),
+        ],
+    )
+    return Database([emp, dept])
+
+
+class TestMultiRelationRepairs:
+    def test_conflicts_stay_within_relations(self):
+        db = sample_db()
+        graph = build_conflict_graph(db, FDS)
+        assert graph.edge_count == 2
+        for pair in graph.edges():
+            first, second = tuple(pair)
+            assert first.relation == second.relation
+
+    def test_repairs_combine_choices_across_relations(self):
+        db = sample_db()
+        engine = CqaEngine(db, FDS)
+        # 2 choices for Mary × 2 choices for R&D's head.
+        assert len(engine.repairs()) == 4
+        for repair in engine.repairs():
+            rebuilt = Database.from_rows(db.schema, repair)
+            assert len(rebuilt.relation("Emp")) == 2
+            assert len(rebuilt.relation("Dept")) == 2
+
+    def test_cross_relation_priorities(self):
+        db = sample_db()
+        graph = build_conflict_graph(db, FDS)
+        # Prefer higher Level for Emp conflicts and higher Floor for Dept.
+        def rank(row):
+            return row["Level"] if row.relation == "Emp" else row["Floor"]
+
+        priority = priority_from_ranking(graph, rank)
+        engine = CqaEngine(db, FDS, priority, Family.GLOBAL)
+        (repair,) = engine.repairs()
+        rebuilt = Database.from_rows(db.schema, repair)
+        assert ("Mary", "R&D", 6) in {
+            tuple(row.values) for row in rebuilt.relation("Emp")
+        }
+        assert ("R&D", "Mary", 3) in {
+            tuple(row.values) for row in rebuilt.relation("Dept")
+        }
+
+
+class TestCrossRelationQueries:
+    def test_join_query_under_preferences(self):
+        db = sample_db()
+        graph = build_conflict_graph(db, FDS)
+        priority = priority_from_ranking(
+            graph,
+            lambda row: row["Level"] if row.relation == "Emp" else row["Floor"],
+        )
+        engine = CqaEngine(db, FDS, priority, Family.GLOBAL)
+        # "Is Mary in a department she heads?"
+        query = (
+            "EXISTS d, lv, fl . Emp(Mary, d, lv) AND Dept(d, Mary, fl)"
+        )
+        assert engine.answer(query).verdict is Verdict.TRUE
+
+    def test_join_query_classically_undetermined(self):
+        db = sample_db()
+        engine = CqaEngine(db, FDS)
+        query = "EXISTS d, lv, fl . Emp(Mary, d, lv) AND Dept(d, Mary, fl)"
+        assert engine.answer(query).verdict is Verdict.UNDETERMINED
+
+    def test_sql_join_certain_answers(self):
+        db = sample_db()
+        graph = build_conflict_graph(db, FDS)
+        priority = priority_from_ranking(
+            graph,
+            lambda row: row["Level"] if row.relation == "Emp" else row["Floor"],
+        )
+        engine = CqaEngine(db, FDS, priority, Family.GLOBAL)
+        result = engine.sql_certain_answers(
+            "SELECT e.Name, d.Head FROM Emp e, Dept d WHERE e.Dept = d.Dept"
+        )
+        assert ("Mary", "Mary") in result.certain
+
+    def test_unconstrained_relation_passes_through(self):
+        db = sample_db()
+        engine = CqaEngine(db, FDS)
+        assert engine.answer("Dept('PR', Zoe, 1)").verdict is Verdict.TRUE
