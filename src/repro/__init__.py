@@ -84,8 +84,13 @@ from repro.core import (
     preferred_repairs,
 )
 from repro.cqa import ClosedAnswer, CqaEngine, OpenAnswers, Verdict
+from repro.incremental import (
+    DynamicConflictGraph,
+    GraphDelta,
+    IncrementalCqaEngine,
+)
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "Attribute",
@@ -100,9 +105,12 @@ __all__ = [
     "Database",
     "DatabaseSchema",
     "DenialConstraint",
+    "DynamicConflictGraph",
     "Family",
     "Formula",
     "FunctionalDependency",
+    "GraphDelta",
+    "IncrementalCqaEngine",
     "NonConflictingPriorityError",
     "OpenAnswers",
     "Priority",

@@ -97,19 +97,65 @@ def _build_setting(args: argparse.Namespace):
         column = args.prefer_new
         priority = priority_from_ranking(graph, lambda row: row[column])
     elif args.prefer_source:
-        if not args.source_order:
-            raise SystemExit("--prefer-source requires --source-order")
-        pairs = []
-        for chunk in args.source_order.split(","):
-            better, _, worse = chunk.partition(">")
-            if not worse:
-                raise SystemExit(f"bad --source-order chunk {chunk!r}")
-            pairs.append((better.strip(), worse.strip()))
         column = args.prefer_source
         priority = priority_from_source_reliability(
-            graph, {row: row[column] for row in graph.vertices}, pairs
+            graph,
+            {row: row[column] for row in graph.vertices},
+            _parse_source_order(args),
         )
     return instance, dependencies, graph, priority
+
+
+def _parse_source_order(args: argparse.Namespace):
+    """``"s1>s3,s2>s3"`` → [(better, worse), ...]."""
+    if not args.source_order:
+        raise SystemExit("--prefer-source requires --source-order")
+    pairs = []
+    for chunk in args.source_order.split(","):
+        better, _, worse = chunk.partition(">")
+        if not worse:
+            raise SystemExit(f"bad --source-order chunk {chunk!r}")
+        pairs.append((better.strip(), worse.strip()))
+    return pairs
+
+
+def _session_orientation_rule(args: argparse.Namespace):
+    """The CLI priority flags as a rule applicable to *new* conflicts.
+
+    ``_build_setting`` orients only the conflicts of the loaded
+    instance; a session keeps creating conflicts via ``+`` lines, so
+    the same preference must be re-applied to every delta edge or the
+    session would silently diverge from ``repro cqa`` on the final
+    instance.  Returns ``None`` when no preference flags are given.
+    """
+    if args.prefer_new:
+        column = args.prefer_new
+
+        def orient(first, second):
+            rank_first, rank_second = first[column], second[column]
+            if rank_first == rank_second:
+                return None
+            return (
+                (first, second) if rank_first > rank_second else (second, first)
+            )
+
+        return orient
+    if args.prefer_source:
+        from repro.priorities.builders import _transitive_closure
+
+        closure = _transitive_closure(_parse_source_order(args))
+        column = args.prefer_source
+
+        def orient(first, second):
+            src_first, src_second = first[column], second[column]
+            if (src_first, src_second) in closure:
+                return first, second
+            if (src_second, src_first) in closure:
+                return second, first
+            return None
+
+        return orient
+    return None
 
 
 def _cmd_conflicts(args: argparse.Namespace) -> int:
@@ -195,6 +241,153 @@ def _cmd_aggregate(args: argparse.Namespace) -> int:
     return 0
 
 
+def _parse_session_values(schema, payload: str):
+    """Parse ``v1, v2, ...`` against the relation schema's types.
+
+    Raises a :class:`~repro.exceptions.ReproError` subclass so the
+    session loop can report the offending script line.
+    """
+    from repro.exceptions import UpdateError
+
+    fields = [field.strip() for field in payload.split(",")]
+    if len(fields) != len(schema.attributes):
+        raise UpdateError(
+            f"expected {len(schema.attributes)} values for {schema.name}, "
+            f"got {len(fields)}: {payload!r}"
+        )
+    return [
+        attribute.type.parse(field)
+        for attribute, field in zip(schema.attributes, fields)
+    ]
+
+
+def _cmd_session(args: argparse.Namespace) -> int:
+    """Run a ``+``/``-``/``?`` update-and-query script incrementally."""
+    import json
+
+    from repro.exceptions import ReproError
+    from repro.incremental import IncrementalCqaEngine
+    from repro.relational.rows import Row
+
+    instance, dependencies, graph, priority = _build_setting(args)
+    family = _FAMILY_CODES[args.family]
+    engine = IncrementalCqaEngine(instance, dependencies, priority.edges, family)
+    orient = _session_orientation_rule(args)
+    schema = instance.schema
+    if args.script and args.script != "-":
+        with open(args.script, "r", encoding="utf-8") as handle:
+            lines = handle.readlines()
+    else:
+        lines = sys.stdin.readlines()
+    events = []
+    for number, raw in enumerate(lines, start=1):
+        line = raw.strip()
+        if not line or line.startswith("#"):
+            continue
+        op, payload = line[0], line[1:].strip()
+        try:
+            if op == "+":
+                values = _parse_session_values(schema, payload)
+                delta = engine.insert(Row(schema, values))
+                if orient is not None:
+                    # Extend the declared priority to the new conflicts,
+                    # mirroring what --prefer-* did for the initial load.
+                    for pair in delta.added_edges:
+                        oriented = orient(*tuple(pair))
+                        if oriented is not None:
+                            engine.prefer(*oriented)
+                events.append(
+                    {
+                        "op": "insert",
+                        "line": number,
+                        "values": values,
+                        "applied": not delta.is_noop,
+                        "new_conflicts": len(delta.added_edges),
+                        "tuples": engine.graph.vertex_count,
+                        "conflicts": engine.graph.edge_count,
+                    }
+                )
+            elif op == "-":
+                values = _parse_session_values(schema, payload)
+                delta = engine.delete(Row(schema, values))
+                events.append(
+                    {
+                        "op": "delete",
+                        "line": number,
+                        "values": values,
+                        "applied": True,
+                        "removed_conflicts": len(delta.removed_edges),
+                        "tuples": engine.graph.vertex_count,
+                        "conflicts": engine.graph.edge_count,
+                    }
+                )
+            elif op == "?":
+                from repro.query.parser import parse_query
+
+                formula = parse_query(payload)
+                if formula.is_closed:
+                    answer = engine.answer(formula)
+                    events.append(
+                        {
+                            "op": "query",
+                            "line": number,
+                            "query": payload,
+                            "family": str(family),
+                            "verdict": answer.verdict.value,
+                            "repairs_considered": answer.repairs_considered,
+                            "satisfying": answer.satisfying,
+                        }
+                    )
+                else:
+                    result = engine.certain_answers(formula)
+                    events.append(
+                        {
+                            "op": "query",
+                            "line": number,
+                            "query": payload,
+                            "family": str(family),
+                            "variables": list(result.variables),
+                            "certain": sorted(map(list, result.certain)),
+                            "possible": sorted(map(list, result.possible)),
+                            "repairs_considered": result.repairs_considered,
+                        }
+                    )
+            else:
+                raise SystemExit(
+                    f"line {number}: expected '+', '-' or '?', got {line!r}"
+                )
+        except ReproError as exc:
+            raise SystemExit(f"line {number}: {exc}")
+    if args.json:
+        print(json.dumps({"events": events, "summary": engine.summary()}, default=str))
+    else:
+        for event in events:
+            if event["op"] == "insert":
+                print(
+                    f"+ {event['values']} -> {event['new_conflicts']} new conflict(s), "
+                    f"{event['tuples']} tuples"
+                )
+            elif event["op"] == "delete":
+                print(
+                    f"- {event['values']} -> {event['removed_conflicts']} conflict(s) removed, "
+                    f"{event['tuples']} tuples"
+                )
+            elif "verdict" in event:
+                print(
+                    f"? {event['query']} [{event['family']}] = {event['verdict']} "
+                    f"({event['satisfying']}/{event['repairs_considered']} repairs)"
+                )
+            else:
+                certain = ", ".join(str(tuple(a)) for a in event["certain"]) or "(none)"
+                print(f"? {event['query']} [{event['family']}] certain: {certain}")
+        summary = engine.summary()
+        print(
+            f"session end: {summary['tuples']} tuples, {summary['conflicts']} conflicts, "
+            f"{summary['updates_applied']} updates applied"
+        )
+    return 0
+
+
 def _cmd_examples(args: argparse.Namespace) -> int:
     from repro.core.families import family_chain
     from repro.datagen import paper_instances
@@ -259,6 +452,28 @@ def build_parser() -> argparse.ArgumentParser:
         help="use the PTIME single-key closed form (classic Rep only)",
     )
     aggregate.set_defaults(handler=_cmd_aggregate)
+
+    session = subparsers.add_parser(
+        "session",
+        help="incremental update-and-query session over one instance",
+        description=(
+            "Load an instance, then apply a script (file via --script, or "
+            "stdin) of lines: '+ v1, v2, ...' inserts a tuple, "
+            "'- v1, v2, ...' deletes one, '? QUERY' answers a first-order "
+            "query (closed: verdict; open: certain answers).  One "
+            "IncrementalCqaEngine serves the whole session, so repeated "
+            "queries reuse per-component repair caches across updates."
+        ),
+    )
+    _add_data_arguments(session)
+    session.add_argument("--family", choices=_FAMILY_CODES, default="Rep")
+    session.add_argument(
+        "--script", help="script file ('-' or omitted reads stdin)"
+    )
+    session.add_argument(
+        "--json", action="store_true", help="emit events + summary as JSON"
+    )
+    session.set_defaults(handler=_cmd_session)
 
     examples = subparsers.add_parser("examples", help="show the paper's examples")
     examples.add_argument("--name", help="scenario name (default: all)")

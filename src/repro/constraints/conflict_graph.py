@@ -126,17 +126,35 @@ class ConflictGraph:
                 return False
         return True
 
+    def __len__(self) -> int:
+        return len(self.vertices)
+
+    def __contains__(self, row: object) -> bool:
+        return row in self.vertices
+
     # Derived graphs -----------------------------------------------------------
 
     def induced(self, rows: AbstractSet[Row]) -> "ConflictGraph":
-        """The subgraph induced by ``rows``."""
+        """The subgraph induced by ``rows``.
+
+        This sits on the enumeration hot path (component factoring
+        induces one subgraph per component), so it avoids the
+        constructor's endpoint re-validation: adjacency is restricted
+        directly, and inducing on the full vertex set returns ``self``
+        (the graph is immutable, sharing is safe).
+        """
         rows = frozenset(rows) & self.vertices
-        labels = {
-            pair: fds
-            for pair, fds in self._labels.items()
-            if pair <= rows
+        if rows == self.vertices:
+            return self
+        subgraph = ConflictGraph.__new__(ConflictGraph)
+        subgraph.vertices = rows
+        subgraph._adjacency = {
+            vertex: self._adjacency[vertex] & rows for vertex in rows
         }
-        return ConflictGraph(rows, labels)
+        subgraph._labels = {
+            pair: fds for pair, fds in self._labels.items() if pair <= rows
+        }
+        return subgraph
 
     def connected_components(self) -> List[FrozenSet[Row]]:
         """Connected components (conflicts decompose across components)."""

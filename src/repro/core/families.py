@@ -32,8 +32,8 @@ from repro.core.optimality import (
 )
 from repro.priorities.priority import Priority, empty_priority
 from repro.relational.instance import RelationInstance
-from repro.relational.rows import Row, sorted_rows
-from repro.repairs.enumerate import enumerate_repairs
+from repro.relational.rows import Row
+from repro.repairs.enumerate import enumerate_repairs, repair_sort_key
 
 Repair = FrozenSet[Row]
 
@@ -79,7 +79,7 @@ def preferred_repairs(
         selected = globally_optimal_repairs(priority, pool)
     else:  # pragma: no cover - exhaustive enum
         raise ValueError(f"unknown family {family!r}")
-    return sorted(selected, key=lambda repair: sorted_rows(repair).__repr__())
+    return sorted(selected, key=repair_sort_key)
 
 
 def is_preferred_repair(

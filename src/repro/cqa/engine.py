@@ -43,7 +43,7 @@ from repro.query.sql import sql_to_formula
 from repro.relational.database import Database
 from repro.relational.instance import RelationInstance
 from repro.relational.rows import Row
-from repro.repairs.enumerate import enumerate_repairs
+from repro.repairs.enumerate import enumerate_repairs, repair_sort_key
 
 Repair = FrozenSet[Row]
 
@@ -93,15 +93,27 @@ class CqaEngine:
         return self._repair_cache[family]
 
     def _stream_repairs(self, family: Family) -> Iterator[Repair]:
-        """Preferred repairs with early-exit-friendly streaming."""
+        """Preferred repairs with early-exit-friendly streaming.
+
+        A stream that runs to completion has seen the whole family, so
+        it populates :attr:`_repair_cache` — repeated ``answer()`` calls
+        must not re-run Bron–Kerbosch.  Early-exited streams (a
+        counterexample was found) leave the cache untouched.
+        """
         if family in self._repair_cache:
             yield from self._repair_cache[family]
             return
         if family in _STREAMING_FILTERS:
             accept = _STREAMING_FILTERS[family]
+            collected: List[Repair] = []
             for repair in enumerate_repairs(self.graph):
                 if accept(repair, self.priority):
+                    collected.append(repair)
                     yield repair
+            # Store in the deterministic order repairs() promises.
+            self._repair_cache.setdefault(
+                family, sorted(collected, key=repair_sort_key)
+            )
             return
         # G and C need global information; materialize through the cache.
         yield from self.repairs(family)

@@ -63,3 +63,7 @@ class NonConflictingPriorityError(PriorityError):
 
 class CleaningError(ReproError):
     """Raised when Algorithm 1 cannot proceed (e.g. bad restriction set)."""
+
+
+class UpdateError(ReproError):
+    """Raised by the incremental subsystem on invalid instance updates."""

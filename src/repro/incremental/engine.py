@@ -1,0 +1,664 @@
+"""The mutable counterpart of :class:`repro.cqa.engine.CqaEngine`.
+
+:class:`IncrementalCqaEngine` serves the same preferred-CQA semantics
+(Definition 3, all five repair families) over an instance that evolves
+tuple by tuple.  Three layers make re-answering after an update cheap:
+
+1. the conflict graph is a :class:`DynamicConflictGraph` — an
+   ``insert``/``delete`` recomputes only the affected FD buckets and
+   components, never the whole graph;
+2. repairs are cached **per connected component** and keyed by content
+   fingerprints, so an update invalidates exactly the merged or split
+   components and every other component's repair set is reused;
+3. safe conjunctive queries are answered from an incrementally
+   maintained witness index: the engine checks which per-component
+   fragment choices cover a witness support instead of materializing
+   the (exponentially large) cross-product of repairs.
+
+Priority edges are *declared*, not frozen: an edge whose endpoints stop
+conflicting after an update is silently deactivated (and reactivates if
+the conflict returns) instead of raising ``QueryError`` the way the
+immutable engine's constructor would.
+"""
+
+from __future__ import annotations
+
+from itertools import product
+from typing import (
+    Dict,
+    FrozenSet,
+    Iterable,
+    Iterator,
+    List,
+    Optional,
+    Sequence,
+    Set,
+    Tuple,
+    Union,
+)
+
+from repro.constraints.fd import FunctionalDependency
+from repro.core.families import Family
+from repro.cqa.answers import ClosedAnswer, OpenAnswers, Verdict
+from repro.exceptions import CyclicPriorityError, QueryError, SchemaError
+from repro.priorities.priority import Priority, PriorityEdge
+from repro.query.ast import Formula
+from repro.query.evaluator import answers as evaluate_answers
+from repro.query.evaluator import evaluate
+from repro.query.parser import parse_query
+from repro.query.sql import sql_to_formula
+from repro.query.validate import check_against_schema
+from repro.relational.database import Database
+from repro.relational.instance import RelationInstance
+from repro.relational.rows import Row
+from repro.relational.schema import DatabaseSchema, RelationSchema
+from repro.repairs.enumerate import repair_sort_key
+
+from repro.incremental.cache import ComponentRepairCache
+from repro.incremental.dynamic_graph import DynamicConflictGraph, GraphDelta
+from repro.incremental.witnesses import (
+    ConjunctivePlan,
+    WitnessIndex,
+    conjunctive_plan,
+)
+
+Repair = FrozenSet[Row]
+
+#: Key of a cached witness index: the formula plus the answer columns.
+_WitnessKey = Tuple[Formula, Tuple[str, ...]]
+
+
+def _digraph_has_cycle(edges: Iterable[PriorityEdge]) -> bool:
+    """Cycle check on raw (winner, loser) pairs, no graph needed."""
+    adjacency: Dict[Row, Set[Row]] = {}
+    for winner, loser in edges:
+        adjacency.setdefault(winner, set()).add(loser)
+    WHITE, GREY, BLACK = 0, 1, 2
+    colour: Dict[Row, int] = {}
+
+    def visit(start: Row) -> bool:
+        stack: List[Tuple[Row, Iterator[Row]]] = [
+            (start, iter(adjacency.get(start, ())))
+        ]
+        colour[start] = GREY
+        while stack:
+            vertex, children = stack[-1]
+            advanced = False
+            for child in children:
+                state = colour.get(child, WHITE)
+                if state == GREY:
+                    return True
+                if state == WHITE:
+                    colour[child] = GREY
+                    stack.append((child, iter(adjacency.get(child, ()))))
+                    advanced = True
+                    break
+            if not advanced:
+                colour[vertex] = BLACK
+                stack.pop()
+        return False
+
+    return any(
+        colour.get(vertex, WHITE) == WHITE and visit(vertex)
+        for vertex in adjacency
+    )
+
+
+class IncrementalCqaEngine:
+    """Preferred consistent query answering over a mutable instance."""
+
+    def __init__(
+        self,
+        data: Union[RelationInstance, Database, Iterable[Row], None] = None,
+        dependencies: Sequence[FunctionalDependency] = (),
+        priority: Union[Priority, Iterable[PriorityEdge], None] = None,
+        family: Family = Family.REP,
+        cache_entries: int = 4096,
+        witness_indexes: int = 32,
+    ) -> None:
+        self.dependencies = tuple(dependencies)
+        self.family = family
+        self._schemas: Dict[str, RelationSchema] = {}
+        self._db_schema: Optional[DatabaseSchema] = None
+        rows: List[Row] = []
+        if isinstance(data, RelationInstance):
+            self._register_schema(data.schema)
+            rows = list(data.rows)
+        elif isinstance(data, Database):
+            for instance in data:
+                self._register_schema(instance.schema)
+            rows = list(data.all_rows())
+        elif data is not None:
+            rows = list(data)
+        self.graph = DynamicConflictGraph(dependencies=self.dependencies)
+        self._rows_by_relation: Dict[str, Set[Row]] = {}
+        self._cache = ComponentRepairCache(max_entries=cache_entries)
+        if witness_indexes < 1:
+            raise ValueError("witness_indexes must be positive")
+        self._max_witness_indexes = witness_indexes
+        self._witnesses: Dict[_WitnessKey, WitnessIndex] = {}
+        if isinstance(priority, Priority):
+            declared: Tuple[PriorityEdge, ...] = tuple(priority.edges)
+        else:
+            declared = tuple(priority or ())
+        if _digraph_has_cycle(declared):
+            raise CyclicPriorityError("declared priority contains a cycle")
+        self._declared: List[PriorityEdge] = list(declared)
+        # Declared rows carry schemas even before they are inserted, so
+        # queries can be validated against relations known only from
+        # the priority (or from rows deleted down to an empty relation).
+        for winner, loser in self._declared:
+            self._register_schema(winner.schema)
+            self._register_schema(loser.schema)
+        self.updates_applied = 0
+        for row in rows:
+            self._apply_insert(row)
+
+    # Schema handling ----------------------------------------------------------
+
+    def _register_schema(self, schema: RelationSchema) -> None:
+        known = self._schemas.get(schema.name)
+        if known is None:
+            self._schemas[schema.name] = schema
+            self._db_schema = None
+        elif (known.name, known.attributes) != (schema.name, schema.attributes):
+            raise SchemaError(
+                f"conflicting schemas for relation {schema.name!r}"
+            )
+
+    @property
+    def schema(self) -> DatabaseSchema:
+        if self._db_schema is None:
+            self._db_schema = DatabaseSchema(self._schemas.values())
+        return self._db_schema
+
+    # Updates ------------------------------------------------------------------
+
+    def _apply_insert(self, row: Row) -> GraphDelta:
+        self._register_schema(row.schema)
+        delta = self.graph.insert(row)
+        if delta.is_noop:
+            return delta
+        self._rows_by_relation.setdefault(row.relation, set()).add(row)
+        for index in self._witnesses.values():
+            index.apply_insert(row, self._rows_by_relation)
+        return delta
+
+    def insert(self, row: Row) -> GraphDelta:
+        """Add a tuple; returns the conflict-graph delta (no-op if present)."""
+        delta = self._apply_insert(row)
+        if not delta.is_noop:
+            self.updates_applied += 1
+        return delta
+
+    def delete(self, row: Row) -> GraphDelta:
+        """Remove a tuple; raises :class:`UpdateError` if absent."""
+        delta = self.graph.delete(row)
+        self._rows_by_relation[row.relation].discard(row)
+        for index in self._witnesses.values():
+            index.apply_delete(row)
+        self.updates_applied += 1
+        return delta
+
+    def batch_update(
+        self, inserts: Iterable[Row] = (), deletes: Iterable[Row] = ()
+    ) -> List[GraphDelta]:
+        """Apply ``deletes`` then ``inserts``, returning one delta each."""
+        deltas = [self.delete(row) for row in deletes]
+        deltas.extend(self.insert(row) for row in inserts)
+        return deltas
+
+    def prefer(self, winner: Row, loser: Row) -> None:
+        """Declare ``winner ≻ loser``.
+
+        The edge participates whenever the two tuples conflict in the
+        *current* graph and is dormant otherwise; the declared relation
+        must stay acyclic as a digraph, so no activation pattern can
+        ever produce a cyclic priority.
+        """
+        if (winner, loser) in self._declared:
+            return
+        candidate = self._declared + [(winner, loser)]
+        if _digraph_has_cycle(candidate):
+            raise CyclicPriorityError(
+                f"declaring {winner!r} over {loser!r} creates a priority cycle"
+            )
+        self._declared = candidate
+        self._register_schema(winner.schema)
+        self._register_schema(loser.schema)
+
+    # Priority projection ------------------------------------------------------
+
+    def active_priority_edges(self) -> FrozenSet[PriorityEdge]:
+        """Declared edges whose endpoints conflict in the current graph."""
+        return frozenset(
+            (winner, loser)
+            for winner, loser in self._declared
+            if self.graph.are_conflicting(winner, loser)
+        )
+
+    def _component_edges(
+        self, component: FrozenSet[Row]
+    ) -> FrozenSet[PriorityEdge]:
+        return frozenset(
+            (winner, loser)
+            for winner, loser in self._declared
+            if winner in component
+            and loser in component
+            and self.graph.are_conflicting(winner, loser)
+        )
+
+    # Fragment assembly --------------------------------------------------------
+
+    def _fragment_table(
+        self, family: Family
+    ) -> Tuple[List[FrozenSet[Row]], List[List[Repair]]]:
+        """Per component (deterministic order): its preferred fragments."""
+        components = self.graph.connected_components()
+        fragments = [
+            self._cache.preferred_fragments(
+                self.graph, component, family, self._component_edges(component)
+            )
+            for component in components
+        ]
+        return components, fragments
+
+    def _iterate_repairs(
+        self, fragments: List[List[Repair]]
+    ) -> Iterator[Repair]:
+        """Lazy cross-product of one fragment per component."""
+        if not fragments:
+            yield frozenset()
+            return
+        for combo in product(*fragments):
+            yield frozenset().union(*combo)
+
+    def repairs(self, family: Optional[Family] = None) -> List[Repair]:
+        """Materialized preferred repairs (mind the cross-product size)."""
+        _, fragments = self._fragment_table(family or self.family)
+        return sorted(self._iterate_repairs(fragments), key=repair_sort_key)
+
+    def count_repairs(self, family: Optional[Family] = None) -> int:
+        """Number of preferred repairs, as a product over components."""
+        _, fragments = self._fragment_table(family or self.family)
+        total = 1
+        for options in fragments:
+            total *= len(options)
+        return total
+
+    # Query plumbing -----------------------------------------------------------
+
+    def _to_formula(self, query: Union[str, Formula]) -> Formula:
+        formula = parse_query(query) if isinstance(query, str) else query
+        return check_against_schema(formula, self.schema)
+
+    def _witness_index(
+        self, formula: Formula, variables: Tuple[str, ...]
+    ) -> Optional[WitnessIndex]:
+        key: _WitnessKey = (formula, variables)
+        cached = self._witnesses.get(key)
+        if cached is not None:
+            return cached
+        plan = conjunctive_plan(formula, variables)
+        if plan is None:
+            return None
+        index = WitnessIndex(plan, self._rows_by_relation)
+        # Each live index pays a semi-naive join on every update, so the
+        # working set is bounded FIFO; an evicted query simply rebuilds
+        # its witnesses on next use.
+        if len(self._witnesses) >= self._max_witness_indexes:
+            self._witnesses.pop(next(iter(self._witnesses)))
+        self._witnesses[key] = index
+        return index
+
+    # Covering machinery (conjunctive fast path) -------------------------------
+
+    def _compatibility(
+        self,
+        supports: Iterable[FrozenSet[Row]],
+        components: List[FrozenSet[Row]],
+        fragments: List[List[Repair]],
+    ) -> Tuple[Optional[List[int]], Optional[List[Dict[int, FrozenSet[int]]]], bool]:
+        """Reduce supports to per-component fragment constraints.
+
+        Returns ``(relevant, compat, always)`` where ``relevant`` lists
+        the indexes of multi-fragment components constrained by some
+        support, ``compat[s][c]`` is the set of fragment indexes of
+        component ``c`` containing support ``s``'s rows there, and
+        ``always`` flags a support satisfied by *every* repair (then the
+        other two are ``None``).  Supports impossible under the fixed
+        single-fragment components are dropped.
+        """
+        index_of_component = {
+            self.graph.component_id_of(next(iter(component))): position
+            for position, component in enumerate(components)
+        }
+        by_component: List[Dict[int, FrozenSet[int]]] = []
+        relevant: Set[int] = set()
+        for support in supports:
+            needed: Dict[int, Set[Row]] = {}
+            for row in support:
+                needed.setdefault(self.graph.component_id_of(row), set()).add(row)
+            constraints: Dict[int, FrozenSet[int]] = {}
+            dead = False
+            for component_id, rows_here in needed.items():
+                comp_index = index_of_component[component_id]
+                options = fragments[comp_index]
+                compatible = frozenset(
+                    pos
+                    for pos, fragment in enumerate(options)
+                    if rows_here <= fragment
+                )
+                if not compatible:
+                    dead = True
+                    break
+                if len(compatible) < len(options):
+                    constraints[comp_index] = compatible
+            if dead:
+                continue
+            if not constraints:
+                return None, None, True
+            by_component.append(constraints)
+            relevant.update(constraints)
+        return sorted(relevant), by_component, False
+
+    @staticmethod
+    def _clusters(
+        relevant: List[int], compat: List[Dict[int, FrozenSet[int]]]
+    ) -> List[Tuple[List[int], List[Dict[int, FrozenSet[int]]]]]:
+        """Group the relevant components into support-linked clusters.
+
+        Two components belong to one cluster when some support constrains
+        both.  A repair choice falsifies the query iff it misses every
+        support, and supports are cluster-local, so *uncovered* choice
+        counts multiply across clusters — the covering check enumerates
+        each cluster's (usually tiny) choice space instead of the
+        cross-product over all relevant components.
+        """
+        parent: Dict[int, int] = {index: index for index in relevant}
+
+        def find(index: int) -> int:
+            while parent[index] != index:
+                parent[index] = parent[parent[index]]
+                index = parent[index]
+            return index
+
+        for constraints in compat:
+            anchor, *others = constraints
+            for other in others:
+                root_a, root_b = find(anchor), find(other)
+                if root_a != root_b:
+                    parent[root_a] = root_b
+        members: Dict[int, List[int]] = {}
+        for index in relevant:
+            members.setdefault(find(index), []).append(index)
+        clusters = []
+        for root, comp_indexes in sorted(members.items()):
+            cluster_supports = [
+                constraints
+                for constraints in compat
+                if find(next(iter(constraints))) == root
+            ]
+            clusters.append((sorted(comp_indexes), cluster_supports))
+        return clusters
+
+    @staticmethod
+    def _cluster_uncovered(
+        comp_indexes: List[int],
+        cluster_supports: List[Dict[int, FrozenSet[int]]],
+        fragments: List[List[Repair]],
+        count_all: bool,
+    ) -> Tuple[int, Optional[Dict[int, int]]]:
+        """Uncovered choice count within one cluster (+ one witness choice).
+
+        With ``count_all=False`` stops at the first uncovered choice
+        (enough for boolean certainty checks).
+        """
+        option_ranges = [range(len(fragments[c])) for c in comp_indexes]
+        uncovered = 0
+        witness: Optional[Dict[int, int]] = None
+        for combo in product(*option_ranges):
+            chosen = dict(zip(comp_indexes, combo))
+            covered = any(
+                all(chosen[c] in allowed for c, allowed in constraints.items())
+                for constraints in cluster_supports
+            )
+            if not covered:
+                uncovered += 1
+                if witness is None:
+                    witness = chosen
+                if not count_all:
+                    break
+        return uncovered, witness
+
+    def _assemble_repair(
+        self, choices: Dict[int, int], fragments: List[List[Repair]]
+    ) -> Repair:
+        """A full repair from per-component fragment choices (default 0)."""
+        parts = [
+            fragments[index][choices.get(index, 0)]
+            for index in range(len(fragments))
+        ]
+        return frozenset().union(*parts) if parts else frozenset()
+
+    # Closed queries -----------------------------------------------------------
+
+    def answer(
+        self, query: Union[str, Formula], family: Optional[Family] = None
+    ) -> ClosedAnswer:
+        """Three-valued verdict with exact satisfying/considered counts."""
+        family = family or self.family
+        formula = self._to_formula(query)
+        if not formula.is_closed:
+            raise QueryError("answer() requires a closed formula")
+        components, fragments = self._fragment_table(family)
+        total = 1
+        for options in fragments:
+            total *= len(options)
+        if total == 0:
+            # Cannot happen for P1-respecting families; defensive only.
+            return ClosedAnswer(family, Verdict.UNDETERMINED, 0, 0, None)
+        index = self._witness_index(formula, ())
+        if index is None:
+            return self._answer_by_enumeration(formula, family, fragments)
+        supports = index.supports_for(())
+        relevant, compat, always = self._compatibility(
+            supports, components, fragments
+        )
+        if always:
+            return ClosedAnswer(family, Verdict.TRUE, total, total, None)
+        if not compat:
+            return ClosedAnswer(
+                family, Verdict.FALSE, total, 0, self._assemble_repair({}, fragments)
+            )
+        scale = total
+        for comp_index in relevant:
+            scale //= len(fragments[comp_index])
+        uncovered_product = 1
+        witness_choices: Dict[int, int] = {}
+        for comp_indexes, cluster_supports in self._clusters(relevant, compat):
+            uncovered, witness = self._cluster_uncovered(
+                comp_indexes, cluster_supports, fragments, count_all=True
+            )
+            uncovered_product *= uncovered
+            if witness is not None:
+                witness_choices.update(witness)
+        satisfying = total - uncovered_product * scale
+        counterexample: Optional[Repair] = None
+        if uncovered_product:
+            counterexample = self._assemble_repair(witness_choices, fragments)
+        if satisfying == total:
+            verdict = Verdict.TRUE
+        elif satisfying == 0:
+            verdict = Verdict.FALSE  # pragma: no cover - needs zero supports
+        else:
+            verdict = Verdict.UNDETERMINED
+        return ClosedAnswer(family, verdict, total, satisfying, counterexample)
+
+    def _answer_by_enumeration(
+        self, formula: Formula, family: Family, fragments: List[List[Repair]]
+    ) -> ClosedAnswer:
+        """Fallback for non-conjunctive queries: evaluate per repair."""
+        considered = 0
+        satisfying = 0
+        counterexample: Optional[Repair] = None
+        for repair in self._iterate_repairs(fragments):
+            considered += 1
+            if evaluate(formula, repair):
+                satisfying += 1
+            elif counterexample is None:
+                counterexample = repair
+        if considered == 0:
+            verdict = Verdict.UNDETERMINED  # pragma: no cover - defensive
+        elif satisfying == considered:
+            verdict = Verdict.TRUE
+        elif satisfying == 0:
+            verdict = Verdict.FALSE
+        else:
+            verdict = Verdict.UNDETERMINED
+        return ClosedAnswer(family, verdict, considered, satisfying, counterexample)
+
+    def is_consistently_true(
+        self, query: Union[str, Formula], family: Optional[Family] = None
+    ) -> bool:
+        """Definition 3 with early exit on the first uncovered repair."""
+        family = family or self.family
+        formula = self._to_formula(query)
+        if not formula.is_closed:
+            raise QueryError(
+                "closed-query CQA requires a closed formula; "
+                "use certain_answers() for open queries"
+            )
+        components, fragments = self._fragment_table(family)
+        index = self._witness_index(formula, ())
+        if index is None:
+            return all(
+                evaluate(formula, repair)
+                for repair in self._iterate_repairs(fragments)
+            )
+        supports = index.supports_for(())
+        relevant, compat, always = self._compatibility(
+            supports, components, fragments
+        )
+        if always:
+            return True
+        if not compat:
+            return False
+        return any(
+            self._cluster_uncovered(
+                comp_indexes, cluster_supports, fragments, count_all=False
+            )[0]
+            == 0
+            for comp_indexes, cluster_supports in self._clusters(relevant, compat)
+        )
+
+    # Open queries -------------------------------------------------------------
+
+    def certain_answers(
+        self,
+        query: Union[str, Formula],
+        variables: Optional[Tuple[str, ...]] = None,
+        family: Optional[Family] = None,
+    ) -> OpenAnswers:
+        """Certain/possible answer sets of an open query."""
+        family = family or self.family
+        formula = self._to_formula(query)
+        if variables is None:
+            variables = tuple(sorted(formula.free_variables()))
+        components, fragments = self._fragment_table(family)
+        total = 1
+        for options in fragments:
+            total *= len(options)
+        index = self._witness_index(formula, tuple(variables))
+        if index is None or total == 0:
+            return self._certain_answers_by_enumeration(
+                formula, tuple(variables), family, fragments
+            )
+        certain: Set[Tuple] = set()
+        possible: Set[Tuple] = set()
+        for answer in index.answers():
+            relevant, compat, always = self._compatibility(
+                index.supports_for(answer), components, fragments
+            )
+            if always:
+                certain.add(answer)
+                possible.add(answer)
+                continue
+            if not compat:
+                continue
+            # A surviving support is itself contained in some repair
+            # (choose its compatible fragments), so the answer is possible.
+            possible.add(answer)
+            if any(
+                self._cluster_uncovered(
+                    comp_indexes, cluster_supports, fragments, count_all=False
+                )[0]
+                == 0
+                for comp_indexes, cluster_supports in self._clusters(
+                    relevant, compat
+                )
+            ):
+                certain.add(answer)
+        return OpenAnswers(
+            family,
+            tuple(variables),
+            frozenset(certain),
+            frozenset(possible),
+            total,
+        )
+
+    def _certain_answers_by_enumeration(
+        self,
+        formula: Formula,
+        variables: Tuple[str, ...],
+        family: Family,
+        fragments: List[List[Repair]],
+    ) -> OpenAnswers:
+        certain: Optional[FrozenSet[Tuple]] = None
+        possible: FrozenSet[Tuple] = frozenset()
+        considered = 0
+        for repair in self._iterate_repairs(fragments):
+            considered += 1
+            result = evaluate_answers(formula, repair, variables)
+            certain = result if certain is None else certain & result
+            possible = possible | result
+        return OpenAnswers(
+            family,
+            variables,
+            certain if certain is not None else frozenset(),
+            possible,
+            considered,
+        )
+
+    def sql_certain_answers(
+        self, sql: str, family: Optional[Family] = None
+    ) -> OpenAnswers:
+        """Certain answers for a conjunctive SQL query."""
+        formula, variables = sql_to_formula(sql, self.schema)
+        return self.certain_answers(formula, variables, family)
+
+    # Views --------------------------------------------------------------------
+
+    def current_rows(self) -> FrozenSet[Row]:
+        """The instance as it stands after all updates."""
+        return self.graph.vertices
+
+    def current_database(self) -> Database:
+        """The current instance reassembled into a :class:`Database`."""
+        return Database.from_rows(self.schema, self.graph.vertices)
+
+    def summary(self) -> Dict[str, object]:
+        """Snapshot of the engine's inconsistency and cache state."""
+        active = self.active_priority_edges()
+        return {
+            "tuples": self.graph.vertex_count,
+            "conflicts": self.graph.edge_count,
+            "oriented": len(active),
+            "priority_total": len(active) == self.graph.edge_count,
+            "family": str(self.family),
+            "components": self.graph.component_count,
+            "conflict_components": self.graph.conflict_component_count,
+            "updates_applied": self.updates_applied,
+            "cache": self._cache.stats(),
+            "witness_indexes": len(self._witnesses),
+        }

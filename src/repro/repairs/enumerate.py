@@ -27,6 +27,16 @@ from repro.relational.rows import Row, sorted_rows
 Repair = FrozenSet[Row]
 
 
+def repair_sort_key(repair: Repair) -> str:
+    """The canonical listing order for repair collections.
+
+    Every API that materializes repairs (``preferred_repairs``, the
+    engines' ``repairs()``, the component caches) sorts by this one key
+    so cached and freshly-computed lists always interleave identically.
+    """
+    return sorted_rows(repair).__repr__()
+
+
 def _bron_kerbosch_independent(
     graph: ConflictGraph,
     chosen: Set[Row],

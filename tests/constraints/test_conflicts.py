@@ -159,3 +159,46 @@ class TestRendering:
     def test_render_conflict_free(self):
         graph = build_conflict_graph(kv((1, 1)), KEY)
         assert "(no conflicts)" in render_conflict_graph(graph)
+
+
+class TestInducedFastPath:
+    """The enumeration hot path relies on cheap induced subgraphs."""
+
+    def test_inducing_full_vertex_set_returns_self(self):
+        scenario = mgr_scenario()
+        assert scenario.graph.induced(scenario.graph.vertices) is scenario.graph
+        # Also when the requested set is a superset after interning.
+        foreign = Row(scenario.instance.schema, ("Zoe", "HR", 5, 5))
+        assert (
+            scenario.graph.induced(scenario.graph.vertices | {foreign})
+            is scenario.graph
+        )
+
+    def test_induced_subgraph_equals_rebuild(self):
+        scenario = mgr_scenario()
+        keep = scenario.row_set("mary_rd", "john_rd", "john_pr")
+        sub = scenario.graph.induced(keep)
+        rebuilt = build_conflict_graph(
+            scenario.instance.restrict(keep), scenario.dependencies
+        )
+        assert sub == rebuilt
+        for row in keep:
+            assert sub.neighbours(row) == rebuilt.neighbours(row)
+        for pair in rebuilt.edges():
+            assert sub.edge_labels(pair) == scenario.graph.edge_labels(pair)
+
+    def test_induced_chains_restrict_adjacency(self):
+        graph = build_conflict_graph(kv((1, 1), (1, 2), (1, 3)), KEY)
+        two = graph.induced(kv((1, 1), (1, 2)))
+        one = two.induced(kv((1, 1)))
+        assert two.edge_count == 1
+        assert one.edge_count == 0
+        (survivor,) = one.vertices
+        assert one.neighbours(survivor) == frozenset()
+
+    def test_len_and_contains(self):
+        graph = build_conflict_graph(kv((1, 1), (1, 2)), KEY)
+        assert len(graph) == 2
+        row = next(iter(graph.vertices))
+        assert row in graph
+        assert Row(row.schema, (9, 9)) not in graph

@@ -1,0 +1,199 @@
+"""Unit and property tests for the dynamic conflict graph."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.constraints.conflict_graph import build_conflict_graph
+from repro.datagen.generators import GRID_FDS, GRID_SCHEMA
+from repro.exceptions import UpdateError
+from repro.incremental import DynamicConflictGraph
+from repro.relational.rows import Row
+from repro.relational.schema import RelationSchema
+from repro.constraints.fd import FunctionalDependency
+
+from tests.conftest import TWO_FDS, TWO_FD_SCHEMA
+
+
+def kv(a, b):
+    return Row(GRID_SCHEMA, (a, b))
+
+
+def quad(a, b, c, d):
+    return Row(TWO_FD_SCHEMA, (a, b, c, d))
+
+
+class TestSingleOperations:
+    def test_insert_builds_conflicts_from_buckets(self):
+        graph = DynamicConflictGraph(dependencies=GRID_FDS)
+        graph.insert(kv(0, 0))
+        delta = graph.insert(kv(0, 1))
+        assert delta.added_edges == {frozenset({kv(0, 0), kv(0, 1)})}
+        assert graph.are_conflicting(kv(0, 0), kv(0, 1))
+        assert graph.edge_labels(frozenset({kv(0, 0), kv(0, 1)})) == {GRID_FDS[0]}
+
+    def test_same_rhs_rows_do_not_conflict(self):
+        graph = DynamicConflictGraph(dependencies=GRID_FDS)
+        graph.insert(kv(0, 0))
+        delta = graph.insert(kv(1, 0))
+        assert not delta.added_edges
+        assert graph.edge_count == 0
+
+    def test_duplicate_insert_is_noop(self):
+        graph = DynamicConflictGraph([kv(0, 0)], GRID_FDS)
+        delta = graph.insert(kv(0, 0))
+        assert delta.is_noop
+        assert graph.vertex_count == 1
+
+    def test_delete_unknown_row_raises(self):
+        graph = DynamicConflictGraph(dependencies=GRID_FDS)
+        with pytest.raises(UpdateError):
+            graph.delete(kv(9, 9))
+
+    def test_delete_removes_edges_and_buckets(self):
+        graph = DynamicConflictGraph([kv(0, 0), kv(0, 1)], GRID_FDS)
+        delta = graph.delete(kv(0, 1))
+        assert delta.removed_edges == {frozenset({kv(0, 0), kv(0, 1)})}
+        assert graph.edge_count == 0
+        # The bucket no longer knows the deleted row: a later insert
+        # conflicts with the surviving tuple only.
+        delta = graph.insert(kv(0, 2))
+        assert delta.added_edges == {frozenset({kv(0, 0), kv(0, 2)})}
+        assert not any(kv(0, 1) in pair for pair in graph.edges())
+
+    def test_multi_fd_labels(self):
+        graph = DynamicConflictGraph(dependencies=TWO_FDS)
+        graph.insert(quad(0, 0, 0, 0))
+        delta = graph.insert(quad(0, 1, 0, 1))
+        (pair,) = delta.added_edges
+        assert graph.edge_labels(pair) == frozenset(TWO_FDS)
+
+
+class TestComponentTracking:
+    def test_insert_merges_components(self):
+        # (0,0,0,0) and (1,1,1,1) are unrelated; the bridge agrees with
+        # the first on A (differing B) and with the second on C
+        # (differing D), merging both components.
+        left, right = quad(0, 0, 0, 0), quad(1, 1, 1, 1)
+        bridge = quad(0, 1, 1, 0)
+        graph = DynamicConflictGraph([left, right], TWO_FDS)
+        assert graph.component_count == 2
+        delta = graph.insert(bridge)
+        assert graph.component_count == 1
+        assert delta.touched_components == (frozenset({left, right, bridge}),)
+        assert graph.component_of(left) == {left, right, bridge}
+
+    def test_delete_splits_component(self):
+        left, right = quad(0, 0, 0, 0), quad(1, 1, 1, 1)
+        bridge = quad(0, 1, 1, 0)
+        graph = DynamicConflictGraph([left, right, bridge], TWO_FDS)
+        assert graph.component_count == 1
+        delta = graph.delete(bridge)
+        assert graph.component_count == 2
+        assert set(delta.touched_components) == {
+            frozenset({left}),
+            frozenset({right}),
+        }
+        assert graph.component_of(left) == {left}
+
+    def test_components_deterministic_order(self):
+        rows = [kv(2, 0), kv(0, 0), kv(1, 0)]
+        graph = DynamicConflictGraph(rows, GRID_FDS)
+        components = graph.connected_components()
+        assert components == sorted(components, key=min)
+
+    def test_conflict_component_count(self):
+        graph = DynamicConflictGraph(
+            [kv(0, 0), kv(0, 1), kv(1, 0)], GRID_FDS
+        )
+        assert graph.component_count == 2
+        assert graph.conflict_component_count == 1
+
+
+class TestInterop:
+    def test_snapshot_matches_batch_construction(self):
+        rows = [kv(0, 0), kv(0, 1), kv(1, 0), kv(1, 1), kv(2, 0)]
+        dynamic = DynamicConflictGraph(rows, GRID_FDS)
+        assert dynamic.snapshot() == build_conflict_graph(rows, GRID_FDS)
+
+    def test_induced_component_equals_batch_induced(self):
+        rows = [kv(0, 0), kv(0, 1), kv(1, 0)]
+        dynamic = DynamicConflictGraph(rows, GRID_FDS)
+        batch = build_conflict_graph(rows, GRID_FDS)
+        for component in dynamic.connected_components():
+            assert dynamic.induced_component(component) == batch.induced(component)
+
+    def test_container_protocol(self):
+        graph = DynamicConflictGraph([kv(0, 0)], GRID_FDS)
+        assert len(graph) == 1
+        assert kv(0, 0) in graph
+        assert kv(1, 1) not in graph
+
+
+@st.composite
+def operation_sequences(draw):
+    """A random interleaving of inserts and deletes over a small universe."""
+    universe = [
+        quad(a, b, c, d)
+        for a in range(2)
+        for b in range(2)
+        for c in range(2)
+        for d in range(2)
+    ]
+    steps = draw(
+        st.lists(
+            st.tuples(st.integers(0, len(universe) - 1), st.booleans()),
+            min_size=0,
+            max_size=40,
+        )
+    )
+    return universe, steps
+
+
+class TestEquivalenceProperty:
+    @given(operation_sequences())
+    @settings(max_examples=80, deadline=None)
+    def test_any_update_sequence_matches_from_scratch(self, case):
+        """After arbitrary inserts/deletes the dynamic graph equals
+        ``build_conflict_graph`` run from scratch on the final rows —
+        vertices, edges, per-edge labels and components alike."""
+        universe, steps = case
+        dynamic = DynamicConflictGraph(dependencies=TWO_FDS)
+        present = set()
+        for index, is_delete in steps:
+            row = universe[index]
+            if is_delete and row in present:
+                dynamic.delete(row)
+                present.discard(row)
+            elif not is_delete and row not in present:
+                dynamic.insert(row)
+                present.add(row)
+        reference = build_conflict_graph(present, TWO_FDS)
+        assert dynamic.snapshot() == reference
+        for pair in reference.edges():
+            assert dynamic.edge_labels(pair) == reference.edge_labels(pair)
+        assert sorted(dynamic.connected_components(), key=sorted) == sorted(
+            reference.connected_components(), key=sorted
+        )
+
+    @given(operation_sequences())
+    @settings(max_examples=40, deadline=None)
+    def test_component_ids_partition_vertices(self, case):
+        universe, steps = case
+        dynamic = DynamicConflictGraph(dependencies=TWO_FDS)
+        present = set()
+        for index, is_delete in steps:
+            row = universe[index]
+            if is_delete and row in present:
+                dynamic.delete(row)
+                present.discard(row)
+            elif not is_delete and row not in present:
+                dynamic.insert(row)
+                present.add(row)
+        seen = set()
+        for component in dynamic.connected_components():
+            assert not component & seen
+            seen |= component
+            ids = {dynamic.component_id_of(row) for row in component}
+            assert len(ids) == 1
+        assert seen == present

@@ -100,3 +100,43 @@ class TestProperties:
     def test_repairs_capped(self):
         graph = build_conflict_graph(example4_scenario(10).instance, GRID_FDS)
         assert len(repairs_capped(graph, 16)) == 16
+
+
+class TestCappedAndCounted:
+    """Example-4 style coverage for repairs_capped and count_repairs."""
+
+    def test_capped_below_total_stops_early(self):
+        graph = build_conflict_graph(example4_scenario(6).instance, GRID_FDS)
+        capped = repairs_capped(graph, 5)
+        assert len(capped) == 5
+        assert len(set(capped)) == 5
+        for repair in capped:
+            assert is_repair_on_graph(repair, graph)
+
+    def test_capped_above_total_returns_everything(self):
+        graph = build_conflict_graph(example4_scenario(3).instance, GRID_FDS)
+        capped = repairs_capped(graph, 1000)
+        assert sorted(capped, key=repr) == sorted(
+            enumerate_repairs(graph), key=repr
+        )
+
+    def test_capped_at_exact_total(self):
+        graph = build_conflict_graph(example4_scenario(4).instance, GRID_FDS)
+        assert len(repairs_capped(graph, 16)) == 16
+
+    def test_count_scales_without_enumeration_blowup(self):
+        # 2^60 repairs: countable through component factoring although
+        # enumeration could never finish.
+        graph = build_conflict_graph(example4_scenario(60).instance, GRID_FDS)
+        assert count_repairs(graph) == 2**60
+
+    def test_count_with_isolated_tuples(self):
+        instance = grid_instance(3, per_group=1).union(
+            example4_scenario(2).instance
+        )
+        graph = build_conflict_graph(instance, GRID_FDS)
+        assert count_repairs(graph) == 4
+
+    def test_count_empty_graph_is_one(self):
+        graph = build_conflict_graph(grid_instance(0), GRID_FDS)
+        assert count_repairs(graph) == 1
