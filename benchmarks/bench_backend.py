@@ -1,0 +1,167 @@
+"""Benchmark: SQLite-pushed certain answers vs in-memory repair streaming.
+
+Scenario (the file-backed serving workload the backend targets): a
+relation ``R(K, A, B)`` with the dependency ``K -> A`` persisted to a
+SQLite file — ``pairs`` two-class conflict groups (so ``2^pairs``
+repairs) plus a growing body of consistent rows — and the rewritable
+open query *"which (K, A) with A >= 1 are certain?"*.
+
+Two measurements per instance size, both end-to-end **from the file**:
+
+* **sqlite** — construct a :class:`SqlCqaEngine` on the file and run
+  ``certain_answers``; the ConQuer-style rewriting executes as one
+  indexed self-join query inside SQLite, so cost is near-independent of
+  the repair count and sublinear-ish in rows (index scans).
+* **memory** — ``load_database`` + :class:`CqaEngine` +
+  ``certain_answers``; every one of the ``2^pairs`` repairs is
+  materialized and the query evaluated against each, so cost is
+  ``O(2^pairs * rows)``.
+
+Answers are asserted identical at every size.  The final row also
+reports a sqlite-only size the in-memory engine is not asked to touch.
+
+Run directly (``python benchmarks/bench_backend.py``); ``--smoke`` runs
+a seconds-long correctness-focused configuration for CI.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import statistics
+import sys
+import tempfile
+import time
+from typing import List, Tuple
+
+from repro.backend import SqlCqaEngine
+from repro.constraints.fd import FunctionalDependency
+from repro.core.families import Family
+from repro.cqa.engine import CqaEngine
+from repro.query.ast import And, Atom, Comparison, Exists, Var
+from repro.relational.database import Database
+from repro.relational.instance import RelationInstance
+from repro.relational.schema import RelationSchema
+from repro.relational.sqlite_io import load_database, save_database
+
+SCHEMA = RelationSchema("R", ["K", "A:number", "B"])
+FDS = [FunctionalDependency.parse("K -> A", "R")]
+
+#: EXISTS b . R(x, y, b) AND y >= 1  — certain (K, A) pairs with A >= 1.
+QUERY = Exists(
+    ["b"],
+    And([Atom("R", [Var("x"), Var("y"), Var("b")]), Comparison(">=", Var("y"), 1)]),
+)
+VARIABLES = ("x", "y")
+
+
+def build_database(pairs: int, clean_rows: int) -> Database:
+    """``pairs`` two-class conflict groups plus ``clean_rows`` filler."""
+    values: List[Tuple[str, int, str]] = []
+    for index in range(pairs):
+        values.append((f"k{index}", 0, f"p{index}"))
+        values.append((f"k{index}", 1, f"p{index}"))
+    for index in range(clean_rows):
+        values.append((f"c{index}", 1 + index % 50, f"q{index}"))
+    return Database([RelationInstance.from_values(SCHEMA, values)])
+
+
+def persist(database: Database, directory: str, tag: str) -> str:
+    path = os.path.join(directory, f"bench_backend_{tag}.sqlite")
+    save_database(database, path, FDS)
+    return path
+
+
+def time_sqlite(path: str, repeats: int):
+    """End-to-end engine construction + certain answers, from the file."""
+    samples, result = [], None
+    for _ in range(repeats):
+        start = time.perf_counter()
+        with SqlCqaEngine(path, FDS) as engine:
+            result = engine.certain_answers(QUERY, VARIABLES)
+            route = engine.last_route
+        samples.append(time.perf_counter() - start)
+    assert route == "sqlite", f"expected pushdown, got {route!r}"
+    return statistics.median(samples), result
+
+
+def time_memory(path: str):
+    """End-to-end load + engine construction + repair-streamed answers."""
+    start = time.perf_counter()
+    database = load_database(path)
+    engine = CqaEngine(database, FDS, family=Family.REP)
+    result = engine.certain_answers(QUERY, VARIABLES)
+    return time.perf_counter() - start, result
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--pairs", type=int, default=4,
+                        help="conflict groups (2^pairs repairs)")
+    parser.add_argument("--sizes", type=int, nargs="+",
+                        default=[200, 500, 1000],
+                        help="consistent-row counts compared on both engines")
+    parser.add_argument("--sqlite-only-size", type=int, default=200_000,
+                        help="extra size measured on the sqlite backend alone "
+                             "(0 disables)")
+    parser.add_argument("--repeats", type=int, default=5,
+                        help="sqlite timing repeats (median reported)")
+    parser.add_argument("--smoke", action="store_true",
+                        help="small, seconds-long CI configuration")
+    parser.add_argument("--no-assert", action="store_true",
+                        help="report without enforcing the >=10x criterion")
+    args = parser.parse_args(argv)
+
+    if args.smoke:
+        args.pairs, args.sizes, args.sqlite_only_size = 4, [100, 300], 5000
+        args.repeats = 3
+
+    repairs = 2 ** args.pairs
+    print(f"relation R(K, A, B), fd K -> A, {args.pairs} conflict groups "
+          f"({repairs} repairs), query: certain (K, A) with A >= 1")
+
+    speedups: List[float] = []
+    with tempfile.TemporaryDirectory() as directory:
+        for clean_rows in args.sizes:
+            total = clean_rows + 2 * args.pairs
+            path = persist(build_database(args.pairs, clean_rows),
+                           directory, str(clean_rows))
+            sqlite_s, sqlite_result = time_sqlite(path, args.repeats)
+            memory_s, memory_result = time_memory(path)
+            assert sqlite_result.certain == memory_result.certain, (
+                "certain answers diverged at size "
+                f"{total}: {sorted(sqlite_result.certain)[:5]}... vs "
+                f"{sorted(memory_result.certain)[:5]}..."
+            )
+            assert sqlite_result.possible == memory_result.possible, (
+                f"possible answers diverged at size {total}"
+            )
+            speedup = memory_s / sqlite_s
+            speedups.append(speedup)
+            print(f"[{total:>7} rows] memory: {memory_s * 1000:9.1f} ms | "
+                  f"sqlite: {sqlite_s * 1000:7.2f} ms | "
+                  f"speedup: {speedup:7.1f}x | "
+                  f"certain answers: {len(sqlite_result.certain)}")
+
+        if args.sqlite_only_size:
+            clean_rows = args.sqlite_only_size
+            total = clean_rows + 2 * args.pairs
+            path = persist(build_database(args.pairs, clean_rows),
+                           directory, "xl")
+            sqlite_s, sqlite_result = time_sqlite(path, max(2, args.repeats // 2))
+            print(f"[{total:>7} rows] memory:   (not attempted) | "
+                  f"sqlite: {sqlite_s * 1000:7.2f} ms | "
+                  f"certain answers: {len(sqlite_result.certain)}")
+
+    if not args.no_assert and not args.smoke:
+        best = max(speedups)
+        assert best >= 10, (
+            f"best pushed-down speedup {best:.1f}x below the 10x criterion"
+        )
+        print(f"criterion met: >={best:.0f}x speedup with the in-memory "
+              "engine still finishing")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

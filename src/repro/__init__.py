@@ -84,6 +84,7 @@ from repro.core import (
     preferred_repairs,
 )
 from repro.cqa import ClosedAnswer, CqaEngine, OpenAnswers, Verdict
+from repro.backend import SqlCqaEngine, SqliteMirror
 from repro.incremental import (
     DynamicConflictGraph,
     GraphDelta,
@@ -123,6 +124,8 @@ __all__ = [
     "ReproError",
     "Row",
     "SchemaError",
+    "SqlCqaEngine",
+    "SqliteMirror",
     "TypeMismatchError",
     "UnknownAttributeError",
     "UnknownRelationError",

@@ -1,0 +1,210 @@
+"""The SQLite-pushed certain-answer engine.
+
+:class:`SqlCqaEngine` mirrors :class:`~repro.cqa.engine.CqaEngine`'s
+``answer()`` / ``certain_answers()`` / ``sql_certain_answers()`` surface
+but evaluates rewritable queries *inside* SQLite (see
+:mod:`repro.backend.rewrite`): no conflict-graph construction, no repair
+streaming, one SQL statement per answer set.  That opens the workload
+the in-memory engines cannot reach — file-backed instances with orders
+of magnitude more rows than fit a per-repair evaluation loop.
+
+Queries outside the rewritable fragment (and every query when priority
+edges are declared — the rewriting is preference-blind, preferred
+families need repair streaming) are routed to a lazily constructed
+in-memory :class:`CqaEngine` over the loaded database; the routing
+outcome of the last call is recorded in :attr:`last_route` and
+:meth:`explain` exposes the decision without running anything.
+
+Because the rewriting quantifies over *all* repairs, its answers are
+exactly the classic (``Rep``) certain answers — and with no declared
+priority every preferred family coincides with ``Rep`` (winnow keeps
+everything, no repair dominates another), so any ``family`` argument is
+honoured.
+
+Result-count caveat: pushed answers report ``repairs_considered`` (and
+``satisfying``) as 0 — the whole point is that no repair was ever
+materialized.
+"""
+
+from __future__ import annotations
+
+import sqlite3
+from pathlib import Path
+from typing import Dict, Iterable, Optional, Sequence, Tuple, Union
+
+from repro.backend.rewrite import RewriteDecision, analyze_query
+from repro.constraints.fd import FunctionalDependency
+from repro.core.families import Family
+from repro.cqa.answers import ClosedAnswer, OpenAnswers, Verdict
+from repro.cqa.engine import CqaEngine
+from repro.exceptions import QueryError
+from repro.query.ast import Formula
+from repro.query.parser import parse_query
+from repro.query.sql import sql_to_formula
+from repro.query.validate import check_against_schema
+from repro.relational.sqlite_io import load_database, load_schema
+
+_PRIORITY_REASON = (
+    "priority edges declared: the rewriting is preference-blind and "
+    "preferred families need repair streaming"
+)
+
+
+class SqlCqaEngine:
+    """Certain-answer engine over a SQLite-persisted database.
+
+    ``source`` is a database file path or an open connection;
+    ``relation_names`` widens the visible schema to tables created
+    outside repro.  ``priority`` accepts the same ``(winner, loser)``
+    row-pair edges as :class:`CqaEngine` — any non-empty priority forces
+    the in-memory fallback path.
+    """
+
+    def __init__(
+        self,
+        source: Union[str, Path, sqlite3.Connection],
+        dependencies: Sequence[FunctionalDependency],
+        priority: Iterable = (),
+        family: Family = Family.REP,
+        relation_names: Optional[Iterable[str]] = None,
+    ) -> None:
+        self._own = not isinstance(source, sqlite3.Connection)
+        self._connection = sqlite3.connect(source) if self._own else source
+        self.dependencies = tuple(dependencies)
+        self.family = family
+        self.priority_edges = tuple(priority or ())
+        self._relation_names = tuple(relation_names) if relation_names else None
+        self.schema = load_schema(self._connection, self._relation_names)
+        self._fallback_engine: Optional[CqaEngine] = None
+        # Formulas are hashable, so explain() followed by answer()/
+        # certain_answers() (the session routing pattern) and repeated
+        # queries compile once.
+        self._decision_cache: Dict[
+            Tuple[Formula, Optional[Tuple[str, ...]]], RewriteDecision
+        ] = {}
+        #: Routing of the most recent call: ``"sqlite"`` or
+        #: ``"fallback: <reason>"``.
+        self.last_route: Optional[str] = None
+
+    # Lifecycle ---------------------------------------------------------------
+
+    def close(self) -> None:
+        """Close the connection (no-op when one was passed in)."""
+        if self._own:
+            self._connection.close()
+
+    def __enter__(self) -> "SqlCqaEngine":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    # Routing -----------------------------------------------------------------
+
+    def _to_formula(self, query: Union[str, Formula]) -> Formula:
+        formula = parse_query(query) if isinstance(query, str) else query
+        return check_against_schema(formula, self.schema)
+
+    def explain(
+        self,
+        query: Union[str, Formula],
+        variables: Optional[Sequence[str]] = None,
+    ) -> RewriteDecision:
+        """The routing decision for ``query``, without executing it."""
+        formula = self._to_formula(query)
+        return self._decide(formula, variables)
+
+    def _decide(
+        self, formula: Formula, variables: Optional[Sequence[str]]
+    ) -> RewriteDecision:
+        if self.priority_edges:
+            return RewriteDecision(None, _PRIORITY_REASON)
+        key = (formula, tuple(variables) if variables is not None else None)
+        decision = self._decision_cache.get(key)
+        if decision is None:
+            decision = analyze_query(
+                formula, self.schema, self.dependencies, variables
+            )
+            self._decision_cache[key] = decision
+        return decision
+
+    def _fallback(self) -> CqaEngine:
+        if self._fallback_engine is None:
+            database = load_database(self._connection, self._relation_names)
+            self._fallback_engine = CqaEngine(
+                database, self.dependencies, self.priority_edges, self.family
+            )
+        return self._fallback_engine
+
+    # Closed queries ----------------------------------------------------------
+
+    def answer(
+        self, query: Union[str, Formula], family: Optional[Family] = None
+    ) -> ClosedAnswer:
+        """Three-valued verdict of a closed query (Definition 3)."""
+        family = family or self.family
+        formula = self._to_formula(query)
+        if not formula.is_closed:
+            raise QueryError("answer() requires a closed formula")
+        decision = self._decide(formula, ())
+        if decision.plan is None:
+            self.last_route = f"fallback: {decision.reason}"
+            return self._fallback().answer(formula, family)
+        self.last_route = "sqlite"
+        result = decision.plan.run(self._connection)
+        if result.certain:
+            verdict = Verdict.TRUE  # true in every repair
+        elif result.possible:
+            verdict = Verdict.UNDETERMINED  # true in some, false in some
+        else:
+            verdict = Verdict.FALSE  # true in no repair
+        return ClosedAnswer(family, verdict, 0, 0, None)
+
+    def is_consistently_true(
+        self, query: Union[str, Formula], family: Optional[Family] = None
+    ) -> bool:
+        """Whether the closed query holds in every (preferred) repair."""
+        return self.answer(query, family).verdict is Verdict.TRUE
+
+    # Open queries ------------------------------------------------------------
+
+    def certain_answers(
+        self,
+        query: Union[str, Formula],
+        variables: Optional[Tuple[str, ...]] = None,
+        family: Optional[Family] = None,
+    ) -> OpenAnswers:
+        """Certain/possible answer sets of an open query."""
+        family = family or self.family
+        formula = self._to_formula(query)
+        if variables is None:
+            variables = tuple(sorted(formula.free_variables()))
+        decision = self._decide(formula, variables)
+        if decision.plan is None:
+            self.last_route = f"fallback: {decision.reason}"
+            return self._fallback().certain_answers(formula, variables, family)
+        self.last_route = "sqlite"
+        result = decision.plan.run(self._connection)
+        return OpenAnswers(
+            family, tuple(variables), result.certain, result.possible, 0
+        )
+
+    def sql_certain_answers(
+        self, sql: str, family: Optional[Family] = None
+    ) -> OpenAnswers:
+        """Certain answers for a conjunctive SQL query."""
+        formula, variables = sql_to_formula(sql, self.schema)
+        return self.certain_answers(formula, variables, family)
+
+    # Diagnostics -------------------------------------------------------------
+
+    def summary(self) -> Dict[str, object]:
+        """Snapshot of the engine's configuration and last routing."""
+        return {
+            "backend": "sqlite",
+            "relations": len(self.schema),
+            "dependencies": len(self.dependencies),
+            "priority_edges": len(self.priority_edges),
+            "family": str(self.family),
+            "last_route": self.last_route,
+        }

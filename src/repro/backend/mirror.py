@@ -1,0 +1,61 @@
+"""A lazily refreshed SQLite mirror of a mutating instance.
+
+``repro session`` keeps one :class:`~repro.incremental.engine.
+IncrementalCqaEngine` alive while a script inserts and deletes tuples.
+With ``--backend sqlite`` the session additionally maintains this
+mirror: an (in-memory by default) SQLite database that is re-saved from
+the engine's current state the first time a query arrives after an
+update, so rewritable queries run pushed down while updates stay
+incremental.  Refreshes are O(instance), queries are index-backed; a
+burst of updates between two queries costs one refresh.
+"""
+
+from __future__ import annotations
+
+import sqlite3
+from typing import Optional, Sequence
+
+from repro.backend.engine import SqlCqaEngine
+from repro.constraints.fd import FunctionalDependency
+from repro.core.families import Family
+from repro.relational.database import Database
+from repro.relational.sqlite_io import save_database
+
+
+class SqliteMirror:
+    """Owns a SQLite connection kept in sync with a changing database."""
+
+    def __init__(
+        self,
+        dependencies: Sequence[FunctionalDependency],
+        family: Family = Family.REP,
+        target: str = ":memory:",
+    ) -> None:
+        self._connection = sqlite3.connect(target)
+        self.dependencies = tuple(dependencies)
+        self.family = family
+        self._dirty = True
+        self._engine: Optional[SqlCqaEngine] = None
+
+    def mark_dirty(self) -> None:
+        """Record that the source instance changed since the last refresh."""
+        self._dirty = True
+
+    def engine_for(self, database: Database) -> SqlCqaEngine:
+        """A :class:`SqlCqaEngine` over an up-to-date mirror of ``database``."""
+        if self._dirty or self._engine is None:
+            save_database(database, self._connection, self.dependencies)
+            self._engine = SqlCqaEngine(
+                self._connection, self.dependencies, family=self.family
+            )
+            self._dirty = False
+        return self._engine
+
+    def close(self) -> None:
+        self._connection.close()
+
+    def __enter__(self) -> "SqliteMirror":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()

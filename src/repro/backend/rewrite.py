@@ -1,0 +1,538 @@
+"""ConQuer-style compilation of safe conjunctive queries to SQLite SQL.
+
+The tractability results the paper builds on (and the ConQuer line of
+work, Fuxman & Miller) say that for suitable conjunctive queries over
+FD-violating instances, the *certain* answers — those true in every
+repair — are computable by first-order rewriting instead of repair
+enumeration.  This module implements that rewriting for the fragment
+where it is sound and complete under this library's semantics:
+
+* the query is conjunctive — an optional existential prefix over a
+  conjunction of relational atoms and comparisons (exactly the image of
+  the conjunctive-SQL frontend, plus anything of the same shape written
+  in first-order syntax);
+* every quantified or answer variable occurs in at least one atom
+  (safety);
+* at most one atom ranges over a *dirty* relation — one whose
+  functional dependencies can actually be violated — and all FDs of
+  that relation share one left-hand side ``K`` (so each ``K``-group's
+  repairs are exactly its maximal classes of rows agreeing on the
+  combined right-hand side ``Y``);
+* comparisons respect the paper's two-domain semantics (see below).
+
+For such a query the certain answers have a closed form: a tuple is
+certain iff some witness assignment exists whose dirty row's ``K``-group
+*certifies* it — every ``Y``-class of the group contains a row that
+extends to a full witness producing the same answer tuple.  That is one
+``SELECT`` with a doubly nested ``NOT EXISTS`` self-join, evaluated
+entirely inside SQLite:
+
+.. code-block:: sql
+
+    SELECT DISTINCT <answers t>
+    FROM R t0, S t1, ...
+    WHERE <body over t*>
+      AND NOT EXISTS (            -- no class of t's group ...
+        SELECT 1 FROM R g
+        WHERE g.K = t0.K
+          AND NOT EXISTS (        -- ... fails to witness the answer
+            SELECT 1 FROM R w0, S w1, ...
+            WHERE <body over w*>
+              AND w0.K = t0.K AND w0.Y = g.Y
+              AND <answers w> = <answers t>))
+
+*Possible* answers of such a query are simply its answers over the full
+(unrepaired) instance: conjunctive queries are monotone and any single
+row extends to some repair.
+
+Domain semantics: the paper's values split into uninterpreted names and
+naturals, and SQLite's comparison affinity rules do not match them (a
+``TEXT`` column compared with an integer literal would coerce).  The
+compiler therefore type-checks every comparison and atom constant; a
+conjunct that can never hold under two-domain semantics makes the whole
+conjunction statically unsatisfiable (an *empty* plan — no SQL runs at
+all), and a vacuously true ``!=`` across domains is dropped.
+
+Queries outside the fragment are reported as a :class:`RewriteDecision`
+with a human-readable fallback reason; :class:`~repro.backend.engine.
+SqlCqaEngine` routes those to the in-memory engine.
+"""
+
+from __future__ import annotations
+
+import sqlite3
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, List, Optional, Sequence, Set, Tuple, Union
+
+from repro.constraints.fd import FunctionalDependency
+from repro.exceptions import QueryBindingError
+from repro.query.ast import (
+    And,
+    Atom,
+    Comparison,
+    Const,
+    Exists,
+    Formula,
+    Var,
+)
+from repro.relational.domain import AttributeType, Value
+from repro.relational.schema import DatabaseSchema, RelationSchema
+from repro.relational.sqlite_io import quote_identifier
+
+#: SQL spellings of the AST comparison operators.
+_SQL_OPS = {"=": "=", "!=": "<>", "<": "<", ">": ">", "<=": "<=", ">=": ">="}
+
+
+class NotRewritable(Exception):
+    """Internal signal: the query escapes the rewritable fragment."""
+
+    def __init__(self, reason: str) -> None:
+        super().__init__(reason)
+        self.reason = reason
+
+
+@dataclass(frozen=True)
+class DirtyProfile:
+    """Conflict structure of one FD-constrained relation.
+
+    ``group`` is the shared left-hand side of all its (violable) FDs;
+    ``classifier`` is the union of their right-hand sides minus the
+    group.  Two rows conflict iff they agree on ``group`` and differ on
+    ``classifier``; a repair keeps, per group, exactly one maximal class
+    of rows agreeing on ``classifier``.
+    """
+
+    relation: str
+    group: Tuple[str, ...]
+    classifier: Tuple[str, ...]
+
+
+def dirty_profile(
+    schema: RelationSchema, dependencies: Sequence[FunctionalDependency]
+) -> Optional[DirtyProfile]:
+    """The relation's conflict profile, or ``None`` when it is clean.
+
+    Raises :class:`NotRewritable` when the relation's dependencies do
+    not share a single left-hand side (its repairs then have no
+    per-group class structure the rewriting could exploit).
+    """
+    lhs: Optional[FrozenSet[str]] = None
+    classifier: Set[str] = set()
+    for dependency in dependencies:
+        if not dependency.applies_to(schema.name):
+            continue
+        dependency.validate_against(schema)
+        effective_rhs = dependency.rhs - dependency.lhs
+        if not effective_rhs:
+            continue  # RHS implied by LHS agreement: never violable
+        if lhs is None:
+            lhs = dependency.lhs
+        elif dependency.lhs != lhs:
+            raise NotRewritable(
+                f"relation {schema.name!r} has dependencies with differing "
+                "left-hand sides; its repairs are not per-group class choices"
+            )
+        classifier |= effective_rhs
+    if lhs is None:
+        return None
+    order = schema.attribute_names
+    return DirtyProfile(
+        schema.name,
+        tuple(attr for attr in order if attr in lhs),
+        tuple(attr for attr in order if attr in classifier),
+    )
+
+
+@dataclass(frozen=True)
+class PlanResult:
+    """Certain and possible answer sets produced by one plan run.
+
+    Boolean (closed) queries use the nullary-tuple convention of the
+    evaluator: ``frozenset({()})`` means satisfied.
+    """
+
+    certain: FrozenSet[Tuple[Value, ...]]
+    possible: FrozenSet[Tuple[Value, ...]]
+
+
+@dataclass(frozen=True)
+class RewritePlan:
+    """A compiled certain-answer query, ready to run on a connection."""
+
+    kind: str  #: ``"clean"`` | ``"dirty"`` | ``"empty"``
+    answer_variables: Tuple[str, ...]
+    certain_sql: Optional[str]
+    certain_params: Tuple[Value, ...]
+    possible_sql: Optional[str]
+    possible_params: Tuple[Value, ...]
+    description: str
+
+    @property
+    def is_boolean(self) -> bool:
+        return not self.answer_variables
+
+    def run(self, connection: sqlite3.Connection) -> PlanResult:
+        """Execute the plan's SQL and collect both answer sets."""
+        if self.kind == "empty":
+            return PlanResult(frozenset(), frozenset())
+        certain = self._execute(connection, self.certain_sql, self.certain_params)
+        if self.kind == "clean":
+            # Consistent relations are identical in every repair.
+            return PlanResult(certain, certain)
+        possible = self._execute(
+            connection, self.possible_sql, self.possible_params
+        )
+        return PlanResult(certain, possible)
+
+    def _execute(
+        self,
+        connection: sqlite3.Connection,
+        sql: Optional[str],
+        params: Tuple[Value, ...],
+    ) -> FrozenSet[Tuple[Value, ...]]:
+        assert sql is not None
+        records = connection.execute(sql, params).fetchall()
+        if self.is_boolean:
+            return frozenset({()}) if records else frozenset()
+        return frozenset(tuple(record) for record in records)
+
+
+@dataclass(frozen=True)
+class RewriteDecision:
+    """Outcome of rewritability analysis: a plan, or a fallback reason."""
+
+    plan: Optional[RewritePlan]
+    reason: Optional[str]
+
+    @property
+    def pushed(self) -> bool:
+        return self.plan is not None
+
+
+# ---------------------------------------------------------------------------
+# Shape extraction and static typing
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class _Conjunctive:
+    atoms: List[Atom]
+    comparisons: List[Comparison]
+    answer_variables: Tuple[str, ...]
+
+
+def _extract_conjunctive(
+    formula: Formula, variables: Optional[Sequence[str]]
+) -> _Conjunctive:
+    free = formula.free_variables()
+    if variables is None:
+        answer_variables = tuple(sorted(free))
+    else:
+        unknown = set(variables) - free
+        if unknown:
+            raise QueryBindingError(
+                f"answer variables {sorted(unknown)} are not free in the formula"
+            )
+        answer_variables = tuple(variables)
+
+    body: Formula = formula
+    seen: Set[str] = set(free)
+    while isinstance(body, Exists):
+        for name in body.variables:
+            if name in seen:
+                raise NotRewritable(
+                    f"quantified variable {name!r} shadows an outer variable"
+                )
+            seen.add(name)
+        body = body.body
+
+    parts = body.parts if isinstance(body, And) else (body,)
+    atoms: List[Atom] = []
+    comparisons: List[Comparison] = []
+    for part in parts:
+        if isinstance(part, Atom):
+            atoms.append(part)
+        elif isinstance(part, Comparison):
+            comparisons.append(part)
+        else:
+            raise NotRewritable(
+                f"non-conjunctive construct {type(part).__name__} in the body"
+            )
+    if not atoms:
+        raise NotRewritable("no relational atom (pure active-domain query)")
+
+    atom_variables: Set[str] = set()
+    for atom in atoms:
+        atom_variables |= atom.free_variables()
+    unsafe = seen - atom_variables
+    if unsafe:
+        raise NotRewritable(
+            f"unsafe variable(s) {sorted(unsafe)} occur in no relational atom"
+        )
+    return _Conjunctive(atoms, comparisons, answer_variables)
+
+
+def _term_domain(
+    term: Union[Var, Const], variable_types: Dict[str, AttributeType]
+) -> AttributeType:
+    if isinstance(term, Const):
+        return (
+            AttributeType.NUMBER
+            if isinstance(term.value, int)
+            else AttributeType.NAME
+        )
+    return variable_types[term.name]
+
+
+# ---------------------------------------------------------------------------
+# SQL emission
+# ---------------------------------------------------------------------------
+
+
+def _conjoin(conditions: Sequence[str]) -> str:
+    return " AND ".join(conditions) if conditions else "1=1"
+
+
+def _render_body(
+    query: _Conjunctive,
+    schema: DatabaseSchema,
+    aliases: Sequence[str],
+    kept_comparisons: Sequence[Comparison],
+) -> Tuple[List[str], List[Value], Dict[str, str]]:
+    """Body conditions for one alias scope.
+
+    Returns ``(conditions, parameters, canonical)`` where ``canonical``
+    maps each variable to its representative qualified column.
+    """
+    conditions: List[str] = []
+    parameters: List[Value] = []
+    canonical: Dict[str, str] = {}
+    for index, atom in enumerate(query.atoms):
+        relation = schema.relation(atom.relation)
+        for position, term in enumerate(atom.terms):
+            column = "{}.{}".format(
+                aliases[index], quote_identifier(relation.attributes[position].name)
+            )
+            if isinstance(term, Const):
+                conditions.append(f"{column} = ?")
+                parameters.append(term.value)
+            elif term.name in canonical:
+                conditions.append(f"{column} = {canonical[term.name]}")
+            else:
+                canonical[term.name] = column
+    for comparison in kept_comparisons:
+        operands: List[str] = []
+        for term in (comparison.left, comparison.right):
+            if isinstance(term, Const):
+                operands.append("?")
+                parameters.append(term.value)
+            else:
+                operands.append(canonical[term.name])
+        conditions.append(
+            f"{operands[0]} {_SQL_OPS[comparison.op]} {operands[1]}"
+        )
+    return conditions, parameters, canonical
+
+
+def _empty_plan(query: _Conjunctive, why: str) -> RewritePlan:
+    return RewritePlan(
+        kind="empty",
+        answer_variables=query.answer_variables,
+        certain_sql=None,
+        certain_params=(),
+        possible_sql=None,
+        possible_params=(),
+        description=f"statically unsatisfiable: {why}",
+    )
+
+
+def compile_plan(
+    query: _Conjunctive,
+    schema: DatabaseSchema,
+    profiles: Dict[str, DirtyProfile],
+) -> RewritePlan:
+    """Emit SQL for an analyzed conjunctive query.
+
+    ``profiles`` maps the mentioned dirty relations to their conflict
+    profiles; :class:`NotRewritable` is raised when more than one atom
+    ranges over them.
+    """
+    # Static domain analysis: variables take their type from the atom
+    # columns they bind; mixed-domain joins and cross-domain equalities
+    # can never hold under the paper's two-domain semantics.
+    variable_types: Dict[str, AttributeType] = {}
+    for atom in query.atoms:
+        relation = schema.relation(atom.relation)
+        for position, term in enumerate(atom.terms):
+            attribute = relation.attributes[position]
+            if isinstance(term, Var):
+                known = variable_types.setdefault(term.name, attribute.type)
+                if known is not attribute.type:
+                    return _empty_plan(
+                        query,
+                        f"variable {term.name!r} joins a name column with a "
+                        "number column (disjoint domains)",
+                    )
+            else:
+                if _term_domain(term, variable_types) is not attribute.type:
+                    return _empty_plan(
+                        query,
+                        f"constant {term.value!r} can never occur in "
+                        f"{atom.relation}.{attribute.name}",
+                    )
+
+    kept_comparisons: List[Comparison] = []
+    for comparison in query.comparisons:
+        left = _term_domain(comparison.left, variable_types)
+        right = _term_domain(comparison.right, variable_types)
+        if comparison.op in ("=", "!="):
+            if left is right:
+                kept_comparisons.append(comparison)
+            elif comparison.op == "=":
+                return _empty_plan(
+                    query, f"cross-domain equality {comparison} never holds"
+                )
+            # cross-domain != always holds: drop it.
+        else:
+            if left is AttributeType.NUMBER and right is AttributeType.NUMBER:
+                kept_comparisons.append(comparison)
+            else:
+                # Order comparisons are interpreted over naturals only.
+                return _empty_plan(
+                    query,
+                    f"order comparison {comparison} involves uninterpreted "
+                    "names and is identically false",
+                )
+
+    dirty_indexes = [
+        index
+        for index, atom in enumerate(query.atoms)
+        if atom.relation in profiles
+    ]
+    if len(dirty_indexes) > 1:
+        involved = sorted({query.atoms[i].relation for i in dirty_indexes})
+        raise NotRewritable(
+            "more than one atom over inconsistent relation(s) "
+            f"{involved}; their repair choices interact"
+        )
+
+    outer = [f"t{index}" for index in range(len(query.atoms))]
+    outer_conditions, outer_params, outer_columns = _render_body(
+        query, schema, outer, kept_comparisons
+    )
+    from_outer = ", ".join(
+        f"{quote_identifier(atom.relation)} AS {alias}"
+        for atom, alias in zip(query.atoms, outer)
+    )
+    if query.answer_variables:
+        select_list = ", ".join(
+            "{} AS {}".format(outer_columns[name], quote_identifier(f"a{pos}"))
+            for pos, name in enumerate(query.answer_variables)
+        )
+        possible_sql = (
+            f"SELECT DISTINCT {select_list} FROM {from_outer} "
+            f"WHERE {_conjoin(outer_conditions)}"
+        )
+    else:
+        possible_sql = (
+            f"SELECT 1 FROM {from_outer} "
+            f"WHERE {_conjoin(outer_conditions)} LIMIT 1"
+        )
+
+    if not dirty_indexes:
+        return RewritePlan(
+            kind="clean",
+            answer_variables=query.answer_variables,
+            certain_sql=possible_sql,
+            certain_params=tuple(outer_params),
+            possible_sql=possible_sql,
+            possible_params=tuple(outer_params),
+            description="all mentioned relations are consistent; certain = "
+            "possible = plain evaluation",
+        )
+
+    dirty = dirty_indexes[0]
+    profile = profiles[query.atoms[dirty].relation]
+    inner = [f"w{index}" for index in range(len(query.atoms))]
+    inner_conditions, inner_params, inner_columns = _render_body(
+        query, schema, inner, kept_comparisons
+    )
+    from_inner = ", ".join(
+        f"{quote_identifier(atom.relation)} AS {alias}"
+        for atom, alias in zip(query.atoms, inner)
+    )
+    same_group_alt = [
+        f"g.{quote_identifier(attr)} = {outer[dirty]}.{quote_identifier(attr)}"
+        for attr in profile.group
+    ]
+    witness_in_group = [
+        f"{inner[dirty]}.{quote_identifier(attr)} = "
+        f"{outer[dirty]}.{quote_identifier(attr)}"
+        for attr in profile.group
+    ]
+    witness_in_class = [
+        f"{inner[dirty]}.{quote_identifier(attr)} = g.{quote_identifier(attr)}"
+        for attr in profile.classifier
+    ]
+    same_answer = [
+        f"{inner_columns[name]} = {outer_columns[name]}"
+        for name in query.answer_variables
+    ]
+    witness_sql = (
+        f"SELECT 1 FROM {from_inner} WHERE "
+        + _conjoin(
+            inner_conditions + witness_in_group + witness_in_class + same_answer
+        )
+    )
+    uncertified_class_sql = (
+        f"SELECT 1 FROM {quote_identifier(profile.relation)} AS g "
+        f"WHERE {_conjoin(same_group_alt)} AND NOT EXISTS ({witness_sql})"
+    )
+    certified = (
+        f"{_conjoin(outer_conditions)} AND NOT EXISTS ({uncertified_class_sql})"
+    )
+    if query.answer_variables:
+        certain_sql = (
+            f"SELECT DISTINCT {select_list} FROM {from_outer} WHERE {certified}"
+        )
+    else:
+        certain_sql = f"SELECT 1 FROM {from_outer} WHERE {certified} LIMIT 1"
+    return RewritePlan(
+        kind="dirty",
+        answer_variables=query.answer_variables,
+        certain_sql=certain_sql,
+        certain_params=tuple(outer_params) + tuple(inner_params),
+        possible_sql=possible_sql,
+        possible_params=tuple(outer_params),
+        description=(
+            f"one inconsistent atom over {profile.relation!r} "
+            f"(groups on {list(profile.group)}, classes on "
+            f"{list(profile.classifier)}); certain answers via doubly "
+            "nested NOT EXISTS self-join"
+        ),
+    )
+
+
+def analyze_query(
+    formula: Formula,
+    schema: DatabaseSchema,
+    dependencies: Sequence[FunctionalDependency],
+    variables: Optional[Sequence[str]] = None,
+) -> RewriteDecision:
+    """Decide whether ``formula`` is rewritable and compile it if so.
+
+    ``formula`` must already be validated against ``schema`` (relation
+    names and arities); ``variables`` fixes the answer-column order like
+    :meth:`CqaEngine.certain_answers` does.
+    """
+    try:
+        query = _extract_conjunctive(formula, variables)
+        profiles: Dict[str, DirtyProfile] = {}
+        for name in sorted({atom.relation for atom in query.atoms}):
+            profile = dirty_profile(schema.relation(name), dependencies)
+            if profile is not None:
+                profiles[name] = profile
+        plan = compile_plan(query, schema, profiles)
+        return RewriteDecision(plan, None)
+    except NotRewritable as exc:
+        return RewriteDecision(None, exc.reason)

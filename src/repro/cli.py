@@ -7,6 +7,8 @@ Subcommands::
     repro clean      --csv data.csv --fd "A -> B" --prefer-new Timestamp
     repro cqa        --csv data.csv --fd "A -> B" --family G
                      --query "EXISTS x . R(x, 1)"
+    repro query      --sqlite db.sqlite --fd "R: A -> B" --backend sqlite
+                     --query "EXISTS y . R(x, y)"
     repro examples   [--name mgr]
 
 Data can come from CSV (``--csv``, relation named after the file stem
@@ -35,7 +37,7 @@ from repro.priorities.priority import Priority, empty_priority
 from repro.relational.csv_io import read_instance_csv
 from repro.relational.instance import RelationInstance
 from repro.relational.rows import sorted_rows
-from repro.relational.sqlite_io import load_instance
+from repro.relational.sqlite_io import load_database, load_instance
 
 _FAMILY_CODES = {
     "Rep": Family.REP,
@@ -211,6 +213,129 @@ def _cmd_cqa(args: argparse.Namespace) -> int:
     return 0 if answer.verdict.value != "undetermined" else 2
 
 
+def _sorted_answers(tuples):
+    """Deterministic listing order for answer tuples.
+
+    Answer columns can mix names and naturals (e.g. active-domain
+    variables), so plain ``sorted`` would raise on ``int < str``;
+    this mirrors the mixed-domain ordering rows use.
+    """
+
+    def key(answer):
+        return tuple(
+            (0, f"{value:020d}") if isinstance(value, int) else (1, str(value))
+            for value in answer
+        )
+
+    return sorted(tuples, key=key)
+
+
+def _format_answer_tuples(tuples) -> str:
+    return ", ".join(str(tuple(answer)) for answer in _sorted_answers(tuples)) or "(none)"
+
+
+def _open_answers_verdict(result) -> str:
+    """Three-valued reading of a boolean query's OpenAnswers."""
+    if result.certain:
+        return "true"
+    if result.possible:
+        return "undetermined"
+    return "false"
+
+
+def _cmd_query(args: argparse.Namespace) -> int:
+    """Certain answers for open or closed queries, optionally SQL-pushed."""
+    import json
+
+    from repro.query.parser import parse_query
+
+    family = _FAMILY_CODES[args.family]
+    dependencies = [
+        FunctionalDependency.parse(spec, args.relation) for spec in args.fd
+    ]
+    has_priority_flags = bool(args.prefer_new or args.prefer_source)
+
+    if args.backend == "sqlite":
+        from repro.backend import SqlCqaEngine
+
+        if not args.sqlite:
+            raise SystemExit("--backend sqlite requires --sqlite")
+        if has_priority_flags:
+            raise SystemExit(
+                "--prefer-* flags need repair streaming; use --backend memory"
+            )
+        engine = SqlCqaEngine(args.sqlite, dependencies, family=family)
+
+        def route() -> str:
+            last = engine.last_route or "sqlite"
+            return "sqlite (pushed down)" if last == "sqlite" else last
+    elif has_priority_flags:
+        instance, dependencies, _, priority = _build_setting(args)
+        engine = CqaEngine(instance, dependencies, priority, family)
+
+        def route() -> str:
+            return "memory"
+    else:
+        if args.csv:
+            data = read_instance_csv(args.csv, args.relation)
+        elif args.sqlite:
+            data = (
+                load_instance(args.sqlite, args.relation)
+                if args.relation
+                else load_database(args.sqlite)
+            )
+        else:
+            raise SystemExit("provide --csv or --sqlite")
+        engine = CqaEngine(data, dependencies, None, family)
+
+        def route() -> str:
+            return "memory"
+
+    if args.sql:
+        result = engine.sql_certain_answers(args.sql, family)
+    else:
+        formula = parse_query(args.query)
+        if formula.is_closed:
+            answer = engine.answer(formula, family)
+            if args.json:
+                print(
+                    json.dumps(
+                        {
+                            "backend": route(),
+                            "family": str(family),
+                            "verdict": answer.verdict.value,
+                        }
+                    )
+                )
+            else:
+                print(f"backend: {route()}")
+                print(f"family={family} verdict={answer.verdict.value}")
+            return 0 if answer.verdict.value != "undetermined" else 2
+        result = engine.certain_answers(formula, family=family)
+
+    if args.json:
+        print(
+            json.dumps(
+                {
+                    "backend": route(),
+                    "family": str(family),
+                    "variables": list(result.variables),
+                    "certain": list(map(list, _sorted_answers(result.certain))),
+                    "possible": list(map(list, _sorted_answers(result.possible))),
+                }
+            )
+        )
+        return 0
+    print(f"backend: {route()}")
+    if not result.variables:
+        print(f"family={family} verdict={_open_answers_verdict(result)}")
+        return 0 if _open_answers_verdict(result) != "undetermined" else 2
+    print(f"variables: {', '.join(result.variables)}")
+    print(f"certain: {_format_answer_tuples(result.certain)}")
+    print(f"possible: {_format_answer_tuples(result.possible)}")
+    return 0
+
+
 def _cmd_aggregate(args: argparse.Namespace) -> int:
     from fractions import Fraction
 
@@ -274,6 +399,11 @@ def _cmd_session(args: argparse.Namespace) -> int:
     engine = IncrementalCqaEngine(instance, dependencies, priority.edges, family)
     orient = _session_orientation_rule(args)
     schema = instance.schema
+    mirror = None
+    if getattr(args, "backend", "memory") == "sqlite":
+        from repro.backend import SqliteMirror
+
+        mirror = SqliteMirror(dependencies, family)
     if args.script and args.script != "-":
         with open(args.script, "r", encoding="utf-8") as handle:
             lines = handle.readlines()
@@ -288,6 +418,8 @@ def _cmd_session(args: argparse.Namespace) -> int:
         try:
             if op == "+":
                 values = _parse_session_values(schema, payload)
+                if mirror is not None:
+                    mirror.mark_dirty()
                 delta = engine.insert(Row(schema, values))
                 if orient is not None:
                     # Extend the declared priority to the new conflicts,
@@ -309,6 +441,8 @@ def _cmd_session(args: argparse.Namespace) -> int:
                 )
             elif op == "-":
                 values = _parse_session_values(schema, payload)
+                if mirror is not None:
+                    mirror.mark_dirty()
                 delta = engine.delete(Row(schema, values))
                 events.append(
                     {
@@ -325,30 +459,46 @@ def _cmd_session(args: argparse.Namespace) -> int:
                 from repro.query.parser import parse_query
 
                 formula = parse_query(payload)
+                # Route rewritable queries through the SQLite mirror;
+                # declared priorities or non-rewritable shapes stay on
+                # the incremental engine (which reuses its caches).
+                target = engine
+                backend_used = "memory"
+                if mirror is not None and not engine.active_priority_edges():
+                    sql_engine = mirror.engine_for(engine.current_database())
+                    if sql_engine.explain(formula).pushed:
+                        target = sql_engine
+                        backend_used = "sqlite"
                 if formula.is_closed:
-                    answer = engine.answer(formula)
+                    answer = target.answer(formula)
                     events.append(
                         {
                             "op": "query",
                             "line": number,
                             "query": payload,
                             "family": str(family),
+                            "backend": backend_used,
                             "verdict": answer.verdict.value,
                             "repairs_considered": answer.repairs_considered,
                             "satisfying": answer.satisfying,
                         }
                     )
                 else:
-                    result = engine.certain_answers(formula)
+                    result = target.certain_answers(formula)
                     events.append(
                         {
                             "op": "query",
                             "line": number,
                             "query": payload,
                             "family": str(family),
+                            "backend": backend_used,
                             "variables": list(result.variables),
-                            "certain": sorted(map(list, result.certain)),
-                            "possible": sorted(map(list, result.possible)),
+                            "certain": list(
+                                map(list, _sorted_answers(result.certain))
+                            ),
+                            "possible": list(
+                                map(list, _sorted_answers(result.possible))
+                            ),
                             "repairs_considered": result.repairs_considered,
                         }
                     )
@@ -373,13 +523,24 @@ def _cmd_session(args: argparse.Namespace) -> int:
                     f"{event['tuples']} tuples"
                 )
             elif "verdict" in event:
+                detail = (
+                    "pushed to sqlite"
+                    if event.get("backend") == "sqlite"
+                    else f"{event['satisfying']}/{event['repairs_considered']} repairs"
+                )
                 print(
                     f"? {event['query']} [{event['family']}] = {event['verdict']} "
-                    f"({event['satisfying']}/{event['repairs_considered']} repairs)"
+                    f"({detail})"
                 )
             else:
                 certain = ", ".join(str(tuple(a)) for a in event["certain"]) or "(none)"
-                print(f"? {event['query']} [{event['family']}] certain: {certain}")
+                suffix = (
+                    " (via sqlite)" if event.get("backend") == "sqlite" else ""
+                )
+                print(
+                    f"? {event['query']} [{event['family']}] certain: {certain}"
+                    f"{suffix}"
+                )
         summary = engine.summary()
         print(
             f"session end: {summary['tuples']} tuples, {summary['conflicts']} conflicts, "
@@ -434,6 +595,34 @@ def build_parser() -> argparse.ArgumentParser:
     cqa.add_argument("--query", required=True, help="closed first-order query")
     cqa.set_defaults(handler=_cmd_cqa)
 
+    query_cmd = subparsers.add_parser(
+        "query",
+        help="certain answers, optionally pushed down into SQLite",
+        description=(
+            "Compute certain (and possible) answers of an open or closed "
+            "query.  With --backend sqlite, safe conjunctive queries are "
+            "compiled to a single self-join SQL rewriting and evaluated "
+            "inside the SQLite file itself — no repair enumeration; "
+            "non-rewritable queries transparently fall back to the "
+            "in-memory engine."
+        ),
+    )
+    _add_data_arguments(query_cmd)
+    query_cmd.add_argument("--family", choices=_FAMILY_CODES, default="Rep")
+    query_target = query_cmd.add_mutually_exclusive_group(required=True)
+    query_target.add_argument("--query", help="first-order query (open or closed)")
+    query_target.add_argument("--sql", help="conjunctive SELECT query")
+    query_cmd.add_argument(
+        "--backend",
+        choices=["memory", "sqlite"],
+        default="memory",
+        help="evaluation backend (sqlite = push rewritable queries down)",
+    )
+    query_cmd.add_argument(
+        "--json", action="store_true", help="emit the result as JSON"
+    )
+    query_cmd.set_defaults(handler=_cmd_query)
+
     aggregate = subparsers.add_parser(
         "aggregate", help="range-consistent aggregate answer"
     )
@@ -472,6 +661,15 @@ def build_parser() -> argparse.ArgumentParser:
     )
     session.add_argument(
         "--json", action="store_true", help="emit events + summary as JSON"
+    )
+    session.add_argument(
+        "--backend",
+        choices=["memory", "sqlite"],
+        default="memory",
+        help=(
+            "query backend: sqlite keeps a lazily refreshed SQLite mirror "
+            "and answers rewritable queries by SQL pushdown"
+        ),
     )
     session.set_defaults(handler=_cmd_session)
 

@@ -38,6 +38,7 @@ from repro.exceptions import CleaningError
 from repro.priorities.priority import Priority
 from repro.priorities.winnow import winnow
 from repro.relational.rows import Row, sorted_rows
+from repro.repairs.enumerate import repair_sort_key
 
 #: A chooser receives the winnow set (deterministically ordered) and
 #: returns the tuple to commit next.
@@ -112,7 +113,7 @@ def all_cleaning_results(
             memo[remaining] = result
         return result
 
-    return sorted(outcomes(graph.vertices), key=lambda repair: sorted_rows(repair).__repr__())
+    return sorted(outcomes(graph.vertices), key=repair_sort_key)
 
 
 def is_common_repair(candidate: AbstractSet[Row], priority: Priority) -> bool:

@@ -275,11 +275,24 @@ def answers(
             f"answer variables {sorted(unknown)} are not free in the formula"
         )
     projected = tuple(sorted(formula.free_variables() - set(variables)))
+    # Peel top-level existential blocks into projected columns: ∃ and
+    # projection coincide, and enumerating the quantified variables
+    # up front lets the conjunct-guided narrowing see the body's atoms
+    # — with the Exists left in place the root formula has no top-level
+    # atom conjuncts and every *free* variable would range over the
+    # whole active domain.
+    body = formula
+    taken = set(variables) | set(projected)
+    peeled: List[str] = []
+    while isinstance(body, Exists) and not (set(body.variables) & taken):
+        peeled.extend(body.variables)
+        taken |= set(body.variables)
+        body = body.body
     if context is None:
         context = make_context(rows, formula)
     results: List[Tuple[Value, ...]] = []
     for binding in _enumerate_bindings(
-        tuple(variables) + projected, formula, context, {}
+        tuple(variables) + projected + tuple(peeled), body, context, {}
     ):
         results.append(tuple(binding[name] for name in variables))
     return frozenset(results)

@@ -17,6 +17,7 @@ two structural optimizations:
 
 from __future__ import annotations
 
+from itertools import product as _cartesian_product
 from typing import FrozenSet, Iterable, Iterator, List, Sequence, Set
 
 from repro.constraints.conflict_graph import ConflictGraph, build_conflict_graph
@@ -112,23 +113,26 @@ def enumerate_repairs(
         return
     components = graph.connected_components()
 
-    def product(index: int, acc: Set[Row]) -> Iterator[Repair]:
-        if index == len(components):
-            yield frozenset(acc)
-            return
-        component = components[index]
+    # Singleton components contribute the same vertex to every repair;
+    # factoring them out keeps the product odometer over the conflicted
+    # components only.  Each conflicted component's repair list is
+    # computed exactly once (the recursive formulation re-ran
+    # Bron-Kerbosch once per combination of the preceding components,
+    # and its per-component recursion overflowed the interpreter stack
+    # past ~1000 components).
+    fixed: List[Row] = []
+    options: List[List[Repair]] = []
+    for component in components:
         if len(component) == 1:
-            (vertex,) = component
-            acc.add(vertex)
-            yield from product(index + 1, acc)
-            acc.remove(vertex)
-            return
-        for partial in _component_repairs(graph, component, pivoting):
-            acc.update(partial)
-            yield from product(index + 1, acc)
-            acc.difference_update(partial)
-
-    yield from product(0, set())
+            fixed.extend(component)
+        else:
+            options.append(_component_repairs(graph, component, pivoting))
+    base = frozenset(fixed)
+    if not options:
+        yield base
+        return
+    for combination in _cartesian_product(*options):
+        yield base.union(*combination)
 
 
 def all_repairs(

@@ -15,6 +15,7 @@ from typing import FrozenSet, Iterator, List, Optional, Set
 
 from repro.constraints.conflict_graph import ConflictGraph
 from repro.relational.rows import Row, sorted_rows
+from repro.repairs.enumerate import repair_sort_key
 
 
 def random_repair(
@@ -52,4 +53,6 @@ def sample_repairs(
     while len(seen) < count and attempts < count * max_attempts_factor:
         seen.add(random_repair(graph, rng))
         attempts += 1
-    return sorted(seen, key=lambda repair: sorted_rows(repair).__repr__())
+    # Canonical listing order: the same key enumeration and the engines
+    # use, so sampled and enumerated collections interleave identically.
+    return sorted(seen, key=repair_sort_key)

@@ -1,0 +1,250 @@
+"""Unit tests for the certain-answer SQL rewriting compiler."""
+
+import sqlite3
+
+import pytest
+
+from repro.backend.rewrite import (
+    NotRewritable,
+    analyze_query,
+    dirty_profile,
+)
+from repro.constraints.fd import FunctionalDependency
+from repro.query.ast import (
+    And,
+    Atom,
+    Comparison,
+    Exists,
+    Forall,
+    Implies,
+    Not,
+    Or,
+    Var,
+)
+from repro.relational.database import Database
+from repro.relational.instance import RelationInstance
+from repro.relational.schema import DatabaseSchema, RelationSchema
+from repro.relational.sqlite_io import save_database
+
+R_SCHEMA = RelationSchema("R", ["K", "A:number", "B"])
+S_SCHEMA = RelationSchema("S", ["A:number", "C"])
+SCHEMA = DatabaseSchema([R_SCHEMA, S_SCHEMA])
+FDS = [FunctionalDependency.parse("K -> A", "R")]
+
+
+def r_atom():
+    return Atom("R", [Var("x"), Var("y"), Var("z")])
+
+
+class TestDirtyProfile:
+    def test_single_dependency(self):
+        profile = dirty_profile(R_SCHEMA, FDS)
+        assert profile.group == ("K",)
+        assert profile.classifier == ("A",)
+
+    def test_same_lhs_dependencies_merge(self):
+        fds = [
+            FunctionalDependency.parse("K -> A", "R"),
+            FunctionalDependency.parse("K -> B", "R"),
+        ]
+        profile = dirty_profile(R_SCHEMA, fds)
+        assert profile.group == ("K",)
+        assert profile.classifier == ("A", "B")  # schema order
+
+    def test_clean_relation_has_no_profile(self):
+        assert dirty_profile(S_SCHEMA, FDS) is None
+
+    def test_rhs_inside_lhs_is_not_violable(self):
+        fds = [FunctionalDependency.parse("K, A -> A", "R")]
+        assert dirty_profile(R_SCHEMA, fds) is None
+
+    def test_differing_lhs_not_rewritable(self):
+        fds = [
+            FunctionalDependency.parse("K -> A", "R"),
+            FunctionalDependency.parse("B -> A", "R"),
+        ]
+        with pytest.raises(NotRewritable):
+            dirty_profile(R_SCHEMA, fds)
+
+    def test_empty_lhs_groups_whole_relation(self):
+        # empty-LHS FD: every pair of rows must agree on A
+        fds = [FunctionalDependency((), ("A",), "R")]
+        profile = dirty_profile(R_SCHEMA, fds)
+        assert profile.group == ()
+        assert profile.classifier == ("A",)
+
+
+class TestFallbackShapes:
+    def _reason(self, formula, variables=None):
+        decision = analyze_query(formula, SCHEMA, FDS, variables)
+        assert not decision.pushed
+        return decision.reason
+
+    def test_disjunction(self):
+        assert "Or" in self._reason(Exists(["x", "y", "z"], Or([r_atom(), r_atom()])))
+
+    def test_negation(self):
+        assert "Not" in self._reason(Exists(["x", "y", "z"], Not(r_atom())))
+
+    def test_universal(self):
+        assert "Forall" in self._reason(Forall(["x", "y", "z"], r_atom()))
+
+    def test_implication(self):
+        formula = Exists(["x", "y", "z"], Implies(r_atom(), r_atom()))
+        assert "Implies" in self._reason(formula)
+
+    def test_pure_comparison(self):
+        assert "atom" in self._reason(Comparison("<", 1, 2))
+
+    def test_unsafe_variable(self):
+        formula = Exists(["u"], r_atom())
+        assert "unsafe" in self._reason(formula)
+
+    def test_shadowed_quantifier(self):
+        formula = Exists(["x"], Exists(["x"], Atom("S", [Var("x"), Var("c")])))
+        assert "shadows" in self._reason(formula)
+
+    def test_dirty_self_join(self):
+        formula = Exists(
+            ["x", "y", "z", "y2", "z2"],
+            And([r_atom(), Atom("R", [Var("x"), Var("y2"), Var("z2")])]),
+        )
+        assert "more than one atom" in self._reason(formula)
+
+    def test_two_dirty_relations(self):
+        schema = DatabaseSchema(
+            [R_SCHEMA, RelationSchema("T", ["K", "A:number"])]
+        )
+        fds = FDS + [FunctionalDependency.parse("K -> A", "T")]
+        formula = Exists(
+            ["x", "y", "z", "w"],
+            And([r_atom(), Atom("T", [Var("x"), Var("w")])]),
+        )
+        decision = analyze_query(formula, schema, fds)
+        assert not decision.pushed
+        assert "repair choices interact" in decision.reason
+
+
+class TestStaticallyEmptyPlans:
+    def _plan(self, formula, variables=None):
+        decision = analyze_query(formula, SCHEMA, FDS, variables)
+        assert decision.pushed
+        return decision.plan
+
+    def test_mixed_domain_join_variable(self):
+        # y binds both a number column (R.A) and a name column (S.C).
+        formula = Exists(
+            ["x", "y", "z"],
+            And([r_atom(), Atom("S", [Var("y"), Var("y")])]),
+        )
+        assert self._plan(formula).kind == "empty"
+
+    def test_constant_domain_mismatch(self):
+        formula = Exists(["x", "z"], Atom("R", [Var("x"), "one", Var("z")]))
+        assert self._plan(formula).kind == "empty"
+
+    def test_cross_domain_equality(self):
+        formula = Exists(
+            ["x", "y", "z"], And([r_atom(), Comparison("=", Var("x"), 1)])
+        )
+        assert self._plan(formula).kind == "empty"
+
+    def test_order_comparison_on_names(self):
+        formula = Exists(
+            ["x", "y", "z"], And([r_atom(), Comparison("<", Var("x"), Var("z"))])
+        )
+        assert self._plan(formula).kind == "empty"
+
+    def test_cross_domain_inequality_is_dropped(self):
+        formula = And([r_atom(), Comparison("!=", Var("x"), 1)])
+        plan = self._plan(formula)
+        assert plan.kind == "dirty"
+        # the vacuously true comparison must not reach the SQL
+        assert "<>" not in plan.certain_sql
+
+    def test_empty_plan_runs_to_empty_sets(self):
+        formula = Exists(["x", "z"], Atom("R", [Var("x"), "one", Var("z")]))
+        plan = self._plan(formula)
+        result = plan.run(sqlite3.connect(":memory:"))
+        assert result.certain == frozenset()
+        assert result.possible == frozenset()
+
+
+class TestPlanExecution:
+    @pytest.fixture
+    def connection(self):
+        connection = sqlite3.connect(":memory:")
+        db = Database(
+            [
+                RelationInstance.from_values(
+                    R_SCHEMA,
+                    [
+                        ("k1", 0, "x"),
+                        ("k1", 1, "x"),  # two classes: nothing certain for k1
+                        ("k2", 5, "y"),
+                        ("k2", 5, "z"),  # one class of two rows: certain
+                        ("k3", 7, "w"),
+                    ],
+                ),
+                RelationInstance.from_values(S_SCHEMA, [(5, "c5"), (7, "c7")]),
+            ]
+        )
+        save_database(db, connection, FDS)
+        yield connection
+        connection.close()
+
+    def test_open_dirty_plan(self, connection):
+        formula = Exists(["z"], Atom("R", [Var("x"), Var("y"), Var("z")]))
+        plan = analyze_query(formula, SCHEMA, FDS).plan
+        assert plan.kind == "dirty"
+        result = plan.run(connection)
+        assert result.certain == frozenset({("k2", 5), ("k3", 7)})
+        assert result.possible == frozenset(
+            {("k1", 0), ("k1", 1), ("k2", 5), ("k3", 7)}
+        )
+
+    def test_boolean_plan_uses_nullary_tuple(self, connection):
+        certain_true = Exists(["k", "a", "b"], r_k_a_b_with(">= 1"))
+        plan = analyze_query(certain_true, SCHEMA, FDS).plan
+        assert plan.is_boolean
+        result = plan.run(connection)
+        assert result.certain == frozenset({()})
+
+    def test_join_with_clean_relation(self, connection):
+        formula = Exists(
+            ["z", "c"],
+            And(
+                [
+                    Atom("R", [Var("x"), Var("y"), Var("z")]),
+                    Atom("S", [Var("y"), Var("c")]),
+                ]
+            ),
+        )
+        plan = analyze_query(formula, SCHEMA, FDS).plan
+        result = plan.run(connection)
+        assert result.certain == frozenset({("k2", 5), ("k3", 7)})
+
+    def test_clean_plan_certain_equals_possible(self, connection):
+        formula = Atom("S", [Var("a"), Var("c")])
+        plan = analyze_query(formula, SCHEMA, FDS).plan
+        assert plan.kind == "clean"
+        result = plan.run(connection)
+        assert result.certain == result.possible == frozenset(
+            {(5, "c5"), (7, "c7")}
+        )
+
+    def test_explicit_variable_order_and_projection(self, connection):
+        formula = Exists(["z"], Atom("R", [Var("x"), Var("y"), Var("z")]))
+        plan = analyze_query(formula, SCHEMA, FDS, variables=("y",)).plan
+        result = plan.run(connection)
+        assert result.certain == frozenset({(5,), (7,)})
+
+
+def r_k_a_b_with(op_value: str):
+    op, value = op_value.split()
+    return And(
+        [
+            Atom("R", [Var("k"), Var("a"), Var("b")]),
+            Comparison(op, Var("a"), int(value)),
+        ]
+    )

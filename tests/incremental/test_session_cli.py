@@ -178,3 +178,53 @@ class TestSessionScript:
             == 0
         )
         assert "= undetermined" in capsys.readouterr().out
+
+
+class TestSessionSqliteBackend:
+    def test_rewritable_queries_are_pushed(self, tmp_path, kv_csv, capsys):
+        script = (
+            "? EXISTS x . R(x, 0)\n"
+            "+ 1, 1\n"
+            "? R(x, y)\n"
+            "? FORALL x, y . R(x, y) IMPLIES x < 5\n"
+        )
+        assert (
+            run_session(script, tmp_path, kv_csv, "--backend", "sqlite") == 0
+        )
+        out = capsys.readouterr().out
+        assert "= true (pushed to sqlite)" in out
+        assert "(via sqlite)" in out
+        # non-conjunctive queries stay on the incremental engine
+        assert "= true (4/4 repairs)" in out
+
+    def test_json_events_carry_backend_and_match_memory(
+        self, tmp_path, kv_csv, capsys
+    ):
+        script = "? R(x, y)\n+ 2, 0\n? R(x, y)\n"
+        assert (
+            run_session(script, tmp_path, kv_csv, "--json", "--backend", "sqlite")
+            == 0
+        )
+        sqlite_events = json.loads(capsys.readouterr().out)["events"]
+        assert run_session(script, tmp_path, kv_csv, "--json") == 0
+        memory_events = json.loads(capsys.readouterr().out)["events"]
+        for pushed, reference in zip(sqlite_events, memory_events):
+            if pushed["op"] != "query":
+                continue
+            assert pushed["backend"] == "sqlite"
+            assert reference["backend"] == "memory"
+            assert pushed["certain"] == reference["certain"]
+            assert pushed["possible"] == reference["possible"]
+
+    def test_priority_flags_keep_memory_routing(self, tmp_path, kv_csv, capsys):
+        script = "? EXISTS x . R(x, 1)\n"
+        assert (
+            run_session(
+                script, tmp_path, kv_csv,
+                "--backend", "sqlite", "--prefer-new", "B", "--family", "L",
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "pushed to sqlite" not in out
+        assert "= true" in out

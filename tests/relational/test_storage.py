@@ -15,9 +15,12 @@ from repro.relational.database import Database
 from repro.relational.domain import AttributeType
 from repro.relational.instance import RelationInstance
 from repro.relational.schema import RelationSchema
+from repro.constraints.fd import FunctionalDependency
 from repro.relational.sqlite_io import (
+    ensure_fd_indexes,
     load_database,
     load_instance,
+    load_schema,
     save_database,
     save_instance,
 )
@@ -120,3 +123,133 @@ class TestSqlite:
         smaller = RelationInstance.from_values(SCHEMA, [("Solo", "IT", 1)])
         save_instance(smaller, path)
         assert load_instance(path, "Mgr") == smaller
+
+
+def _dept_instance():
+    schema = RelationSchema("Dept", ["Dept", "Budget:number"])
+    return RelationInstance.from_values(schema, [("R&D", 100)])
+
+
+class TestSqliteSchemaSync:
+    def test_resave_drops_removed_relations(self, tmp_path):
+        """save -> delete relation -> save -> load loads cleanly."""
+        path = tmp_path / "db.sqlite"
+        save_database(Database([sample_instance(), _dept_instance()]), path)
+        shrunk = Database([sample_instance()])
+        save_database(shrunk, path)
+        assert load_database(path) == shrunk
+
+    def test_resave_purges_stale_table_and_metadata(self, tmp_path):
+        path = tmp_path / "db.sqlite"
+        save_database(Database([sample_instance(), _dept_instance()]), path)
+        save_database(Database([sample_instance()]), path)
+        with pytest.raises(UnknownRelationError):
+            load_instance(path, "Dept")
+        with sqlite3.connect(path) as connection:
+            cursor = connection.execute(
+                "SELECT 1 FROM sqlite_master WHERE name = 'Dept'"
+            )
+            assert cursor.fetchone() is None
+
+    def test_recorded_relation_with_missing_table(self, tmp_path):
+        """Stale metadata surfaces as UnknownRelationError, not a raw
+        sqlite3.OperationalError."""
+        path = tmp_path / "db.sqlite"
+        save_instance(sample_instance(), path)
+        with sqlite3.connect(path) as connection:
+            connection.execute('DROP TABLE "Mgr"')
+        with pytest.raises(UnknownRelationError):
+            load_instance(path, "Mgr")
+
+    def test_load_schema_lists_recorded_relations(self, tmp_path):
+        path = tmp_path / "db.sqlite"
+        db = Database([sample_instance(), _dept_instance()])
+        save_database(db, path)
+        schema = load_schema(path)
+        assert set(schema.relation_names) == {"Mgr", "Dept"}
+        assert schema.relation("Mgr") == SCHEMA
+
+    def test_load_schema_can_include_foreign_tables(self, tmp_path):
+        path = tmp_path / "db.sqlite"
+        with sqlite3.connect(path) as connection:
+            connection.execute("CREATE TABLE T (X TEXT NOT NULL, N INTEGER NOT NULL)")
+        schema = load_schema(path, ["T"])
+        assert schema.relation("T").type_of("N") is AttributeType.NUMBER
+
+
+class TestSqliteCatalogTypes:
+    def _external(self, path, declaration):
+        with sqlite3.connect(path) as connection:
+            connection.execute(f"CREATE TABLE T (X TEXT NOT NULL, Y {declaration})")
+        return path
+
+    def test_numeric_affinity_loads_as_number(self, tmp_path):
+        path = self._external(tmp_path / "db.sqlite", "NUMERIC NOT NULL")
+        with sqlite3.connect(path) as connection:
+            connection.execute("INSERT INTO T VALUES ('a', 3)")
+        instance = load_instance(path, "T")
+        assert instance.schema.type_of("Y") is AttributeType.NUMBER
+        assert len(instance) == 1
+
+    def test_varchar_loads_as_name(self, tmp_path):
+        path = self._external(tmp_path / "db.sqlite", "VARCHAR(30) NOT NULL")
+        assert load_instance(path, "T").schema.type_of("Y") is AttributeType.NAME
+
+    def test_real_column_rejected(self, tmp_path):
+        path = self._external(tmp_path / "db.sqlite", "REAL NOT NULL")
+        with pytest.raises(SchemaError, match="floating-point"):
+            load_instance(path, "T")
+
+    def test_blob_column_rejected(self, tmp_path):
+        path = self._external(tmp_path / "db.sqlite", "BLOB")
+        with pytest.raises(SchemaError, match="BLOB"):
+            load_instance(path, "T")
+
+    def test_typeless_column_rejected(self, tmp_path):
+        path = tmp_path / "db.sqlite"
+        with sqlite3.connect(path) as connection:
+            connection.execute("CREATE TABLE T (X TEXT NOT NULL, Y)")
+        with pytest.raises(SchemaError, match="no declared"):
+            load_instance(path, "T")
+
+
+class TestFdIndexes:
+    FDS = [FunctionalDependency.parse("Name -> Dept, Salary", "Mgr")]
+
+    def _index_names(self, path):
+        with sqlite3.connect(path) as connection:
+            cursor = connection.execute(
+                "SELECT name FROM sqlite_master WHERE type = 'index'"
+            )
+            return {record[0] for record in cursor.fetchall()}
+
+    def test_save_instance_creates_covering_index(self, tmp_path):
+        path = tmp_path / "db.sqlite"
+        save_instance(sample_instance(), path, self.FDS)
+        assert "_repro_idx_Mgr_Name_Dept_Salary" in self._index_names(path)
+
+    def test_save_database_creates_indexes(self, tmp_path):
+        path = tmp_path / "db.sqlite"
+        save_database(Database([sample_instance()]), path, self.FDS)
+        assert any(
+            name.startswith("_repro_idx_Mgr") for name in self._index_names(path)
+        )
+
+    def test_ensure_fd_indexes_is_idempotent(self, tmp_path):
+        path = tmp_path / "db.sqlite"
+        save_instance(sample_instance(), path)
+        schema = load_schema(path)
+        first = ensure_fd_indexes(path, schema, self.FDS)
+        second = ensure_fd_indexes(path, schema, self.FDS)
+        assert first == second
+        assert "_repro_idx_Mgr_Name_Dept_Salary" in self._index_names(path)
+
+    def test_indexes_skip_inapplicable_dependencies(self, tmp_path):
+        path = tmp_path / "db.sqlite"
+        other = [FunctionalDependency.parse("Dept -> Budget", "Dept")]
+        save_instance(sample_instance(), path, other)
+        assert not {
+            name
+            for name in self._index_names(path)
+            if name.startswith("_repro_idx_")
+        }

@@ -41,3 +41,15 @@ class TestSampleRepairs:
     def test_non_distinct_returns_exact_count(self):
         graph = build_conflict_graph(example4_scenario(3).instance, GRID_FDS)
         assert len(sample_repairs(graph, 10, random.Random(0))) == 10
+
+    def test_distinct_sampling_uses_canonical_listing_order(self):
+        from repro.repairs.enumerate import enumerate_repairs, repair_sort_key
+
+        graph = build_conflict_graph(example4_scenario(3).instance, GRID_FDS)
+        distinct = sample_repairs(graph, 50, random.Random(1), distinct=True)
+        assert distinct == sorted(distinct, key=repair_sort_key)
+        # consistent with enumeration: the full sample lists repairs in
+        # the same relative order enumerate+sort produces
+        everything = sorted(enumerate_repairs(graph), key=repair_sort_key)
+        positions = [everything.index(repair) for repair in distinct]
+        assert positions == sorted(positions)

@@ -237,3 +237,110 @@ class TestArgumentErrors:
                     "garbage",
                 ]
             )
+
+
+@pytest.fixture
+def kv_sqlite(tmp_path):
+    """R(K, A:number, B) with fd K -> A persisted to a SQLite file."""
+    from repro.constraints.fd import FunctionalDependency
+    from repro.relational.database import Database
+    from repro.relational.instance import RelationInstance
+    from repro.relational.schema import RelationSchema
+    from repro.relational.sqlite_io import save_database
+
+    schema = RelationSchema("R", ["K", "A:number", "B"])
+    rows = [("k1", 0, "x"), ("k1", 1, "x"), ("k2", 5, "y"), ("k3", 7, "w")]
+    path = tmp_path / "db.sqlite"
+    save_database(
+        Database([RelationInstance.from_values(schema, rows)]),
+        path,
+        [FunctionalDependency.parse("K -> A", "R")],
+    )
+    return path
+
+
+class TestQueryCommand:
+    def test_pushed_open_query(self, kv_sqlite, capsys):
+        code = main(
+            [
+                "query", "--sqlite", str(kv_sqlite), "--fd", "R: K -> A",
+                "--backend", "sqlite", "--query", "EXISTS b . R(x, y, b)",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "backend: sqlite (pushed down)" in out
+        assert "certain: ('k2', 5), ('k3', 7)" in out
+
+    def test_memory_backend_matches(self, kv_sqlite, capsys):
+        import json
+
+        results = {}
+        for backend in ("memory", "sqlite"):
+            assert (
+                main(
+                    [
+                        "query", "--sqlite", str(kv_sqlite), "--fd", "R: K -> A",
+                        "--backend", backend, "--json",
+                        "--query", "EXISTS b . R(x, y, b)",
+                    ]
+                )
+                == 0
+            )
+            results[backend] = json.loads(capsys.readouterr().out)
+        assert results["memory"]["certain"] == results["sqlite"]["certain"]
+        assert results["memory"]["possible"] == results["sqlite"]["possible"]
+
+    def test_closed_query_exit_codes(self, kv_sqlite, capsys):
+        code = main(
+            [
+                "query", "--sqlite", str(kv_sqlite), "--fd", "R: K -> A",
+                "--backend", "sqlite", "--query", "EXISTS k, b . R(k, 1, b)",
+            ]
+        )
+        assert code == 2  # undetermined
+        assert "verdict=undetermined" in capsys.readouterr().out
+
+    def test_sql_frontend(self, kv_sqlite, capsys):
+        code = main(
+            [
+                "query", "--sqlite", str(kv_sqlite), "--fd", "R: K -> A",
+                "--backend", "sqlite",
+                "--sql", "SELECT t.K FROM R t WHERE t.A >= 1",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "certain: ('k2',), ('k3',)" in out
+
+    def test_fallback_is_reported(self, kv_sqlite, capsys):
+        code = main(
+            [
+                "query", "--sqlite", str(kv_sqlite), "--fd", "R: K -> A",
+                "--backend", "sqlite",
+                "--query", "FORALL k, a, b . R(k, a, b) IMPLIES a < 10",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "backend: fallback:" in out
+        assert "verdict=true" in out
+
+    def test_sqlite_backend_requires_sqlite_source(self, mgr_csv):
+        with pytest.raises(SystemExit):
+            main(
+                [
+                    "query", "--csv", str(mgr_csv), "--fd", MGR_FDS[0],
+                    "--backend", "sqlite", "--query", "EXISTS x . Mgr(x, x, x, x)",
+                ]
+            )
+
+    def test_prefer_flags_rejected_on_sqlite_backend(self, kv_sqlite):
+        with pytest.raises(SystemExit):
+            main(
+                [
+                    "query", "--sqlite", str(kv_sqlite), "--fd", "R: K -> A",
+                    "--backend", "sqlite", "--prefer-new", "A",
+                    "--query", "EXISTS b . R(x, y, b)",
+                ]
+            )
