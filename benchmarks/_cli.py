@@ -1,0 +1,98 @@
+"""Uniform command-line surface for the benchmark suite.
+
+Every ``benchmarks/bench_*.py`` accepts the same two flags:
+
+``--smoke``
+    A seconds-long, correctness-focused configuration for CI: sweeps
+    shrink to their smallest sizes and (for the pytest-benchmark
+    modules) timing is disabled, so only the assertions run.
+``--seed``
+    Seeds whatever randomness the workload uses (random instances,
+    sampled repair candidates, shuffled insertion orders), making a
+    run reproducible and letting CI vary the draw.
+
+The standalone scripts (``bench_backend``, ``bench_incremental``,
+``bench_evaluator``) consume the parsed flags directly.  The
+pytest-benchmark modules re-execute themselves through ``pytest``; the
+chosen values travel through environment variables so the module
+re-imported by pytest picks them up when computing its parametrized
+sweep sizes via :func:`sizes`.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+
+#: Environment toggles the pytest-benchmark modules read at import time.
+SMOKE_ENV = "REPRO_BENCH_SMOKE"
+SEED_ENV = "REPRO_BENCH_SEED"
+
+DEFAULT_SEED = 7
+
+
+def bench_parser(doc: str) -> argparse.ArgumentParser:
+    """The shared ``--smoke`` / ``--seed`` parser; add extra flags freely."""
+    first_line = (doc or "benchmark").strip().splitlines()[0]
+    parser = argparse.ArgumentParser(description=first_line)
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="small, seconds-long CI configuration (assertions only)",
+    )
+    parser.add_argument(
+        "--seed",
+        type=int,
+        default=None,
+        help=f"workload randomness seed (default: ${SEED_ENV} or {DEFAULT_SEED})",
+    )
+    return parser
+
+
+def smoke_active() -> bool:
+    return bool(os.environ.get(SMOKE_ENV))
+
+
+def sizes(full, smoke):
+    """Pick a sweep parametrization based on the smoke toggle."""
+    return smoke if smoke_active() else full
+
+
+def bench_seed(override: "int | None" = None) -> int:
+    """The effective workload seed: flag, then environment, then default."""
+    if override is not None:
+        return override
+    value = os.environ.get(SEED_ENV)
+    return int(value) if value else DEFAULT_SEED
+
+
+def apply_seed(args) -> int:
+    """Resolve a standalone script's ``--seed``, export it, return it.
+
+    Exporting through ``$REPRO_BENCH_SEED`` lets shared workload
+    builders (:mod:`benchmarks.workloads`) pick the value up without
+    threading it through every call.
+    """
+    seed = bench_seed(args.seed)
+    os.environ[SEED_ENV] = str(seed)
+    return seed
+
+
+def run_pytest_module(module_file: str, doc: str, argv=None) -> int:
+    """argparse front-end for a pytest-benchmark module.
+
+    Parses the uniform flags, exports them through the environment, and
+    re-runs the module under pytest — with ``--benchmark-disable`` in
+    smoke mode (one plain call per case, assertions still enforced) and
+    ``--benchmark-only`` otherwise.
+    """
+    args = bench_parser(doc).parse_args(argv)
+    if args.smoke:
+        os.environ[SMOKE_ENV] = "1"
+    if args.seed is not None:
+        os.environ[SEED_ENV] = str(args.seed)
+    import pytest
+
+    pytest_args = [module_file, "-q", "-p", "no:cacheprovider"]
+    pytest_args.append("--benchmark-disable" if args.smoke else "--benchmark-only")
+    return pytest.main(pytest_args)

@@ -9,7 +9,16 @@ ABL3  Repair enumeration: Bron–Kerbosch with pivoting + component
 ABL4  Winnow: dominator-indexed vs literal quadratic implementation.
 """
 
+import sys
+
+if not __package__:
+    import pathlib
+
+    sys.path.insert(0, str(pathlib.Path(__file__).resolve().parent.parent))
+
 import pytest
+
+from benchmarks._cli import run_pytest_module, sizes
 
 from repro.core.cleaning import all_cleaning_results
 from repro.core.optimality import (
@@ -31,7 +40,13 @@ from benchmarks.workloads import (
 # --------------------------------------------------------------------------
 
 
-@pytest.mark.parametrize("length", [8, 10, 12])
+ABL1_SIZES = sizes(full=[8, 10, 12], smoke=[6])
+ABL2_SIZES = sizes(full=[4, 6, 8], smoke=[3])
+ABL3_SIZE = sizes(full=18, smoke=10)
+ABL4_SIZES = sizes(full=[64, 128, 256], smoke=[24])
+
+
+@pytest.mark.parametrize("length", ABL1_SIZES)
 def test_abl1_global_check_prop5(benchmark, length):
     _, graph, priority = chain_workload(length)
     candidate = sample_candidate(graph)
@@ -40,7 +55,7 @@ def test_abl1_global_check_prop5(benchmark, length):
     assert result in (True, False)
 
 
-@pytest.mark.parametrize("length", [8, 10, 12])
+@pytest.mark.parametrize("length", ABL1_SIZES)
 def test_abl1_global_check_definition(benchmark, length):
     _, graph, priority = chain_workload(length)
     candidate = sample_candidate(graph)
@@ -54,14 +69,14 @@ def test_abl1_global_check_definition(benchmark, length):
 # --------------------------------------------------------------------------
 
 
-@pytest.mark.parametrize("groups", [4, 6, 8])
+@pytest.mark.parametrize("groups", ABL2_SIZES)
 def test_abl2_crep_memoized(benchmark, groups):
     _, _, priority = duplicated_workload(groups)
     results = benchmark(all_cleaning_results, priority, True)
     assert len(results) == 1  # challenger priority is decisive
 
 
-@pytest.mark.parametrize("groups", [4, 6, 8])
+@pytest.mark.parametrize("groups", ABL2_SIZES)
 def test_abl2_crep_naive(benchmark, groups):
     _, _, priority = duplicated_workload(groups)
     results = benchmark(all_cleaning_results, priority, False)
@@ -79,7 +94,7 @@ def test_abl2_crep_naive(benchmark, groups):
     ids=["factored+pivot", "factored", "pivot", "naive"],
 )
 def test_abl3_enumeration_variants(benchmark, factor, pivot):
-    _, graph, _ = random_workload(18, seed=3)
+    _, graph, _ = random_workload(ABL3_SIZE)
 
     def run():
         return sum(1 for _ in enumerate_repairs(graph, factor, pivot))
@@ -93,15 +108,19 @@ def test_abl3_enumeration_variants(benchmark, factor, pivot):
 # --------------------------------------------------------------------------
 
 
-@pytest.mark.parametrize("n", [64, 128, 256])
+@pytest.mark.parametrize("n", ABL4_SIZES)
 def test_abl4_winnow_indexed(benchmark, n):
-    _, graph, priority = random_workload(n, seed=9, density=0.8)
+    _, graph, priority = random_workload(n, density=0.8)
     result = benchmark(winnow, priority, graph.vertices)
     assert result
 
 
-@pytest.mark.parametrize("n", [64, 128, 256])
+@pytest.mark.parametrize("n", ABL4_SIZES)
 def test_abl4_winnow_naive(benchmark, n):
-    _, graph, priority = random_workload(n, seed=9, density=0.8)
+    _, graph, priority = random_workload(n, density=0.8)
     result = benchmark(winnow_naive, priority, graph.vertices)
     assert result == winnow(priority, graph.vertices)
+
+
+if __name__ == "__main__":
+    sys.exit(run_pytest_module(__file__, __doc__))

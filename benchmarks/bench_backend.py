@@ -26,13 +26,20 @@ a seconds-long correctness-focused configuration for CI.
 
 from __future__ import annotations
 
-import argparse
 import os
+import random
 import statistics
 import sys
 import tempfile
 import time
 from typing import List, Tuple
+
+if not __package__:
+    import pathlib
+
+    sys.path.insert(0, str(pathlib.Path(__file__).resolve().parent.parent))
+
+from benchmarks._cli import apply_seed, bench_parser, bench_seed
 
 from repro.backend import SqlCqaEngine
 from repro.constraints.fd import FunctionalDependency
@@ -56,13 +63,18 @@ VARIABLES = ("x", "y")
 
 
 def build_database(pairs: int, clean_rows: int) -> Database:
-    """``pairs`` two-class conflict groups plus ``clean_rows`` filler."""
+    """``pairs`` two-class conflict groups plus ``clean_rows`` filler.
+
+    Insertion order is shuffled under the uniform ``--seed`` so the
+    persisted table (and hence SQLite's scan order) varies between runs.
+    """
     values: List[Tuple[str, int, str]] = []
     for index in range(pairs):
         values.append((f"k{index}", 0, f"p{index}"))
         values.append((f"k{index}", 1, f"p{index}"))
     for index in range(clean_rows):
         values.append((f"c{index}", 1 + index % 50, f"q{index}"))
+    random.Random(bench_seed()).shuffle(values)
     return Database([RelationInstance.from_values(SCHEMA, values)])
 
 
@@ -95,7 +107,7 @@ def time_memory(path: str):
 
 
 def main(argv=None) -> int:
-    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser = bench_parser(__doc__)
     parser.add_argument("--pairs", type=int, default=4,
                         help="conflict groups (2^pairs repairs)")
     parser.add_argument("--sizes", type=int, nargs="+",
@@ -106,11 +118,10 @@ def main(argv=None) -> int:
                              "(0 disables)")
     parser.add_argument("--repeats", type=int, default=5,
                         help="sqlite timing repeats (median reported)")
-    parser.add_argument("--smoke", action="store_true",
-                        help="small, seconds-long CI configuration")
     parser.add_argument("--no-assert", action="store_true",
                         help="report without enforcing the >=10x criterion")
     args = parser.parse_args(argv)
+    apply_seed(args)
 
     if args.smoke:
         args.pairs, args.sizes, args.sqlite_only_size = 4, [100, 300], 5000

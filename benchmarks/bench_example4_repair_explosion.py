@@ -6,14 +6,24 @@ counting, which stays polynomial because the grid splits into n
 independent 2-cliques.  The counts are asserted exactly.
 """
 
+import sys
+
+if not __package__:
+    import pathlib
+
+    sys.path.insert(0, str(pathlib.Path(__file__).resolve().parent.parent))
+
 import pytest
+
+from benchmarks._cli import run_pytest_module, sizes
 
 from repro.repairs.enumerate import count_repairs, enumerate_repairs
 
 from benchmarks.workloads import grid_workload
 
-ENUM_SIZES = [8, 12, 16]
-COUNT_SIZES = [16, 64, 256]
+ENUM_SIZES = sizes(full=[8, 12, 16], smoke=[4, 6])
+COUNT_SIZES = sizes(full=[16, 64, 256], smoke=[8, 16])
+CLIQUE_SIZES = sizes(full=[2, 3, 4], smoke=[2])
 
 
 @pytest.mark.parametrize("n", ENUM_SIZES)
@@ -32,7 +42,11 @@ def test_count_repairs_by_factoring(benchmark, n):
     assert benchmark(count_repairs, graph) == 2**n
 
 
-@pytest.mark.parametrize("per_group", [2, 3, 4])
+@pytest.mark.parametrize("per_group", CLIQUE_SIZES)
 def test_count_with_larger_cliques(benchmark, per_group):
     _, graph, _ = grid_workload(12, per_group)
     assert benchmark(count_repairs, graph) == per_group**12
+
+
+if __name__ == "__main__":
+    sys.exit(run_pytest_module(__file__, __doc__))

@@ -6,7 +6,16 @@ EXT2  Denial-constraint CQA over conflict hypergraphs (paper §6).
 EXT3  Cyclic-preference condensation overhead vs plain priorities.
 """
 
+import sys
+
+if not __package__:
+    import pathlib
+
+    sys.path.insert(0, str(pathlib.Path(__file__).resolve().parent.parent))
+
 import pytest
+
+from benchmarks._cli import run_pytest_module, sizes
 
 from repro.constraints.conflict_graph import build_conflict_graph
 from repro.core.cyclic import CyclicPreference
@@ -28,14 +37,20 @@ from benchmarks.workloads import grid_workload, random_workload
 # --------------------------------------------------------------------------
 
 
-@pytest.mark.parametrize("groups", [32, 128, 512])
+EXT1_CLOSED_SIZES = sizes(full=[32, 128, 512], smoke=[16])
+EXT1_ENUM_SIZES = sizes(full=[5, 7, 9], smoke=[4])
+EXT2_SIZES = sizes(full=[8, 12, 16], smoke=[6])
+EXT3_SIZES = sizes(full=[64, 128, 256], smoke=[24])
+
+
+@pytest.mark.parametrize("groups", EXT1_CLOSED_SIZES)
 def test_ext1_aggregate_closed_form(benchmark, groups):
     _, graph, _ = grid_workload(groups, per_group=3)
     result = benchmark(key_range_consistent_answer, graph, Aggregate.SUM, "B")
     assert result.lower is not None and result.lower <= result.upper
 
 
-@pytest.mark.parametrize("groups", [5, 7, 9])
+@pytest.mark.parametrize("groups", EXT1_ENUM_SIZES)
 def test_ext1_aggregate_by_enumeration(benchmark, groups):
     _, graph, _ = grid_workload(groups, per_group=3)
     priority = empty_priority(graph)
@@ -50,9 +65,9 @@ def test_ext1_aggregate_by_enumeration(benchmark, groups):
 # --------------------------------------------------------------------------
 
 
-@pytest.mark.parametrize("n", [8, 12, 16])
+@pytest.mark.parametrize("n", EXT2_SIZES)
 def test_ext2_denial_cqa(benchmark, n):
-    instance, _, _ = random_workload(n, seed=21)
+    instance, _, _ = random_workload(n)
     denial = fd_as_denial(GRID_FDS[0], GRID_SCHEMA)
 
     def run():
@@ -68,9 +83,13 @@ def test_ext2_denial_cqa(benchmark, n):
 # --------------------------------------------------------------------------
 
 
-@pytest.mark.parametrize("n", [64, 128, 256])
+@pytest.mark.parametrize("n", EXT3_SIZES)
 def test_ext3_condensation_overhead(benchmark, n):
-    _, graph, priority = random_workload(n, seed=4, density=0.7)
+    _, graph, priority = random_workload(n, density=0.7)
     preference = CyclicPreference(graph, priority.edges)
     condensed = benchmark(preference.condense)
     assert condensed == priority  # acyclic input: identity
+
+
+if __name__ == "__main__":
+    sys.exit(run_pytest_module(__file__, __doc__))

@@ -9,7 +9,16 @@ atom across the families on chain workloads, plus the G engine on
 smaller chains — the Π²p row separates by pulling away fastest.
 """
 
+import sys
+
+if not __package__:
+    import pathlib
+
+    sys.path.insert(0, str(pathlib.Path(__file__).resolve().parent.parent))
+
 import pytest
+
+from benchmarks._cli import run_pytest_module, sizes
 
 from repro.core.families import Family
 from repro.cqa.engine import CqaEngine
@@ -24,8 +33,8 @@ CONJUNCTIVE = parse_query(
     "R(a, b1, c1, d1) AND R(a, b2, c2, d2) AND b1 != b2"
 )
 
-SIZES = [10, 14, 18]
-GLOBAL_SIZES = [8, 12, 16]
+SIZES = sizes(full=[10, 14, 18], smoke=[6])
+GLOBAL_SIZES = sizes(full=[8, 12, 16], smoke=[6])
 
 
 @pytest.mark.parametrize("length", SIZES)
@@ -62,3 +71,7 @@ def test_single_ground_atom_still_hard(benchmark, length):
     engine = CqaEngine(instance, CHAIN_FDS, priority, Family.SEMI_GLOBAL)
     answer = benchmark(engine.answer, atom)
     assert answer.verdict.value in ("true", "false", "undetermined")
+
+
+if __name__ == "__main__":
+    sys.exit(run_pytest_module(__file__, __doc__))

@@ -9,7 +9,16 @@ tractable algorithm's cost stays flat while the naive engine tracks the
 2^n repair count.
 """
 
+import sys
+
+if not __package__:
+    import pathlib
+
+    sys.path.insert(0, str(pathlib.Path(__file__).resolve().parent.parent))
+
 import pytest
+
+from benchmarks._cli import run_pytest_module, sizes
 
 from repro.cqa.engine import CqaEngine
 from repro.cqa.tractable import consistent_answer_qf
@@ -26,8 +35,8 @@ QUERY = Or(
     ]
 )
 
-TRACTABLE_SIZES = [16, 64, 256]
-NAIVE_SIZES = [6, 10, 14]
+TRACTABLE_SIZES = sizes(full=[16, 64, 256], smoke=[8])
+NAIVE_SIZES = sizes(full=[6, 10, 14], smoke=[4])
 
 
 @pytest.mark.parametrize("groups", TRACTABLE_SIZES)
@@ -58,3 +67,7 @@ def test_tractable_matches_naive_verdict(benchmark, groups):
     expected = engine.answer(QUERY).verdict
     verdict = benchmark(consistent_answer_qf, QUERY, graph)
     assert verdict is expected
+
+
+if __name__ == "__main__":
+    sys.exit(run_pytest_module(__file__, __doc__))

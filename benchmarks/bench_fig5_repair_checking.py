@@ -19,15 +19,24 @@ chains — compare its blow-up against the flat growth of the others.
 Assertions pin the *answers* so the timings measure real work.
 """
 
+import sys
+
+if not __package__:
+    import pathlib
+
+    sys.path.insert(0, str(pathlib.Path(__file__).resolve().parent.parent))
+
 import pytest
+
+from benchmarks._cli import run_pytest_module, sizes
 
 from repro.core.families import Family, is_preferred_repair
 from repro.repairs.checking import is_repair_on_graph
 
 from benchmarks.workloads import chain_workload, sample_candidate
 
-PTIME_SIZES = [24, 48, 96]
-GLOBAL_SIZES = [10, 14, 18]
+PTIME_SIZES = sizes(full=[24, 48, 96], smoke=[12])
+GLOBAL_SIZES = sizes(full=[10, 14, 18], smoke=[8])
 
 
 @pytest.mark.parametrize("length", PTIME_SIZES)
@@ -55,3 +64,7 @@ def test_global_checking_exponential(benchmark, length):
     candidate = sample_candidate(graph)
     result = benchmark(is_preferred_repair, Family.GLOBAL, candidate, priority)
     assert result in (True, False)
+
+
+if __name__ == "__main__":
+    sys.exit(run_pytest_module(__file__, __doc__))

@@ -25,11 +25,18 @@ runs a seconds-long correctness-focused configuration for CI.
 
 from __future__ import annotations
 
-import argparse
+import random
 import statistics
 import sys
 import time
 from typing import List, Tuple
+
+if not __package__:
+    import pathlib
+
+    sys.path.insert(0, str(pathlib.Path(__file__).resolve().parent.parent))
+
+from benchmarks._cli import apply_seed, bench_parser, bench_seed
 
 from repro.core.families import Family
 from repro.cqa.engine import CqaEngine
@@ -45,9 +52,14 @@ FAMILY = Family.REP
 
 
 def build_workload(pairs: int, singles: int):
-    """``pairs`` two-tuple conflict components plus consistent filler."""
+    """``pairs`` two-tuple conflict components plus consistent filler.
+
+    The insertion order is shuffled under the uniform ``--seed`` so the
+    dynamic graph's bucket build order varies between runs.
+    """
     values = [(key, b) for key in range(pairs) for b in (0, 1)]
     values += [(pairs + i, 0) for i in range(singles)]
+    random.Random(bench_seed()).shuffle(values)
     instance = RelationInstance.from_values(GRID_SCHEMA, values)
     priority = [
         (Row(GRID_SCHEMA, (key, 1)), Row(GRID_SCHEMA, (key, 0)))
@@ -137,7 +149,7 @@ def time_fresh_exact(pairs: int, singles: int, iterations: int, budget: float):
 
 
 def main(argv=None) -> int:
-    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser = bench_parser(__doc__)
     parser.add_argument("--pairs", type=int, default=40, help="conflict components")
     parser.add_argument("--singles", type=int, default=160, help="consistent tuples")
     parser.add_argument("--exact-pairs", type=int, default=8,
@@ -145,11 +157,10 @@ def main(argv=None) -> int:
     parser.add_argument("--iterations", type=int, default=30)
     parser.add_argument("--budget", type=float, default=20.0,
                         help="wall-clock budget (s) for the full-scale fresh attempt")
-    parser.add_argument("--smoke", action="store_true",
-                        help="small, seconds-long CI configuration")
     parser.add_argument("--no-assert", action="store_true",
                         help="report without enforcing the >=10x criterion")
     args = parser.parse_args(argv)
+    apply_seed(args)
 
     if args.smoke:
         args.pairs, args.singles, args.exact_pairs = 20, 180, 5

@@ -7,7 +7,16 @@ families, query verdicts), asserting the expected outputs so the
 timing covers the full reproduce-the-example pipeline.
 """
 
+import sys
+
+if not __package__:
+    import pathlib
+
+    sys.path.insert(0, str(pathlib.Path(__file__).resolve().parent.parent))
+
 import pytest
+
+from benchmarks._cli import run_pytest_module
 
 from repro.core.families import Family, family_chain
 from repro.cqa.answers import Verdict
@@ -75,3 +84,7 @@ def test_figure1_grid(benchmark):
         return sum(1 for _ in enumerate_repairs(scenario.graph))
 
     assert benchmark(run) == 16
+
+
+if __name__ == "__main__":
+    sys.exit(run_pytest_module(__file__, __doc__))

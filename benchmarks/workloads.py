@@ -4,14 +4,23 @@ Workload sizes are chosen so the full ``pytest benchmarks/
 --benchmark-only`` run completes in minutes while still exposing the
 polynomial-vs-exponential separations of Figure 5: the PTIME rows are
 measured on instances far larger than the co-NP rows could ever touch.
+
+Randomized builders default their seeds to the uniform ``--seed`` flag
+(via :func:`benchmarks._cli.bench_seed`), so one value reproduces a
+whole suite run.
 """
 
 from __future__ import annotations
 
 import random
-from typing import Tuple
+from typing import Optional, Tuple
 
 import pytest
+
+try:
+    from benchmarks._cli import bench_seed
+except ImportError:  # run with benchmarks/ itself on sys.path
+    from _cli import bench_seed
 
 from repro.constraints.conflict_graph import ConflictGraph, build_conflict_graph
 from repro.datagen.generators import (
@@ -55,17 +64,17 @@ def duplicated_workload(groups: int, dup: int = 2):
     return instance, graph, priority
 
 
-def random_workload(n: int, seed: int = 11, density: float = 0.6):
+def random_workload(n: int, seed: Optional[int] = None, density: float = 0.6):
     """Random key-violating instance with a random partial priority."""
     from repro.datagen.generators import random_inconsistent_instance
 
-    rng = random.Random(seed)
+    rng = random.Random(bench_seed(seed))
     instance = random_inconsistent_instance(n, key_domain=max(2, n // 3), rng=rng)
     graph = build_conflict_graph(instance, GRID_FDS)
     priority = random_priority(graph, density, rng)
     return instance, graph, priority
 
 
-def sample_candidate(graph: ConflictGraph, seed: int = 5):
+def sample_candidate(graph: ConflictGraph, seed: Optional[int] = None):
     """A repair to feed the checking benchmarks."""
-    return random_repair(graph, random.Random(seed))
+    return random_repair(graph, random.Random(bench_seed(seed)))

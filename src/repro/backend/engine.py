@@ -158,7 +158,7 @@ class SqlCqaEngine:
             verdict = Verdict.UNDETERMINED  # true in some, false in some
         else:
             verdict = Verdict.FALSE  # true in no repair
-        return ClosedAnswer(family, verdict, 0, 0, None)
+        return ClosedAnswer(family, verdict, 0, 0, None, route="sqlite")
 
     def is_consistently_true(
         self, query: Union[str, Formula], family: Optional[Family] = None
@@ -186,7 +186,12 @@ class SqlCqaEngine:
         self.last_route = "sqlite"
         result = decision.plan.run(self._connection)
         return OpenAnswers(
-            family, tuple(variables), result.certain, result.possible, 0
+            family,
+            tuple(variables),
+            result.certain,
+            result.possible,
+            0,
+            route="sqlite",
         )
 
     def sql_certain_answers(

@@ -1,5 +1,6 @@
 """Related-work baselines: ETL-style cleaning, rank/fusion, strata."""
 
+from repro.baselines.answers import baseline_answers, cleaned_answers
 from repro.baselines.cleaning import (
     CleaningOutcome,
     UnresolvedPolicy,
@@ -16,7 +17,9 @@ __all__ = [
     "CleaningOutcome",
     "FusionResult",
     "UnresolvedPolicy",
+    "baseline_answers",
     "clean_database",
+    "cleaned_answers",
     "preferred_subtheories",
     "resolve_by_rank",
     "resolve_with_fusion",

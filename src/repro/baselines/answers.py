@@ -1,0 +1,87 @@
+"""Query answering over baseline resolutions.
+
+Each related-work baseline resolves an inconsistent instance into one or
+more alternative row sets: classical cleaning keeps a (possibly still
+inconsistent) main table, rank-based resolution keeps the winners, and
+stratified preferred subtheories produce a whole family.  To compare
+those outcomes against Definition 3 answering on equal footing, this
+module evaluates queries over the alternatives with the same indexed
+:class:`~repro.query.evaluator.EvaluationContext` machinery (and the
+same ``naive=True`` scan-based escape hatch) the CQA engines use — the
+certain/possible split over the alternatives mirrors
+:class:`~repro.cqa.answers.OpenAnswers` exactly.
+"""
+
+from __future__ import annotations
+
+from typing import FrozenSet, Iterable, Optional, Tuple, Union
+
+from repro.core.families import Family
+from repro.cqa.answers import OpenAnswers
+from repro.exceptions import QueryError
+from repro.query.ast import Formula, constants_of
+from repro.query.evaluator import ContextCache
+from repro.query.evaluator import answers as evaluate_answers
+from repro.query.parser import parse_query
+from repro.relational.rows import Row
+
+from repro.baselines.cleaning import CleaningOutcome
+
+
+def baseline_answers(
+    alternatives: Iterable[Iterable[Row]],
+    query: Union[str, Formula],
+    variables: Optional[Tuple[str, ...]] = None,
+    naive: bool = False,
+) -> OpenAnswers:
+    """Certain/possible answers of ``query`` over baseline alternatives.
+
+    ``alternatives`` is any iterable of row collections (e.g. the output
+    of :func:`~repro.baselines.stratified.preferred_subtheories`, or a
+    single cleaned table).  A tuple is *certain* when every alternative
+    yields it and *possible* when at least one does — the same
+    definitions the repair families use, so the result is directly
+    comparable with engine output.  The ``family`` field is ``Rep``
+    (baselines carry no preference semantics of their own).
+    """
+    formula = parse_query(query) if isinstance(query, str) else query
+    if variables is None:
+        variables = tuple(sorted(formula.free_variables()))
+    cache = ContextCache(naive=naive)
+    constants = constants_of(formula)
+    certain: Optional[FrozenSet[Tuple]] = None
+    possible: FrozenSet[Tuple] = frozenset()
+    considered = 0
+    for alternative in alternatives:
+        rows = frozenset(alternative)
+        considered += 1
+        context = cache.context_for(rows, constants)
+        result = evaluate_answers(formula, rows, tuple(variables), context=context)
+        certain = result if certain is None else certain & result
+        possible = possible | result
+    if considered == 0:
+        raise QueryError("baseline_answers() needs at least one alternative")
+    return OpenAnswers(
+        Family.REP,
+        tuple(variables),
+        certain if certain is not None else frozenset(),
+        possible,
+        considered,
+        route="naive" if naive else "indexed",
+    )
+
+
+def cleaned_answers(
+    outcome: CleaningOutcome,
+    query: Union[str, Formula],
+    variables: Optional[Tuple[str, ...]] = None,
+    naive: bool = False,
+) -> OpenAnswers:
+    """Answers over the kept part of a cleaning outcome.
+
+    One alternative only, so certain and possible coincide — precisely
+    the over-confidence of the cleaning baseline the paper's Example 3
+    criticizes: answers resting on unresolved conflicts are reported as
+    if they were certain.
+    """
+    return baseline_answers([outcome.kept], query, variables, naive)

@@ -15,7 +15,7 @@ answers (tuples in the answer of at least one).
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import FrozenSet, Optional, Tuple
 
 from repro.core.families import Family
@@ -51,6 +51,12 @@ class ClosedAnswer:
     #: A preferred repair falsifying the query, when one exists and the
     #: engine kept it (drives the "why not certain?" diagnostics).
     counterexample: Optional[FrozenSet[Row]] = None
+    #: Which evaluation route produced the verdict: ``"indexed"`` /
+    #: ``"naive"`` (per-repair evaluation), ``"witness-index"`` (the
+    #: incremental engine's covering check), or ``"sqlite"`` (pushdown).
+    #: Provenance only — excluded from equality so answers from
+    #: different routes compare by content.
+    route: Optional[str] = field(default=None, compare=False)
 
     @property
     def is_consistent_answer_true(self) -> bool:
@@ -67,6 +73,9 @@ class OpenAnswers:
     certain: FrozenSet[Tuple[Value, ...]]
     possible: FrozenSet[Tuple[Value, ...]]
     repairs_considered: int
+    #: Which evaluation route produced the answer sets (see
+    #: :attr:`ClosedAnswer.route`); excluded from equality.
+    route: Optional[str] = field(default=None, compare=False)
 
     @property
     def disputed(self) -> FrozenSet[Tuple[Value, ...]]:

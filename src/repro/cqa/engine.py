@@ -11,6 +11,12 @@ query fails to be consistently true as soon as one preferred repair
 falsifies it — so repairs stream through the engine with early exit,
 and for the polynomial families (L, S, C) each candidate repair is
 admitted by its PTIME membership check before the query is evaluated.
+
+Per-repair :class:`~repro.query.evaluator.EvaluationContext` objects
+(with their lazily-built hash indexes and join plans) are cached in a
+:class:`~repro.query.evaluator.ContextCache` and shared across every
+query of one engine's lifetime; ``naive=True`` pins the engine to the
+scan-based reference evaluator instead.
 """
 
 from __future__ import annotations
@@ -35,9 +41,10 @@ from repro.core.optimality import is_locally_optimal, is_semi_globally_optimal
 from repro.cqa.answers import ClosedAnswer, OpenAnswers, Verdict
 from repro.exceptions import QueryError
 from repro.priorities.priority import Priority, PriorityEdge
-from repro.query.ast import Formula
+from repro.query.ast import Formula, constants_of
+from repro.query.evaluator import ContextCache, EvaluationContext
 from repro.query.evaluator import answers as evaluate_answers
-from repro.query.evaluator import evaluate, make_context
+from repro.query.evaluator import evaluate
 from repro.query.parser import parse_query
 from repro.query.sql import sql_to_formula
 from repro.relational.database import Database
@@ -65,6 +72,7 @@ class CqaEngine:
         dependencies: Sequence[FunctionalDependency],
         priority: Union[Priority, Iterable[PriorityEdge], None] = None,
         family: Family = Family.REP,
+        naive: bool = False,
     ) -> None:
         self.data = data
         self.dependencies = tuple(dependencies)
@@ -78,7 +86,17 @@ class CqaEngine:
         else:
             self.priority = Priority(self.graph, priority or ())
         self.family = family
+        self.naive = naive
         self._repair_cache: Dict[Family, List[Repair]] = {}
+        self._contexts = ContextCache(naive=naive)
+
+    @property
+    def _route(self) -> str:
+        return "naive" if self.naive else "indexed"
+
+    def _context_for(self, repair: Repair, constants) -> EvaluationContext:
+        """Shared per-repair context: indexes and plans live across queries."""
+        return self._contexts.context_for(repair, constants)
 
     # Repair access ----------------------------------------------------------
 
@@ -143,8 +161,10 @@ class CqaEngine:
                 "closed-query CQA requires a closed formula; "
                 "use certain_answers() for open queries"
             )
+        constants = constants_of(formula)
         for repair in self._stream_repairs(family):
-            if not evaluate(formula, repair):
+            context = self._context_for(repair, constants)
+            if not evaluate(formula, repair, context=context):
                 return False
         return True
 
@@ -159,9 +179,11 @@ class CqaEngine:
         considered = 0
         satisfying = 0
         counterexample: Optional[Repair] = None
+        constants = constants_of(formula)
         for repair in self._stream_repairs(family):
             considered += 1
-            if evaluate(formula, repair):
+            context = self._context_for(repair, constants)
+            if evaluate(formula, repair, context=context):
                 satisfying += 1
             elif counterexample is None:
                 counterexample = repair
@@ -174,7 +196,10 @@ class CqaEngine:
             verdict = Verdict.FALSE
         else:
             verdict = Verdict.UNDETERMINED
-        return ClosedAnswer(family, verdict, considered, satisfying, counterexample)
+        return ClosedAnswer(
+            family, verdict, considered, satisfying, counterexample,
+            route=self._route,
+        )
 
     # Open queries ---------------------------------------------------------------
 
@@ -192,9 +217,11 @@ class CqaEngine:
         certain: Optional[FrozenSet[Tuple]] = None
         possible: FrozenSet[Tuple] = frozenset()
         considered = 0
+        constants = constants_of(formula)
         for repair in self._stream_repairs(family):
             considered += 1
-            result = evaluate_answers(formula, repair, variables)
+            context = self._context_for(repair, constants)
+            result = evaluate_answers(formula, repair, variables, context=context)
             certain = result if certain is None else certain & result
             possible = possible | result
         return OpenAnswers(
@@ -203,6 +230,7 @@ class CqaEngine:
             certain if certain is not None else frozenset(),
             possible,
             considered,
+            route=self._route,
         )
 
     def sql_certain_answers(
@@ -226,4 +254,6 @@ class CqaEngine:
             "oriented": len(self.priority.edges),
             "priority_total": self.priority.is_total,
             "family": str(self.family),
+            "evaluation": self._route,
+            "contexts_cached": len(self._contexts),
         }

@@ -24,7 +24,8 @@ from repro.constraints.denial import (
 from repro.core.families import Family
 from repro.cqa.answers import ClosedAnswer, OpenAnswers, Verdict
 from repro.exceptions import QueryError
-from repro.query.ast import Formula
+from repro.query.ast import Formula, constants_of
+from repro.query.evaluator import ContextCache
 from repro.query.evaluator import answers as evaluate_answers
 from repro.query.evaluator import evaluate
 from repro.query.parser import parse_query
@@ -40,6 +41,7 @@ class DenialCqaEngine:
         self,
         data: Union[RelationInstance, Database, Iterable[Row]],
         constraints: Sequence[DenialConstraint],
+        naive: bool = False,
     ) -> None:
         if isinstance(data, RelationInstance):
             rows = data.rows
@@ -52,6 +54,9 @@ class DenialCqaEngine:
             rows, self.constraints
         )
         self._repairs = None
+        self.naive = naive
+        self._route = "naive" if naive else "indexed"
+        self._contexts = ContextCache(naive=naive)
 
     def repairs(self):
         """All hypergraph repairs (cached)."""
@@ -71,9 +76,11 @@ class DenialCqaEngine:
         considered = 0
         satisfying = 0
         counterexample = None
+        constants = constants_of(formula)
         for repair in self.repairs():
             considered += 1
-            if evaluate(formula, repair):
+            context = self._contexts.context_for(repair, constants)
+            if evaluate(formula, repair, context=context):
                 satisfying += 1
             elif counterexample is None:
                 counterexample = repair
@@ -83,7 +90,10 @@ class DenialCqaEngine:
             verdict = Verdict.FALSE
         else:
             verdict = Verdict.UNDETERMINED
-        return ClosedAnswer(Family.REP, verdict, considered, satisfying, counterexample)
+        return ClosedAnswer(
+            Family.REP, verdict, considered, satisfying, counterexample,
+            route=self._route,
+        )
 
     def certain_answers(
         self,
@@ -97,9 +107,11 @@ class DenialCqaEngine:
         certain = None
         possible = frozenset()
         considered = 0
+        constants = constants_of(formula)
         for repair in self.repairs():
             considered += 1
-            result = evaluate_answers(formula, repair, variables)
+            context = self._contexts.context_for(repair, constants)
+            result = evaluate_answers(formula, repair, variables, context=context)
             certain = result if certain is None else certain & result
             possible = possible | result
         return OpenAnswers(
@@ -108,4 +120,5 @@ class DenialCqaEngine:
             certain if certain is not None else frozenset(),
             possible,
             considered,
+            route=self._route,
         )

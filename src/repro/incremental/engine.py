@@ -42,7 +42,8 @@ from repro.core.families import Family
 from repro.cqa.answers import ClosedAnswer, OpenAnswers, Verdict
 from repro.exceptions import CyclicPriorityError, QueryError, SchemaError
 from repro.priorities.priority import Priority, PriorityEdge
-from repro.query.ast import Formula
+from repro.query.ast import Formula, constants_of
+from repro.query.evaluator import ContextCache
 from repro.query.evaluator import answers as evaluate_answers
 from repro.query.evaluator import evaluate
 from repro.query.parser import parse_query
@@ -115,9 +116,12 @@ class IncrementalCqaEngine:
         family: Family = Family.REP,
         cache_entries: int = 4096,
         witness_indexes: int = 32,
+        naive: bool = False,
     ) -> None:
         self.dependencies = tuple(dependencies)
         self.family = family
+        self.naive = naive
+        self._route = "naive" if naive else "indexed"
         self._schemas: Dict[str, RelationSchema] = {}
         self._db_schema: Optional[DatabaseSchema] = None
         rows: List[Row] = []
@@ -133,6 +137,10 @@ class IncrementalCqaEngine:
         self.graph = DynamicConflictGraph(dependencies=self.dependencies)
         self._rows_by_relation: Dict[str, Set[Row]] = {}
         self._cache = ComponentRepairCache(max_entries=cache_entries)
+        # Re-validations after updates reassemble the same repairs over
+        # and over; contexts are content-keyed, so unchanged repairs
+        # keep their indexes and plans across updates.
+        self._contexts = ContextCache(max_entries=cache_entries, naive=naive)
         if witness_indexes < 1:
             raise ValueError("witness_indexes must be positive")
         self._max_witness_indexes = witness_indexes
@@ -457,7 +465,9 @@ class IncrementalCqaEngine:
             total *= len(options)
         if total == 0:
             # Cannot happen for P1-respecting families; defensive only.
-            return ClosedAnswer(family, Verdict.UNDETERMINED, 0, 0, None)
+            return ClosedAnswer(
+                family, Verdict.UNDETERMINED, 0, 0, None, route="witness-index"
+            )
         index = self._witness_index(formula, ())
         if index is None:
             return self._answer_by_enumeration(formula, family, fragments)
@@ -466,10 +476,17 @@ class IncrementalCqaEngine:
             supports, components, fragments
         )
         if always:
-            return ClosedAnswer(family, Verdict.TRUE, total, total, None)
+            return ClosedAnswer(
+                family, Verdict.TRUE, total, total, None, route="witness-index"
+            )
         if not compat:
             return ClosedAnswer(
-                family, Verdict.FALSE, total, 0, self._assemble_repair({}, fragments)
+                family,
+                Verdict.FALSE,
+                total,
+                0,
+                self._assemble_repair({}, fragments),
+                route="witness-index",
             )
         scale = total
         for comp_index in relevant:
@@ -493,7 +510,10 @@ class IncrementalCqaEngine:
             verdict = Verdict.FALSE  # pragma: no cover - needs zero supports
         else:
             verdict = Verdict.UNDETERMINED
-        return ClosedAnswer(family, verdict, total, satisfying, counterexample)
+        return ClosedAnswer(
+            family, verdict, total, satisfying, counterexample,
+            route="witness-index",
+        )
 
     def _answer_by_enumeration(
         self, formula: Formula, family: Family, fragments: List[List[Repair]]
@@ -502,9 +522,11 @@ class IncrementalCqaEngine:
         considered = 0
         satisfying = 0
         counterexample: Optional[Repair] = None
+        constants = constants_of(formula)
         for repair in self._iterate_repairs(fragments):
             considered += 1
-            if evaluate(formula, repair):
+            context = self._contexts.context_for(repair, constants)
+            if evaluate(formula, repair, context=context):
                 satisfying += 1
             elif counterexample is None:
                 counterexample = repair
@@ -516,7 +538,10 @@ class IncrementalCqaEngine:
             verdict = Verdict.FALSE
         else:
             verdict = Verdict.UNDETERMINED
-        return ClosedAnswer(family, verdict, considered, satisfying, counterexample)
+        return ClosedAnswer(
+            family, verdict, considered, satisfying, counterexample,
+            route=self._route,
+        )
 
     def is_consistently_true(
         self, query: Union[str, Formula], family: Optional[Family] = None
@@ -532,8 +557,13 @@ class IncrementalCqaEngine:
         components, fragments = self._fragment_table(family)
         index = self._witness_index(formula, ())
         if index is None:
+            constants = constants_of(formula)
             return all(
-                evaluate(formula, repair)
+                evaluate(
+                    formula,
+                    repair,
+                    context=self._contexts.context_for(repair, constants),
+                )
                 for repair in self._iterate_repairs(fragments)
             )
         supports = index.supports_for(())
@@ -605,6 +635,7 @@ class IncrementalCqaEngine:
             frozenset(certain),
             frozenset(possible),
             total,
+            route="witness-index",
         )
 
     def _certain_answers_by_enumeration(
@@ -617,9 +648,11 @@ class IncrementalCqaEngine:
         certain: Optional[FrozenSet[Tuple]] = None
         possible: FrozenSet[Tuple] = frozenset()
         considered = 0
+        constants = constants_of(formula)
         for repair in self._iterate_repairs(fragments):
             considered += 1
-            result = evaluate_answers(formula, repair, variables)
+            context = self._contexts.context_for(repair, constants)
+            result = evaluate_answers(formula, repair, variables, context=context)
             certain = result if certain is None else certain & result
             possible = possible | result
         return OpenAnswers(
@@ -628,6 +661,7 @@ class IncrementalCqaEngine:
             certain if certain is not None else frozenset(),
             possible,
             considered,
+            route=self._route,
         )
 
     def sql_certain_answers(
@@ -661,4 +695,5 @@ class IncrementalCqaEngine:
             "updates_applied": self.updates_applied,
             "cache": self._cache.stats(),
             "witness_indexes": len(self._witnesses),
+            "evaluation_contexts": len(self._contexts),
         }

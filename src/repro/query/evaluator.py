@@ -10,18 +10,45 @@ Order comparisons hold only between naturals (the paper interprets
 ``<``/``>`` over ``N``); comparing names with an order operator yields
 false rather than an error, so mixed-domain quantification is harmless.
 
-Existential blocks are evaluated with *conjunct-guided candidate
-narrowing*: when the quantified body is a conjunction containing a
-positive relational atom that mentions the variable, candidate values
-are drawn from the matching column of that relation instead of the whole
-active domain.  The narrowing is sound (every satisfying valuation must
-satisfy each conjunct) and makes conjunctive-query evaluation behave
-like an index-nested-loop join instead of a domain product.
+Evaluation strategy
+-------------------
+
+:class:`EvaluationContext` is an indexed view of a row set.  Besides the
+per-relation tuple sets and the active domain it lazily materializes
+*hash indexes* — per (relation, column subset) maps from value tuples to
+the matching rows — and caches the join plans built on top of them, so
+repeated queries against the same context never rescan a relation.
+
+Existential blocks (and open-query answer enumeration) are executed as
+*ordered index-nested-loop joins*: :mod:`repro.query.planner` orders the
+block's conjuncts by estimated selectivity (bound-column count, then
+relation cardinality); each positive atom becomes an index probe on its
+bound columns, equalities pin variables directly, every other conjunct
+filters as early as its variables allow, and variables no atom guards
+fall back to the active domain.  The ordering and the indexes change
+complexity only, never semantics.
+
+``naive=True`` (on :func:`evaluate`, :func:`answers`,
+:func:`make_context`, and the engines built on them) is the escape hatch
+to the reference semantics: no indexes, no planner — existential
+candidates are narrowed by scanning each conjunct exactly as the
+pre-index implementation did.  The differential test-suite pins the two
+routes (and the SQLite backend) to identical answers.
 """
 
 from __future__ import annotations
 
-from typing import Dict, FrozenSet, Iterable, Iterator, List, Mapping, Optional, Set, Tuple
+from typing import (
+    Dict,
+    FrozenSet,
+    Iterable,
+    Iterator,
+    List,
+    Mapping,
+    Optional,
+    Set,
+    Tuple,
+)
 
 from repro.exceptions import QueryBindingError
 from repro.query.ast import (
@@ -42,24 +69,57 @@ from repro.query.ast import (
     Var,
     constants_of,
 )
+from repro.query.planner import (
+    AtomStep,
+    BindStep,
+    BlockPlan,
+    DomainStep,
+    FilterStep,
+    conjuncts_of,
+    plan_block,
+)
 from repro.relational.domain import Value, values_comparable
 from repro.relational.rows import Row
 
 Binding = Dict[str, Value]
 
+#: Sentinel distinguishing "unbound" from "bound to None" when saving a
+#: shadowed binding around a quantifier.
+_UNBOUND = object()
+
+#: Cap on the constant-overlay views one context retains (each view
+#: copies the active domain, so the map must not grow with the number
+#: of distinct query constant sets a long-lived engine sees).
+_MAX_VIEWS = 64
+
+#: Cap on the cached block plans per context — same long-lived-engine
+#: concern as ``_MAX_VIEWS``, far cheaper entries (no domain copies).
+_MAX_PLANS = 256
+
 
 class EvaluationContext:
     """Indexed view of a set of rows used during evaluation.
 
-    Holds, per relation, the set of value tuples, and the active domain
+    Holds, per relation, the set of value tuples and the active domain
     (instance values plus any extra values, typically query constants).
-    Building a context is linear in the data; evaluating many queries
-    against the same repair can share one context.
+    Building a context is linear in the data; hash indexes over column
+    subsets and the join plans probing them materialize lazily on first
+    use and are kept for the context's lifetime, so evaluating many
+    queries against the same repair shares one context profitably.
+
+    ``naive=True`` disables both the indexes and the planner: candidate
+    narrowing falls back to full-relation scans (the reference
+    implementation the indexed path is differentially tested against).
     """
 
-    __slots__ = ("relations", "adom")
+    __slots__ = ("relations", "adom", "naive", "_indexes", "_plans", "_views")
 
-    def __init__(self, rows: Iterable[Row], extra_domain: Iterable[Value] = ()) -> None:
+    def __init__(
+        self,
+        rows: Iterable[Row],
+        extra_domain: Iterable[Value] = (),
+        naive: bool = False,
+    ) -> None:
         relations: Dict[str, Set[Tuple[Value, ...]]] = {}
         adom: Set[Value] = set(extra_domain)
         for row in rows:
@@ -67,9 +127,123 @@ class EvaluationContext:
             adom.update(row.values)
         self.relations = relations
         self.adom = adom
+        self.naive = naive
+        #: (relation, positions) -> {projected values -> [tuples]}
+        self._indexes: Dict[
+            Tuple[str, Tuple[int, ...]],
+            Dict[Tuple[Value, ...], List[Tuple[Value, ...]]],
+        ] = {}
+        #: (block variables, block body) -> BlockPlan
+        self._plans: Dict[Tuple[Tuple[str, ...], Formula], BlockPlan] = {}
+        #: extra-constant overlays sharing these indexes and plans
+        self._views: Dict[FrozenSet[Value], "EvaluationContext"] = {}
 
     def tuples_of(self, relation: str) -> Set[Tuple[Value, ...]]:
         return self.relations.get(relation, set())
+
+    def cardinality(self, relation: str) -> int:
+        return len(self.relations.get(relation, ()))
+
+    def index(
+        self, relation: str, positions: Tuple[int, ...]
+    ) -> Dict[Tuple[Value, ...], List[Tuple[Value, ...]]]:
+        """Hash index ``values at positions -> matching tuples`` (lazy).
+
+        A single position is a plain column index; several positions
+        form the multi-column index repeated atom patterns probe.
+        """
+        key = (relation, positions)
+        index = self._indexes.get(key)
+        if index is None:
+            index = {}
+            width = max(positions) + 1 if positions else 0
+            for values in self.relations.get(relation, ()):
+                if len(values) < width:
+                    continue
+                index.setdefault(
+                    tuple(values[position] for position in positions), []
+                ).append(values)
+            self._indexes[key] = index
+        return index
+
+    def with_constants(self, constants: FrozenSet[Value]) -> "EvaluationContext":
+        """A view whose active domain also covers ``constants``.
+
+        The view shares this context's relations, indexes, and plan
+        cache; only the active domain differs.  Engines cache one base
+        context per repair and overlay each query's constants through
+        here, so the expensive structures are built once per repair.
+        """
+        if not constants:
+            return self
+        # Key views by the genuinely new values only, so constant sets
+        # differing in already-covered values share one overlay.
+        needed = frozenset(constants) - self.adom
+        if not needed:
+            return self
+        view = self._views.get(needed)
+        if view is None:
+            if len(self._views) >= _MAX_VIEWS:
+                self._views.pop(next(iter(self._views)))
+            view = EvaluationContext.__new__(EvaluationContext)
+            view.relations = self.relations
+            view.adom = self.adom | needed
+            view.naive = self.naive
+            view._indexes = self._indexes
+            view._plans = self._plans
+            # Own overlay map: re-overlaying a view must union with *its*
+            # domain, not the base's.
+            view._views = {}
+            self._views[needed] = view
+        return view
+
+    def plan_for(self, variables: Tuple[str, ...], body: Formula) -> BlockPlan:
+        """The (cached) selectivity-ordered join plan for one block."""
+        key = (variables, body)
+        plan = self._plans.get(key)
+        if plan is None:
+            if len(self._plans) >= _MAX_PLANS:
+                self._plans.pop(next(iter(self._plans)))
+            plan = plan_block(variables, body, self.cardinality)
+            self._plans[key] = plan
+        return plan
+
+
+class ContextCache:
+    """Bounded, content-keyed cache of per-row-set evaluation contexts.
+
+    Engines that evaluate many queries against recurring row sets (the
+    repairs of one :class:`~repro.cqa.engine.CqaEngine` run, the
+    re-assembled repairs of the incremental engine's re-validations)
+    share contexts — and therefore indexes and plans — through one of
+    these.  Keys are the frozen row sets themselves, so a repair that
+    reappears after unrelated updates hits the same entry; eviction is
+    FIFO once ``max_entries`` is reached.
+    """
+
+    __slots__ = ("naive", "max_entries", "_contexts")
+
+    def __init__(self, max_entries: int = 1024, naive: bool = False) -> None:
+        if max_entries < 1:
+            raise ValueError("max_entries must be positive")
+        self.naive = naive
+        self.max_entries = max_entries
+        self._contexts: Dict[FrozenSet[Row], EvaluationContext] = {}
+
+    def __len__(self) -> int:
+        return len(self._contexts)
+
+    def context_for(
+        self, rows: FrozenSet[Row], constants: FrozenSet[Value] = frozenset()
+    ) -> EvaluationContext:
+        """The shared context for ``rows``, overlaid with ``constants``."""
+        base = self._contexts.get(rows)
+        if base is None:
+            if len(self._contexts) >= self.max_entries:
+                self._contexts.pop(next(iter(self._contexts)))
+            base = EvaluationContext(rows, naive=self.naive)
+            self._contexts[rows] = base
+        return base.with_constants(constants)
 
 
 def _resolve(term, binding: Binding) -> Value:
@@ -94,38 +268,70 @@ def _atom_holds(atom: Atom, context: EvaluationContext, binding: Binding) -> boo
     return values in context.tuples_of(atom.relation)
 
 
-def _conjuncts(formula: Formula) -> Tuple[Formula, ...]:
-    return formula.parts if isinstance(formula, And) else (formula,)
+def _atom_matches(
+    atom: Atom, context: EvaluationContext, binding: Binding
+) -> Iterator[Dict[str, Value]]:
+    """Bindings of ``atom``'s unbound variables, one per matching tuple.
 
-
-def _atom_candidates(
-    atom: Atom, variable: str, context: EvaluationContext, binding: Binding
-) -> Set[Value]:
-    """Values ``variable`` can take so that ``atom`` may hold."""
-    candidates: Set[Value] = set()
-    for values in context.tuples_of(atom.relation):
-        if len(values) != len(atom.terms):
+    On an indexed context the candidate tuples come from a hash-index
+    probe on the atom's bound columns (constants plus variables already
+    in ``binding``); a naive context scans the relation.  Either way the
+    matching checks are identical, including consistency of repeated
+    variables.
+    """
+    arity = len(atom.terms)
+    pool: Optional[Iterable[Tuple[Value, ...]]] = None
+    if not context.naive:
+        positions: List[int] = []
+        bound_values: List[Value] = []
+        for position, term in enumerate(atom.terms):
+            if isinstance(term, Const):
+                positions.append(position)
+                bound_values.append(term.value)
+            elif term.name in binding:
+                positions.append(position)
+                bound_values.append(binding[term.name])
+        if positions:
+            pool = context.index(atom.relation, tuple(positions)).get(
+                tuple(bound_values), ()
+            )
+    if pool is None:
+        pool = context.tuples_of(atom.relation)
+    for values in pool:
+        if len(values) != arity:
             continue
-        chosen: Optional[Value] = None
+        extracted: Dict[str, Value] = {}
         compatible = True
         for term, value in zip(atom.terms, values):
             if isinstance(term, Const):
                 if term.value != value:
                     compatible = False
                     break
-            elif term.name == variable:
-                if chosen is None:
-                    chosen = value
-                elif chosen != value:
+            else:
+                name = term.name
+                known = binding.get(name, extracted.get(name, _UNBOUND))
+                if known is _UNBOUND:
+                    extracted[name] = value
+                elif known != value:
                     compatible = False
                     break
-            elif term.name in binding:
-                if binding[term.name] != value:
-                    compatible = False
-                    break
-        if compatible and chosen is not None:
-            candidates.add(chosen)
-    return candidates
+        if compatible:
+            yield extracted
+
+
+def _atom_candidates(
+    atom: Atom, variable: str, context: EvaluationContext, binding: Binding
+) -> Set[Value]:
+    """Values ``variable`` can take so that ``atom`` may hold.
+
+    An index probe on indexed contexts, a relation scan on naive ones
+    (see :func:`_atom_matches`).
+    """
+    return {
+        extracted[variable]
+        for extracted in _atom_matches(atom, context, binding)
+        if variable in extracted
+    }
 
 
 def _candidate_values(
@@ -138,7 +344,7 @@ def _candidate_values(
     back to the active domain when no conjunct constrains the variable.
     """
     best: Optional[Set[Value]] = None
-    for conjunct in _conjuncts(body):
+    for conjunct in conjuncts_of(body):
         candidates: Optional[Set[Value]] = None
         if isinstance(conjunct, Atom) and variable in conjunct.free_variables():
             candidates = _atom_candidates(conjunct, variable, context, binding)
@@ -159,6 +365,103 @@ def _candidate_values(
             if not best:
                 return best
     return best if best is not None else set(context.adom)
+
+
+def _run_plan(
+    steps: Tuple, index: int, context: EvaluationContext, binding: Binding
+) -> Iterator[Binding]:
+    """Depth-first execution of a block plan; yields the live binding.
+
+    Consumers must read the binding before advancing the iterator; on
+    abandonment (early exit) closing the generator restores ``binding``
+    through the ``finally`` blocks.
+    """
+    if index == len(steps):
+        yield binding
+        return
+    step = steps[index]
+    if type(step) is FilterStep:
+        if _holds(step.formula, context, binding):
+            yield from _run_plan(steps, index + 1, context, binding)
+    elif type(step) is AtomStep:
+        for extracted in _atom_matches(step.atom, context, binding):
+            binding.update(extracted)
+            try:
+                yield from _run_plan(steps, index + 1, context, binding)
+            finally:
+                for name in extracted:
+                    del binding[name]
+    elif type(step) is BindStep:
+        binding[step.variable] = _resolve(step.source, binding)
+        try:
+            yield from _run_plan(steps, index + 1, context, binding)
+        finally:
+            del binding[step.variable]
+    else:  # DomainStep
+        for value in context.adom:
+            binding[step.variable] = value
+            try:
+                yield from _run_plan(steps, index + 1, context, binding)
+            finally:
+                del binding[step.variable]
+
+
+def _flatten_exists(formula: Exists) -> Tuple[Tuple[str, ...], Formula]:
+    """Merge directly nested EXISTS blocks into one planning block.
+
+    Stops at a block reusing a name already taken (shadowing) — the
+    inner block then stays a filter conjunct with its own scope.
+    """
+    variables = list(formula.variables)
+    taken = set(variables) | formula.free_variables()
+    body: Formula = formula.body
+    while isinstance(body, Exists) and not (set(body.variables) & taken):
+        variables.extend(body.variables)
+        taken.update(body.variables)
+        body = body.body
+    return tuple(variables), body
+
+
+def _exists_planned(
+    formula: Exists, context: EvaluationContext, binding: Binding
+) -> bool:
+    variables, body = _flatten_exists(formula)
+    plan = context.plan_for(variables, body)
+    shadowed = {
+        name: binding.pop(name) for name in plan.variables if name in binding
+    }
+    walker = _run_plan(plan.steps, 0, context, binding)
+    try:
+        for _ in walker:
+            return True
+        return False
+    finally:
+        walker.close()
+        binding.update(shadowed)
+
+
+def _exists_naive(
+    formula: Exists, context: EvaluationContext, binding: Binding
+) -> bool:
+    variable, rest = formula.variables[0], formula.variables[1:]
+    remainder: Formula = Exists(rest, formula.body) if rest else formula.body
+    # Pop the whole block, not just the first variable: candidate
+    # narrowing inspects the body, and an outer binding shadowed by a
+    # *later* block variable must not constrain the candidates.
+    shadowed = {
+        name: binding.pop(name) for name in formula.variables if name in binding
+    }
+    try:
+        for value in _candidate_values(variable, formula.body, context, binding):
+            binding[variable] = value
+            try:
+                if _holds(remainder, context, binding):
+                    return True
+            finally:
+                del binding[variable]
+        return False
+    finally:
+        binding.update(shadowed)
 
 
 def _holds(formula: Formula, context: EvaluationContext, binding: Binding) -> bool:
@@ -185,34 +488,36 @@ def _holds(formula: Formula, context: EvaluationContext, binding: Binding) -> bo
             formula.consequent, context, binding
         )
     if isinstance(formula, Exists):
-        variable, rest = formula.variables[0], formula.variables[1:]
-        remainder: Formula = Exists(rest, formula.body) if rest else formula.body
-        for value in _candidate_values(variable, formula.body, context, binding):
-            binding[variable] = value
-            try:
-                if _holds(remainder, context, binding):
-                    return True
-            finally:
-                del binding[variable]
-        return False
+        if context.naive:
+            return _exists_naive(formula, context, binding)
+        return _exists_planned(formula, context, binding)
     if isinstance(formula, Forall):
         variable, rest = formula.variables[0], formula.variables[1:]
         remainder = Forall(rest, formula.body) if rest else formula.body
-        for value in context.adom:
-            binding[variable] = value
-            try:
-                if not _holds(remainder, context, binding):
-                    return False
-            finally:
-                del binding[variable]
-        return True
+        shadowed = binding.pop(variable, _UNBOUND)
+        try:
+            for value in context.adom:
+                binding[variable] = value
+                try:
+                    if not _holds(remainder, context, binding):
+                        return False
+                finally:
+                    del binding[variable]
+            return True
+        finally:
+            if shadowed is not _UNBOUND:
+                binding[variable] = shadowed
     raise TypeError(f"unknown formula node {formula!r}")
 
 
-def make_context(rows: Iterable[Row], query: Optional[Formula] = None) -> EvaluationContext:
+def make_context(
+    rows: Iterable[Row],
+    query: Optional[Formula] = None,
+    naive: bool = False,
+) -> EvaluationContext:
     """Build an evaluation context for ``rows`` (plus query constants)."""
     extra = constants_of(query) if query is not None else ()
-    return EvaluationContext(rows, extra)
+    return EvaluationContext(rows, extra, naive=naive)
 
 
 def evaluate(
@@ -220,15 +525,17 @@ def evaluate(
     rows: Iterable[Row],
     binding: Optional[Mapping[str, Value]] = None,
     context: Optional[EvaluationContext] = None,
+    naive: bool = False,
 ) -> bool:
     """Whether the (possibly pre-bound) formula holds in the given rows.
 
     ``rows`` may be any iterable of :class:`Row` (an instance, a repair,
     a database's :meth:`all_rows`).  Free variables must be covered by
-    ``binding``.
+    ``binding``.  ``naive=True`` routes to the scan-based reference
+    semantics (ignored when an explicit ``context`` carries the choice).
     """
     if context is None:
-        context = make_context(rows, formula)
+        context = make_context(rows, formula, naive=naive)
     working: Binding = dict(binding) if binding else {}
     missing = formula.free_variables() - set(working)
     if missing:
@@ -258,6 +565,7 @@ def answers(
     rows: Iterable[Row],
     variables: Optional[Tuple[str, ...]] = None,
     context: Optional[EvaluationContext] = None,
+    naive: bool = False,
 ) -> FrozenSet[Tuple[Value, ...]]:
     """Answer set of an open formula: satisfying assignments to ``variables``.
 
@@ -266,6 +574,11 @@ def answers(
     variables omitted from ``variables`` are projected away
     (existentially): the answer keeps each combination of the requested
     columns that some extension satisfies.
+
+    On an indexed context the answer variables, the projected variables,
+    and any peeled existential prefix are enumerated by one ordered
+    index-nested-loop join plan; ``naive=True`` (or a naive context)
+    uses per-variable candidate narrowing instead.
     """
     if variables is None:
         variables = tuple(sorted(formula.free_variables()))
@@ -277,10 +590,10 @@ def answers(
     projected = tuple(sorted(formula.free_variables() - set(variables)))
     # Peel top-level existential blocks into projected columns: ∃ and
     # projection coincide, and enumerating the quantified variables
-    # up front lets the conjunct-guided narrowing see the body's atoms
-    # — with the Exists left in place the root formula has no top-level
-    # atom conjuncts and every *free* variable would range over the
-    # whole active domain.
+    # up front lets the join plan (or the conjunct-guided narrowing)
+    # see the body's atoms — with the Exists left in place the root
+    # formula has no top-level atom conjuncts and every *free* variable
+    # would range over the whole active domain.
     body = formula
     taken = set(variables) | set(projected)
     peeled: List[str] = []
@@ -289,10 +602,14 @@ def answers(
         taken |= set(body.variables)
         body = body.body
     if context is None:
-        context = make_context(rows, formula)
+        context = make_context(rows, formula, naive=naive)
+    targets = tuple(variables) + projected + tuple(peeled)
     results: List[Tuple[Value, ...]] = []
-    for binding in _enumerate_bindings(
-        tuple(variables) + projected + tuple(peeled), body, context, {}
-    ):
-        results.append(tuple(binding[name] for name in variables))
+    if context.naive:
+        for binding in _enumerate_bindings(targets, body, context, {}):
+            results.append(tuple(binding[name] for name in variables))
+    else:
+        plan = context.plan_for(targets, body)
+        for binding in _run_plan(plan.steps, 0, context, {}):
+            results.append(tuple(binding[name] for name in variables))
     return frozenset(results)

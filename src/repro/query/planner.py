@@ -1,0 +1,195 @@
+"""Selectivity-ordered planning of conjunctive (existential) blocks.
+
+The evaluator treats an existential block ``EXISTS x1..xk . C1 AND ...
+AND Cn`` (and likewise the open-query enumeration of answer variables)
+as a join problem: each positive relational atom is a generator of
+bindings, everything else is a filter.  :func:`plan_block` orders those
+conjuncts once per (block, context) into a :class:`BlockPlan` — a flat
+step sequence executed as an index-nested-loop join:
+
+* :class:`BindStep` — an equality conjunct pins a variable to a
+  constant or an already-bound variable (selectivity 1, always first);
+* :class:`AtomStep` — probe one atom, chosen greedily by estimated
+  selectivity: most bound columns first (every bound column turns the
+  probe into a hash-index lookup), ties broken by smaller relation
+  cardinality; the step binds the atom's still-unbound variables;
+* :class:`FilterStep` — any other conjunct (comparisons, negations,
+  nested quantifiers, disjunctions), emitted as soon as all of its free
+  variables are bound so failing bindings are cut off early;
+* :class:`DomainStep` — a variable no atom guards falls back to the
+  active domain, preserving the evaluator's active-domain semantics.
+
+Plans depend only on the formula and the relation cardinalities, so
+:class:`~repro.query.evaluator.EvaluationContext` caches them per block
+alongside its hash indexes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, FrozenSet, List, Optional, Sequence, Set, Tuple, Union
+
+from repro.query.ast import And, Atom, Comparison, Const, Formula, Var
+
+
+@dataclass(frozen=True)
+class AtomStep:
+    """Probe ``atom`` on its bound columns; ``binds`` lists the variables
+    first bound by this step (in term order)."""
+
+    atom: Atom
+    binds: Tuple[str, ...]
+
+
+@dataclass(frozen=True)
+class BindStep:
+    """Pin ``variable`` to an equality-determined value: a constant or a
+    variable bound by an earlier step (or from the enclosing scope)."""
+
+    variable: str
+    source: Union[Var, Const]
+
+
+@dataclass(frozen=True)
+class DomainStep:
+    """Enumerate the active domain for a variable no atom guards."""
+
+    variable: str
+
+
+@dataclass(frozen=True)
+class FilterStep:
+    """Evaluate a non-generating conjunct once its variables are bound."""
+
+    formula: Formula
+
+
+PlanStep = Union[AtomStep, BindStep, DomainStep, FilterStep]
+
+
+@dataclass(frozen=True)
+class BlockPlan:
+    """An ordered join plan for one conjunctive block.
+
+    ``variables`` are the block's own (quantified or answer) variables;
+    executing ``steps`` left to right enumerates exactly the bindings of
+    those variables under which the block's body holds.
+    """
+
+    variables: Tuple[str, ...]
+    steps: Tuple[PlanStep, ...]
+
+
+def conjuncts_of(body: Formula) -> Tuple[Formula, ...]:
+    """Top-level conjuncts of a block body (the body itself if not AND)."""
+    return body.parts if isinstance(body, And) else (body,)
+
+
+def _pinning(
+    conjunct: Formula, unbound: Set[str], bound: Set[str]
+) -> Optional[Tuple[str, Union[Var, Const]]]:
+    """``(variable, source)`` when an equality determines an unbound variable."""
+    if not isinstance(conjunct, Comparison) or conjunct.op != "=":
+        return None
+    for mine, other in (
+        (conjunct.left, conjunct.right),
+        (conjunct.right, conjunct.left),
+    ):
+        if not isinstance(mine, Var) or mine.name not in unbound:
+            continue
+        if isinstance(other, Const):
+            return mine.name, other
+        if other.name in bound:
+            return mine.name, other
+    return None
+
+
+def plan_block(
+    variables: Sequence[str],
+    body: Formula,
+    cardinality_of: Callable[[str], int],
+) -> BlockPlan:
+    """Order the conjuncts of one block into an executable join plan.
+
+    ``variables`` are the block's own variables; every other free
+    variable of ``body`` is treated as bound by the enclosing scope.
+    ``cardinality_of`` supplies relation sizes for the selectivity
+    estimate (bound-column count first, then cardinality).
+    """
+    target = set(variables)
+    bound: Set[str] = set(body.free_variables()) - target
+    atoms: List[Atom] = []
+    filters: List[Tuple[Formula, FrozenSet[str]]] = []
+    for conjunct in conjuncts_of(body):
+        if isinstance(conjunct, Atom):
+            atoms.append(conjunct)
+        else:
+            filters.append((conjunct, conjunct.free_variables()))
+    steps: List[PlanStep] = []
+
+    def flush_filters() -> None:
+        remaining = []
+        for conjunct, free in filters:
+            if free <= bound:
+                steps.append(FilterStep(conjunct))
+            else:
+                remaining.append((conjunct, free))
+        filters[:] = remaining
+
+    def bound_columns(atom: Atom) -> int:
+        return sum(
+            1
+            for term in atom.terms
+            if isinstance(term, Const) or term.name in bound
+        )
+
+    while True:
+        flush_filters()
+        pinned = next(
+            (
+                (index, hit)
+                for index, (conjunct, _) in enumerate(filters)
+                if (hit := _pinning(conjunct, target - bound, bound))
+            ),
+            None,
+        )
+        if pinned is not None:
+            index, (name, source) = pinned
+            del filters[index]
+            steps.append(BindStep(name, source))
+            bound.add(name)
+            continue
+        if atoms:
+            best = min(
+                range(len(atoms)),
+                key=lambda i: (
+                    -bound_columns(atoms[i]),
+                    cardinality_of(atoms[i].relation),
+                    i,
+                ),
+            )
+            atom = atoms.pop(best)
+            binds: List[str] = []
+            for term in atom.terms:
+                if (
+                    isinstance(term, Var)
+                    and term.name not in bound
+                    and term.name not in binds
+                ):
+                    binds.append(term.name)
+            steps.append(AtomStep(atom, tuple(binds)))
+            bound.update(binds)
+            continue
+        unguarded = next(
+            (name for name in variables if name not in bound), None
+        )
+        if unguarded is not None:
+            # One domain expansion at a time: binding this variable may
+            # turn an equality on the next one into a BindStep instead
+            # of another |adom| loop.
+            steps.append(DomainStep(unguarded))
+            bound.add(unguarded)
+            continue
+        break
+    flush_filters()
+    return BlockPlan(tuple(variables), tuple(steps))

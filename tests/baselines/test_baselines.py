@@ -129,3 +129,80 @@ class TestStratifiedBaseline:
         scenario = mgr_scenario()
         subtheories = set(preferred_subtheories(scenario.graph, lambda row: 0))
         assert subtheories == set(enumerate_repairs(scenario.graph))
+
+
+class TestBaselineAnswers:
+    """Baseline resolutions answered on the shared indexed machinery."""
+
+    QUERY = "EXISTS d, r . Mgr(n, d, s, r)"
+
+    def test_cleaned_answers_match_kept_rows(self):
+        from repro.baselines.answers import cleaned_answers
+        from repro.query.evaluator import answers as evaluate_answers
+        from repro.query.parser import parse_query
+
+        scenario = mgr_scenario()
+        outcome = clean_database(scenario.priority, UnresolvedPolicy.KEEP)
+        result = cleaned_answers(outcome, self.QUERY)
+        expected = evaluate_answers(
+            parse_query(self.QUERY), outcome.kept, ("n", "s")
+        )
+        assert result.certain == expected
+        assert result.possible == expected  # one alternative: no dispute
+        assert result.repairs_considered == 1
+        assert result.route == "indexed"
+
+    def test_cleaning_overconfidence_versus_cqa(self):
+        """Example 3's point: the cleaned table treats answers that rest
+        on an unresolved conflict as certain; Definition 3 does not."""
+        from repro.baselines.answers import cleaned_answers
+        from repro.cqa.engine import CqaEngine
+
+        scenario = mgr_scenario()
+        outcome = clean_database(scenario.priority, UnresolvedPolicy.KEEP)
+        cleaned = cleaned_answers(outcome, self.QUERY)
+        engine = CqaEngine(
+            scenario.instance, scenario.dependencies, scenario.priority.edges
+        )
+        cqa = engine.certain_answers(self.QUERY)
+        assert not outcome.is_consistent
+        assert cleaned.certain - cqa.certain  # over-confident claims exist
+
+    def test_subtheory_answers_agree_with_per_alternative_evaluation(self):
+        from repro.baselines.answers import baseline_answers
+        from repro.query.evaluator import answers as evaluate_answers
+        from repro.query.parser import parse_query
+
+        scenario = mgr_scenario()
+        stratum = {row: 0 for row in scenario.graph.vertices}
+        for name in ("mary_it", "john_rd"):
+            stratum[scenario.rows[name]] = 1
+        subtheories = preferred_subtheories(scenario.graph, stratum.__getitem__)
+        result = baseline_answers(subtheories, self.QUERY)
+        formula = parse_query(self.QUERY)
+        per_alternative = [
+            evaluate_answers(formula, alternative, ("n", "s"))
+            for alternative in subtheories
+        ]
+        assert result.certain == frozenset.intersection(*per_alternative)
+        assert result.possible == frozenset.union(*per_alternative)
+        assert result.repairs_considered == len(subtheories)
+
+    def test_naive_route_agrees_and_is_recorded(self):
+        from repro.baselines.answers import baseline_answers
+
+        scenario = mgr_scenario()
+        stratum = {row: 0 for row in scenario.graph.vertices}
+        subtheories = preferred_subtheories(scenario.graph, stratum.__getitem__)
+        indexed = baseline_answers(subtheories, self.QUERY)
+        naive = baseline_answers(subtheories, self.QUERY, naive=True)
+        assert naive.certain == indexed.certain
+        assert naive.possible == indexed.possible
+        assert (naive.route, indexed.route) == ("naive", "indexed")
+
+    def test_no_alternatives_is_an_error(self):
+        from repro.baselines.answers import baseline_answers
+        from repro.exceptions import QueryError
+
+        with pytest.raises(QueryError):
+            baseline_answers([], self.QUERY)

@@ -1,0 +1,249 @@
+"""Regression tests pinning the semantics the indexes must preserve.
+
+The hash indexes and the planner change how bindings are enumerated;
+these tests pin the behaviours a subtly wrong index could silently
+alter: two-domain comparison semantics, unbound-variable errors,
+probes against empty or absent relations, shadowed quantifiers, and
+context reuse across queries.  Every behavioural case is asserted on
+both routes (indexed and ``naive=True``).
+"""
+
+import pytest
+
+from repro.exceptions import QueryBindingError
+from repro.query.ast import And, Atom, Comparison, Exists, Not, Var
+from repro.query.evaluator import (
+    ContextCache,
+    EvaluationContext,
+    answers,
+    evaluate,
+    make_context,
+)
+from repro.query.parser import parse_query
+from repro.relational.instance import RelationInstance
+from repro.relational.schema import RelationSchema
+
+SCHEMA = RelationSchema("Mgr", ["Name", "Dept", "Salary:number"])
+ROWS = RelationInstance.from_values(
+    SCHEMA,
+    [
+        ("Mary", "R&D", 40),
+        ("John", "PR", 30),
+        ("Eve", "IT", 40),
+    ],
+)
+
+ROUTES = [False, True]
+ROUTE_IDS = ["indexed", "naive"]
+
+
+@pytest.mark.parametrize("naive", ROUTES, ids=ROUTE_IDS)
+class TestMixedDomainComparisons:
+    """Order over N only: name/number comparisons are false, not errors."""
+
+    def test_ground_mixed_order_is_false(self, naive):
+        assert not evaluate(parse_query("Mary < 40"), ROWS, naive=naive)
+        assert not evaluate(parse_query("40 > Mary"), ROWS, naive=naive)
+
+    def test_mixed_order_inside_planned_conjunction(self, naive):
+        # The planner emits the comparison as a filter after the atom
+        # binds n and s; it must reject, not raise, on (name, number).
+        query = parse_query("EXISTS n, d, s . Mgr(n, d, s) AND n < s")
+        assert not evaluate(query, ROWS, naive=naive)
+
+    def test_mixed_order_between_bound_names(self, naive):
+        query = parse_query("EXISTS n1, d1, s1, n2, d2, s2 . "
+                            "Mgr(n1, d1, s1) AND Mgr(n2, d2, s2) AND n1 < n2")
+        assert not evaluate(query, ROWS, naive=naive)
+
+    def test_mixed_equality_is_just_false(self, naive):
+        query = parse_query("EXISTS n, d, s . Mgr(n, d, s) AND n = 40")
+        assert not evaluate(query, ROWS, naive=naive)
+
+    def test_open_query_filters_mixed_orders(self, naive):
+        result = answers(
+            parse_query("EXISTS d . Mgr(n, d, s) AND s > 35"),
+            ROWS,
+            ("n",),
+            naive=naive,
+        )
+        assert result == {("Mary",), ("Eve",)}
+
+
+@pytest.mark.parametrize("naive", ROUTES, ids=ROUTE_IDS)
+class TestUnboundVariableErrors:
+    def test_free_variable_without_binding_raises(self, naive):
+        with pytest.raises(QueryBindingError):
+            evaluate(parse_query("Mgr(n, 'R&D', 40)"), ROWS, naive=naive)
+
+    def test_partial_binding_raises(self, naive):
+        with pytest.raises(QueryBindingError):
+            evaluate(
+                parse_query("Mgr(n, d, 40)"), ROWS, {"n": "Mary"}, naive=naive
+            )
+
+    def test_unknown_answer_variable_raises(self, naive):
+        with pytest.raises(QueryBindingError):
+            answers(parse_query("Mgr(n, d, s)"), ROWS, ("nope",), naive=naive)
+
+    def test_binding_survives_evaluation(self, naive):
+        # The evaluator mutates a working copy; caller bindings and
+        # shadow scopes must be restored on every path.
+        binding = {"n": "Mary"}
+        assert evaluate(
+            parse_query("EXISTS d, s . Mgr(n, d, s)"), ROWS, binding, naive=naive
+        )
+        assert binding == {"n": "Mary"}
+
+
+@pytest.mark.parametrize("naive", ROUTES, ids=ROUTE_IDS)
+class TestEmptyRelationProbes:
+    def test_exists_over_empty_instance(self, naive):
+        empty = RelationInstance(SCHEMA)
+        assert not evaluate(
+            parse_query("EXISTS n, d, s . Mgr(n, d, s)"), empty, naive=naive
+        )
+
+    def test_answers_over_empty_instance(self, naive):
+        empty = RelationInstance(SCHEMA)
+        assert (
+            answers(parse_query("Mgr(n, d, s)"), empty, naive=naive) == frozenset()
+        )
+
+    def test_absent_relation_in_context(self, naive):
+        # The query mentions a relation no row populates: probes must
+        # come back empty instead of failing.
+        query = Exists(
+            ["n", "d", "s", "o"],
+            And([Atom("Mgr", [Var("n"), Var("d"), Var("s")]),
+                 Atom("Absent", [Var("o")])]),
+        )
+        assert not evaluate(query, ROWS, naive=naive)
+
+    def test_negated_absent_relation_holds(self, naive):
+        query = Exists(
+            ["n", "d", "s"],
+            And([Atom("Mgr", [Var("n"), Var("d"), Var("s")]),
+                 Not(Atom("Absent", [Var("n")]))]),
+        )
+        assert evaluate(query, ROWS, naive=naive)
+
+
+@pytest.mark.parametrize("naive", ROUTES, ids=ROUTE_IDS)
+class TestShadowedQuantifiers:
+    """Re-quantifying a name must save and restore the outer binding."""
+
+    def test_inner_exists_shadows_outer(self, naive):
+        # The first conjunct binds n; the inner EXISTS reuses the name;
+        # the third conjunct must still see the *outer* n.
+        query = Exists(
+            ["n", "d", "s"],
+            And(
+                [
+                    Atom("Mgr", [Var("n"), Var("d"), Var("s")]),
+                    Exists(["n"], Atom("Mgr", [Var("n"), "PR", 30])),
+                    Comparison("=", Var("n"), "Mary"),
+                ]
+            ),
+        )
+        assert evaluate(query, ROWS, naive=naive)
+
+    def test_later_block_variable_shadow_does_not_narrow(self, naive):
+        # Regression: with R = {(1,1)} and S = {(5,9)}, the inner block
+        # EXISTS x, y . S(x, y) re-quantifies y; the outer y (bound to 1
+        # by R(y, y)) must not constrain x's candidates to S rows whose
+        # second column is 1 — both routes must find the (5, 9) witness.
+        r_schema = RelationSchema("Rn", ["A:number", "B:number"])
+        s_schema = RelationSchema("Sn", ["A:number", "B:number"])
+        rows = frozenset(
+            RelationInstance.from_values(r_schema, [(1, 1)]).rows
+            | RelationInstance.from_values(s_schema, [(5, 9)]).rows
+        )
+        query = Exists(
+            ["y"],
+            And(
+                [
+                    Atom("Rn", [Var("y"), Var("y")]),
+                    Exists(["x", "y"], Atom("Sn", [Var("x"), Var("y")])),
+                ]
+            ),
+        )
+        assert evaluate(query, rows, naive=naive)
+
+    def test_shadowing_respects_inner_scope(self, naive):
+        # Inner n ranges independently: even with outer n pinned to
+        # Mary, the inner block can witness John.
+        query = Exists(
+            ["n"],
+            And(
+                [
+                    Comparison("=", Var("n"), "Mary"),
+                    Exists(["n"], Atom("Mgr", [Var("n"), "PR", 30])),
+                ]
+            ),
+        )
+        assert evaluate(query, ROWS, naive=naive)
+
+
+@pytest.mark.parametrize("naive", ROUTES, ids=ROUTE_IDS)
+class TestRepeatedVariables:
+    def test_repeated_variable_in_atom(self, naive):
+        schema = RelationSchema("E", ["A:number", "B:number"])
+        rows = RelationInstance.from_values(schema, [(1, 2), (3, 3)])
+        assert evaluate(
+            Exists(["v"], Atom("E", [Var("v"), Var("v")])), rows, naive=naive
+        )
+        assert answers(
+            Atom("E", [Var("v"), Var("v")]), rows, ("v",), naive=naive
+        ) == {(3,)}
+
+
+class TestContextSharing:
+    def test_indexes_are_lazy_and_reused(self):
+        context = make_context(ROWS)
+        assert not context._indexes
+        query = parse_query("EXISTS d, s . Mgr(Mary, d, s)")
+        assert evaluate(query, ROWS, context=context)
+        built = dict(context._indexes)
+        assert built  # the probe materialized at least one index
+        assert evaluate(query, ROWS, context=context)
+        assert dict(context._indexes) == built  # reused, not rebuilt
+
+    def test_with_constants_overlays_domain(self):
+        context = make_context(ROWS)
+        view = context.with_constants(frozenset({99}))
+        assert 99 in view.adom and 99 not in context.adom
+        # Shared structure: indexes built through the view serve the base.
+        assert view._indexes is context._indexes
+        assert context.with_constants(frozenset({40})) is context
+        # Constant sets differing only in covered values share a view.
+        assert context.with_constants(frozenset({99, 40})) is view
+
+    def test_context_cache_is_content_keyed(self):
+        cache = ContextCache(max_entries=2)
+        rows = frozenset(ROWS.rows)
+        first = cache.context_for(rows)
+        assert cache.context_for(frozenset(ROWS.rows)) is first
+        # Constants not in the instance produce an overlay of the same base.
+        view = cache.context_for(rows, frozenset({99}))
+        assert view is not first and view.relations is first.relations
+
+    def test_context_cache_evicts_fifo(self):
+        cache = ContextCache(max_entries=1)
+        rows = frozenset(ROWS.rows)
+        cache.context_for(rows)
+        cache.context_for(frozenset())
+        assert len(cache) == 1
+
+    def test_domain_constant_reachable_through_cache(self):
+        cache = ContextCache()
+        rows = frozenset(ROWS.rows)
+        query = parse_query("EXISTS v . v = 41")
+        from repro.query.ast import constants_of
+
+        context = cache.context_for(rows, constants_of(query))
+        assert evaluate(query, rows, context=context)
+
+    def test_naive_cache_builds_naive_contexts(self):
+        cache = ContextCache(naive=True)
+        assert cache.context_for(frozenset(ROWS.rows)).naive

@@ -1,0 +1,111 @@
+"""Unit tests for the conjunct-ordering planner."""
+
+from repro.query.ast import And, Atom, Comparison, Exists, Not, Var
+from repro.query.evaluator import EvaluationContext
+from repro.query.planner import (
+    AtomStep,
+    BindStep,
+    DomainStep,
+    FilterStep,
+    plan_block,
+)
+from repro.relational.instance import RelationInstance
+from repro.relational.schema import RelationSchema
+
+x, y, z, c = Var("x"), Var("y"), Var("z"), Var("c")
+
+CARDINALITIES = {"R": 100, "S": 5, "T": 50}
+
+
+def card(relation):
+    return CARDINALITIES.get(relation, 0)
+
+
+class TestOrdering:
+    def test_smaller_relation_scans_first_on_ties(self):
+        body = And([Atom("R", [x, y]), Atom("S", [y, c])])
+        plan = plan_block(("x", "y", "c"), body, card)
+        atoms = [step.atom.relation for step in plan.steps if isinstance(step, AtomStep)]
+        # Neither atom has a bound column at the start; S is 20x smaller.
+        assert atoms == ["S", "R"]
+
+    def test_bound_columns_beat_cardinality(self):
+        # After the S scan binds y, R(y, z) has one bound column while
+        # T(c2) has none — R goes next despite being larger.
+        body = And([Atom("S", [y, c]), Atom("R", [y, z]), Atom("T", [Var("c2")])])
+        plan = plan_block(("y", "c", "z", "c2"), body, card)
+        atoms = [step.atom.relation for step in plan.steps if isinstance(step, AtomStep)]
+        assert atoms == ["S", "R", "T"]
+
+    def test_ground_atom_probes_first(self):
+        body = And([Atom("R", [x, y]), Atom("R", [0, 1])])
+        plan = plan_block(("x", "y"), body, card)
+        first = plan.steps[0]
+        assert isinstance(first, AtomStep)
+        assert first.atom == Atom("R", [0, 1])
+        assert first.binds == ()
+
+    def test_outer_bound_variables_count_as_bound(self):
+        # z is free in the block (bound by the enclosing scope), so
+        # R(z, y) starts with one bound column and beats the S scan.
+        body = And([Atom("S", [y, c]), Atom("R", [z, y])])
+        plan = plan_block(("y", "c"), body, card)
+        atoms = [step.atom.relation for step in plan.steps if isinstance(step, AtomStep)]
+        assert atoms == ["R", "S"]
+
+
+class TestBindAndFilterPlacement:
+    def test_equality_pins_before_any_atom(self):
+        body = And([Atom("R", [x, y]), Comparison("=", x, 3)])
+        plan = plan_block(("x", "y"), body, card)
+        assert isinstance(plan.steps[0], BindStep)
+        assert plan.steps[0].variable == "x"
+
+    def test_variable_to_variable_pin_waits_for_source(self):
+        body = And([Atom("S", [y, c]), Comparison("=", x, y)])
+        plan = plan_block(("x", "y", "c"), body, card)
+        kinds = [type(step) for step in plan.steps]
+        assert kinds == [AtomStep, BindStep]
+        assert plan.steps[1].variable == "x"
+
+    def test_filters_flush_as_soon_as_bound(self):
+        body = And(
+            [Atom("S", [y, c]), Comparison(">", y, 0), Atom("R", [y, z])]
+        )
+        plan = plan_block(("y", "c", "z"), body, card)
+        kinds = [type(step) for step in plan.steps]
+        # The y > 0 filter runs right after the S scan binds y, before
+        # the R probe fans out.
+        assert kinds == [AtomStep, FilterStep, AtomStep]
+
+    def test_equality_linked_unguarded_variables_expand_once(self):
+        # Regression: EXISTS x, y . x = y AND x > 0 must enumerate the
+        # domain once and pin y, not expand |adom|^2 pairs.
+        body = And([Comparison("=", x, y), Comparison(">", x, 0)])
+        plan = plan_block(("x", "y"), body, card)
+        kinds = [type(step) for step in plan.steps]
+        assert kinds == [DomainStep, FilterStep, BindStep]
+        assert kinds.count(DomainStep) == 1
+
+    def test_unguarded_variable_falls_back_to_domain(self):
+        body = And([Atom("R", [x, y]), Not(Atom("S", [z, c]))])
+        plan = plan_block(("x", "y", "z", "c"), body, card)
+        kinds = [type(step) for step in plan.steps]
+        assert kinds == [AtomStep, DomainStep, DomainStep, FilterStep]
+
+    def test_single_non_conjunctive_body_is_a_filter(self):
+        body = Not(Atom("R", [x, x]))
+        plan = plan_block(("x",), body, card)
+        kinds = [type(step) for step in plan.steps]
+        assert kinds == [DomainStep, FilterStep]
+
+
+class TestPlanCaching:
+    def test_context_caches_plans_per_block(self):
+        schema = RelationSchema("R", ["A:number", "B:number"])
+        instance = RelationInstance.from_values(schema, [(0, 1), (1, 2)])
+        context = EvaluationContext(instance)
+        body = Atom("R", [x, y])
+        first = context.plan_for(("x", "y"), body)
+        assert context.plan_for(("x", "y"), body) is first
+        assert context.plan_for(("x",), Exists(["y"], body)) is not first
