@@ -22,11 +22,18 @@ sweep sizes via :func:`sizes`.
 from __future__ import annotations
 
 import argparse
+import json
 import os
+import platform
+import time
 
 #: Environment toggles the pytest-benchmark modules read at import time.
 SMOKE_ENV = "REPRO_BENCH_SMOKE"
 SEED_ENV = "REPRO_BENCH_SEED"
+
+#: Directory the ``BENCH_<name>.json`` result files land in (default:
+#: the working directory, so CI can archive them as artifacts).
+RESULTS_ENV = "REPRO_BENCH_RESULTS"
 
 DEFAULT_SEED = 7
 
@@ -71,11 +78,42 @@ def apply_seed(args) -> int:
 
     Exporting through ``$REPRO_BENCH_SEED`` lets shared workload
     builders (:mod:`benchmarks.workloads`) pick the value up without
-    threading it through every call.
+    threading it through every call.  The smoke flag is exported the
+    same way so :func:`emit_result` records the run configuration.
     """
     seed = bench_seed(args.seed)
     os.environ[SEED_ENV] = str(seed)
+    if getattr(args, "smoke", False):
+        os.environ[SMOKE_ENV] = "1"
     return seed
+
+
+def emit_result(module_file: str, payload: dict) -> str:
+    """Write a ``BENCH_<name>.json`` result file recording this run.
+
+    ``<name>`` is the bench module's stem without the ``bench_`` prefix
+    (``bench_evaluator.py`` → ``BENCH_evaluator.json``).  The payload is
+    wrapped with run metadata — wall-clock timestamp, python version,
+    smoke/seed configuration — so successive CI runs accumulate a
+    machine-readable perf trajectory.  Returns the file path.
+    """
+    stem = os.path.splitext(os.path.basename(module_file))[0]
+    name = stem[len("bench_"):] if stem.startswith("bench_") else stem
+    directory = os.environ.get(RESULTS_ENV, ".")
+    os.makedirs(directory, exist_ok=True)
+    path = os.path.join(directory, f"BENCH_{name}.json")
+    record = {
+        "bench": name,
+        "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S%z"),
+        "python": platform.python_version(),
+        "smoke": smoke_active(),
+        "seed": bench_seed(),
+        **payload,
+    }
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(record, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    return path
 
 
 def run_pytest_module(module_file: str, doc: str, argv=None) -> int:
@@ -84,7 +122,9 @@ def run_pytest_module(module_file: str, doc: str, argv=None) -> int:
     Parses the uniform flags, exports them through the environment, and
     re-runs the module under pytest — with ``--benchmark-disable`` in
     smoke mode (one plain call per case, assertions still enforced) and
-    ``--benchmark-only`` otherwise.
+    ``--benchmark-only`` otherwise.  Every run emits its
+    ``BENCH_<name>.json`` result file (exit status plus duration; the
+    detailed timings live in pytest-benchmark's own output).
     """
     args = bench_parser(doc).parse_args(argv)
     if args.smoke:
@@ -95,4 +135,14 @@ def run_pytest_module(module_file: str, doc: str, argv=None) -> int:
 
     pytest_args = [module_file, "-q", "-p", "no:cacheprovider"]
     pytest_args.append("--benchmark-disable" if args.smoke else "--benchmark-only")
-    return pytest.main(pytest_args)
+    started = time.perf_counter()
+    exit_code = int(pytest.main(pytest_args))
+    emit_result(
+        module_file,
+        {
+            "mode": "pytest-benchmark",
+            "exit_code": exit_code,
+            "duration_s": round(time.perf_counter() - started, 3),
+        },
+    )
+    return exit_code

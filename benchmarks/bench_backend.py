@@ -39,7 +39,7 @@ if not __package__:
 
     sys.path.insert(0, str(pathlib.Path(__file__).resolve().parent.parent))
 
-from benchmarks._cli import apply_seed, bench_parser, bench_seed
+from benchmarks._cli import apply_seed, bench_parser, bench_seed, emit_result
 
 from repro.backend import SqlCqaEngine
 from repro.constraints.fd import FunctionalDependency
@@ -132,6 +132,7 @@ def main(argv=None) -> int:
           f"({repairs} repairs), query: certain (K, A) with A >= 1")
 
     speedups: List[float] = []
+    measurements: List[dict] = []
     with tempfile.TemporaryDirectory() as directory:
         for clean_rows in args.sizes:
             total = clean_rows + 2 * args.pairs
@@ -149,6 +150,14 @@ def main(argv=None) -> int:
             )
             speedup = memory_s / sqlite_s
             speedups.append(speedup)
+            measurements.append(
+                {
+                    "rows": total,
+                    "memory_s": round(memory_s, 6),
+                    "sqlite_s": round(sqlite_s, 6),
+                    "speedup": round(speedup, 2),
+                }
+            )
             print(f"[{total:>7} rows] memory: {memory_s * 1000:9.1f} ms | "
                   f"sqlite: {sqlite_s * 1000:7.2f} ms | "
                   f"speedup: {speedup:7.1f}x | "
@@ -160,10 +169,21 @@ def main(argv=None) -> int:
             path = persist(build_database(args.pairs, clean_rows),
                            directory, "xl")
             sqlite_s, sqlite_result = time_sqlite(path, max(2, args.repeats // 2))
+            measurements.append(
+                {"rows": total, "sqlite_s": round(sqlite_s, 6)}
+            )
             print(f"[{total:>7} rows] memory:   (not attempted) | "
                   f"sqlite: {sqlite_s * 1000:7.2f} ms | "
                   f"certain answers: {len(sqlite_result.certain)}")
 
+    emit_result(
+        __file__,
+        {
+            "pairs": args.pairs,
+            "measurements": measurements,
+            "best_speedup": round(max(speedups), 2) if speedups else None,
+        },
+    )
     if not args.no_assert and not args.smoke:
         best = max(speedups)
         assert best >= 10, (

@@ -40,7 +40,7 @@ if not __package__:
 
     sys.path.insert(0, str(pathlib.Path(__file__).resolve().parent.parent))
 
-from benchmarks._cli import apply_seed, bench_parser
+from benchmarks._cli import apply_seed, bench_parser, emit_result
 
 from repro.core.families import Family
 from repro.cqa.engine import CqaEngine
@@ -155,6 +155,7 @@ def main(argv=None) -> int:
         f"(seed {seed}); naive = scan-based reference evaluator"
     )
     speedups: List[float] = []
+    measurements: List[dict] = []
     for length in args.sizes:
         instance = build_instance(length, seed)
         naive_open, indexed_open, answer_count = measure_open(
@@ -165,6 +166,14 @@ def main(argv=None) -> int:
         )
         speedup = naive_open / indexed_open
         speedups.append(speedup)
+        measurements.append(
+            {
+                "rows": length,
+                "naive_open_s": round(naive_open, 6),
+                "indexed_open_s": round(indexed_open, 6),
+                "speedup": round(speedup, 2),
+            }
+        )
         print(
             f"[{length:>5} rows] open: naive {naive_open * 1000:8.1f} ms | "
             f"indexed {indexed_open * 1000:6.2f} ms | speedup {speedup:6.1f}x | "
@@ -180,6 +189,13 @@ def main(argv=None) -> int:
             f"speedup {naive_s / indexed_s:5.1f}x"
         )
 
+    emit_result(
+        __file__,
+        {
+            "measurements": measurements,
+            "best_speedup": round(max(speedups), 2) if speedups else None,
+        },
+    )
     if not args.no_assert and not args.smoke:
         best = max(speedups)
         assert best >= 10, (

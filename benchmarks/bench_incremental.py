@@ -36,7 +36,7 @@ if not __package__:
 
     sys.path.insert(0, str(pathlib.Path(__file__).resolve().parent.parent))
 
-from benchmarks._cli import apply_seed, bench_parser, bench_seed
+from benchmarks._cli import apply_seed, bench_parser, bench_seed, emit_result
 
 from repro.core.families import Family
 from repro.cqa.engine import CqaEngine
@@ -198,6 +198,17 @@ def main(argv=None) -> int:
           f"incremental update+answer: {incr_full * 1000:7.3f} ms | "
           f"speedup: {bound}{full_speedup:,.0f}x")
 
+    emit_result(
+        __file__,
+        {
+            "tuples": tuples,
+            "components": args.pairs,
+            "exact_speedup": round(exact_speedup, 2),
+            "full_speedup": round(full_speedup, 2),
+            "full_speedup_is_lower_bound": not finished,
+            "incremental_update_answer_s": round(incr_full, 6),
+        },
+    )
     if not args.no_assert and not args.smoke:
         assert exact_speedup >= 10, (
             f"exact speedup {exact_speedup:.1f}x below the 10x criterion"

@@ -1,0 +1,117 @@
+"""The serving layer end to end: broker, batches, cache, updates, wire.
+
+A small HR database with conflicting manager records is registered with
+a :class:`~repro.service.broker.RequestBroker`; a burst of requests is
+served as one batch (duplicates computed once, each query routed to the
+cheapest capable engine), an update invalidates exactly the dependent
+cached answers, and the same broker is then driven through the JSON
+front end `repro serve` speaks — all in-process, no sockets.
+
+Run::
+
+    PYTHONPATH=src python examples/service_demo.py
+"""
+
+from __future__ import annotations
+
+import io
+import json
+
+from repro.constraints.fd import FunctionalDependency
+from repro.relational.instance import RelationInstance
+from repro.relational.rows import Row
+from repro.relational.schema import RelationSchema
+from repro.service.broker import Request, RequestBroker
+from repro.service.server import ServiceFrontEnd, serve_stdio
+
+SCHEMA = RelationSchema("Mgr", ["Name", "Dept", "Salary:number"])
+FDS = [FunctionalDependency.parse("Name -> Dept, Salary", "Mgr")]
+
+ROWS = [
+    ("Mary", "R&D", 40),
+    ("Mary", "PR", 30),   # conflicts with the R&D record
+    ("John", "PR", 20),
+    ("Ada", "IT", 50),
+]
+
+
+def main() -> None:
+    instance = RelationInstance.from_values(SCHEMA, ROWS)
+    broker = RequestBroker()
+    broker.register("hr", instance, FDS)
+
+    print("=== one batch: four requests, two distinct, priority-first ===")
+    batch = [
+        Request("EXISTS d, s . Mgr(n, d, s)", tag="names-a"),
+        Request("EXISTS d, s . Mgr(n, d, s)", tag="names-b"),
+        Request("EXISTS s . Mgr('Mary', 'PR', s)", tag="mary-pr", priority=5),
+        Request("EXISTS s . Mgr('Mary', 'PR', s)", tag="mary-pr-dup"),
+    ]
+    for result in broker.submit(batch):
+        outcome = result.outcome
+        body = (
+            f"verdict={outcome.verdict.value}"
+            if hasattr(outcome, "verdict")
+            else f"certain={sorted(outcome.certain)}"
+        )
+        print(
+            f"  [{result.request.tag:<12}] engine={result.engine:<11} "
+            f"route={result.route:<13} shared={str(result.shared):<5} {body}"
+        )
+
+    print("\n=== the same work again: answer-cache hits, same routes ===")
+    for result in broker.submit(batch):
+        print(
+            f"  [{result.request.tag:<12}] cached={result.cached} "
+            f"route={result.route}"
+        )
+
+    print("\n=== updates invalidate; a reverted state hits again ===")
+    probe = Row(SCHEMA, ["Zoe", "IT", 15])
+    broker.insert(probe, "hr")  # instance state (and cache keys) change
+    changed = broker.query("EXISTS d, s . Mgr(n, d, s)")
+    print(f"  after insert           cached={changed.cached} (recomputed)")
+    broker.delete(probe, "hr")  # back to the original instance state
+    reverted = broker.query("EXISTS d, s . Mgr(n, d, s)")
+    print(f"  after revert           cached={reverted.cached} (content-keyed)")
+
+    print("\n=== other databases keep their cache through it all ===")
+    audit = RelationInstance.from_values(
+        RelationSchema("Audit", ["Id:number", "Grade"]), [(1, "ok"), (1, "bad")]
+    )
+    broker.register("audit", audit, [FunctionalDependency.parse("Id -> Grade", "Audit")])
+    broker.query("EXISTS g . Audit(i, g)", database="audit")
+    broker.insert(Row(SCHEMA, ["Zoe", "IT", 15]), "hr")  # hr churn only
+    isolated = broker.query("EXISTS g . Audit(i, g)", database="audit")
+    print(f"  audit after hr update  cached={isolated.cached}")
+
+    print("\n=== the wire format repro serve speaks (JSON lines) ===")
+    front = ServiceFrontEnd(broker)
+    script = "\n".join(
+        [
+            json.dumps({"op": "health"}),
+            json.dumps(
+                {"query": "EXISTS n, s . Mgr(n, d, s)", "family": "Rep"}
+            ),
+            json.dumps({"op": "stats"}),
+        ]
+    )
+    output = io.StringIO()
+    serve_stdio(front, io.StringIO(script), output)
+    for line in output.getvalue().splitlines():
+        payload = json.loads(line)
+        if "certain" in payload:
+            print(f"  certain depts: {payload['certain']} via {payload['route']}")
+        elif "status" in payload:
+            print(f"  health: {payload['status']}, dbs={payload['databases']}")
+        else:
+            cache = payload["answer_cache"]
+            print(
+                f"  stats: {payload['requests_served']} served, "
+                f"cache {cache['hits']} hits / {cache['misses']} misses"
+            )
+    broker.close()
+
+
+if __name__ == "__main__":
+    main()

@@ -90,12 +90,15 @@ from repro.incremental import (
     GraphDelta,
     IncrementalCqaEngine,
 )
+from repro.service import AnswerCache, BrokerResult, Request, RequestBroker
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
+    "AnswerCache",
     "Attribute",
     "AttributeType",
+    "BrokerResult",
     "CleaningError",
     "ClosedAnswer",
     "ConflictGraph",
@@ -119,6 +122,8 @@ __all__ = [
     "QueryBindingError",
     "QueryError",
     "QuerySyntaxError",
+    "Request",
+    "RequestBroker",
     "RelationInstance",
     "RelationSchema",
     "ReproError",

@@ -13,7 +13,7 @@ burst of updates between two queries costs one refresh.
 from __future__ import annotations
 
 import sqlite3
-from typing import Optional, Sequence
+from typing import Callable, Optional, Sequence, Union
 
 from repro.backend.engine import SqlCqaEngine
 from repro.constraints.fd import FunctionalDependency
@@ -31,7 +31,10 @@ class SqliteMirror:
         family: Family = Family.REP,
         target: str = ":memory:",
     ) -> None:
-        self._connection = sqlite3.connect(target)
+        # The service broker refreshes and queries the mirror from
+        # whichever front-end thread holds the per-database lock, so
+        # access is serialized but not thread-affine.
+        self._connection = sqlite3.connect(target, check_same_thread=False)
         self.dependencies = tuple(dependencies)
         self.family = family
         self._dirty = True
@@ -41,9 +44,24 @@ class SqliteMirror:
         """Record that the source instance changed since the last refresh."""
         self._dirty = True
 
-    def engine_for(self, database: Database) -> SqlCqaEngine:
-        """A :class:`SqlCqaEngine` over an up-to-date mirror of ``database``."""
-        if self._dirty or self._engine is None:
+    @property
+    def dirty(self) -> bool:
+        """Whether the next :meth:`engine_for` will re-save the source."""
+        return self._dirty or self._engine is None
+
+    def engine_for(
+        self, database: Union[Database, Callable[[], Database]]
+    ) -> SqlCqaEngine:
+        """A :class:`SqlCqaEngine` over an up-to-date mirror of ``database``.
+
+        ``database`` may be a zero-argument callable, invoked only when
+        a refresh is actually due — callers whose source snapshot is
+        itself O(instance) to assemble (the broker's
+        ``current_database()``) skip that cost on clean mirrors.
+        """
+        if self.dirty:
+            if callable(database):
+                database = database()
             save_database(database, self._connection, self.dependencies)
             self._engine = SqlCqaEngine(
                 self._connection, self.dependencies, family=self.family

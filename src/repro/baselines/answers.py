@@ -33,6 +33,7 @@ def baseline_answers(
     query: Union[str, Formula],
     variables: Optional[Tuple[str, ...]] = None,
     naive: bool = False,
+    parallel: Optional[int] = None,
 ) -> OpenAnswers:
     """Certain/possible answers of ``query`` over baseline alternatives.
 
@@ -43,10 +44,40 @@ def baseline_answers(
     definitions the repair families use, so the result is directly
     comparable with engine output.  The ``family`` field is ``Rep``
     (baselines carry no preference semantics of their own).
+
+    ``parallel`` shards the alternatives across the service layer's
+    process pool (``0`` = hardware width); merged answers are identical
+    to the serial loop.
     """
     formula = parse_query(query) if isinstance(query, str) else query
     if variables is None:
         variables = tuple(sorted(formula.free_variables()))
+    from repro.service.parallel import resolve_workers
+
+    workers = resolve_workers(parallel)
+    if workers is not None:
+        from repro.service.parallel import plan_from_fragments, run_open
+
+        pool = [frozenset(alternative) for alternative in alternatives]
+        if not pool:
+            raise QueryError("baseline_answers() needs at least one alternative")
+        # One pseudo-component whose fragments are the alternatives:
+        # the product over a single list enumerates exactly the pool.
+        merged = run_open(
+            plan_from_fragments([pool]),
+            formula,
+            tuple(variables),
+            workers=workers,
+            naive=naive,
+        )
+        return OpenAnswers(
+            Family.REP,
+            tuple(variables),
+            merged.certain,
+            merged.possible,
+            merged.considered,
+            route="naive" if naive else "indexed",
+        )
     cache = ContextCache(naive=naive)
     constants = constants_of(formula)
     certain: Optional[FrozenSet[Tuple]] = None

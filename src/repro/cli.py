@@ -549,6 +549,43 @@ def _cmd_session(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    """Run the batched CQA service over one loaded instance."""
+    from repro.service.broker import RequestBroker
+    from repro.service.server import (
+        ServiceFrontEnd,
+        make_http_server,
+        serve_stdio,
+    )
+
+    instance, dependencies, _, priority = _build_setting(args)
+    family = _FAMILY_CODES[args.family]
+    broker = RequestBroker(parallel=args.parallel)
+    broker.register(
+        args.name,
+        instance,
+        dependencies,
+        priority.edges,
+        family,
+        sqlite_pushdown=not args.no_pushdown,
+    )
+    front = ServiceFrontEnd(broker)
+    if args.stdio:
+        return serve_stdio(front, sys.stdin, sys.stdout)
+    server = make_http_server(front, args.host, args.port)
+    host, port = server.server_address[:2]
+    print(f"repro service on http://{host}:{port} "
+          f"(POST /query, POST /update, GET /healthz, GET /stats)")
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:  # pragma: no cover - interactive
+        pass
+    finally:
+        server.server_close()
+        broker.close()
+    return 0
+
+
 def _cmd_examples(args: argparse.Namespace) -> int:
     from repro.core.families import family_chain
     from repro.datagen import paper_instances
@@ -672,6 +709,47 @@ def build_parser() -> argparse.ArgumentParser:
         ),
     )
     session.set_defaults(handler=_cmd_session)
+
+    serve = subparsers.add_parser(
+        "serve",
+        help="run the batched CQA service (HTTP or JSON-lines stdio)",
+        description=(
+            "Load an instance and serve it through the request broker: "
+            "batches are deduplicated, answers are memoized "
+            "content-keyed, and each query runs on the cheapest capable "
+            "engine (SQLite pushdown, witness index, or indexed "
+            "in-memory streaming — optionally sharded across a process "
+            "pool with --parallel).  Default transport is JSON over "
+            "HTTP; --stdio reads one JSON request per line instead."
+        ),
+    )
+    _add_data_arguments(serve)
+    serve.add_argument("--family", choices=_FAMILY_CODES, default="Rep")
+    serve.add_argument(
+        "--name", default="default", help="name the database registers under"
+    )
+    serve.add_argument(
+        "--stdio",
+        action="store_true",
+        help="serve JSON lines over stdin/stdout instead of HTTP",
+    )
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument(
+        "--port", type=int, default=8080, help="HTTP port (0 = ephemeral)"
+    )
+    serve.add_argument(
+        "--parallel",
+        type=int,
+        default=None,
+        metavar="N",
+        help="shard repair enumeration across N workers (0 = all cores)",
+    )
+    serve.add_argument(
+        "--no-pushdown",
+        action="store_true",
+        help="disable the SQLite mirror (always answer in memory)",
+    )
+    serve.set_defaults(handler=_cmd_serve)
 
     examples = subparsers.add_parser("examples", help="show the paper's examples")
     examples.add_argument("--name", help="scenario name (default: all)")

@@ -150,10 +150,24 @@ class CqaEngine:
             schema = DatabaseSchema([self.data.schema])
         return check_against_schema(formula, schema)
 
+    def _shard_plan(self, family: Family):
+        """The sharded view of this engine's preferred-repair space."""
+        from repro.service.parallel import shard_plan
+
+        return shard_plan(self.graph, self.priority, family)
+
     def is_consistently_true(
-        self, query: Union[str, Formula], family: Optional[Family] = None
+        self,
+        query: Union[str, Formula],
+        family: Optional[Family] = None,
+        parallel: Optional[int] = None,
     ) -> bool:
-        """Definition 3 with early exit on the first falsifying repair."""
+        """Definition 3 with early exit on the first falsifying repair.
+
+        ``parallel`` shards the repair space across a process pool
+        (``0`` = hardware width, ``1`` = shard path in-process, ``None``
+        = serial streaming); verdicts are identical on every path.
+        """
         family = family or self.family
         formula = self._to_formula(query)
         if not formula.is_closed:
@@ -161,6 +175,20 @@ class CqaEngine:
                 "closed-query CQA requires a closed formula; "
                 "use certain_answers() for open queries"
             )
+        from repro.service.parallel import resolve_workers
+
+        workers = resolve_workers(parallel)
+        if workers is not None:
+            from repro.service.parallel import run_closed
+
+            merged = run_closed(
+                self._shard_plan(family),
+                formula,
+                workers=workers,
+                naive=self.naive,
+                stop_on_false=True,
+            )
+            return merged.counterexample is None
         constants = constants_of(formula)
         for repair in self._stream_repairs(family):
             context = self._context_for(repair, constants)
@@ -169,13 +197,38 @@ class CqaEngine:
         return True
 
     def answer(
-        self, query: Union[str, Formula], family: Optional[Family] = None
+        self,
+        query: Union[str, Formula],
+        family: Optional[Family] = None,
+        parallel: Optional[int] = None,
     ) -> ClosedAnswer:
-        """Full three-valued verdict with counts and a counterexample."""
+        """Full three-valued verdict with counts and a counterexample.
+
+        ``parallel`` routes through the sharded executor (see
+        :meth:`is_consistently_true`); counts and the counterexample
+        repair match the serial stream exactly for the streaming
+        families (Rep, L, S) and agree on content for G and C.
+        """
         family = family or self.family
         formula = self._to_formula(query)
         if not formula.is_closed:
             raise QueryError("answer() requires a closed formula")
+        from repro.service.parallel import resolve_workers
+
+        workers = resolve_workers(parallel)
+        if workers is not None:
+            from repro.service.parallel import run_closed
+
+            merged = run_closed(
+                self._shard_plan(family),
+                formula,
+                workers=workers,
+                naive=self.naive,
+            )
+            return self._closed_answer_from_counts(
+                family, merged.considered, merged.satisfying,
+                merged.counterexample,
+            )
         considered = 0
         satisfying = 0
         counterexample: Optional[Repair] = None
@@ -187,6 +240,17 @@ class CqaEngine:
                 satisfying += 1
             elif counterexample is None:
                 counterexample = repair
+        return self._closed_answer_from_counts(
+            family, considered, satisfying, counterexample
+        )
+
+    def _closed_answer_from_counts(
+        self,
+        family: Family,
+        considered: int,
+        satisfying: int,
+        counterexample: Optional[Repair],
+    ) -> ClosedAnswer:
         if considered == 0:
             # Cannot happen for P1-respecting families; defensive only.
             verdict = Verdict.UNDETERMINED
@@ -208,12 +272,39 @@ class CqaEngine:
         query: Union[str, Formula],
         variables: Optional[Tuple[str, ...]] = None,
         family: Optional[Family] = None,
+        parallel: Optional[int] = None,
     ) -> OpenAnswers:
-        """Certain/possible answer sets of an open query (along [1, 7])."""
+        """Certain/possible answer sets of an open query (along [1, 7]).
+
+        ``parallel`` shards per-repair evaluation across a process pool
+        (see :meth:`is_consistently_true`); the merged answer sets are
+        bit-identical to serial streaming.
+        """
         family = family or self.family
         formula = self._to_formula(query)
         if variables is None:
             variables = tuple(sorted(formula.free_variables()))
+        from repro.service.parallel import resolve_workers
+
+        workers = resolve_workers(parallel)
+        if workers is not None:
+            from repro.service.parallel import run_open
+
+            merged = run_open(
+                self._shard_plan(family),
+                formula,
+                tuple(variables),
+                workers=workers,
+                naive=self.naive,
+            )
+            return OpenAnswers(
+                family,
+                tuple(variables),
+                merged.certain,
+                merged.possible,
+                merged.considered,
+                route=self._route,
+            )
         certain: Optional[FrozenSet[Tuple]] = None
         possible: FrozenSet[Tuple] = frozenset()
         considered = 0
@@ -234,7 +325,10 @@ class CqaEngine:
         )
 
     def sql_certain_answers(
-        self, sql: str, family: Optional[Family] = None
+        self,
+        sql: str,
+        family: Optional[Family] = None,
+        parallel: Optional[int] = None,
     ) -> OpenAnswers:
         """Certain answers for a conjunctive SQL query."""
         if not isinstance(self.data, Database):
@@ -242,7 +336,7 @@ class CqaEngine:
         else:
             schema_source = self.data
         formula, variables = sql_to_formula(sql, schema_source.schema)
-        return self.certain_answers(formula, variables, family)
+        return self.certain_answers(formula, variables, family, parallel)
 
     # Diagnostics -------------------------------------------------------------------
 

@@ -452,9 +452,17 @@ class IncrementalCqaEngine:
     # Closed queries -----------------------------------------------------------
 
     def answer(
-        self, query: Union[str, Formula], family: Optional[Family] = None
+        self,
+        query: Union[str, Formula],
+        family: Optional[Family] = None,
+        parallel: Optional[int] = None,
     ) -> ClosedAnswer:
-        """Three-valued verdict with exact satisfying/considered counts."""
+        """Three-valued verdict with exact satisfying/considered counts.
+
+        ``parallel`` shards the enumeration fallback (non-conjunctive
+        queries) across a process pool; the witness-index fast path
+        never materializes repairs, so it ignores the flag.
+        """
         family = family or self.family
         formula = self._to_formula(query)
         if not formula.is_closed:
@@ -470,7 +478,7 @@ class IncrementalCqaEngine:
             )
         index = self._witness_index(formula, ())
         if index is None:
-            return self._answer_by_enumeration(formula, family, fragments)
+            return self._answer_by_enumeration(formula, family, fragments, parallel)
         supports = index.supports_for(())
         relevant, compat, always = self._compatibility(
             supports, components, fragments
@@ -516,9 +524,29 @@ class IncrementalCqaEngine:
         )
 
     def _answer_by_enumeration(
-        self, formula: Formula, family: Family, fragments: List[List[Repair]]
+        self,
+        formula: Formula,
+        family: Family,
+        fragments: List[List[Repair]],
+        parallel: Optional[int] = None,
     ) -> ClosedAnswer:
         """Fallback for non-conjunctive queries: evaluate per repair."""
+        from repro.service.parallel import resolve_workers
+
+        workers = resolve_workers(parallel)
+        if workers is not None:
+            from repro.service.parallel import plan_from_fragments, run_closed
+
+            merged = run_closed(
+                plan_from_fragments(fragments),
+                formula,
+                workers=workers,
+                naive=self.naive,
+            )
+            return self._closed_from_counts(
+                family, merged.considered, merged.satisfying,
+                merged.counterexample,
+            )
         considered = 0
         satisfying = 0
         counterexample: Optional[Repair] = None
@@ -530,6 +558,17 @@ class IncrementalCqaEngine:
                 satisfying += 1
             elif counterexample is None:
                 counterexample = repair
+        return self._closed_from_counts(
+            family, considered, satisfying, counterexample
+        )
+
+    def _closed_from_counts(
+        self,
+        family: Family,
+        considered: int,
+        satisfying: int,
+        counterexample: Optional[Repair],
+    ) -> ClosedAnswer:
         if considered == 0:
             verdict = Verdict.UNDETERMINED  # pragma: no cover - defensive
         elif satisfying == considered:
@@ -589,8 +628,13 @@ class IncrementalCqaEngine:
         query: Union[str, Formula],
         variables: Optional[Tuple[str, ...]] = None,
         family: Optional[Family] = None,
+        parallel: Optional[int] = None,
     ) -> OpenAnswers:
-        """Certain/possible answer sets of an open query."""
+        """Certain/possible answer sets of an open query.
+
+        ``parallel`` shards the enumeration fallback across a process
+        pool (the witness-index fast path ignores it).
+        """
         family = family or self.family
         formula = self._to_formula(query)
         if variables is None:
@@ -602,7 +646,7 @@ class IncrementalCqaEngine:
         index = self._witness_index(formula, tuple(variables))
         if index is None or total == 0:
             return self._certain_answers_by_enumeration(
-                formula, tuple(variables), family, fragments
+                formula, tuple(variables), family, fragments, parallel
             )
         certain: Set[Tuple] = set()
         possible: Set[Tuple] = set()
@@ -644,7 +688,29 @@ class IncrementalCqaEngine:
         variables: Tuple[str, ...],
         family: Family,
         fragments: List[List[Repair]],
+        parallel: Optional[int] = None,
     ) -> OpenAnswers:
+        from repro.service.parallel import resolve_workers
+
+        workers = resolve_workers(parallel)
+        if workers is not None:
+            from repro.service.parallel import plan_from_fragments, run_open
+
+            merged = run_open(
+                plan_from_fragments(fragments),
+                formula,
+                variables,
+                workers=workers,
+                naive=self.naive,
+            )
+            return OpenAnswers(
+                family,
+                variables,
+                merged.certain,
+                merged.possible,
+                merged.considered,
+                route=self._route,
+            )
         certain: Optional[FrozenSet[Tuple]] = None
         possible: FrozenSet[Tuple] = frozenset()
         considered = 0

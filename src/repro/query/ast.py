@@ -392,6 +392,28 @@ def constants_of(formula: Formula) -> FrozenSet[Value]:
     return frozenset(found)
 
 
+def relations_of(formula: Formula) -> FrozenSet[str]:
+    """All relation names mentioned in the formula's atoms."""
+    found = set()
+
+    def walk(node: Formula) -> None:
+        if isinstance(node, Atom):
+            found.add(node.relation)
+        elif isinstance(node, Not):
+            walk(node.body)
+        elif isinstance(node, (And, Or)):
+            for part in node.parts:
+                walk(part)
+        elif isinstance(node, Implies):
+            walk(node.antecedent)
+            walk(node.consequent)
+        elif isinstance(node, (Exists, Forall)):
+            walk(node.body)
+
+    walk(formula)
+    return frozenset(found)
+
+
 def is_quantifier_free(formula: Formula) -> bool:
     """Whether the formula contains no quantifier ({∀,∃}-free in Fig. 5)."""
     if isinstance(formula, (Exists, Forall)):

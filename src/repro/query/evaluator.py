@@ -38,6 +38,8 @@ routes (and the SQLite backend) to identical answers.
 
 from __future__ import annotations
 
+import threading
+from functools import lru_cache
 from typing import (
     Dict,
     FrozenSet,
@@ -112,7 +114,15 @@ class EvaluationContext:
     implementation the indexed path is differentially tested against).
     """
 
-    __slots__ = ("relations", "adom", "naive", "_indexes", "_plans", "_views")
+    __slots__ = (
+        "relations",
+        "adom",
+        "naive",
+        "_indexes",
+        "_plans",
+        "_views",
+        "_widths",
+    )
 
     def __init__(
         self,
@@ -137,6 +147,8 @@ class EvaluationContext:
         self._plans: Dict[Tuple[Tuple[str, ...], Formula], BlockPlan] = {}
         #: extra-constant overlays sharing these indexes and plans
         self._views: Dict[FrozenSet[Value], "EvaluationContext"] = {}
+        #: (relation, column) -> expected single-column probe width
+        self._widths: Dict[Tuple[str, int], float] = {}
 
     def tuples_of(self, relation: str) -> Set[Tuple[Value, ...]]:
         return self.relations.get(relation, set())
@@ -166,6 +178,41 @@ class EvaluationContext:
             self._indexes[key] = index
         return index
 
+    def probe_width(self, relation: str, positions: Tuple[int, ...]) -> float:
+        """Expected tuples returned by an index probe on ``positions``.
+
+        Probes are keyed by values drawn from the data itself, so the
+        per-column expectation weighs each bucket by its own size:
+        ``Σ |b|² / N``.  A uniform column yields ``N / distinct``, while
+        a 99%-one-key column yields nearly ``N`` — the skew signal the
+        planner's raw cardinality estimate misses.  Multi-column probes
+        are estimated by the most selective of their columns, so
+        planning only ever materializes the (highly reusable)
+        single-column statistics rather than speculative multi-column
+        indexes for atoms that may never be chosen.  Empty position
+        sets (no bound columns, i.e. a scan) cost the full cardinality.
+        """
+        total = self.cardinality(relation)
+        if not positions or total == 0:
+            return float(total)
+        return min(
+            self._column_width(relation, position) for position in positions
+        )
+
+    def _column_width(self, relation: str, position: int) -> float:
+        key = (relation, position)
+        width = self._widths.get(key)
+        if width is None:
+            index = self.index(relation, (position,))
+            total = self.cardinality(relation)
+            width = (
+                sum(len(bucket) ** 2 for bucket in index.values()) / total
+                if index
+                else 0.0
+            )
+            self._widths[key] = width
+        return width
+
     def with_constants(self, constants: FrozenSet[Value]) -> "EvaluationContext":
         """A view whose active domain also covers ``constants``.
 
@@ -191,6 +238,7 @@ class EvaluationContext:
             view.naive = self.naive
             view._indexes = self._indexes
             view._plans = self._plans
+            view._widths = self._widths
             # Own overlay map: re-overlaying a view must union with *its*
             # domain, not the base's.
             view._views = {}
@@ -204,7 +252,9 @@ class EvaluationContext:
         if plan is None:
             if len(self._plans) >= _MAX_PLANS:
                 self._plans.pop(next(iter(self._plans)))
-            plan = plan_block(variables, body, self.cardinality)
+            plan = plan_block(
+                variables, body, self.cardinality, self.probe_width
+            )
             self._plans[key] = plan
         return plan
 
@@ -219,9 +269,16 @@ class ContextCache:
     these.  Keys are the frozen row sets themselves, so a repair that
     reappears after unrelated updates hits the same entry; eviction is
     FIFO once ``max_entries`` is reached.
+
+    Get-or-create is thread-safe: the service broker's threaded front
+    end can look up a context while another request thread evicts, so
+    the dict mutations (including the constant-overlay bookkeeping)
+    happen under one lock.  Evaluation against a returned context is
+    not serialized — concurrent lazy index builds merely duplicate
+    work, they never corrupt results.
     """
 
-    __slots__ = ("naive", "max_entries", "_contexts")
+    __slots__ = ("naive", "max_entries", "_contexts", "_lock")
 
     def __init__(self, max_entries: int = 1024, naive: bool = False) -> None:
         if max_entries < 1:
@@ -229,6 +286,7 @@ class ContextCache:
         self.naive = naive
         self.max_entries = max_entries
         self._contexts: Dict[FrozenSet[Row], EvaluationContext] = {}
+        self._lock = threading.Lock()
 
     def __len__(self) -> int:
         return len(self._contexts)
@@ -237,13 +295,14 @@ class ContextCache:
         self, rows: FrozenSet[Row], constants: FrozenSet[Value] = frozenset()
     ) -> EvaluationContext:
         """The shared context for ``rows``, overlaid with ``constants``."""
-        base = self._contexts.get(rows)
-        if base is None:
-            if len(self._contexts) >= self.max_entries:
-                self._contexts.pop(next(iter(self._contexts)))
-            base = EvaluationContext(rows, naive=self.naive)
-            self._contexts[rows] = base
-        return base.with_constants(constants)
+        with self._lock:
+            base = self._contexts.get(rows)
+            if base is None:
+                if len(self._contexts) >= self.max_entries:
+                    self._contexts.pop(next(iter(self._contexts)))
+                base = EvaluationContext(rows, naive=self.naive)
+                self._contexts[rows] = base
+            return base.with_constants(constants)
 
 
 def _resolve(term, binding: Binding) -> Value:
@@ -464,6 +523,45 @@ def _exists_naive(
         binding.update(shadowed)
 
 
+@lru_cache(maxsize=256)
+def violation_body(body: Formula) -> Formula:
+    """``NOT body`` with negations pushed inward to expose generators.
+
+    The dual "violation search" plan for universal quantification:
+    ``FORALL x . φ`` holds iff ``EXISTS x . ¬φ`` does not, and pushing
+    the negation through implications, disjunctions and conjunctions
+    turns guard atoms into *positive* top-level conjuncts the planner
+    can generate bindings from — ``FORALL x . R(x) IMPLIES ψ`` becomes a
+    search over ``R`` for a falsifying tuple instead of a loop over the
+    whole active domain.  Every rewrite is a classical equivalence, and
+    order comparisons are left under their negation (``NOT (a < b)`` is
+    *not* ``a >= b`` on uninterpreted names, where both order atoms are
+    false), so active-domain semantics are preserved exactly.
+    """
+    if isinstance(body, Not):
+        return body.body
+    if isinstance(body, Implies):
+        return And((body.antecedent, violation_body(body.consequent)))
+    if isinstance(body, Or):
+        return And(tuple(violation_body(part) for part in body.parts))
+    if isinstance(body, And):
+        return Or(tuple(violation_body(part) for part in body.parts))
+    if isinstance(body, TrueFormula):
+        return FalseFormula()
+    if isinstance(body, FalseFormula):
+        return TrueFormula()
+    if isinstance(body, Comparison) and body.op in EQUALITY_OPS:
+        return body.negated()
+    if isinstance(body, Forall):
+        return Exists(body.variables, violation_body(body.body))
+    if isinstance(body, Exists):
+        return Forall(body.variables, violation_body(body.body))
+    # Atoms and order comparisons stay under the negation: a negated
+    # atom is a filter either way, and order operators are asymmetric
+    # on mixed domains (see above).
+    return Not(body)
+
+
 def _holds(formula: Formula, context: EvaluationContext, binding: Binding) -> bool:
     if isinstance(formula, TrueFormula):
         return True
@@ -492,6 +590,12 @@ def _holds(formula: Formula, context: EvaluationContext, binding: Binding) -> bo
             return _exists_naive(formula, context, binding)
         return _exists_planned(formula, context, binding)
     if isinstance(formula, Forall):
+        if not context.naive:
+            # Dual plan: search for one falsifying binding through the
+            # planned existential machinery (index probes on the guard
+            # atoms) instead of enumerating |adom|^k candidates.
+            falsifier = Exists(formula.variables, violation_body(formula.body))
+            return not _exists_planned(falsifier, context, binding)
         variable, rest = formula.variables[0], formula.variables[1:]
         remainder = Forall(rest, formula.body) if rest else formula.body
         shadowed = binding.pop(variable, _UNBOUND)

@@ -19,7 +19,17 @@ step sequence executed as an index-nested-loop join:
 * :class:`DomainStep` — a variable no atom guards falls back to the
   active domain, preserving the evaluator's active-domain semantics.
 
-Plans depend only on the formula and the relation cardinalities, so
+The cardinality estimate alone misorders skewed data: a relation whose
+bound column holds one value in 99% of its rows looks selective by
+size but its index probe returns almost the whole relation.  When the
+caller supplies ``probe_width_of`` (per-(relation, column-subset)
+value-histogram statistics — see
+:meth:`~repro.query.evaluator.EvaluationContext.probe_width`), ties on
+the bound-column count are broken by the *expected probe result size*
+under the data distribution instead, so skewed columns sink in the
+order.
+
+Plans depend only on the formula and the relation statistics, so
 :class:`~repro.query.evaluator.EvaluationContext` caches them per block
 alongside its hash indexes.
 """
@@ -108,13 +118,19 @@ def plan_block(
     variables: Sequence[str],
     body: Formula,
     cardinality_of: Callable[[str], int],
+    probe_width_of: Optional[Callable[[str, Tuple[int, ...]], float]] = None,
 ) -> BlockPlan:
     """Order the conjuncts of one block into an executable join plan.
 
     ``variables`` are the block's own variables; every other free
     variable of ``body`` is treated as bound by the enclosing scope.
     ``cardinality_of`` supplies relation sizes for the selectivity
-    estimate (bound-column count first, then cardinality).
+    estimate (bound-column count first, then cardinality).  The optional
+    ``probe_width_of(relation, positions)`` returns the expected number
+    of tuples an index probe on ``positions`` yields under the data's
+    own value distribution; when given, it breaks bound-column-count
+    ties ahead of raw cardinality so value-skewed columns are not
+    mistaken for selective ones.
     """
     target = set(variables)
     bound: Set[str] = set(body.free_variables()) - target
@@ -136,12 +152,17 @@ def plan_block(
                 remaining.append((conjunct, free))
         filters[:] = remaining
 
-    def bound_columns(atom: Atom) -> int:
-        return sum(
-            1
-            for term in atom.terms
+    def bound_positions(atom: Atom) -> Tuple[int, ...]:
+        return tuple(
+            position
+            for position, term in enumerate(atom.terms)
             if isinstance(term, Const) or term.name in bound
         )
+
+    def estimated_width(atom: Atom) -> float:
+        if probe_width_of is None:
+            return 0.0
+        return probe_width_of(atom.relation, bound_positions(atom))
 
     while True:
         flush_filters()
@@ -163,7 +184,8 @@ def plan_block(
             best = min(
                 range(len(atoms)),
                 key=lambda i: (
-                    -bound_columns(atoms[i]),
+                    -len(bound_positions(atoms[i])),
+                    estimated_width(atoms[i]),
                     cardinality_of(atoms[i].relation),
                     i,
                 ),

@@ -56,6 +56,12 @@ class Row:
             values[self.schema.index_of(attribute)] = value
         return Row(self.schema, values)
 
+    def __reduce__(self):
+        # Rows block ``__setattr__`` (immutability), which breaks the
+        # default slot-state pickling; reconstructing through __init__
+        # keeps them picklable for process-pool shard payloads.
+        return (Row, (self.schema, self.values))
+
     def __iter__(self) -> Iterator[Value]:
         return iter(self.values)
 

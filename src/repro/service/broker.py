@@ -1,0 +1,465 @@
+"""Batched request brokering with dedup, routing and answer memoization.
+
+A :class:`RequestBroker` fronts one or more registered databases, each
+served by a mutable :class:`~repro.incremental.engine.
+IncrementalCqaEngine` and (optionally) a lazily refreshed SQLite mirror.
+Batches of :class:`Request` objects are served priority-first; identical
+in-flight work — same database state, query, family, answer columns —
+is computed once and shared across the batch, and results are memoized
+in a bounded, content-keyed :class:`AnswerCache`.
+
+Routing picks the cheapest capable engine per query, reusing the
+rewritability analysis behind :attr:`SqlCqaEngine.last_route`:
+
+1. **sqlite pushdown** — no active priority edges and the query is
+   rewritable: one SQL statement, no repair materialization;
+2. **witness index** — the incremental engine's covering check for
+   conjunctive queries (no repair cross-product);
+3. **indexed in-memory** — per-repair streaming with hash-indexed join
+   plans, optionally sharded across the process pool of
+   :mod:`repro.service.parallel`.
+
+Cache keys embed the instance's *component fingerprint* — the frozenset
+of conflict-graph component vertex sets — so an entry can only ever hit
+the exact instance state it was computed on; engine updates additionally
+invalidate component-wise: every cached answer that depended on a
+touched component is evicted eagerly (untouched components keep their
+entries alive for states that revisit them).
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from typing import (
+    Dict,
+    FrozenSet,
+    Iterable,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+    Union,
+)
+
+from repro.backend.mirror import SqliteMirror
+from repro.constraints.fd import FunctionalDependency
+from repro.core.families import Family
+from repro.cqa.answers import ClosedAnswer, OpenAnswers
+from repro.exceptions import QueryError
+from repro.incremental.engine import IncrementalCqaEngine
+from repro.priorities.priority import PriorityEdge
+from repro.query.ast import Formula, relations_of
+from repro.relational.rows import Row
+
+Outcome = Union[ClosedAnswer, OpenAnswers]
+
+#: A component fingerprint: the vertex set of one connected component.
+Component = FrozenSet[Row]
+
+
+@dataclass(frozen=True)
+class Request:
+    """One query request in a batch.
+
+    ``query`` is a first-order query (string or AST); ``variables``
+    fixes the answer columns of open queries; ``database`` names a
+    registered database (``None`` = the broker default); ``priority``
+    orders service within a batch (higher first, ties keep submission
+    order); ``tag`` is an opaque client correlation id echoed back on
+    the result.
+    """
+
+    query: Union[str, Formula]
+    family: Optional[Family] = None
+    variables: Optional[Tuple[str, ...]] = None
+    database: Optional[str] = None
+    priority: int = 0
+    tag: Optional[str] = None
+
+
+@dataclass(frozen=True)
+class BrokerResult:
+    """A served request: the answer plus routing provenance."""
+
+    request: Request
+    outcome: Outcome
+    database: str
+    #: Which engine served it: ``"sqlite"`` or ``"incremental"``.
+    engine: str
+    #: Evaluation route (``"sqlite"`` / ``"witness-index"`` /
+    #: ``"indexed"`` / ``"naive"``) — identical for cache hits.
+    route: str
+    #: Served from the answer cache (a previous batch computed it).
+    cached: bool = False
+    #: Deduplicated against an identical request in the same batch.
+    shared: bool = False
+
+
+@dataclass
+class _CacheSlot:
+    outcome: Outcome
+    engine: str
+    route: str
+    components: FrozenSet[Component]
+
+
+class AnswerCache:
+    """Bounded, content-keyed, thread-safe memo of broker answers.
+
+    Keys embed the full component fingerprint of the instance state, so
+    a lookup can only hit an answer computed on bit-identical data.
+    ``invalidate_components`` evicts every entry (of one database) that
+    recorded a component intersecting the touched rows — the entries an
+    update actually outdated — while entries resting on untouched
+    components survive for instance states that return.
+    """
+
+    def __init__(self, max_entries: int = 1024) -> None:
+        if max_entries < 1:
+            raise ValueError("max_entries must be positive")
+        self.max_entries = max_entries
+        self._entries: "OrderedDict[Tuple, _CacheSlot]" = OrderedDict()
+        self._lock = threading.Lock()
+        self.hits = 0
+        self.misses = 0
+        self.evicted = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def get(self, key: Tuple) -> Optional[_CacheSlot]:
+        with self._lock:
+            slot = self._entries.get(key)
+            if slot is None:
+                self.misses += 1
+            else:
+                self.hits += 1
+            return slot
+
+    def put(self, key: Tuple, slot: _CacheSlot) -> None:
+        with self._lock:
+            if key not in self._entries and len(self._entries) >= self.max_entries:
+                self._entries.popitem(last=False)
+                self.evicted += 1
+            self._entries[key] = slot
+
+    def invalidate_components(
+        self, database: str, touched: Iterable[Row]
+    ) -> int:
+        """Evict entries of ``database`` depending on any touched row."""
+        touched = frozenset(touched)
+        if not touched:
+            return 0
+        with self._lock:
+            stale = [
+                key
+                for key, slot in self._entries.items()
+                if key[0] == database
+                and any(component & touched for component in slot.components)
+            ]
+            for key in stale:
+                del self._entries[key]
+            self.evicted += len(stale)
+            return len(stale)
+
+    def invalidate_database(self, database: str) -> int:
+        """Evict every entry of one database (priority re-declarations)."""
+        with self._lock:
+            stale = [key for key in self._entries if key[0] == database]
+            for key in stale:
+                del self._entries[key]
+            self.evicted += len(stale)
+            return len(stale)
+
+    def stats(self) -> Dict[str, int]:
+        with self._lock:
+            return {
+                "entries": len(self._entries),
+                "hits": self.hits,
+                "misses": self.misses,
+                "evicted": self.evicted,
+            }
+
+
+@dataclass
+class _Entry:
+    """One registered database: engines plus a per-database lock.
+
+    The lock serializes engine access — the engines' internal caches
+    (component repairs, witness indexes, evaluation contexts) are built
+    for single-threaded use, so the threaded front end must not run two
+    queries of one database concurrently.
+    """
+
+    name: str
+    engine: IncrementalCqaEngine
+    mirror: Optional[SqliteMirror]
+    family: Family
+    lock: threading.Lock = field(default_factory=threading.Lock)
+    queries: int = 0
+    updates: int = 0
+    #: Cached component fingerprint of the current instance state;
+    #: recomputing it per request would cost O(V log V) on the hot path.
+    fingerprint: Optional[FrozenSet[Component]] = None
+
+
+class RequestBroker:
+    """Routes, deduplicates and memoizes batched CQA requests."""
+
+    def __init__(
+        self,
+        cache_entries: int = 1024,
+        parallel: Optional[int] = None,
+    ) -> None:
+        self._entries: Dict[str, _Entry] = {}
+        self._default: Optional[str] = None
+        self._lock = threading.Lock()
+        self.cache = AnswerCache(cache_entries)
+        #: Worker count forwarded to the engines' enumeration paths
+        #: (``None`` = serial, ``0`` = hardware width).
+        self.parallel = parallel
+        self.deduplicated = 0
+        self.batches = 0
+
+    # Registration -------------------------------------------------------------
+
+    def register(
+        self,
+        name: str,
+        data,
+        dependencies: Sequence[FunctionalDependency],
+        priority: Iterable[PriorityEdge] = (),
+        family: Family = Family.REP,
+        sqlite_pushdown: bool = True,
+        naive: bool = False,
+    ) -> str:
+        """Register a database under ``name``; the first becomes default."""
+        with self._lock:
+            if name in self._entries:
+                raise QueryError(f"database {name!r} is already registered")
+            engine = IncrementalCqaEngine(
+                data, dependencies, priority, family, naive=naive
+            )
+            mirror = (
+                SqliteMirror(tuple(dependencies), family)
+                if sqlite_pushdown and not naive
+                else None
+            )
+            self._entries[name] = _Entry(name, engine, mirror, family)
+            if self._default is None:
+                self._default = name
+        return name
+
+    def _entry(self, database: Optional[str]) -> _Entry:
+        name = database or self._default
+        if name is None:
+            raise QueryError("no database registered with the broker")
+        entry = self._entries.get(name)
+        if entry is None:
+            raise QueryError(f"unknown database {name!r}")
+        return entry
+
+    def engine(self, database: Optional[str] = None) -> IncrementalCqaEngine:
+        """The mutable engine behind one registered database."""
+        return self._entry(database).engine
+
+    @property
+    def databases(self) -> Tuple[str, ...]:
+        return tuple(self._entries)
+
+    # Updates ------------------------------------------------------------------
+
+    def _after_update(self, entry: _Entry, delta) -> None:
+        entry.updates += 1
+        entry.fingerprint = None
+        if entry.mirror is not None:
+            entry.mirror.mark_dirty()
+        touched = set(delta.added_vertices) | set(delta.removed_vertices)
+        for component in delta.touched_components:
+            touched |= component
+        self.cache.invalidate_components(entry.name, touched)
+
+    def insert(self, row: Row, database: Optional[str] = None):
+        """Insert a tuple; invalidates dependent cached answers."""
+        entry = self._entry(database)
+        with entry.lock:
+            delta = entry.engine.insert(row)
+            self._after_update(entry, delta)
+        return delta
+
+    def delete(self, row: Row, database: Optional[str] = None):
+        """Delete a tuple; invalidates dependent cached answers."""
+        entry = self._entry(database)
+        with entry.lock:
+            delta = entry.engine.delete(row)
+            self._after_update(entry, delta)
+        return delta
+
+    def prefer(
+        self, winner: Row, loser: Row, database: Optional[str] = None
+    ) -> None:
+        """Declare a priority edge (conservatively drops the db's cache)."""
+        entry = self._entry(database)
+        with entry.lock:
+            entry.engine.prefer(winner, loser)
+            entry.updates += 1
+            self.cache.invalidate_database(entry.name)
+
+    # Serving ------------------------------------------------------------------
+
+    def _normalize(
+        self, entry: _Entry, request: Request
+    ) -> Tuple[Formula, Tuple[str, ...], Family]:
+        formula = entry.engine._to_formula(request.query)
+        family = request.family or entry.family
+        if request.variables is not None:
+            variables = tuple(request.variables)
+        elif formula.is_closed:
+            variables = ()
+        else:
+            variables = tuple(sorted(formula.free_variables()))
+        return formula, variables, family
+
+    def _fingerprint(self, entry: _Entry) -> FrozenSet[Component]:
+        if entry.fingerprint is None:
+            entry.fingerprint = frozenset(
+                entry.engine.graph.connected_components()
+            )
+        return entry.fingerprint
+
+    def _execute(
+        self,
+        entry: _Entry,
+        formula: Formula,
+        variables: Tuple[str, ...],
+        family: Family,
+    ) -> Tuple[Outcome, str, str]:
+        """Run one unit of work on the cheapest capable engine."""
+        entry.queries += 1
+        if entry.mirror is not None and not entry.engine.active_priority_edges():
+            # Lazy snapshot: assembling the Database is O(instance), so
+            # hand the mirror a supplier it only calls when dirty.
+            sql_engine = entry.mirror.engine_for(entry.engine.current_database)
+            if sql_engine.explain(formula, variables or None).pushed:
+                if formula.is_closed and not variables:
+                    outcome: Outcome = sql_engine.answer(formula, family)
+                else:
+                    outcome = sql_engine.certain_answers(
+                        formula, variables, family
+                    )
+                return outcome, "sqlite", "sqlite"
+        if formula.is_closed and not variables:
+            outcome = entry.engine.answer(formula, family, self.parallel)
+        else:
+            outcome = entry.engine.certain_answers(
+                formula, variables, family, self.parallel
+            )
+        return outcome, "incremental", outcome.route or "indexed"
+
+    def submit(self, requests: Sequence[Request]) -> List[BrokerResult]:
+        """Serve a batch: priority order, in-flight dedup, memoization.
+
+        Results come back in submission order regardless of service
+        order.  Identical work units (same database state, formula,
+        answer columns and family) are computed once per batch; repeats
+        across batches hit the answer cache and report the original
+        route.
+        """
+        self.batches += 1
+        order = sorted(
+            range(len(requests)),
+            key=lambda position: (-requests[position].priority, position),
+        )
+        results: List[Optional[BrokerResult]] = [None] * len(requests)
+        in_flight: Dict[Tuple, Tuple[Outcome, str, str]] = {}
+        for position in order:
+            request = requests[position]
+            entry = self._entry(request.database)
+            with entry.lock:
+                formula, variables, family = self._normalize(entry, request)
+                fingerprint = self._fingerprint(entry)
+                key = (entry.name, fingerprint, formula, variables, family)
+                if key in in_flight:
+                    outcome, engine_label, route = in_flight[key]
+                    self.deduplicated += 1
+                    results[position] = BrokerResult(
+                        request, outcome, entry.name, engine_label, route,
+                        shared=True,
+                    )
+                    continue
+                slot = self.cache.get(key)
+                if slot is not None:
+                    in_flight[key] = (slot.outcome, slot.engine, slot.route)
+                    results[position] = BrokerResult(
+                        request, slot.outcome, entry.name, slot.engine,
+                        slot.route, cached=True,
+                    )
+                    continue
+                outcome, engine_label, route = self._execute(
+                    entry, formula, variables, family
+                )
+                in_flight[key] = (outcome, engine_label, route)
+                # Dependencies drive eviction only (lookups are content
+                # keyed), so they can be narrowed to the components of
+                # the relations the query mentions: an update confined
+                # to other relations leaves this entry alive for
+                # instance states that return.
+                mentioned = relations_of(formula)
+                depends_on = frozenset(
+                    component
+                    for component in fingerprint
+                    if any(row.relation in mentioned for row in component)
+                )
+                self.cache.put(
+                    key, _CacheSlot(outcome, engine_label, route, depends_on)
+                )
+                results[position] = BrokerResult(
+                    request, outcome, entry.name, engine_label, route
+                )
+        return [result for result in results if result is not None]
+
+    def query(
+        self,
+        query: Union[str, Formula],
+        family: Optional[Family] = None,
+        variables: Optional[Tuple[str, ...]] = None,
+        database: Optional[str] = None,
+    ) -> BrokerResult:
+        """Serve a single request (a batch of one)."""
+        return self.submit(
+            [Request(query, family, variables, database)]
+        )[0]
+
+    # Diagnostics --------------------------------------------------------------
+
+    def stats(self) -> Dict[str, object]:
+        """Broker-level counters plus per-database engine summaries."""
+        return {
+            "databases": {
+                name: {
+                    "queries": entry.queries,
+                    "updates": entry.updates,
+                    "sqlite_mirror": entry.mirror is not None,
+                    "engine": entry.engine.summary(),
+                }
+                for name, entry in self._entries.items()
+            },
+            "batches": self.batches,
+            "deduplicated": self.deduplicated,
+            "answer_cache": self.cache.stats(),
+            "parallel": self.parallel,
+        }
+
+    def close(self) -> None:
+        """Release SQLite mirrors (engines are plain memory)."""
+        for entry in self._entries.values():
+            if entry.mirror is not None:
+                entry.mirror.close()
+
+    def __enter__(self) -> "RequestBroker":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()

@@ -1,0 +1,399 @@
+"""Sharded parallel execution of repair-space query evaluation.
+
+Repairs are maximal independent sets of the conflict graph, and those
+factor through its connected components: every repair is the union of
+the conflict-free base (singleton components) with exactly one *repair
+fragment* per conflicted component.  A :class:`ShardPlan` captures that
+product structure — the base row set plus one fragment list per
+component, in the exact order the serial engines enumerate — so the
+repair space becomes an addressable integer range ``[0, total)`` under
+the mixed-radix encoding of :func:`itertools.product` (last component
+varies fastest).
+
+Parallel evaluation shards that range into contiguous chunks executed
+by a :mod:`multiprocessing` pool.  Task payloads are pickle-safe by
+construction: fragments are transmitted as index tuples into a shared
+row table (the component content fingerprints the incremental caches
+key on), and :class:`~repro.relational.rows.Row` itself reconstructs
+through its schema on unpickle.  Workers rebuild each repair from its
+index, evaluate with the same indexed (or ``naive``) evaluator the
+serial engines use, and return mergeable partials:
+
+* closed queries — (considered, satisfying, first-falsifying index);
+* open queries — (considered, certain ∩, possible ∪).
+
+The merge is deterministic: counts add, answer sets intersect/union
+(orderless), and the counterexample is the repair at the *smallest*
+falsifying index — i.e. the first one the serial stream would have
+seen.  ``workers=1`` executes the same shard code in-process, so the
+parallel path is exercised (and differentially testable) without a
+pool.
+"""
+
+from __future__ import annotations
+
+import atexit
+import multiprocessing
+import os
+from dataclasses import dataclass
+from typing import (
+    Callable,
+    Dict,
+    FrozenSet,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+)
+
+from repro.constraints.conflict_graph import ConflictGraph
+from repro.core.cleaning import all_cleaning_results
+from repro.core.families import Family
+from repro.core.optimality import (
+    globally_optimal_repairs,
+    is_locally_optimal,
+    is_semi_globally_optimal,
+)
+from repro.priorities.priority import Priority
+from repro.query.ast import Formula
+from repro.query.evaluator import answers as evaluate_answers
+from repro.query.evaluator import evaluate
+from repro.relational.domain import Value
+from repro.relational.rows import Row
+from repro.repairs.enumerate import _component_repairs
+
+Repair = FrozenSet[Row]
+
+#: Contiguous chunks handed to each worker; more than one per worker
+#: smooths imbalance between cheap and expensive repairs.
+_CHUNKS_PER_WORKER = 4
+
+
+def default_workers() -> int:
+    """Worker count used when ``parallel=True``-style callers ask for
+    "as many as the hardware allows"."""
+    return max(1, os.cpu_count() or 1)
+
+
+# ---------------------------------------------------------------------------
+# Shard plans: the repair space as a product of per-component fragments
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class ShardPlan:
+    """The preferred-repair space factored for sharding.
+
+    ``base`` holds the rows present in every repair; ``fragments`` is
+    one tuple of repair fragments per conflicted component, listed in
+    the exact order serial enumeration visits them, so the repair at
+    product index ``i`` is the serial stream's ``i``-th repair.
+    """
+
+    base: FrozenSet[Row]
+    fragments: Tuple[Tuple[Repair, ...], ...]
+
+    @property
+    def total(self) -> int:
+        """Number of repairs in the product space."""
+        count = 1
+        for options in self.fragments:
+            count *= len(options)
+        return count
+
+    def repair_at(self, index: int) -> Repair:
+        """The repair at one product index (mixed-radix decode)."""
+        return _assemble(self.base, self.fragments, index)
+
+
+def _assemble(
+    base: FrozenSet[Row],
+    fragments: Sequence[Tuple[Repair, ...]],
+    index: int,
+) -> Repair:
+    parts: List[Repair] = []
+    for options in reversed(fragments):
+        index, position = divmod(index, len(options))
+        parts.append(options[position])
+    return base.union(*parts) if parts else base
+
+
+def shard_plan(
+    graph: ConflictGraph, priority: Priority, family: Family
+) -> ShardPlan:
+    """Factor a family's preferred repairs into a :class:`ShardPlan`.
+
+    Every preferred family decomposes across connected components
+    (see :meth:`repro.incremental.cache.ComponentRepairCache.
+    preferred_fragments`): witnesses of local/semi-global failure are
+    confined to one component, ≪-lifting compares inside components,
+    and Algorithm 1 steps in distinct components commute.  Fragments
+    are produced in :func:`~repro.repairs.enumerate.enumerate_repairs`
+    order and filtered per component, which preserves the serial
+    stream order for the streaming families (Rep, L, S): filtering a
+    lexicographic product coordinate-wise yields the product of the
+    filtered coordinate lists in the same lexicographic order.
+    """
+    fixed: List[Row] = []
+    fragment_lists: List[Tuple[Repair, ...]] = []
+    for component in graph.connected_components():
+        if len(component) == 1:
+            fixed.extend(component)
+            continue
+        options = _component_repairs(graph, component, pivoting=True)
+        if family is not Family.REP:
+            local = priority.restricted_to(component)
+            if family is Family.LOCAL:
+                options = [f for f in options if is_locally_optimal(f, local)]
+            elif family is Family.SEMI_GLOBAL:
+                options = [
+                    f for f in options if is_semi_globally_optimal(f, local)
+                ]
+            elif family is Family.GLOBAL:
+                options = list(globally_optimal_repairs(local, options))
+            elif family is Family.COMMON:
+                options = list(all_cleaning_results(local))
+            else:  # pragma: no cover - exhaustive enum
+                raise ValueError(f"unknown family {family!r}")
+        fragment_lists.append(tuple(options))
+    return ShardPlan(frozenset(fixed), tuple(fragment_lists))
+
+
+def plan_from_fragments(
+    fragments: Sequence[Sequence[Repair]],
+    base: FrozenSet[Row] = frozenset(),
+) -> ShardPlan:
+    """A :class:`ShardPlan` over explicit fragment lists.
+
+    Used by the incremental engine (whose per-component fragment table
+    already exists) and by callers sharding a flat repair list (pass it
+    as a single pseudo-component)."""
+    return ShardPlan(base, tuple(tuple(options) for options in fragments))
+
+
+# ---------------------------------------------------------------------------
+# Worker side
+# ---------------------------------------------------------------------------
+
+#: Task payload: (base, fragments, formula, variables|None, start, stop,
+#: naive, stop_on_false).  Everything in it pickles: rows reconstruct
+#: through their schema, formulas are frozen dataclasses.
+_Task = Tuple[
+    FrozenSet[Row],
+    Tuple[Tuple[Repair, ...], ...],
+    Formula,
+    Optional[Tuple[str, ...]],
+    int,
+    int,
+    bool,
+    bool,
+]
+
+
+def _run_shard(task: _Task):
+    """Evaluate one contiguous index range of the repair space.
+
+    Module-level so it imports under ``spawn`` start methods; returns
+    ``(considered, satisfying, first_false)`` for closed queries and
+    ``(considered, certain, possible)`` for open ones.
+    """
+    base, fragments, formula, variables, start, stop, naive, stop_on_false = task
+    if variables is None:
+        considered = satisfying = 0
+        first_false: Optional[int] = None
+        for index in range(start, stop):
+            repair = _assemble(base, fragments, index)
+            considered += 1
+            if evaluate(formula, repair, naive=naive):
+                satisfying += 1
+            elif first_false is None:
+                first_false = index
+                if stop_on_false:
+                    break
+        return considered, satisfying, first_false
+    certain: Optional[FrozenSet[Tuple[Value, ...]]] = None
+    possible: FrozenSet[Tuple[Value, ...]] = frozenset()
+    considered = 0
+    for index in range(start, stop):
+        repair = _assemble(base, fragments, index)
+        considered += 1
+        result = evaluate_answers(formula, repair, variables, naive=naive)
+        certain = result if certain is None else certain & result
+        possible = possible | result
+    return considered, certain, possible
+
+
+# ---------------------------------------------------------------------------
+# Pool management
+# ---------------------------------------------------------------------------
+
+_POOLS: Dict[int, "multiprocessing.pool.Pool"] = {}
+
+
+def _pool(workers: int) -> "multiprocessing.pool.Pool":
+    """A lazily created, process-wide pool per worker count.
+
+    Pools are reused across calls (fork/spawn cost is paid once per
+    engine lifetime, not per query) and torn down at interpreter exit.
+    """
+    pool = _POOLS.get(workers)
+    if pool is None:
+        # Never plain fork: the first pool is often created lazily from
+        # a broker/HTTP request thread, and forking a multi-threaded
+        # process can inherit locks mid-acquisition.  forkserver forks
+        # from a clean helper process; spawn is the portable fallback.
+        methods = multiprocessing.get_all_start_methods()
+        context = multiprocessing.get_context(
+            "forkserver" if "forkserver" in methods else "spawn"
+        )
+        pool = context.Pool(processes=workers)
+        if not _POOLS:
+            atexit.register(shutdown_pools)
+        _POOLS[workers] = pool
+    return pool
+
+
+def shutdown_pools() -> None:
+    """Terminate every cached worker pool (idempotent)."""
+    while _POOLS:
+        _, pool = _POOLS.popitem()
+        pool.terminate()
+        pool.join()
+
+
+def _chunks(total: int, workers: int) -> List[Tuple[int, int]]:
+    """Contiguous ``[start, stop)`` ranges covering ``[0, total)``."""
+    count = min(total, max(1, workers) * _CHUNKS_PER_WORKER)
+    size, leftover = divmod(total, count)
+    ranges: List[Tuple[int, int]] = []
+    start = 0
+    for position in range(count):
+        stop = start + size + (1 if position < leftover else 0)
+        ranges.append((start, stop))
+        start = stop
+    return ranges
+
+
+def _map_tasks(tasks: List[_Task], workers: int) -> List:
+    if workers <= 1 or len(tasks) == 1:
+        return [_run_shard(task) for task in tasks]
+    return _pool(workers).map(_run_shard, tasks)
+
+
+# ---------------------------------------------------------------------------
+# Public execution surface
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class ClosedMerge:
+    """Deterministic merge of closed-query shard partials."""
+
+    considered: int
+    satisfying: int
+    counterexample: Optional[Repair]
+
+
+@dataclass(frozen=True)
+class OpenMerge:
+    """Deterministic merge of open-query shard partials."""
+
+    considered: int
+    certain: FrozenSet[Tuple[Value, ...]]
+    possible: FrozenSet[Tuple[Value, ...]]
+
+
+def _tasks_for(
+    plan: ShardPlan,
+    formula: Formula,
+    variables: Optional[Tuple[str, ...]],
+    workers: int,
+    naive: bool,
+    stop_on_false: bool,
+) -> List[_Task]:
+    return [
+        (
+            plan.base,
+            plan.fragments,
+            formula,
+            variables,
+            start,
+            stop,
+            naive,
+            stop_on_false,
+        )
+        for start, stop in _chunks(plan.total, workers)
+    ]
+
+
+def run_closed(
+    plan: ShardPlan,
+    formula: Formula,
+    workers: int = 1,
+    naive: bool = False,
+    stop_on_false: bool = False,
+) -> ClosedMerge:
+    """Closed-query verdict counts over the sharded repair space.
+
+    With ``stop_on_false`` each shard abandons its range at the first
+    falsifying repair (counts are then lower bounds — enough for the
+    boolean certainty check); otherwise counts are exact and the
+    counterexample is the serial stream's first falsifier.
+    """
+    total = plan.total
+    if total == 0:
+        return ClosedMerge(0, 0, None)
+    results = _map_tasks(
+        _tasks_for(plan, formula, None, workers, naive, stop_on_false), workers
+    )
+    considered = sum(result[0] for result in results)
+    satisfying = sum(result[1] for result in results)
+    falsifiers = [result[2] for result in results if result[2] is not None]
+    counterexample = (
+        plan.repair_at(min(falsifiers)) if falsifiers else None
+    )
+    return ClosedMerge(considered, satisfying, counterexample)
+
+
+def run_open(
+    plan: ShardPlan,
+    formula: Formula,
+    variables: Tuple[str, ...],
+    workers: int = 1,
+    naive: bool = False,
+) -> OpenMerge:
+    """Certain/possible answer sets over the sharded repair space."""
+    total = plan.total
+    if total == 0:
+        return OpenMerge(0, frozenset(), frozenset())
+    results = _map_tasks(
+        _tasks_for(plan, formula, tuple(variables), workers, naive, False),
+        workers,
+    )
+    considered = 0
+    certain: Optional[FrozenSet[Tuple[Value, ...]]] = None
+    possible: FrozenSet[Tuple[Value, ...]] = frozenset()
+    for shard_considered, shard_certain, shard_possible in results:
+        if shard_considered == 0:
+            continue
+        considered += shard_considered
+        certain = (
+            shard_certain if certain is None else certain & shard_certain
+        )
+        possible = possible | shard_possible
+    return OpenMerge(
+        considered, certain if certain is not None else frozenset(), possible
+    )
+
+
+def resolve_workers(parallel: Optional[int]) -> Optional[int]:
+    """Normalize an engine's ``parallel`` argument.
+
+    ``None`` keeps the serial code path; ``0`` means "hardware width";
+    positive values are taken literally.  Negative values are invalid.
+    """
+    if parallel is None:
+        return None
+    if parallel < 0:
+        raise ValueError(f"parallel must be >= 0, got {parallel}")
+    return parallel or default_workers()

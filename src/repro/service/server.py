@@ -1,0 +1,301 @@
+"""Stdlib-only serving front ends for the request broker.
+
+Two transports share one :class:`ServiceFrontEnd` (a JSON codec over a
+:class:`~repro.service.broker.RequestBroker`):
+
+* **JSON over HTTP** — a :class:`ThreadingHTTPServer` with
+  ``POST /query`` (single request or batch), ``POST /update``
+  (inserts/deletes), and the operational ``GET /healthz`` /
+  ``GET /stats`` endpoints;
+* **JSON lines over stdio** — one request object per input line, one
+  response object per output line (``repro serve --stdio``), for
+  driving the service from a pipe or a supervisor.
+
+Everything is standard library (``http.server``, ``json``,
+``threading``); concurrency safety comes from the broker's per-database
+locks and the thread-safe answer cache.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import IO, Dict, List, Optional, Tuple
+
+from repro.core.families import Family
+from repro.cqa.answers import ClosedAnswer, OpenAnswers
+from repro.exceptions import ReproError
+from repro.relational.rows import Row
+from repro.service.broker import BrokerResult, Request, RequestBroker
+
+#: Wire names of the repair families (the CLI's ``--family`` codes).
+FAMILY_CODES: Dict[str, Family] = {
+    "Rep": Family.REP,
+    "L": Family.LOCAL,
+    "S": Family.SEMI_GLOBAL,
+    "G": Family.GLOBAL,
+    "C": Family.COMMON,
+}
+
+
+def _sorted_answers(tuples) -> List[Tuple]:
+    """Deterministic listing order for mixed name/number answer tuples."""
+
+    def key(answer):
+        return tuple(
+            (0, f"{value:020d}") if isinstance(value, int) else (1, str(value))
+            for value in answer
+        )
+
+    return sorted(tuples, key=key)
+
+
+class ServiceError(ValueError):
+    """A malformed request payload (reported as a 400 / error object)."""
+
+
+def _parse_family(payload: dict) -> Optional[Family]:
+    code = payload.get("family")
+    if code is None:
+        return None
+    family = FAMILY_CODES.get(code)
+    if family is None:
+        raise ServiceError(
+            f"unknown family {code!r} (expected one of {sorted(FAMILY_CODES)})"
+        )
+    return family
+
+
+def _parse_request(payload: dict) -> Request:
+    if not isinstance(payload, dict):
+        raise ServiceError("request must be a JSON object")
+    query = payload.get("query")
+    if not isinstance(query, str) or not query.strip():
+        raise ServiceError("request needs a non-empty 'query' string")
+    variables = payload.get("variables")
+    if variables is not None:
+        variables = tuple(str(name) for name in variables)
+    priority = payload.get("priority", 0)
+    if not isinstance(priority, int) or isinstance(priority, bool):
+        raise ServiceError("'priority' must be an integer")
+    return Request(
+        query=query,
+        family=_parse_family(payload),
+        variables=variables,
+        database=payload.get("database"),
+        priority=priority,
+        tag=payload.get("tag"),
+    )
+
+
+def encode_result(result: BrokerResult) -> dict:
+    """The wire form of one served request."""
+    outcome = result.outcome
+    body: Dict[str, object] = {
+        "database": result.database,
+        "engine": result.engine,
+        "route": result.route,
+        "cached": result.cached,
+        "shared": result.shared,
+    }
+    if result.request.tag is not None:
+        body["tag"] = result.request.tag
+    if isinstance(outcome, ClosedAnswer):
+        body.update(
+            kind="closed",
+            family=str(outcome.family),
+            verdict=outcome.verdict.value,
+            repairs_considered=outcome.repairs_considered,
+            satisfying=outcome.satisfying,
+        )
+    else:
+        assert isinstance(outcome, OpenAnswers)
+        body.update(
+            kind="open",
+            family=str(outcome.family),
+            variables=list(outcome.variables),
+            certain=[list(answer) for answer in _sorted_answers(outcome.certain)],
+            possible=[
+                list(answer) for answer in _sorted_answers(outcome.possible)
+            ],
+            repairs_considered=outcome.repairs_considered,
+        )
+    return body
+
+
+class ServiceFrontEnd:
+    """JSON request dispatch over one broker (transport-agnostic)."""
+
+    def __init__(self, broker: RequestBroker) -> None:
+        self.broker = broker
+        self.started = time.time()
+        self.requests_served = 0
+
+    # Operations ---------------------------------------------------------------
+
+    def health(self) -> dict:
+        return {
+            "status": "ok",
+            "databases": list(self.broker.databases),
+            "uptime_s": round(time.time() - self.started, 3),
+            "requests_served": self.requests_served,
+        }
+
+    def stats(self) -> dict:
+        stats = dict(self.broker.stats())
+        stats["requests_served"] = self.requests_served
+        stats["uptime_s"] = round(time.time() - self.started, 3)
+        return stats
+
+    def _row_from(self, payload: dict) -> Tuple[Row, Optional[str]]:
+        database = payload.get("database")
+        engine = self.broker.engine(database)
+        relation = payload.get("relation")
+        if relation is None:
+            names = engine.schema.relation_names
+            if len(names) != 1:
+                raise ServiceError(
+                    "'relation' is required when several relations exist"
+                )
+            relation = names[0]
+        values = payload.get("values")
+        if not isinstance(values, list):
+            raise ServiceError("'values' must be a list")
+        schema = engine.schema.relation(relation)
+        return Row(schema, values), database
+
+    def _update(self, payload: dict, op: str) -> dict:
+        row, database = self._row_from(payload)
+        if op == "insert":
+            delta = self.broker.insert(row, database)
+            applied = not delta.is_noop
+        else:
+            delta = self.broker.delete(row, database)
+            applied = True
+        engine = self.broker.engine(database)
+        return {
+            "op": op,
+            "applied": applied,
+            "tuples": engine.graph.vertex_count,
+            "conflicts": engine.graph.edge_count,
+        }
+
+    def handle(self, payload: dict) -> dict:
+        """Serve one decoded JSON payload; errors become error objects."""
+        try:
+            if not isinstance(payload, dict):
+                raise ServiceError("payload must be a JSON object")
+            op = payload.get("op", "query")
+            if op == "health":
+                return self.health()
+            if op == "stats":
+                return self.stats()
+            if op in ("insert", "delete"):
+                return self._update(payload, op)
+            if op == "batch":
+                requests = payload.get("requests")
+                if not isinstance(requests, list) or not requests:
+                    raise ServiceError("'requests' must be a non-empty list")
+                parsed = [_parse_request(entry) for entry in requests]
+                results = self.broker.submit(parsed)
+                self.requests_served += len(results)
+                return {"results": [encode_result(r) for r in results]}
+            if op == "query":
+                result = self.broker.submit([_parse_request(payload)])[0]
+                self.requests_served += 1
+                return encode_result(result)
+            raise ServiceError(f"unknown op {op!r}")
+        except (ServiceError, ReproError, TypeError, ValueError, KeyError) as exc:
+            # Shape errors a type-check in _parse_request missed (e.g. a
+            # non-iterable 'variables') must degrade to an error object
+            # too — a transport thread dying mid-request would look like
+            # a connection reset over HTTP and kill the stdio loop.
+            op = payload.get("op", "query") if isinstance(payload, dict) else "?"
+            return {"error": str(exc), "op": op}
+
+
+# ---------------------------------------------------------------------------
+# Transports
+# ---------------------------------------------------------------------------
+
+
+class _Handler(BaseHTTPRequestHandler):
+    """Routes HTTP verbs onto the front end (set as ``server.front``)."""
+
+    protocol_version = "HTTP/1.1"
+
+    @property
+    def front(self) -> ServiceFrontEnd:
+        return self.server.front  # type: ignore[attr-defined]
+
+    def log_message(self, format: str, *args) -> None:  # noqa: A002
+        pass  # keep test output and service logs quiet
+
+    def _send(self, status: int, body: dict) -> None:
+        encoded = json.dumps(body).encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(encoded)))
+        self.end_headers()
+        self.wfile.write(encoded)
+
+    def do_GET(self) -> None:  # noqa: N802 - http.server API
+        if self.path == "/healthz":
+            self._send(200, self.front.health())
+        elif self.path == "/stats":
+            self._send(200, self.front.stats())
+        else:
+            self._send(404, {"error": f"unknown path {self.path!r}"})
+
+    def do_POST(self) -> None:  # noqa: N802 - http.server API
+        if self.path not in ("/query", "/update"):
+            self._send(404, {"error": f"unknown path {self.path!r}"})
+            return
+        length = int(self.headers.get("Content-Length", 0))
+        raw = self.rfile.read(length)
+        try:
+            payload = json.loads(raw or b"{}")
+        except json.JSONDecodeError as exc:
+            self._send(400, {"error": f"bad JSON: {exc}"})
+            return
+        if self.path == "/update" and isinstance(payload, dict):
+            payload.setdefault("op", "insert")
+        if isinstance(payload, dict) and "requests" in payload:
+            payload.setdefault("op", "batch")
+        response = self.front.handle(payload)
+        self._send(400 if "error" in response else 200, response)
+
+
+def make_http_server(
+    front: ServiceFrontEnd, host: str = "127.0.0.1", port: int = 8080
+) -> ThreadingHTTPServer:
+    """A ready-to-run threading HTTP server (``port=0`` picks a free one)."""
+    server = ThreadingHTTPServer((host, port), _Handler)
+    server.front = front  # type: ignore[attr-defined]
+    return server
+
+
+def serve_stdio(
+    front: ServiceFrontEnd,
+    input_stream: IO[str],
+    output_stream: IO[str],
+) -> int:
+    """JSON-lines loop: one request per line in, one response per line out.
+
+    Blank lines and ``#`` comments are skipped; malformed JSON yields an
+    error object instead of aborting the stream.  Returns 0.
+    """
+    for raw in input_stream:
+        line = raw.strip()
+        if not line or line.startswith("#"):
+            continue
+        try:
+            payload = json.loads(line)
+        except json.JSONDecodeError as exc:
+            response: dict = {"error": f"bad JSON: {exc}"}
+        else:
+            response = front.handle(payload)
+        output_stream.write(json.dumps(response) + "\n")
+        output_stream.flush()
+    return 0

@@ -1,0 +1,127 @@
+"""The dual "violation search" plan for universal quantification.
+
+``FORALL x . φ`` on the indexed route now searches for one falsifying
+binding (``EXISTS x . ¬φ`` with negations pushed inward) instead of
+enumerating the active domain per variable.  These tests pin the
+rewrite shape and differentially pin the route against ``naive=True``
+(which keeps the domain-enumeration reference semantics).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.families import Family
+from repro.cqa.engine import CqaEngine
+from repro.datagen.generators import GRID_FDS, grid_instance
+from repro.query.ast import (
+    And,
+    Atom,
+    Comparison,
+    Exists,
+    FalseFormula,
+    Forall,
+    Not,
+    Or,
+    TrueFormula,
+)
+from repro.query.evaluator import evaluate, violation_body
+from repro.query.parser import parse_query
+from repro.relational.rows import Row
+from repro.relational.schema import RelationSchema
+
+R = RelationSchema("R", ["A:number", "B:number"])
+
+
+def _rows(pairs):
+    return [Row(R, list(pair)) for pair in pairs]
+
+
+class TestViolationBody:
+    def test_implication_exposes_the_guard_atom(self):
+        guard = Atom("R", ("x", "y"))
+        body = guard.implies(Comparison("<", "x", 5))
+        violation = violation_body(body)
+        assert isinstance(violation, And)
+        assert guard in violation.parts
+
+    def test_disjunction_becomes_conjunction(self):
+        body = Or((Atom("R", ("x", 1)), Atom("R", ("x", 2))))
+        violation = violation_body(body)
+        assert isinstance(violation, And)
+        assert all(isinstance(part, Not) for part in violation.parts)
+
+    def test_double_negation_cancels(self):
+        atom = Atom("R", ("x", "y"))
+        assert violation_body(Not(atom)) == atom
+
+    def test_equality_flips_order_comparison_stays_wrapped(self):
+        eq = Comparison("=", "x", "y")
+        assert violation_body(eq) == Comparison("!=", "x", "y")
+        lt = Comparison("<", "x", "y")
+        # NOT (x < y) is *not* x >= y on uninterpreted names: both
+        # order atoms are false there, so the negation must stay.
+        assert violation_body(lt) == Not(lt)
+
+    def test_constants_swap(self):
+        assert violation_body(TrueFormula()) == FalseFormula()
+        assert violation_body(FalseFormula()) == TrueFormula()
+
+    def test_nested_quantifiers_dualize(self):
+        inner = Forall(("y",), Atom("R", ("x", "y")))
+        violation = violation_body(inner)
+        assert isinstance(violation, Exists)
+        assert isinstance(violation.body, Not)
+
+
+#: Universal shapes over R(A,B): guards, nesting, disjunction, mixed
+#: domains, shadowing — each is checked indexed-vs-naive.
+UNIVERSAL_QUERIES = [
+    "FORALL x, y . R(x, y) IMPLIES x < 2",
+    "FORALL x, y . R(x, y) IMPLIES y >= 1",
+    "FORALL x . (EXISTS y . R(x, y)) OR x > 0",
+    "FORALL x, y . (NOT R(x, y)) OR y < 3",
+    "FORALL x . FORALL y . R(x, y) IMPLIES (EXISTS z . R(z, y) AND z <= x)",
+    "FORALL x . EXISTS y . R(x, y) IMPLIES R(y, x)",
+    "FORALL x, y . (R(x, y) AND x = 0) IMPLIES y != 2",
+]
+
+
+class TestDifferentialAgainstNaive:
+    DATASETS = [
+        [],
+        [(0, 1)],
+        [(0, 1), (1, 1), (2, 0)],
+        [(0, 0), (0, 2), (1, 1), (2, 2), (3, 0)],
+    ]
+
+    @pytest.mark.parametrize("query", UNIVERSAL_QUERIES)
+    @pytest.mark.parametrize("dataset", range(len(DATASETS)))
+    def test_indexed_violation_search_matches_naive(self, query, dataset):
+        rows = _rows(self.DATASETS[dataset])
+        formula = parse_query(query)
+        assert evaluate(formula, rows) == evaluate(formula, rows, naive=True)
+
+    def test_shadowed_outer_binding_is_restored(self):
+        rows = _rows([(0, 1), (1, 0)])
+        formula = parse_query("EXISTS x . R(x, 1) AND (FORALL x . R(x, x) IMPLIES x > 5)")
+        assert evaluate(formula, rows) == evaluate(formula, rows, naive=True)
+
+    def test_cqa_engine_universal_query_matches_naive_engine(self):
+        instance = grid_instance(3, 2)
+        indexed = CqaEngine(instance, GRID_FDS, family=Family.REP)
+        naive = CqaEngine(instance, GRID_FDS, family=Family.REP, naive=True)
+        query = "FORALL x, y . R(x, y) IMPLIES x <= 2"
+        assert indexed.answer(query) == naive.answer(query)
+
+    def test_guarded_universal_skips_domain_enumeration(self):
+        """A guard violated by no tuple: the dual plan probes R only.
+
+        With the old expansion this is |adom|² candidate pairs; the
+        violation search visits only R's tuples.  Correctness is what
+        we assert; the plan shape is covered by TestViolationBody.
+        """
+        rows = _rows([(value, value) for value in range(50)])
+        formula = parse_query("FORALL x, y . R(x, y) IMPLIES x = y")
+        assert evaluate(formula, rows) is True
+        assert evaluate(formula, rows, naive=True) is True

@@ -43,3 +43,10 @@ class TestExampleScripts:
         out = run_example("payroll_aggregates.py", capsys)
         assert "SUM(Salary)" in out
         assert "Enumeration cross-check: SUM ranges agree" in out
+
+    def test_service_demo(self, capsys):
+        out = run_example("service_demo.py", capsys)
+        assert "shared=True" in out
+        assert "after revert           cached=True (content-keyed)" in out
+        assert "audit after hr update  cached=True" in out
+        assert "health: ok" in out

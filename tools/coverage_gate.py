@@ -1,5 +1,5 @@
 #!/usr/bin/env python3
-"""Dependency-free line-coverage gate for the query layer.
+"""Dependency-free line-coverage gate for the query and service layers.
 
 The execution environment (and the CI image) ships no ``coverage.py``,
 so this tool measures line coverage with the standard library alone: a
@@ -16,11 +16,13 @@ are naturally excluded.
 Usage::
 
     PYTHONPATH=src python tools/coverage_gate.py --min-percent 85
-    PYTHONPATH=src python tools/coverage_gate.py --show-missing -- tests/query
+    PYTHONPATH=src python tools/coverage_gate.py \
+        --target src/repro/query --target src/repro/service -- tests
 
 Arguments after ``--`` are passed to pytest (default: the whole
-``tests/`` tree).  Exit status is non-zero when the suite fails or the
-total coverage of ``src/repro/query`` falls below the gate.
+``tests/`` tree).  ``--target`` is repeatable; each target package is
+gated *individually* against ``--min-percent``.  Exit status is
+non-zero when the suite fails or any target falls below the gate.
 """
 
 from __future__ import annotations
@@ -84,12 +86,16 @@ class LineCollector:
 
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(
-        description="line-coverage gate over src/repro/query"
+        description="line-coverage gate over repro packages"
     )
     parser.add_argument(
         "--target",
-        default=str(DEFAULT_TARGET),
-        help="package directory to measure (default: src/repro/query)",
+        action="append",
+        default=None,
+        help=(
+            "package directory to measure; repeatable, each gated "
+            "individually (default: src/repro/query)"
+        ),
     )
     parser.add_argument(
         "--min-percent",
@@ -109,12 +115,19 @@ def main(argv=None) -> int:
     )
     args = parser.parse_args(argv)
 
-    target = Path(args.target).resolve()
-    sources = sorted(target.rglob("*.py"))
-    if not sources:
-        print(f"no python files under {target}", file=sys.stderr)
-        return 2
-    expected = {str(path): executable_lines(path) for path in sources}
+    targets = [
+        Path(target).resolve()
+        for target in (args.target or [str(DEFAULT_TARGET)])
+    ]
+    per_target: Dict[Path, Dict[str, Set[int]]] = {}
+    for target in targets:
+        sources = sorted(target.rglob("*.py"))
+        if not sources:
+            print(f"no python files under {target}", file=sys.stderr)
+            return 2
+        per_target[target] = {
+            str(path): executable_lines(path) for path in sources
+        }
 
     # tests/ imports helpers as `tests.conftest`; the library lives in src/.
     for entry in (str(ROOT), str(ROOT / "src")):
@@ -123,7 +136,12 @@ def main(argv=None) -> int:
 
     import pytest
 
-    collector = LineCollector(set(expected))
+    all_files = {
+        filename
+        for expected in per_target.values()
+        for filename in expected
+    }
+    collector = LineCollector(all_files)
     pytest_args = args.pytest_args or [str(ROOT / "tests")]
     collector.install()
     try:
@@ -134,28 +152,37 @@ def main(argv=None) -> int:
         print(f"pytest failed (exit {exit_code}); coverage not gated")
         return int(exit_code)
 
-    total_expected = 0
-    total_hit = 0
-    print(f"\ncoverage of {target} (gate: {args.min_percent:.0f}%)")
-    for filename in sorted(expected):
-        lines = expected[filename]
-        hit = collector.executed[filename] & lines
-        total_expected += len(lines)
-        total_hit += len(hit)
-        percent = 100.0 * len(hit) / len(lines) if lines else 100.0
-        name = Path(filename).relative_to(target)
-        print(f"  {str(name):<24} {len(hit):>4}/{len(lines):<4} {percent:6.1f}%")
-        if args.show_missing:
-            missing = sorted(lines - hit)
-            if missing:
-                print(f"    missing: {missing}")
-    total = 100.0 * total_hit / total_expected if total_expected else 100.0
-    print(f"  {'TOTAL':<24} {total_hit:>4}/{total_expected:<4} {total:6.1f}%")
-    if total < args.min_percent:
-        print(
-            f"coverage gate FAILED: {total:.1f}% < {args.min_percent:.1f}%",
-            file=sys.stderr,
-        )
+    failed = []
+    for target in targets:
+        expected = per_target[target]
+        total_expected = 0
+        total_hit = 0
+        print(f"\ncoverage of {target} (gate: {args.min_percent:.0f}%)")
+        for filename in sorted(expected):
+            lines = expected[filename]
+            hit = collector.executed[filename] & lines
+            total_expected += len(lines)
+            total_hit += len(hit)
+            percent = 100.0 * len(hit) / len(lines) if lines else 100.0
+            name = Path(filename).relative_to(target)
+            print(
+                f"  {str(name):<24} {len(hit):>4}/{len(lines):<4} {percent:6.1f}%"
+            )
+            if args.show_missing:
+                missing = sorted(lines - hit)
+                if missing:
+                    print(f"    missing: {missing}")
+        total = 100.0 * total_hit / total_expected if total_expected else 100.0
+        print(f"  {'TOTAL':<24} {total_hit:>4}/{total_expected:<4} {total:6.1f}%")
+        if total < args.min_percent:
+            failed.append((target, total))
+    if failed:
+        for target, total in failed:
+            print(
+                f"coverage gate FAILED for {target}: "
+                f"{total:.1f}% < {args.min_percent:.1f}%",
+                file=sys.stderr,
+            )
         return 1
     print("coverage gate passed")
     return 0
