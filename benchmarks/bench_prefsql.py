@@ -1,0 +1,220 @@
+"""Benchmark: preference-aware SQL pushdown vs in-memory prioritized CQA.
+
+Scenario (the prioritized serving workload prefsql unlocks): a relation
+``R(K, A, B)`` with the dependency ``K -> A`` persisted to a SQLite
+file, ``groups`` three-class conflict groups plus a growing body of
+consistent rows, and a *declared acyclic priority*: even groups carry a
+total chain ``A=2 ≻ A=1 ≻ A=0`` (winnow resolves them to one class),
+odd groups orient only ``A=1 ≻ A=0`` (two surviving classes — the
+doubly nested certification must reason over both).  The open query
+asks for the certain ``(K, A)`` pairs with ``A >= 1`` under the
+semi-global family ``S``.
+
+Two measurements per instance size, both end-to-end **from the file**:
+
+* **prefsql** — construct a :class:`PrefSqlCqaEngine` and run
+  ``certain_answers``; the oriented edges are materialized into side
+  tables, the per-family survivor classes are derived by SQL winnow
+  passes, and the certification runs as one self-join statement —
+  cost near-independent of the ``3^groups`` repair count.
+* **memory** — ``load_database`` + :class:`CqaEngine` with the same
+  priority; every repair is enumerated, filtered by the S-optimality
+  check, and evaluated.
+
+Answers are asserted identical at every size, the route is asserted to
+be ``"prefsql"``, and the ``>=10x`` speedup criterion is enforced.
+The final row reports a prefsql-only size the in-memory engine is not
+asked to touch.
+
+Run directly (``python benchmarks/bench_prefsql.py``); ``--smoke`` runs
+a seconds-long correctness-focused configuration for CI.
+"""
+
+from __future__ import annotations
+
+import os
+import random
+import statistics
+import sys
+import tempfile
+import time
+from typing import List, Tuple
+
+if not __package__:
+    import pathlib
+
+    sys.path.insert(0, str(pathlib.Path(__file__).resolve().parent.parent))
+
+from benchmarks._cli import apply_seed, bench_parser, bench_seed, emit_result
+
+from repro.constraints.fd import FunctionalDependency
+from repro.core.families import Family
+from repro.cqa.engine import CqaEngine
+from repro.prefsql import PrefSqlCqaEngine
+from repro.query.ast import And, Atom, Comparison, Exists, Var
+from repro.relational.database import Database
+from repro.relational.instance import RelationInstance
+from repro.relational.rows import Row
+from repro.relational.schema import RelationSchema
+from repro.relational.sqlite_io import load_database, save_database
+
+SCHEMA = RelationSchema("R", ["K", "A:number", "B"])
+FDS = [FunctionalDependency.parse("K -> A", "R")]
+FAMILY = Family.SEMI_GLOBAL
+
+#: EXISTS b . R(x, y, b) AND y >= 1 — certain (K, A) pairs with A >= 1.
+QUERY = Exists(
+    ["b"],
+    And([Atom("R", [Var("x"), Var("y"), Var("b")]), Comparison(">=", Var("y"), 1)]),
+)
+VARIABLES = ("x", "y")
+
+
+def build_workload(
+    groups: int, clean_rows: int
+) -> Tuple[Database, List[Tuple[Row, Row]]]:
+    """``groups`` three-class conflict groups, half totally ordered,
+    plus ``clean_rows`` consistent filler; returns (database, priority)."""
+    values: List[Tuple[str, int, str]] = []
+    priority: List[Tuple[Row, Row]] = []
+    for index in range(groups):
+        key = f"k{index}"
+        rows = [Row(SCHEMA, (key, level, f"p{index}")) for level in range(3)]
+        values.extend(tuple(row.values) for row in rows)
+        priority.append((rows[1], rows[0]))  # A=1 ≻ A=0 everywhere
+        if index % 2 == 0:  # total chain on even groups
+            priority.append((rows[2], rows[1]))
+            priority.append((rows[2], rows[0]))
+    for index in range(clean_rows):
+        values.append((f"c{index}", 1 + index % 50, f"q{index}"))
+    random.Random(bench_seed()).shuffle(values)
+    return (
+        Database([RelationInstance.from_values(SCHEMA, values)]),
+        priority,
+    )
+
+
+def persist(database: Database, directory: str, tag: str) -> str:
+    path = os.path.join(directory, f"bench_prefsql_{tag}.sqlite")
+    save_database(database, path, FDS)
+    return path
+
+
+def time_prefsql(path: str, priority, repeats: int):
+    """End-to-end engine construction + certain answers, from the file."""
+    samples, result = [], None
+    for _ in range(repeats):
+        start = time.perf_counter()
+        with PrefSqlCqaEngine(path, FDS, priority, FAMILY) as engine:
+            result = engine.certain_answers(QUERY, VARIABLES)
+            route = engine.last_route
+        samples.append(time.perf_counter() - start)
+    assert route == "prefsql", f"expected prefsql route, got {route!r}"
+    return statistics.median(samples), result
+
+
+def time_memory(path: str, priority):
+    """End-to-end load + engine + prioritized repair streaming."""
+    start = time.perf_counter()
+    database = load_database(path)
+    engine = CqaEngine(database, FDS, priority, FAMILY)
+    result = engine.certain_answers(QUERY, VARIABLES)
+    return time.perf_counter() - start, result
+
+
+def main(argv=None) -> int:
+    parser = bench_parser(__doc__)
+    parser.add_argument("--groups", type=int, default=5,
+                        help="three-class conflict groups (3^groups repairs)")
+    parser.add_argument("--sizes", type=int, nargs="+",
+                        default=[200, 500, 1000],
+                        help="consistent-row counts compared on both engines")
+    parser.add_argument("--prefsql-only-size", type=int, default=100_000,
+                        help="extra size measured on prefsql alone "
+                             "(0 disables)")
+    parser.add_argument("--repeats", type=int, default=5,
+                        help="prefsql timing repeats (median reported)")
+    parser.add_argument("--no-assert", action="store_true",
+                        help="report without enforcing the >=10x criterion")
+    args = parser.parse_args(argv)
+    apply_seed(args)
+
+    if args.smoke:
+        args.groups, args.sizes, args.prefsql_only_size = 4, [100, 300], 5000
+        args.repeats = 3
+
+    repairs = 3 ** args.groups
+    print(f"relation R(K, A, B), fd K -> A, {args.groups} three-class groups "
+          f"({repairs} repairs), family {FAMILY}, mixed total/partial "
+          "priority, query: certain (K, A) with A >= 1")
+
+    speedups: List[float] = []
+    measurements: List[dict] = []
+    with tempfile.TemporaryDirectory() as directory:
+        for clean_rows in args.sizes:
+            database, priority = build_workload(args.groups, clean_rows)
+            total = clean_rows + 3 * args.groups
+            path = persist(database, directory, str(clean_rows))
+            prefsql_s, prefsql_result = time_prefsql(
+                path, priority, args.repeats
+            )
+            memory_s, memory_result = time_memory(path, priority)
+            assert prefsql_result.certain == memory_result.certain, (
+                f"certain answers diverged at size {total}: "
+                f"{sorted(prefsql_result.certain)[:5]}... vs "
+                f"{sorted(memory_result.certain)[:5]}..."
+            )
+            assert prefsql_result.possible == memory_result.possible, (
+                f"possible answers diverged at size {total}"
+            )
+            speedup = memory_s / prefsql_s
+            speedups.append(speedup)
+            measurements.append(
+                {
+                    "rows": total,
+                    "memory_s": round(memory_s, 6),
+                    "prefsql_s": round(prefsql_s, 6),
+                    "speedup": round(speedup, 2),
+                }
+            )
+            print(f"[{total:>7} rows] memory: {memory_s * 1000:9.1f} ms | "
+                  f"prefsql: {prefsql_s * 1000:7.2f} ms | "
+                  f"speedup: {speedup:7.1f}x | "
+                  f"certain answers: {len(prefsql_result.certain)}")
+
+        if args.prefsql_only_size:
+            clean_rows = args.prefsql_only_size
+            database, priority = build_workload(args.groups, clean_rows)
+            total = clean_rows + 3 * args.groups
+            path = persist(database, directory, "xl")
+            prefsql_s, prefsql_result = time_prefsql(
+                path, priority, max(2, args.repeats // 2)
+            )
+            measurements.append(
+                {"rows": total, "prefsql_s": round(prefsql_s, 6)}
+            )
+            print(f"[{total:>7} rows] memory:   (not attempted) | "
+                  f"prefsql: {prefsql_s * 1000:7.2f} ms | "
+                  f"certain answers: {len(prefsql_result.certain)}")
+
+    emit_result(
+        __file__,
+        {
+            "groups": args.groups,
+            "family": str(FAMILY),
+            "measurements": measurements,
+            "best_speedup": round(max(speedups), 2) if speedups else None,
+        },
+    )
+    if not args.no_assert and not args.smoke:
+        best = max(speedups)
+        assert best >= 10, (
+            f"best prefsql speedup {best:.1f}x below the 10x criterion"
+        )
+        print(f"criterion met: >={best:.0f}x speedup over the prioritized "
+              "in-memory route with identical answers")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

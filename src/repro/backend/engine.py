@@ -9,8 +9,9 @@ the in-memory engines cannot reach — file-backed instances with orders
 of magnitude more rows than fit a per-repair evaluation loop.
 
 Queries outside the rewritable fragment (and every query when priority
-edges are declared — the rewriting is preference-blind, preferred
-families need repair streaming) are routed to a lazily constructed
+edges are declared — this engine's rewriting is preference-blind; the
+:class:`~repro.prefsql.engine.PrefSqlCqaEngine` layer handles declared
+priorities) are routed to a lazily constructed
 in-memory :class:`CqaEngine` over the loaded database; the routing
 outcome of the last call is recorded in :attr:`last_route` and
 :meth:`explain` exposes the decision without running anything.
@@ -45,8 +46,8 @@ from repro.query.validate import check_against_schema
 from repro.relational.sqlite_io import load_database, load_schema
 
 _PRIORITY_REASON = (
-    "priority edges declared: the rewriting is preference-blind and "
-    "preferred families need repair streaming"
+    "priority edges declared: this engine's rewriting is preference-blind "
+    "— use PrefSqlCqaEngine (repro.prefsql) for the winnow-aware pushdown"
 )
 
 
@@ -109,8 +110,14 @@ class SqlCqaEngine:
         self,
         query: Union[str, Formula],
         variables: Optional[Sequence[str]] = None,
+        family: Optional[Family] = None,
     ) -> RewriteDecision:
-        """The routing decision for ``query``, without executing it."""
+        """The routing decision for ``query``, without executing it.
+
+        ``family`` is accepted for interface parity with the
+        preference-aware engine; this engine's decisions are
+        family-independent (no priority, all families coincide).
+        """
         formula = self._to_formula(query)
         return self._decide(formula, variables)
 

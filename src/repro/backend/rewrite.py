@@ -62,7 +62,17 @@ from __future__ import annotations
 
 import sqlite3
 from dataclasses import dataclass
-from typing import Dict, FrozenSet, List, Optional, Sequence, Set, Tuple, Union
+from typing import (
+    AbstractSet,
+    Dict,
+    FrozenSet,
+    List,
+    Optional,
+    Sequence,
+    Set,
+    Tuple,
+    Union,
+)
 
 from repro.constraints.fd import FunctionalDependency
 from repro.exceptions import QueryBindingError
@@ -203,6 +213,11 @@ class RewriteDecision:
 
     plan: Optional[RewritePlan]
     reason: Optional[str]
+    #: Which pushed route would serve the plan (``"sqlite"`` for the
+    #: preference-blind rewriting, ``"prefsql"`` when survivor tables
+    #: participate); ``None`` on fallback decisions and for callers that
+    #: do not distinguish routes.
+    route: Optional[str] = None
 
     @property
     def pushed(self) -> bool:
@@ -289,8 +304,26 @@ def _term_domain(
 # ---------------------------------------------------------------------------
 
 
-def _conjoin(conditions: Sequence[str]) -> str:
+def conjoin(conditions: Sequence[str]) -> str:
+    """AND-join SQL conditions (vacuously true when empty) — shared by
+    this compiler and the prefsql survivor builder."""
     return " AND ".join(conditions) if conditions else "1=1"
+
+
+# Backwards-compatible private alias used throughout this module.
+_conjoin = conjoin
+
+
+def survivor_condition(alias: str, table: str) -> str:
+    """Restrict ``alias`` to the rows listed in a survivor side table.
+
+    Survivor tables (see :mod:`repro.prefsql.winnow`) hold one
+    ``row_id`` per row whose conflict class belongs to the preferred
+    family; the condition plugs straight into the rewriting's alias
+    scopes, turning the preference-blind certification into a
+    preference-aware one.
+    """
+    return f"{alias}.rowid IN (SELECT row_id FROM {quote_identifier(table)})"
 
 
 def _render_body(
@@ -350,12 +383,23 @@ def compile_plan(
     query: _Conjunctive,
     schema: DatabaseSchema,
     profiles: Dict[str, DirtyProfile],
+    survivors: Optional[Dict[str, str]] = None,
+    resolved: AbstractSet[str] = frozenset(),
 ) -> RewritePlan:
     """Emit SQL for an analyzed conjunctive query.
 
     ``profiles`` maps the mentioned dirty relations to their conflict
     profiles; :class:`NotRewritable` is raised when more than one atom
     ranges over them.
+
+    ``survivors`` (preference-aware mode) maps a dirty relation to the
+    side table of rows whose conflict class is preferred under the
+    active family — the dirty alias scopes and the class certification
+    then range over preferred classes only.  Relations listed in
+    ``resolved`` have exactly one surviving class per conflict group,
+    so the preferred repair restricted to them is unique and the plan
+    collapses to a plain (``kind="clean"``) evaluation over the
+    survivor rows.
     """
     # Static domain analysis: variables take their type from the atom
     # columns they bind; mixed-domain joins and cross-domain equalities
@@ -420,6 +464,16 @@ def compile_plan(
     outer_conditions, outer_params, outer_columns = _render_body(
         query, schema, outer, kept_comparisons
     )
+    survivor_table = None
+    if dirty_indexes and survivors:
+        survivor_table = survivors.get(query.atoms[dirty_indexes[0]].relation)
+        if survivor_table is not None:
+            # Possible answers and the outer certification witness both
+            # range over preferred rows only: a witness row outside every
+            # preferred class appears in no preferred repair.
+            outer_conditions.append(
+                survivor_condition(outer[dirty_indexes[0]], survivor_table)
+            )
     from_outer = ", ".join(
         f"{quote_identifier(atom.relation)} AS {alias}"
         for atom, alias in zip(query.atoms, outer)
@@ -453,6 +507,23 @@ def compile_plan(
 
     dirty = dirty_indexes[0]
     profile = profiles[query.atoms[dirty].relation]
+    if survivor_table is not None and profile.relation in resolved:
+        # One surviving class per group: the preferred repair projected
+        # onto this relation is unique, so certain = possible = plain
+        # evaluation over the survivor rows (the "clean" run path).
+        return RewritePlan(
+            kind="clean",
+            answer_variables=query.answer_variables,
+            certain_sql=possible_sql,
+            certain_params=tuple(outer_params),
+            possible_sql=possible_sql,
+            possible_params=tuple(outer_params),
+            description=(
+                f"priority resolves {profile.relation!r} to a single "
+                "preferred class per group; certain = possible = plain "
+                f"evaluation over survivor table {survivor_table!r}"
+            ),
+        )
     inner = [f"w{index}" for index in range(len(query.atoms))]
     inner_conditions, inner_params, inner_columns = _render_body(
         query, schema, inner, kept_comparisons
@@ -465,6 +536,11 @@ def compile_plan(
         f"g.{quote_identifier(attr)} = {outer[dirty]}.{quote_identifier(attr)}"
         for attr in profile.group
     ]
+    if survivor_table is not None:
+        # Certification quantifies over *preferred* classes only: an
+        # answer is certain as soon as every surviving class of the
+        # witness group extends to a witness.
+        same_group_alt.append(survivor_condition("g", survivor_table))
     witness_in_group = [
         f"{inner[dirty]}.{quote_identifier(attr)} = "
         f"{outer[dirty]}.{quote_identifier(attr)}"
@@ -509,6 +585,11 @@ def compile_plan(
             f"(groups on {list(profile.group)}, classes on "
             f"{list(profile.classifier)}); certain answers via doubly "
             "nested NOT EXISTS self-join"
+            + (
+                f" over preferred classes (survivor table {survivor_table!r})"
+                if survivor_table is not None
+                else ""
+            )
         ),
     )
 
@@ -518,12 +599,16 @@ def analyze_query(
     schema: DatabaseSchema,
     dependencies: Sequence[FunctionalDependency],
     variables: Optional[Sequence[str]] = None,
+    survivors: Optional[Dict[str, str]] = None,
+    resolved: AbstractSet[str] = frozenset(),
 ) -> RewriteDecision:
     """Decide whether ``formula`` is rewritable and compile it if so.
 
     ``formula`` must already be validated against ``schema`` (relation
     names and arities); ``variables`` fixes the answer-column order like
-    :meth:`CqaEngine.certain_answers` does.
+    :meth:`CqaEngine.certain_answers` does.  ``survivors`` and
+    ``resolved`` switch :func:`compile_plan` into its preference-aware
+    mode (see there).
     """
     try:
         query = _extract_conjunctive(formula, variables)
@@ -532,7 +617,7 @@ def analyze_query(
             profile = dirty_profile(schema.relation(name), dependencies)
             if profile is not None:
                 profiles[name] = profile
-        plan = compile_plan(query, schema, profiles)
+        plan = compile_plan(query, schema, profiles, survivors, resolved)
         return RewriteDecision(plan, None)
     except NotRewritable as exc:
         return RewriteDecision(None, exc.reason)

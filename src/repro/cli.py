@@ -9,6 +9,9 @@ Subcommands::
                      --query "EXISTS x . R(x, 1)"
     repro query      --sqlite db.sqlite --fd "R: A -> B" --backend sqlite
                      --query "EXISTS y . R(x, y)"
+    repro query      --sqlite db.sqlite --relation R --fd "A -> B"
+                     --backend prefsql --prefer-new TS [--explain]
+                     --query "EXISTS y . R(x, y)"
     repro examples   [--name mgr]
 
 Data can come from CSV (``--csv``, relation named after the file stem
@@ -243,6 +246,46 @@ def _open_answers_verdict(result) -> str:
     return "false"
 
 
+def _explain_decision(args: argparse.Namespace, engine, family) -> int:
+    """Print the routing decision without executing (``--explain``)."""
+    import json
+
+    from repro.query.parser import parse_query
+    from repro.query.sql import sql_to_formula
+
+    if args.sql:
+        formula, variables = sql_to_formula(args.sql, engine.schema)
+    else:
+        formula, variables = parse_query(args.query), None
+    decision = engine.explain(formula, variables)
+    route = decision.route or ("sqlite" if decision.pushed else "fallback")
+    if args.json:
+        payload = {
+            "backend": args.backend,
+            "family": str(family),
+            "route": route if decision.pushed else "fallback",
+            "reason": decision.reason,
+            "plan": decision.plan.description if decision.pushed else None,
+            "certain_sql": decision.plan.certain_sql if decision.pushed else None,
+            "possible_sql": (
+                decision.plan.possible_sql if decision.pushed else None
+            ),
+        }
+        print(json.dumps(payload))
+        return 0
+    if decision.pushed:
+        print(f"route: {route} (pushed down, not executed)")
+        print(f"plan: {decision.plan.description}")
+        if decision.plan.certain_sql:
+            print(f"certain SQL: {decision.plan.certain_sql}")
+        if decision.plan.possible_sql:
+            print(f"possible SQL: {decision.plan.possible_sql}")
+    else:
+        print("route: fallback (in-memory repair streaming)")
+        print(f"reason: {decision.reason}")
+    return 0
+
+
 def _cmd_query(args: argparse.Namespace) -> int:
     """Certain answers for open or closed queries, optionally SQL-pushed."""
     import json
@@ -262,13 +305,44 @@ def _cmd_query(args: argparse.Namespace) -> int:
             raise SystemExit("--backend sqlite requires --sqlite")
         if has_priority_flags:
             raise SystemExit(
-                "--prefer-* flags need repair streaming; use --backend memory"
+                "--prefer-* flags are preference-aware; use --backend prefsql "
+                "(pushed) or --backend memory (repair streaming)"
             )
         engine = SqlCqaEngine(args.sqlite, dependencies, family=family)
 
         def route() -> str:
             last = engine.last_route or "sqlite"
             return "sqlite (pushed down)" if last == "sqlite" else last
+    elif args.backend == "prefsql":
+        import sqlite3 as _sqlite3
+
+        from repro.prefsql import PrefSqlCqaEngine
+        from repro.relational.database import Database
+        from repro.relational.sqlite_io import save_database
+
+        if has_priority_flags:
+            # The priority builders orient the loaded instance's
+            # conflicts; the engine then pushes that orientation down.
+            instance, dependencies, _, priority = _build_setting(args)
+            edges = priority.dominance_rows()
+        else:
+            instance, edges = None, ()
+        if args.sqlite:
+            engine = PrefSqlCqaEngine(
+                args.sqlite, dependencies, edges, family
+            )
+        elif instance is not None or args.csv:
+            if instance is None:
+                instance = read_instance_csv(args.csv, args.relation)
+            connection = _sqlite3.connect(":memory:")
+            save_database(Database.single(instance), connection, dependencies)
+            engine = PrefSqlCqaEngine(connection, dependencies, edges, family)
+        else:
+            raise SystemExit("provide --csv or --sqlite")
+
+        def route() -> str:
+            last = engine.last_route or "prefsql"
+            return f"{last} (pushed down)" if last in ("prefsql", "sqlite") else last
     elif has_priority_flags:
         instance, dependencies, _, priority = _build_setting(args)
         engine = CqaEngine(instance, dependencies, priority, family)
@@ -290,6 +364,24 @@ def _cmd_query(args: argparse.Namespace) -> int:
 
         def route() -> str:
             return "memory"
+
+    if getattr(args, "explain", False):
+        if hasattr(engine, "explain"):
+            return _explain_decision(args, engine, family)
+        if args.json:
+            print(
+                json.dumps(
+                    {
+                        "backend": "memory",
+                        "family": str(family),
+                        "route": "memory",
+                        "reason": "in-memory repair streaming (no SQL)",
+                    }
+                )
+            )
+        else:
+            print("route: memory (in-memory repair streaming, no SQL)")
+        return 0
 
     if args.sql:
         result = engine.sql_certain_answers(args.sql, family)
@@ -560,6 +652,12 @@ def _cmd_serve(args: argparse.Namespace) -> int:
 
     instance, dependencies, _, priority = _build_setting(args)
     family = _FAMILY_CODES[args.family]
+    backend = getattr(args, "backend", "auto")
+    if args.no_pushdown and backend in ("sqlite", "prefsql"):
+        raise SystemExit(
+            f"--no-pushdown disables the mirror that --backend {backend} "
+            "requires; drop one of the two flags"
+        )
     broker = RequestBroker(parallel=args.parallel)
     broker.register(
         args.name,
@@ -567,7 +665,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         dependencies,
         priority.edges,
         family,
-        sqlite_pushdown=not args.no_pushdown,
+        sqlite_pushdown=not args.no_pushdown and backend != "memory",
+        prefsql_pushdown=backend in ("auto", "prefsql"),
     )
     front = ServiceFrontEnd(broker)
     if args.stdio:
@@ -651,9 +750,20 @@ def build_parser() -> argparse.ArgumentParser:
     query_target.add_argument("--sql", help="conjunctive SELECT query")
     query_cmd.add_argument(
         "--backend",
-        choices=["memory", "sqlite"],
+        choices=["memory", "sqlite", "prefsql"],
         default="memory",
-        help="evaluation backend (sqlite = push rewritable queries down)",
+        help=(
+            "evaluation backend (sqlite = push rewritable queries down; "
+            "prefsql = preference-aware pushdown, accepts --prefer-* flags)"
+        ),
+    )
+    query_cmd.add_argument(
+        "--explain",
+        action="store_true",
+        help=(
+            "print the routing decision (route, fallback reason, generated "
+            "SQL when pushed) without executing the query"
+        ),
     )
     query_cmd.add_argument(
         "--json", action="store_true", help="emit the result as JSON"
@@ -748,6 +858,16 @@ def build_parser() -> argparse.ArgumentParser:
         "--no-pushdown",
         action="store_true",
         help="disable the SQLite mirror (always answer in memory)",
+    )
+    serve.add_argument(
+        "--backend",
+        choices=["auto", "memory", "sqlite", "prefsql"],
+        default="auto",
+        help=(
+            "pushdown policy: auto/prefsql = preference-aware SQL for "
+            "prioritized requests, sqlite = preference-blind mirror only "
+            "(prioritized requests stream in memory), memory = no mirror"
+        ),
     )
     serve.set_defaults(handler=_cmd_serve)
 

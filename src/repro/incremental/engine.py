@@ -41,7 +41,7 @@ from repro.constraints.fd import FunctionalDependency
 from repro.core.families import Family
 from repro.cqa.answers import ClosedAnswer, OpenAnswers, Verdict
 from repro.exceptions import CyclicPriorityError, QueryError, SchemaError
-from repro.priorities.priority import Priority, PriorityEdge
+from repro.priorities.priority import Priority, PriorityEdge, digraph_has_cycle
 from repro.query.ast import Formula, constants_of
 from repro.query.evaluator import ContextCache
 from repro.query.evaluator import answers as evaluate_answers
@@ -69,40 +69,9 @@ Repair = FrozenSet[Row]
 _WitnessKey = Tuple[Formula, Tuple[str, ...]]
 
 
-def _digraph_has_cycle(edges: Iterable[PriorityEdge]) -> bool:
-    """Cycle check on raw (winner, loser) pairs, no graph needed."""
-    adjacency: Dict[Row, Set[Row]] = {}
-    for winner, loser in edges:
-        adjacency.setdefault(winner, set()).add(loser)
-    WHITE, GREY, BLACK = 0, 1, 2
-    colour: Dict[Row, int] = {}
-
-    def visit(start: Row) -> bool:
-        stack: List[Tuple[Row, Iterator[Row]]] = [
-            (start, iter(adjacency.get(start, ())))
-        ]
-        colour[start] = GREY
-        while stack:
-            vertex, children = stack[-1]
-            advanced = False
-            for child in children:
-                state = colour.get(child, WHITE)
-                if state == GREY:
-                    return True
-                if state == WHITE:
-                    colour[child] = GREY
-                    stack.append((child, iter(adjacency.get(child, ()))))
-                    advanced = True
-                    break
-            if not advanced:
-                colour[vertex] = BLACK
-                stack.pop()
-        return False
-
-    return any(
-        colour.get(vertex, WHITE) == WHITE and visit(vertex)
-        for vertex in adjacency
-    )
+#: Cycle check on raw (winner, loser) pairs, no graph needed — the
+#: shared colouring DFS from the priorities layer.
+_digraph_has_cycle = digraph_has_cycle
 
 
 class IncrementalCqaEngine:

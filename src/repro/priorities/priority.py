@@ -225,6 +225,16 @@ class Priority:
                     queue.append(nxt)
         return False
 
+    def dominance_rows(self) -> Tuple[PriorityEdge, ...]:
+        """The dominator index flattened to deterministic edge rows.
+
+        Every ``winner ≻ loser`` pair, ordered by the library's row
+        listing order — the export the SQL pushdown layer
+        (:mod:`repro.prefsql.edges`) materializes into its
+        ``_repro_edges`` side table.
+        """
+        return tuple(sorted(self.edges))
+
     # Misc -----------------------------------------------------------------------
 
     def restricted_to(self, rows: AbstractSet[Row]) -> "Priority":
@@ -249,12 +259,15 @@ class Priority:
         return f"Priority({len(self.edges)}/{self.graph.edge_count} edges oriented)"
 
 
-def _creates_cycle(base: Priority, extra: Sequence[PriorityEdge]) -> bool:
-    """Whether base edges plus ``extra`` contain a directed cycle."""
+def digraph_has_cycle(edges: Iterable[PriorityEdge]) -> bool:
+    """Whether the ``(winner, loser)`` digraph contains a directed cycle.
+
+    The shared colouring DFS behind priority-extension pruning, the
+    incremental engine's declared-edge check, and the SQL pushdown's
+    edge validation.
+    """
     adjacency: Dict[Row, Set[Row]] = {}
-    for winner, loser in base.edges:
-        adjacency.setdefault(winner, set()).add(loser)
-    for winner, loser in extra:
+    for winner, loser in edges:
         adjacency.setdefault(winner, set()).add(loser)
     WHITE, GREY, BLACK = 0, 1, 2
     colour: Dict[Row, int] = {}
@@ -284,6 +297,11 @@ def _creates_cycle(base: Priority, extra: Sequence[PriorityEdge]) -> bool:
     return any(
         colour.get(vertex, WHITE) == WHITE and visit(vertex) for vertex in adjacency
     )
+
+
+def _creates_cycle(base: Priority, extra: Sequence[PriorityEdge]) -> bool:
+    """Whether base edges plus ``extra`` contain a directed cycle."""
+    return digraph_has_cycle(list(base.edges) + list(extra))
 
 
 def _undirected_has_cycle(adjacency: Dict[Row, Set[Row]]) -> bool:

@@ -11,24 +11,38 @@ in a bounded, content-keyed :class:`AnswerCache`.
 Routing picks the cheapest capable engine per query, reusing the
 rewritability analysis behind :attr:`SqlCqaEngine.last_route`:
 
-1. **sqlite pushdown** — no active priority edges and the query is
-   rewritable: one SQL statement, no repair materialization;
-2. **witness index** — the incremental engine's covering check for
+1. **prefsql pushdown** — active priority edges and the query is
+   rewritable: the preference-aware winnow rewriting
+   (:mod:`repro.prefsql`) answers prioritized families in one SQL
+   statement, ahead of witness-index/indexed streaming;
+2. **sqlite pushdown** — no active priority edges and the query is
+   rewritable: one preference-blind SQL statement;
+3. **witness index** — the incremental engine's covering check for
    conjunctive queries (no repair cross-product);
-3. **indexed in-memory** — per-repair streaming with hash-indexed join
+4. **indexed in-memory** — per-repair streaming with hash-indexed join
    plans, optionally sharded across the process pool of
    :mod:`repro.service.parallel`.
 
 Cache keys embed the instance's *component fingerprint* — the frozenset
-of conflict-graph component vertex sets — so an entry can only ever hit
-the exact instance state it was computed on; engine updates additionally
-invalidate component-wise: every cached answer that depended on a
-touched component is evicted eagerly (untouched components keep their
-entries alive for states that revisit them).
+of conflict-graph component vertex sets — plus the *priority
+fingerprint* (the frozenset of active oriented edges), so an entry can
+only ever hit the exact prioritized state it was computed on; engine
+updates additionally invalidate component-wise: every cached answer
+that depended on a touched component is evicted eagerly (untouched
+components keep their entries alive for states that revisit them).
+
+Concurrency: each database carries a :class:`~repro.service.rwlock.
+ReadWriteLock` — updates are exclusive, read-only queries of one
+database run concurrently.  The pushed (SQLite) routes overlap fully;
+the in-memory engines keep their single-threaded caches behind a
+per-database compute mutex.  ``stats()`` reports ``concurrent_reads``,
+the number of read sections that overlapped another reader.
 """
 
 from __future__ import annotations
 
+import contextlib
+import sqlite3
 import threading
 from collections import OrderedDict
 from dataclasses import dataclass, field
@@ -52,8 +66,15 @@ from repro.incremental.engine import IncrementalCqaEngine
 from repro.priorities.priority import PriorityEdge
 from repro.query.ast import Formula, relations_of
 from repro.relational.rows import Row
+from repro.service.rwlock import ReadWriteLock
 
 Outcome = Union[ClosedAnswer, OpenAnswers]
+
+#: Whether the linked SQLite library runs in serialized threading mode
+#: (``THREADSAFE=1``): only then may overlapping readers execute SQL on
+#: one shared mirror connection.  On other builds pushed queries
+#: serialize on the mirror lock instead.
+_SQLITE_SERIALIZED = sqlite3.threadsafety == 3
 
 #: A component fingerprint: the vertex set of one connected component.
 Component = FrozenSet[Row]
@@ -86,10 +107,12 @@ class BrokerResult:
     request: Request
     outcome: Outcome
     database: str
-    #: Which engine served it: ``"sqlite"`` or ``"incremental"``.
+    #: Which engine served it: ``"prefsql"``, ``"sqlite"`` or
+    #: ``"incremental"``.
     engine: str
-    #: Evaluation route (``"sqlite"`` / ``"witness-index"`` /
-    #: ``"indexed"`` / ``"naive"``) — identical for cache hits.
+    #: Evaluation route (``"prefsql"`` / ``"sqlite"`` /
+    #: ``"witness-index"`` / ``"indexed"`` / ``"naive"``) — identical
+    #: for cache hits.
     route: str
     #: Served from the answer cache (a previous batch computed it).
     cached: bool = False
@@ -185,24 +208,37 @@ class AnswerCache:
 
 @dataclass
 class _Entry:
-    """One registered database: engines plus a per-database lock.
+    """One registered database: engines plus its lock hierarchy.
 
-    The lock serializes engine access — the engines' internal caches
-    (component repairs, witness indexes, evaluation contexts) are built
-    for single-threaded use, so the threaded front end must not run two
-    queries of one database concurrently.
+    ``rw`` admits concurrent read-only queries and exclusive updates.
+    Inside a read section, ``compute_lock`` serializes access to the
+    in-memory incremental engine (its component-repair and witness
+    caches are built for single-threaded use) and ``mirror_lock``
+    serializes mirror refreshes and pushdown-engine construction; the
+    pushed SQL statements themselves run concurrently when the linked
+    SQLite is in serialized threading mode (``sqlite3.threadsafety ==
+    3``) and fall back to ``mirror_lock`` otherwise.  A
+    refresh can never race a pushed read from an older mirror state:
+    the mirror only becomes dirty under the write lock.
     """
 
     name: str
     engine: IncrementalCqaEngine
     mirror: Optional[SqliteMirror]
     family: Family
-    lock: threading.Lock = field(default_factory=threading.Lock)
+    #: Whether prioritized requests may use the prefsql rewriting.
+    prefsql_pushdown: bool = True
+    rw: ReadWriteLock = field(default_factory=ReadWriteLock)
+    compute_lock: threading.Lock = field(default_factory=threading.Lock)
+    mirror_lock: threading.Lock = field(default_factory=threading.Lock)
+    meta_lock: threading.Lock = field(default_factory=threading.Lock)
     queries: int = 0
     updates: int = 0
     #: Cached component fingerprint of the current instance state;
     #: recomputing it per request would cost O(V log V) on the hot path.
     fingerprint: Optional[FrozenSet[Component]] = None
+    #: Cached frozenset of active priority edges (part of cache keys).
+    priority_fingerprint: Optional[FrozenSet[PriorityEdge]] = None
 
 
 class RequestBroker:
@@ -233,9 +269,16 @@ class RequestBroker:
         priority: Iterable[PriorityEdge] = (),
         family: Family = Family.REP,
         sqlite_pushdown: bool = True,
+        prefsql_pushdown: bool = True,
         naive: bool = False,
     ) -> str:
-        """Register a database under ``name``; the first becomes default."""
+        """Register a database under ``name``; the first becomes default.
+
+        ``sqlite_pushdown`` enables the mirror entirely;
+        ``prefsql_pushdown`` additionally lets *prioritized* requests
+        use the preference-aware rewriting (off: they stream repairs
+        in memory, the pre-prefsql behaviour).
+        """
         with self._lock:
             if name in self._entries:
                 raise QueryError(f"database {name!r} is already registered")
@@ -247,7 +290,10 @@ class RequestBroker:
                 if sqlite_pushdown and not naive
                 else None
             )
-            self._entries[name] = _Entry(name, engine, mirror, family)
+            self._entries[name] = _Entry(
+                name, engine, mirror, family,
+                prefsql_pushdown=prefsql_pushdown,
+            )
             if self._default is None:
                 self._default = name
         return name
@@ -274,6 +320,9 @@ class RequestBroker:
     def _after_update(self, entry: _Entry, delta) -> None:
         entry.updates += 1
         entry.fingerprint = None
+        # Conflicts appearing or vanishing can (de)activate declared
+        # priority edges, so the priority fingerprint is state-dependent.
+        entry.priority_fingerprint = None
         if entry.mirror is not None:
             entry.mirror.mark_dirty()
         touched = set(delta.added_vertices) | set(delta.removed_vertices)
@@ -284,7 +333,7 @@ class RequestBroker:
     def insert(self, row: Row, database: Optional[str] = None):
         """Insert a tuple; invalidates dependent cached answers."""
         entry = self._entry(database)
-        with entry.lock:
+        with entry.rw.write():
             delta = entry.engine.insert(row)
             self._after_update(entry, delta)
         return delta
@@ -292,7 +341,7 @@ class RequestBroker:
     def delete(self, row: Row, database: Optional[str] = None):
         """Delete a tuple; invalidates dependent cached answers."""
         entry = self._entry(database)
-        with entry.lock:
+        with entry.rw.write():
             delta = entry.engine.delete(row)
             self._after_update(entry, delta)
         return delta
@@ -302,9 +351,10 @@ class RequestBroker:
     ) -> None:
         """Declare a priority edge (conservatively drops the db's cache)."""
         entry = self._entry(database)
-        with entry.lock:
+        with entry.rw.write():
             entry.engine.prefer(winner, loser)
             entry.updates += 1
+            entry.priority_fingerprint = None
             self.cache.invalidate_database(entry.name)
 
     # Serving ------------------------------------------------------------------
@@ -329,6 +379,11 @@ class RequestBroker:
             )
         return entry.fingerprint
 
+    def _priority_fingerprint(self, entry: _Entry) -> FrozenSet[PriorityEdge]:
+        if entry.priority_fingerprint is None:
+            entry.priority_fingerprint = entry.engine.active_priority_edges()
+        return entry.priority_fingerprint
+
     def _execute(
         self,
         entry: _Entry,
@@ -337,25 +392,65 @@ class RequestBroker:
         family: Family,
     ) -> Tuple[Outcome, str, str]:
         """Run one unit of work on the cheapest capable engine."""
-        entry.queries += 1
-        if entry.mirror is not None and not entry.engine.active_priority_edges():
+        with entry.meta_lock:
+            entry.queries += 1
+        if entry.mirror is not None:
+            active = self._priority_fingerprint(entry)
             # Lazy snapshot: assembling the Database is O(instance), so
             # hand the mirror a supplier it only calls when dirty.
-            sql_engine = entry.mirror.engine_for(entry.engine.current_database)
-            if sql_engine.explain(formula, variables or None).pushed:
-                if formula.is_closed and not variables:
-                    outcome: Outcome = sql_engine.answer(formula, family)
-                else:
-                    outcome = sql_engine.certain_answers(
-                        formula, variables, family
+            # Refresh and engine construction serialize on mirror_lock;
+            # the pushed SQL below runs concurrently across readers.
+            if active and entry.prefsql_pushdown:
+                with entry.mirror_lock:
+                    pushed_engine = entry.mirror.pref_engine_for(
+                        entry.engine.current_database, active
                     )
-                return outcome, "sqlite", "sqlite"
-        if formula.is_closed and not variables:
-            outcome = entry.engine.answer(formula, family, self.parallel)
-        else:
-            outcome = entry.engine.certain_answers(
-                formula, variables, family, self.parallel
-            )
+                engine_label = "prefsql"
+            elif active:
+                pushed_engine = None  # prefsql disabled: stream in memory
+                engine_label = "incremental"
+            else:
+                with entry.mirror_lock:
+                    pushed_engine = entry.mirror.engine_for(
+                        entry.engine.current_database
+                    )
+                engine_label = "sqlite"
+            if pushed_engine is not None:
+                # explain() may build survivor temp tables, so on
+                # SQLite builds without serialized threading the whole
+                # pushed section (not just the final SELECTs) must hold
+                # the mirror lock.
+                guard = (
+                    contextlib.nullcontext()
+                    if _SQLITE_SERIALIZED
+                    else entry.mirror_lock
+                )
+                # Key the routing probe exactly like the execution call
+                # (closed queries decide under ()), and under the
+                # request's family, so one cached decision serves both.
+                probe_variables: Optional[Tuple[str, ...]] = (
+                    () if formula.is_closed and not variables else variables
+                )
+                with guard:
+                    outcome: Optional[Outcome] = None
+                    if pushed_engine.explain(
+                        formula, probe_variables, family=family
+                    ).pushed:
+                        if formula.is_closed and not variables:
+                            outcome = pushed_engine.answer(formula, family)
+                        else:
+                            outcome = pushed_engine.certain_answers(
+                                formula, variables, family
+                            )
+                if outcome is not None:
+                    return outcome, engine_label, outcome.route or engine_label
+        with entry.compute_lock:
+            if formula.is_closed and not variables:
+                outcome = entry.engine.answer(formula, family, self.parallel)
+            else:
+                outcome = entry.engine.certain_answers(
+                    formula, variables, family, self.parallel
+                )
         return outcome, "incremental", outcome.route or "indexed"
 
     def submit(self, requests: Sequence[Request]) -> List[BrokerResult]:
@@ -377,10 +472,18 @@ class RequestBroker:
         for position in order:
             request = requests[position]
             entry = self._entry(request.database)
-            with entry.lock:
+            with entry.rw.read():
                 formula, variables, family = self._normalize(entry, request)
                 fingerprint = self._fingerprint(entry)
-                key = (entry.name, fingerprint, formula, variables, family)
+                priority_fingerprint = self._priority_fingerprint(entry)
+                key = (
+                    entry.name,
+                    fingerprint,
+                    priority_fingerprint,
+                    formula,
+                    variables,
+                    family,
+                )
                 if key in in_flight:
                     outcome, engine_label, route = in_flight[key]
                     self.deduplicated += 1
@@ -442,12 +545,16 @@ class RequestBroker:
                     "queries": entry.queries,
                     "updates": entry.updates,
                     "sqlite_mirror": entry.mirror is not None,
+                    "concurrent_reads": entry.rw.concurrent_reads,
                     "engine": entry.engine.summary(),
                 }
                 for name, entry in self._entries.items()
             },
             "batches": self.batches,
             "deduplicated": self.deduplicated,
+            "concurrent_reads": sum(
+                entry.rw.concurrent_reads for entry in self._entries.values()
+            ),
             "answer_cache": self.cache.stats(),
             "parallel": self.parallel,
         }

@@ -1,0 +1,82 @@
+"""A reader-writer lock for per-database broker entries.
+
+The broker's original per-database lock was exclusive: two read-only
+queries on one database serialized even though nothing they touch
+conflicts.  :class:`ReadWriteLock` lets any number of readers proceed
+together while writers (updates, priority declarations) get exclusive
+access.
+
+Writer preference: once a writer is waiting, new readers queue behind
+it, so a steady read stream cannot starve updates.  The lock also
+counts *overlapping* read sections (``concurrent_reads``) — the
+broker surfaces the total through ``stats()`` as direct evidence that
+intra-database read concurrency actually happens.
+"""
+
+from __future__ import annotations
+
+import threading
+from contextlib import contextmanager
+from typing import Iterator
+
+
+class ReadWriteLock:
+    """Writer-preferring reader-writer lock with an overlap counter."""
+
+    def __init__(self) -> None:
+        self._condition = threading.Condition()
+        self._active_readers = 0
+        self._waiting_writers = 0
+        self._writer_active = False
+        #: Number of read sections that began while another reader was
+        #: already inside (monotonic; a concurrency witness, not a gauge).
+        self.concurrent_reads = 0
+
+    # Readers -----------------------------------------------------------------
+
+    def acquire_read(self) -> None:
+        with self._condition:
+            while self._writer_active or self._waiting_writers:
+                self._condition.wait()
+            if self._active_readers:
+                self.concurrent_reads += 1
+            self._active_readers += 1
+
+    def release_read(self) -> None:
+        with self._condition:
+            self._active_readers -= 1
+            if not self._active_readers:
+                self._condition.notify_all()
+
+    @contextmanager
+    def read(self) -> Iterator[None]:
+        self.acquire_read()
+        try:
+            yield
+        finally:
+            self.release_read()
+
+    # Writers -----------------------------------------------------------------
+
+    def acquire_write(self) -> None:
+        with self._condition:
+            self._waiting_writers += 1
+            try:
+                while self._writer_active or self._active_readers:
+                    self._condition.wait()
+            finally:
+                self._waiting_writers -= 1
+            self._writer_active = True
+
+    def release_write(self) -> None:
+        with self._condition:
+            self._writer_active = False
+            self._condition.notify_all()
+
+    @contextmanager
+    def write(self) -> Iterator[None]:
+        self.acquire_write()
+        try:
+            yield
+        finally:
+            self.release_write()

@@ -1,0 +1,204 @@
+"""PrefSqlCqaEngine: routing, answers, and parity with CqaEngine."""
+
+from __future__ import annotations
+
+import sqlite3
+
+import pytest
+
+from repro.constraints.fd import FunctionalDependency
+from repro.core.families import Family
+from repro.cqa.answers import Verdict
+from repro.cqa.engine import CqaEngine
+from repro.exceptions import CyclicPriorityError, NonConflictingPriorityError
+from repro.prefsql import PrefSqlCqaEngine
+from repro.priorities.priority import Priority
+from repro.query.ast import And, Atom, Comparison, Exists, Var
+from repro.relational.database import Database
+from repro.relational.instance import RelationInstance
+from repro.relational.rows import Row
+from repro.relational.schema import RelationSchema
+from repro.relational.sqlite_io import save_database
+
+R_SCHEMA = RelationSchema("R", ["K", "A:number", "B"])
+S_SCHEMA = RelationSchema("S", ["A:number", "C"])
+FDS = [FunctionalDependency.parse("K -> A", "R")]
+
+R_ROWS = [
+    ("k0", 0, "x"),
+    ("k0", 1, "y"),
+    ("k0", 2, "z"),
+    ("k1", 0, "x"),
+    ("k1", 5, "w"),
+    ("c0", 9, "q"),
+]
+S_ROWS = [(0, "c0"), (1, "c1"), (9, "c1")]
+
+
+def _row(*values) -> Row:
+    return Row(R_SCHEMA, values)
+
+
+PRIORITY = [
+    (_row("k0", 1, "y"), _row("k0", 0, "x")),
+    (_row("k1", 5, "w"), _row("k1", 0, "x")),
+]
+
+x, y, z, c = Var("x"), Var("y"), Var("z"), Var("c")
+OPEN_QUERY = Exists(["z"], Atom("R", [x, y, z]))
+
+
+def _database() -> Database:
+    return Database(
+        [
+            RelationInstance.from_values(R_SCHEMA, R_ROWS),
+            RelationInstance.from_values(S_SCHEMA, S_ROWS),
+        ]
+    )
+
+
+def _engines(priority=PRIORITY, family=Family.REP):
+    connection = sqlite3.connect(":memory:")
+    database = _database()
+    save_database(database, connection, FDS)
+    engine = PrefSqlCqaEngine(connection, FDS, priority, family)
+    memory = CqaEngine(database, FDS, priority, family)
+    return engine, memory
+
+
+class TestRouting:
+    def test_prioritized_query_routes_to_prefsql(self):
+        engine, memory = _engines()
+        for family in Family:
+            result = engine.certain_answers(OPEN_QUERY, family=family)
+            assert engine.last_route == "prefsql", family
+            reference = memory.certain_answers(OPEN_QUERY, family=family)
+            assert result.certain == reference.certain, family
+            assert result.possible == reference.possible, family
+            assert result.route == "prefsql"
+
+    def test_query_avoiding_prioritized_relation_stays_on_sqlite(self):
+        engine, memory = _engines()
+        query = Atom("S", [y, c])
+        result = engine.certain_answers(query, family=Family.GLOBAL)
+        assert engine.last_route == "sqlite"
+        reference = memory.certain_answers(query, family=Family.GLOBAL)
+        assert result.certain == reference.certain
+        assert result.possible == reference.possible
+
+    def test_no_priority_behaves_like_the_blind_backend(self):
+        engine, memory = _engines(priority=())
+        result = engine.certain_answers(OPEN_QUERY)
+        assert engine.last_route == "sqlite"
+        reference = memory.certain_answers(OPEN_QUERY)
+        assert result.certain == reference.certain
+
+    def test_explain_reports_the_route_and_sql(self):
+        engine, _ = _engines()
+        decision = engine.explain(OPEN_QUERY, family=Family.COMMON)
+        assert decision.pushed
+        assert decision.route == "prefsql"
+        assert "_repro_" in decision.plan.certain_sql
+
+    def test_accepts_a_priority_object(self):
+        database = _database()
+        from repro.constraints.conflict_graph import build_conflict_graph
+
+        graph = build_conflict_graph(database, FDS)
+        priority = Priority(graph, PRIORITY)
+        connection = sqlite3.connect(":memory:")
+        save_database(database, connection, FDS)
+        engine = PrefSqlCqaEngine(connection, FDS, priority, Family.COMMON)
+        memory = CqaEngine(database, FDS, priority, Family.COMMON)
+        result = engine.certain_answers(OPEN_QUERY)
+        assert engine.last_route == "prefsql"
+        assert result.certain == memory.certain_answers(OPEN_QUERY).certain
+
+
+class TestClosedQueries:
+    def test_verdicts_match_across_families(self):
+        closed = Exists(
+            ["k", "b"],
+            And(
+                [
+                    Atom("R", [Var("k"), Var("a"), Var("b")]),
+                    Comparison(">=", Var("a"), 1),
+                ]
+            ),
+        )
+        closed = Exists(["a"], closed)
+        engine, memory = _engines()
+        for family in Family:
+            got = engine.answer(closed, family)
+            assert engine.last_route == "prefsql"
+            assert got.verdict is memory.answer(closed, family).verdict, family
+
+    def test_counts_report_zero_repairs(self):
+        engine, _ = _engines()
+        answer = engine.answer(
+            Exists(["k", "a", "b"], Atom("R", [Var("k"), Var("a"), Var("b")]))
+        )
+        assert answer.repairs_considered == 0
+        assert answer.satisfying == 0
+
+    def test_is_consistently_true(self):
+        engine, memory = _engines(family=Family.COMMON)
+        closed = Exists(["b"], Atom("R", ["k0", 1, Var("b")]))
+        assert engine.is_consistently_true(closed) == (
+            memory.answer(closed).verdict is Verdict.TRUE
+        )
+
+
+class TestSqlFrontend:
+    def test_sql_certain_answers_route_through_prefsql(self):
+        engine, memory = _engines(family=Family.SEMI_GLOBAL)
+        sql = "SELECT t.K, t.A FROM R t WHERE t.A >= 0"
+        got = engine.sql_certain_answers(sql)
+        assert engine.last_route == "prefsql"
+        reference = memory.sql_certain_answers(sql)
+        assert got.certain == reference.certain
+        assert got.possible == reference.possible
+
+
+class TestValidation:
+    def test_cyclic_priority_raises_like_the_memory_engine(self):
+        cycle = [
+            (_row("k0", 0, "x"), _row("k0", 1, "y")),
+            (_row("k0", 1, "y"), _row("k0", 2, "z")),
+            (_row("k0", 2, "z"), _row("k0", 0, "x")),
+        ]
+        connection = sqlite3.connect(":memory:")
+        save_database(_database(), connection, FDS)
+        with pytest.raises(CyclicPriorityError):
+            PrefSqlCqaEngine(connection, FDS, cycle)
+        with pytest.raises(CyclicPriorityError):
+            CqaEngine(_database(), FDS, cycle)
+
+    def test_non_conflicting_edge_raises_like_the_memory_engine(self):
+        bad = [(_row("k0", 1, "y"), _row("k1", 0, "x"))]
+        connection = sqlite3.connect(":memory:")
+        save_database(_database(), connection, FDS)
+        with pytest.raises(NonConflictingPriorityError):
+            PrefSqlCqaEngine(connection, FDS, bad)
+        with pytest.raises(NonConflictingPriorityError):
+            CqaEngine(_database(), FDS, bad)
+
+    def test_absent_row_raises_like_the_memory_engine(self):
+        ghost = [(_row("k0", 1, "y"), _row("k0", 0, "ghost"))]
+        connection = sqlite3.connect(":memory:")
+        save_database(_database(), connection, FDS)
+        with pytest.raises(NonConflictingPriorityError):
+            PrefSqlCqaEngine(connection, FDS, ghost)
+        with pytest.raises(NonConflictingPriorityError):
+            CqaEngine(_database(), FDS, ghost)
+
+
+class TestDiagnostics:
+    def test_summary_reports_prioritized_relations(self):
+        engine, _ = _engines(family=Family.COMMON)
+        engine.certain_answers(OPEN_QUERY)
+        summary = engine.summary()
+        assert summary["backend"] == "prefsql"
+        assert summary["prioritized_relations"] == ["R"]
+        assert summary["priority_edges"] == len(PRIORITY)
+        assert summary["last_route"] == "prefsql"

@@ -1,0 +1,167 @@
+"""Side-table materialization and priority-edge validation."""
+
+from __future__ import annotations
+
+import sqlite3
+
+import pytest
+
+from repro.backend.rewrite import dirty_profile
+from repro.constraints.fd import FunctionalDependency
+from repro.exceptions import CyclicPriorityError, NonConflictingPriorityError
+from repro.prefsql.edges import (
+    SIDE_CONFLICTS,
+    SIDE_EDGES,
+    digraph_has_cycle,
+    ensure_side_tables,
+    materialize_conflicts,
+    materialize_edges,
+)
+from repro.relational.database import Database
+from repro.relational.instance import RelationInstance
+from repro.relational.rows import Row
+from repro.relational.schema import RelationSchema
+from repro.relational.sqlite_io import load_schema, save_database
+
+SCHEMA = RelationSchema("R", ["K", "A:number", "B"])
+FDS = [FunctionalDependency.parse("K -> A", "R")]
+
+ROWS = [
+    ("k0", 0, "x"),
+    ("k0", 1, "y"),
+    ("k0", 2, "z"),
+    ("k1", 0, "x"),
+    ("c0", 9, "q"),
+]
+
+
+def _setup(rows=ROWS):
+    database = Database([RelationInstance.from_values(SCHEMA, rows)])
+    connection = sqlite3.connect(":memory:")
+    save_database(database, connection, FDS)
+    ensure_side_tables(connection)
+    return connection
+
+
+def _row(*values) -> Row:
+    return Row(SCHEMA, values)
+
+
+class TestConflictMaterialization:
+    def test_counts_match_the_multipartite_structure(self):
+        connection = _setup()
+        profile = dirty_profile(SCHEMA, FDS)
+        stored = materialize_conflicts(connection, profile)
+        # k0 holds three singleton classes (3 choose 2 edges); k1 and c0
+        # are conflict-free.
+        assert stored == 3
+        records = connection.execute(
+            f"SELECT COUNT(*) FROM {SIDE_CONFLICTS} WHERE relation = 'R'"
+        ).fetchone()
+        assert records[0] == 3
+
+    def test_rematerialization_replaces_stale_edges(self):
+        connection = _setup()
+        profile = dirty_profile(SCHEMA, FDS)
+        materialize_conflicts(connection, profile)
+        assert materialize_conflicts(connection, profile) == 3
+
+    def test_edges_are_rowid_pairs_with_a_less_than_b(self):
+        connection = _setup()
+        materialize_conflicts(connection, dirty_profile(SCHEMA, FDS))
+        for a, b in connection.execute(
+            f"SELECT a, b FROM {SIDE_CONFLICTS}"
+        ).fetchall():
+            assert a < b
+
+
+class TestEdgeMaterialization:
+    def test_valid_edges_are_stored(self):
+        connection = _setup()
+        schema = load_schema(connection)
+        profiles = {"R": dirty_profile(SCHEMA, FDS)}
+        counts = materialize_edges(
+            connection,
+            schema,
+            FDS,
+            profiles,
+            [(_row("k0", 1, "y"), _row("k0", 0, "x"))],
+        )
+        assert counts == {"R": 1}
+        stored = connection.execute(
+            f"SELECT COUNT(*) FROM {SIDE_EDGES}"
+        ).fetchone()[0]
+        assert stored == 1
+
+    def test_non_conflicting_pair_is_rejected(self):
+        connection = _setup()
+        schema = load_schema(connection)
+        with pytest.raises(NonConflictingPriorityError):
+            materialize_edges(
+                connection,
+                schema,
+                FDS,
+                {"R": dirty_profile(SCHEMA, FDS)},
+                [(_row("k0", 1, "y"), _row("k1", 0, "x"))],
+            )
+
+    def test_missing_row_is_rejected(self):
+        connection = _setup()
+        schema = load_schema(connection)
+        with pytest.raises(NonConflictingPriorityError, match="not in"):
+            materialize_edges(
+                connection,
+                schema,
+                FDS,
+                {"R": dirty_profile(SCHEMA, FDS)},
+                [(_row("k0", 1, "y"), _row("k0", 7, "nope"))],
+            )
+
+    def test_cyclic_declaration_is_rejected(self):
+        connection = _setup()
+        schema = load_schema(connection)
+        cycle = [
+            (_row("k0", 0, "x"), _row("k0", 1, "y")),
+            (_row("k0", 1, "y"), _row("k0", 2, "z")),
+            (_row("k0", 2, "z"), _row("k0", 0, "x")),
+        ]
+        assert digraph_has_cycle(cycle)
+        with pytest.raises(CyclicPriorityError):
+            materialize_edges(
+                connection,
+                schema,
+                FDS,
+                {"R": dirty_profile(SCHEMA, FDS)},
+                cycle,
+            )
+
+    def test_unprofiled_relations_validate_but_do_not_materialize(self):
+        """Edges over a mixed-LHS relation are checked, not stored."""
+        mixed_schema = RelationSchema(
+            "M", ["A:number", "B:number", "C:number", "D:number"]
+        )
+        mixed_fds = [
+            FunctionalDependency.parse("A -> B", "M"),
+            FunctionalDependency.parse("C -> D", "M"),
+        ]
+        database = Database(
+            [RelationInstance.from_values(mixed_schema, [(0, 0, 5, 1), (0, 1, 6, 2)])]
+        )
+        connection = sqlite3.connect(":memory:")
+        save_database(database, connection, mixed_fds)
+        ensure_side_tables(connection)
+        schema = load_schema(connection)
+        winner = Row(mixed_schema, (0, 0, 5, 1))
+        loser = Row(mixed_schema, (0, 1, 6, 2))
+        counts = materialize_edges(
+            connection, schema, mixed_fds, {}, [(winner, loser)]
+        )
+        assert counts == {}
+        with pytest.raises(NonConflictingPriorityError):
+            materialize_edges(
+                connection,
+                schema,
+                mixed_fds,
+                {},
+                [(winner, Row(mixed_schema, (1, 1, 7, 2)))],
+            )

@@ -1,0 +1,166 @@
+"""SQL winnow passes, the Algorithm 1 fixpoint, and survivor tables.
+
+Each construct is pinned against its in-memory counterpart: ω≻ against
+:func:`repro.priorities.winnow.winnow`, the staged fixpoint's clean
+fragment against the intersection of ``C-Rep``, and each family's
+survivor table against the rows kept by the family's preferred repairs.
+"""
+
+from __future__ import annotations
+
+import sqlite3
+
+import pytest
+
+from repro.backend.rewrite import dirty_profile
+from repro.constraints.conflict_graph import build_conflict_graph
+from repro.constraints.fd import FunctionalDependency
+from repro.core.families import Family, preferred_repairs
+from repro.prefsql.edges import (
+    ensure_side_tables,
+    materialize_conflicts,
+    materialize_edges,
+)
+from repro.prefsql.winnow import (
+    build_survivor_table,
+    has_unresolved_group,
+    iterate_winnow,
+    winnow_pass,
+)
+from repro.priorities.priority import Priority
+from repro.priorities.winnow import winnow
+from repro.relational.database import Database
+from repro.relational.instance import RelationInstance
+from repro.relational.rows import Row
+from repro.relational.schema import RelationSchema
+from repro.relational.sqlite_io import load_schema, save_database
+
+SCHEMA = RelationSchema("R", ["K", "A:number", "B"])
+FDS = [FunctionalDependency.parse("K -> A", "R")]
+
+ROWS = [
+    # group k0: three singleton classes, chain priority 1 > 0 > 2
+    ("k0", 0, "x"),
+    ("k0", 1, "y"),
+    ("k0", 2, "z"),
+    # group k1: two classes, one of size two, partially oriented
+    ("k1", 0, "x"),
+    ("k1", 0, "y"),
+    ("k1", 5, "w"),
+    # clean filler
+    ("c0", 9, "q"),
+]
+
+
+def _row(*values) -> Row:
+    return Row(SCHEMA, values)
+
+
+#: (winner, loser) pairs: k0 chain is total, k1 edge is partial —
+#: (k1,5,w) beats (k1,0,x) but leaves (k1,0,y) unoriented.
+PRIORITY = [
+    (_row("k0", 1, "y"), _row("k0", 0, "x")),
+    (_row("k0", 0, "x"), _row("k0", 2, "z")),
+    (_row("k1", 5, "w"), _row("k1", 0, "x")),
+]
+
+
+def _setup(rows=ROWS, priority=PRIORITY):
+    database = Database([RelationInstance.from_values(SCHEMA, rows)])
+    connection = sqlite3.connect(":memory:")
+    save_database(database, connection, FDS)
+    ensure_side_tables(connection)
+    profile = dirty_profile(SCHEMA, FDS)
+    materialize_conflicts(connection, profile)
+    materialize_edges(
+        connection, load_schema(connection), FDS, {"R": profile}, priority
+    )
+    return connection, profile, database
+
+
+def _rows_of(connection, table):
+    sql = (
+        'SELECT r."K", r."A", r."B" FROM "R" r '
+        f'WHERE r.rowid IN (SELECT row_id FROM "{table}")'
+    )
+    return {Row(SCHEMA, values) for values in connection.execute(sql)}
+
+
+class TestWinnowPass:
+    def test_matches_in_memory_winnow(self):
+        connection, profile, database = _setup()
+        table = winnow_pass(connection, profile)
+        graph = build_conflict_graph(database, FDS)
+        priority = Priority(graph, PRIORITY)
+        expected = winnow(priority, graph.vertices)
+        assert _rows_of(connection, table) == set(expected)
+
+    def test_pass_over_a_remaining_subset(self):
+        connection, profile, _ = _setup()
+        connection.execute(
+            "CREATE TEMP TABLE _pool AS SELECT rowid AS row_id "
+            "FROM \"R\" WHERE \"K\" = 'k0' AND \"A\" != 1"
+        )
+        # With the dominator (k0,1,y) outside the pool, (k0,0,x) is
+        # undominated again and dominates (k0,2,z).
+        table = winnow_pass(connection, profile, source="_pool")
+        assert _rows_of(connection, table) == {_row("k0", 0, "x")}
+
+
+class TestIterateWinnow:
+    def test_clean_fragment_is_the_intersection_of_common_repairs(self):
+        connection, profile, database = _setup()
+        fixpoint = iterate_winnow(connection, profile)
+        graph = build_conflict_graph(database, FDS)
+        priority = Priority(graph, PRIORITY)
+        common = preferred_repairs(Family.COMMON, priority)
+        certain_core = frozenset.intersection(*common)
+        assert _rows_of(connection, fixpoint.committed_table) == set(certain_core)
+        # k1 keeps two surviving classes: the fixpoint must report them.
+        assert fixpoint.remaining > 0
+        assert fixpoint.stages >= 2
+        assert len(fixpoint.stage_tables) == fixpoint.stages
+
+    def test_total_priority_resolves_to_the_unique_repair(self):
+        total = PRIORITY + [
+            (_row("k1", 5, "w"), _row("k1", 0, "y")),
+        ]
+        connection, profile, database = _setup(priority=total)
+        fixpoint = iterate_winnow(connection, profile)
+        assert fixpoint.remaining == 0
+        graph = build_conflict_graph(database, FDS)
+        priority = Priority(graph, total)
+        (unique,) = preferred_repairs(Family.COMMON, priority)
+        assert _rows_of(connection, fixpoint.committed_table) == set(unique)
+
+
+class TestSurvivorTables:
+    @pytest.mark.parametrize(
+        "family",
+        [Family.LOCAL, Family.SEMI_GLOBAL, Family.GLOBAL, Family.COMMON],
+        ids=lambda family: family.name,
+    )
+    def test_survivors_are_the_union_of_preferred_repairs(self, family):
+        connection, profile, database = _setup()
+        graph = build_conflict_graph(database, FDS)
+        priority = Priority(graph, PRIORITY)
+        expected = frozenset().union(
+            *preferred_repairs(family, priority)
+        )
+        table = build_survivor_table(connection, profile, family)
+        assert _rows_of(connection, table) == set(expected)
+
+    def test_unresolved_group_detection(self):
+        connection, profile, _ = _setup()
+        table = build_survivor_table(connection, profile, Family.COMMON)
+        # k1 keeps both classes under the partial priority.
+        assert has_unresolved_group(connection, profile, table)
+        total = PRIORITY + [(_row("k1", 5, "w"), _row("k1", 0, "y"))]
+        connection, profile, _ = _setup(priority=total)
+        table = build_survivor_table(connection, profile, Family.COMMON)
+        assert not has_unresolved_group(connection, profile, table)
+
+    def test_rep_needs_no_survivor_table(self):
+        connection, profile, _ = _setup()
+        with pytest.raises(Exception):
+            build_survivor_table(connection, profile, Family.REP)

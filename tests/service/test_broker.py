@@ -53,12 +53,28 @@ class TestRouting:
         assert (result.engine, result.route) == ("incremental", "indexed")
         broker.close()
 
-    def test_priority_edges_disable_pushdown(self):
+    def test_priority_edges_route_to_prefsql(self):
+        instance = grid_instance(2, 2)
+        rows = sorted(instance.rows)
+        priority = [(rows[0], rows[1])]
+        broker = RequestBroker()
+        broker.register("grid", instance, GRID_FDS, priority=priority)
+        result = broker.query("EXISTS y . R(x, y)")
+        assert (result.engine, result.route) == ("prefsql", "prefsql")
+        reference = CqaEngine(instance, GRID_FDS, priority).certain_answers(
+            "EXISTS y . R(x, y)"
+        )
+        assert result.outcome.certain == reference.certain
+        assert result.outcome.possible == reference.possible
+        broker.close()
+
+    def test_prefsql_pushdown_can_be_disabled(self):
         instance = grid_instance(2, 2)
         rows = sorted(instance.rows)
         broker = RequestBroker()
         broker.register(
-            "grid", instance, GRID_FDS, priority=[(rows[0], rows[1])]
+            "grid", instance, GRID_FDS, priority=[(rows[0], rows[1])],
+            prefsql_pushdown=False,
         )
         result = broker.query("EXISTS y . R(x, y)")
         assert result.engine == "incremental"

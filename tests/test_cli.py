@@ -344,3 +344,119 @@ class TestQueryCommand:
                     "--query", "EXISTS b . R(x, y, b)",
                 ]
             )
+
+
+class TestPrefsqlQueryCommand:
+    def test_prioritized_query_is_pushed(self, kv_sqlite, capsys):
+        code = main(
+            [
+                "query", "--sqlite", str(kv_sqlite), "--relation", "R",
+                "--fd", "K -> A", "--backend", "prefsql",
+                "--prefer-new", "A", "--family", "C",
+                "--query", "EXISTS b . R(x, y, b)",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "backend: prefsql (pushed down)" in out
+        # A=1 wins the k1 conflict group under --prefer-new A.
+        assert "certain: ('k1', 1), ('k2', 5), ('k3', 7)" in out
+
+    def test_matches_memory_backend_with_priority(self, kv_sqlite, capsys):
+        import json
+
+        results = {}
+        for backend in ("memory", "prefsql"):
+            assert (
+                main(
+                    [
+                        "query", "--sqlite", str(kv_sqlite), "--relation", "R",
+                        "--fd", "K -> A", "--backend", backend,
+                        "--prefer-new", "A", "--family", "S", "--json",
+                        "--query", "EXISTS b . R(x, y, b)",
+                    ]
+                )
+                == 0
+            )
+            results[backend] = json.loads(capsys.readouterr().out)
+        assert results["memory"]["certain"] == results["prefsql"]["certain"]
+        assert results["memory"]["possible"] == results["prefsql"]["possible"]
+
+    def test_prefsql_from_csv_source(self, mgr_csv, capsys):
+        code = main(
+            [
+                "query", "--csv", str(mgr_csv), "--fd", MGR_FDS[0],
+                "--fd", MGR_FDS[1], "--backend", "prefsql",
+                "--query", "EXISTS d, s, r, src . Mgr(x, d, s, r, src)",
+            ]
+        )
+        assert code == 0
+        assert "backend:" in capsys.readouterr().out
+
+
+class TestExplainFlag:
+    def test_explain_prints_sql_without_executing(self, kv_sqlite, capsys):
+        code = main(
+            [
+                "query", "--sqlite", str(kv_sqlite), "--relation", "R",
+                "--fd", "K -> A", "--backend", "prefsql",
+                "--prefer-new", "A", "--family", "C", "--explain",
+                "--query", "EXISTS b . R(x, y, b)",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "route: prefsql (pushed down, not executed)" in out
+        assert "certain SQL: SELECT" in out
+        assert "certain:" not in out  # no answers were computed
+
+    def test_explain_reports_fallback_reason(self, kv_sqlite, capsys):
+        code = main(
+            [
+                "query", "--sqlite", str(kv_sqlite), "--fd", "R: K -> A",
+                "--backend", "sqlite", "--explain",
+                "--query", "FORALL k, a, b . R(k, a, b) IMPLIES a < 10",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "route: fallback" in out
+        assert "reason:" in out
+
+    def test_explain_json(self, kv_sqlite, capsys):
+        import json
+
+        code = main(
+            [
+                "query", "--sqlite", str(kv_sqlite), "--fd", "R: K -> A",
+                "--backend", "sqlite", "--explain", "--json",
+                "--query", "EXISTS b . R(x, y, b)",
+            ]
+        )
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["route"] == "sqlite"
+        assert payload["certain_sql"].startswith("SELECT")
+
+    def test_explain_on_memory_backend(self, kv_sqlite, capsys):
+        code = main(
+            [
+                "query", "--sqlite", str(kv_sqlite), "--fd", "R: K -> A",
+                "--backend", "memory", "--explain",
+                "--query", "EXISTS b . R(x, y, b)",
+            ]
+        )
+        assert code == 0
+        assert "route: memory" in capsys.readouterr().out
+
+
+class TestServeBackendFlag:
+    def test_no_pushdown_conflicts_with_pushdown_backends(self, mgr_csv):
+        for backend in ("sqlite", "prefsql"):
+            with pytest.raises(SystemExit, match="--no-pushdown"):
+                main(
+                    [
+                        "serve", "--csv", str(mgr_csv), "--fd", MGR_FDS[0],
+                        "--backend", backend, "--no-pushdown", "--stdio",
+                    ]
+                )
