@@ -88,14 +88,42 @@ def apply_seed(args) -> int:
     return seed
 
 
+def query_latency_summary() -> dict:
+    """p50/p95 query latencies per route from the process registry.
+
+    Engines record every answered query into the shared
+    ``repro_query_seconds`` histogram family, so any bench that runs
+    queries in-process accumulates a latency distribution for free;
+    this folds it into the result file.  Empty when no queries ran (or
+    :mod:`repro` is not importable).
+    """
+    try:
+        from repro.obs import REGISTRY
+    except ImportError:  # pragma: no cover - repro not on sys.path
+        return {}
+    family = REGISTRY.snapshot().get("repro_query_seconds")
+    if not family:
+        return {}
+    return {
+        route or "all": {
+            "count": entry["count"],
+            "p50_s": entry["p50"],
+            "p95_s": entry["p95"],
+        }
+        for route, entry in family["values"].items()
+    }
+
+
 def emit_result(module_file: str, payload: dict) -> str:
     """Write a ``BENCH_<name>.json`` result file recording this run.
 
     ``<name>`` is the bench module's stem without the ``bench_`` prefix
     (``bench_evaluator.py`` → ``BENCH_evaluator.json``).  The payload is
     wrapped with run metadata — wall-clock timestamp, python version,
-    smoke/seed configuration — so successive CI runs accumulate a
-    machine-readable perf trajectory.  Returns the file path.
+    smoke/seed configuration, and the p50/p95 per-route query latencies
+    the metrics registry observed during the run — so successive CI
+    runs accumulate a machine-readable perf trajectory.  Returns the
+    file path.
     """
     stem = os.path.splitext(os.path.basename(module_file))[0]
     name = stem[len("bench_"):] if stem.startswith("bench_") else stem
@@ -108,6 +136,7 @@ def emit_result(module_file: str, payload: dict) -> str:
         "python": platform.python_version(),
         "smoke": smoke_active(),
         "seed": bench_seed(),
+        "query_latency": query_latency_summary(),
         **payload,
     }
     with open(path, "w", encoding="utf-8") as handle:

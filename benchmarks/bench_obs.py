@@ -1,0 +1,211 @@
+"""Bench guard: observability must be near-free when tracing is off.
+
+Runs one mixed multi-engine CQA workload (in-memory streaming,
+witness-index incremental, SQLite pushdown, preference-aware pushdown,
+denial hypergraph — every repair family) in the two states that matter:
+
+* **enabled** — the default serving configuration: metrics registry on,
+  no tracer installed (spans resolve to the shared no-op);
+* **disabled** — ``REGISTRY.enabled = False``, the closest reachable
+  stand-in for fully uninstrumented code (one branch per record call).
+
+The two states interleave across several rounds; the guard asserts
+
+1. the answers of both states are bit-identical, and a third *fully
+   traced* round reproduces them again;
+2. the enabled state's best-of-rounds wall time stays within 5% of the
+   disabled state's (best-of-rounds squeezes out scheduler noise, so
+   the comparison isolates the instrumentation branch itself).
+
+Emits ``BENCH_obs.json`` with both timings, the measured overhead, and
+the per-route p50/p95 latencies the registry collected along the way.
+
+Run directly (``python benchmarks/bench_obs.py``); ``--smoke`` shrinks
+the workload for CI and relaxes the bound to 25% (sub-100ms rounds are
+dominated by timer noise, not by the branch under test).
+"""
+
+from __future__ import annotations
+
+import sqlite3
+import sys
+import time
+from typing import List, Tuple
+
+if not __package__:
+    import pathlib
+
+    sys.path.insert(0, str(pathlib.Path(__file__).resolve().parent.parent))
+
+from benchmarks._cli import apply_seed, bench_parser, emit_result
+
+from repro.backend import SqlCqaEngine
+from repro.constraints.conflict_graph import build_conflict_graph
+from repro.constraints.denial import fd_as_denial
+from repro.core.families import Family
+from repro.cqa.engine import CqaEngine
+from repro.cqa.hypergraph_cqa import DenialCqaEngine
+from repro.datagen.generators import GRID_FDS, GRID_SCHEMA, grid_instance
+from repro.incremental import IncrementalCqaEngine
+from repro.obs import REGISTRY, trace
+from repro.prefsql import PrefSqlCqaEngine
+from repro.priorities.builders import priority_from_ranking
+from repro.query.parser import parse_query
+from repro.relational.database import Database
+from repro.relational.sqlite_io import save_database
+
+OPEN = parse_query("EXISTS y . R(x, y)")
+CLOSED = parse_query("EXISTS x, y . R(x, y)")
+
+ALL_FAMILIES = (
+    Family.REP,
+    Family.LOCAL,
+    Family.SEMI_GLOBAL,
+    Family.GLOBAL,
+    Family.COMMON,
+)
+
+
+def _workload(groups: int):
+    """One deterministic grid instance plus its ranked priority."""
+    instance = grid_instance(groups, 2)
+    graph = build_conflict_graph(instance, GRID_FDS)
+    priority = priority_from_ranking(graph, lambda row: row["B"])
+    return instance, priority
+
+
+def run_workload(groups: int) -> Tuple[list, float]:
+    """Run every engine over the workload; return (answers, seconds).
+
+    The answer list is pure data (verdicts and sorted tuples), so two
+    runs compare bit-for-bit regardless of instrumentation state.
+    """
+    instance, priority = _workload(groups)
+    collected: List[object] = []
+    started = time.perf_counter()
+
+    for family in ALL_FAMILIES:
+        engine = CqaEngine(instance, GRID_FDS, priority, family)
+        answer = engine.answer(CLOSED)
+        result = engine.certain_answers(OPEN)
+        collected.append(
+            (str(family), answer.verdict.value,
+             sorted(result.certain), sorted(result.possible))
+        )
+
+    incremental = IncrementalCqaEngine(
+        instance, GRID_FDS, priority.edges, Family.GLOBAL
+    )
+    result = incremental.certain_answers(OPEN)
+    collected.append(("incremental", sorted(result.certain)))
+
+    connection = sqlite3.connect(":memory:")
+    save_database(Database.single(instance), connection, GRID_FDS)
+    with SqlCqaEngine(connection, GRID_FDS) as engine:
+        result = engine.certain_answers(OPEN)
+        collected.append(("sql", sorted(result.certain)))
+
+    connection = sqlite3.connect(":memory:")
+    save_database(Database.single(instance), connection, GRID_FDS)
+    with PrefSqlCqaEngine(
+        connection, GRID_FDS, priority.dominance_rows(), Family.GLOBAL
+    ) as engine:
+        result = engine.certain_answers(OPEN)
+        collected.append(("prefsql", sorted(result.certain)))
+
+    denials = [fd_as_denial(fd, GRID_SCHEMA) for fd in GRID_FDS]
+    answer = DenialCqaEngine(instance, denials).answer(CLOSED)
+    collected.append(("denial", answer.verdict.value))
+
+    return collected, time.perf_counter() - started
+
+
+def main(argv=None) -> int:
+    parser = bench_parser(__doc__)
+    parser.add_argument(
+        "--groups", type=int, default=None,
+        help="grid groups per round (default 9; smoke 6)",
+    )
+    parser.add_argument(
+        "--rounds", type=int, default=None,
+        help="interleaved rounds per state (default 5; smoke 3)",
+    )
+    parser.add_argument(
+        "--no-assert", action="store_true",
+        help="report the overhead without enforcing the bound",
+    )
+    args = parser.parse_args(argv)
+    apply_seed(args)
+    groups = args.groups or (6 if args.smoke else 9)
+    rounds = args.rounds or (3 if args.smoke else 5)
+    limit = 0.25 if args.smoke else 0.05
+
+    REGISTRY.reset()
+    REGISTRY.enabled = True
+
+    enabled_times: List[float] = []
+    disabled_times: List[float] = []
+    reference = None
+    for _ in range(rounds):
+        REGISTRY.enabled = False
+        answers, seconds = run_workload(groups)
+        disabled_times.append(seconds)
+        if reference is None:
+            reference = answers
+        assert answers == reference, "disabled-state answers diverged"
+
+        REGISTRY.enabled = True
+        answers, seconds = run_workload(groups)
+        enabled_times.append(seconds)
+        assert answers == reference, (
+            "metrics-enabled answers differ from uninstrumented answers"
+        )
+
+    with trace("bench") as tracer:
+        traced_answers, traced_seconds = run_workload(groups)
+    assert traced_answers == reference, (
+        "traced answers differ from uninstrumented answers"
+    )
+    assert tracer.root.children, "traced round recorded no spans"
+
+    best_disabled = min(disabled_times)
+    best_enabled = min(enabled_times)
+    overhead = (best_enabled - best_disabled) / best_disabled
+    print(
+        f"[obs guard, {groups} groups x {rounds} rounds] "
+        f"disabled {best_disabled * 1000:7.2f} ms | "
+        f"enabled {best_enabled * 1000:7.2f} ms | "
+        f"overhead {overhead * 100:+5.2f}% (limit {limit * 100:.0f}%) | "
+        f"traced {traced_seconds * 1000:7.2f} ms"
+    )
+
+    path = emit_result(
+        __file__,
+        {
+            "mode": "guard",
+            "groups": groups,
+            "rounds": rounds,
+            "disabled_best_s": round(best_disabled, 6),
+            "enabled_best_s": round(best_enabled, 6),
+            "traced_s": round(traced_seconds, 6),
+            "overhead": round(overhead, 6),
+            "limit": limit,
+            "answers_identical": True,
+        },
+    )
+    print(f"wrote {path}")
+
+    if not args.no_assert:
+        assert overhead < limit, (
+            f"metrics-enabled overhead {overhead * 100:.2f}% exceeds the "
+            f"{limit * 100:.0f}% bound"
+        )
+        print(
+            f"criterion met: answers bit-identical, overhead "
+            f"{overhead * 100:.2f}% < {limit * 100:.0f}%"
+        )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

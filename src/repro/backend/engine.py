@@ -30,6 +30,7 @@ materialized.
 from __future__ import annotations
 
 import sqlite3
+import time
 from pathlib import Path
 from typing import Dict, Iterable, Optional, Sequence, Tuple, Union
 
@@ -39,6 +40,8 @@ from repro.core.families import Family
 from repro.cqa.answers import ClosedAnswer, OpenAnswers, Verdict
 from repro.cqa.engine import CqaEngine
 from repro.exceptions import QueryError
+from repro.obs import annotate, observe_query
+from repro.obs import span as obs_span
 from repro.query.ast import Formula
 from repro.query.parser import parse_query
 from repro.query.sql import sql_to_formula
@@ -103,8 +106,9 @@ class SqlCqaEngine:
     # Routing -----------------------------------------------------------------
 
     def _to_formula(self, query: Union[str, Formula]) -> Formula:
-        formula = parse_query(query) if isinstance(query, str) else query
-        return check_against_schema(formula, self.schema)
+        with obs_span("parse"):
+            formula = parse_query(query) if isinstance(query, str) else query
+            return check_against_schema(formula, self.schema)
 
     def explain(
         self,
@@ -149,22 +153,35 @@ class SqlCqaEngine:
         self, query: Union[str, Formula], family: Optional[Family] = None
     ) -> ClosedAnswer:
         """Three-valued verdict of a closed query (Definition 3)."""
+        started = time.perf_counter()
         family = family or self.family
         formula = self._to_formula(query)
         if not formula.is_closed:
             raise QueryError("answer() requires a closed formula")
-        decision = self._decide(formula, ())
+        with obs_span("route-decision"):
+            decision = self._decide(formula, ())
         if decision.plan is None:
             self.last_route = f"fallback: {decision.reason}"
-            return self._fallback().answer(formula, family)
+            annotate(route="fallback", reason=decision.reason)
+            answer = self._fallback().answer(formula, family)
+            observe_query(
+                "sql", self.last_route, str(family),
+                time.perf_counter() - started,
+            )
+            return answer
         self.last_route = "sqlite"
-        result = decision.plan.run(self._connection)
+        annotate(route="sqlite")
+        with obs_span("sql-execute"):
+            result = decision.plan.run(self._connection)
         if result.certain:
             verdict = Verdict.TRUE  # true in every repair
         elif result.possible:
             verdict = Verdict.UNDETERMINED  # true in some, false in some
         else:
             verdict = Verdict.FALSE  # true in no repair
+        observe_query(
+            "sql", "sqlite", str(family), time.perf_counter() - started
+        )
         return ClosedAnswer(family, verdict, 0, 0, None, route="sqlite")
 
     def is_consistently_true(
@@ -182,16 +199,31 @@ class SqlCqaEngine:
         family: Optional[Family] = None,
     ) -> OpenAnswers:
         """Certain/possible answer sets of an open query."""
+        started = time.perf_counter()
         family = family or self.family
         formula = self._to_formula(query)
         if variables is None:
             variables = tuple(sorted(formula.free_variables()))
-        decision = self._decide(formula, variables)
+        with obs_span("route-decision"):
+            decision = self._decide(formula, variables)
         if decision.plan is None:
             self.last_route = f"fallback: {decision.reason}"
-            return self._fallback().certain_answers(formula, variables, family)
+            annotate(route="fallback", reason=decision.reason)
+            answers = self._fallback().certain_answers(
+                formula, variables, family
+            )
+            observe_query(
+                "sql", self.last_route, str(family),
+                time.perf_counter() - started,
+            )
+            return answers
         self.last_route = "sqlite"
-        result = decision.plan.run(self._connection)
+        annotate(route="sqlite")
+        with obs_span("sql-execute"):
+            result = decision.plan.run(self._connection)
+        observe_query(
+            "sql", "sqlite", str(family), time.perf_counter() - started
+        )
         return OpenAnswers(
             family,
             tuple(variables),

@@ -290,8 +290,6 @@ def _cmd_query(args: argparse.Namespace) -> int:
     """Certain answers for open or closed queries, optionally SQL-pushed."""
     import json
 
-    from repro.query.parser import parse_query
-
     family = _FAMILY_CODES[args.family]
     dependencies = [
         FunctionalDependency.parse(spec, args.relation) for spec in args.fd
@@ -382,6 +380,29 @@ def _cmd_query(args: argparse.Namespace) -> int:
         else:
             print("route: memory (in-memory repair streaming, no SQL)")
         return 0
+
+    if not getattr(args, "profile", False):
+        return _execute_query(args, engine, route, family)
+
+    # --profile: collect the query-lifecycle span tree while executing,
+    # then render it after the normal output (to stderr under --json so
+    # stdout stays machine-readable).
+    from repro.obs import format_tree, trace
+
+    with trace("query") as tracer:
+        code = _execute_query(args, engine, route, family)
+    tracer.root.attributes.setdefault("backend", args.backend)
+    tracer.root.attributes.setdefault("route", route())
+    stream = sys.stderr if args.json else sys.stdout
+    print(format_tree(tracer.root), file=stream)
+    return code
+
+
+def _execute_query(args: argparse.Namespace, engine, route, family) -> int:
+    """Execute the (already routed) query and print the answer."""
+    import json
+
+    from repro.query.parser import parse_query
 
     if args.sql:
         result = engine.sql_certain_answers(args.sql, family)
@@ -668,21 +689,34 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         sqlite_pushdown=not args.no_pushdown and backend != "memory",
         prefsql_pushdown=backend in ("auto", "prefsql"),
     )
-    front = ServiceFrontEnd(broker)
-    if args.stdio:
-        return serve_stdio(front, sys.stdin, sys.stdout)
-    server = make_http_server(front, args.host, args.port)
-    host, port = server.server_address[:2]
-    print(f"repro service on http://{host}:{port} "
-          f"(POST /query, POST /update, GET /healthz, GET /stats)")
+    access_stream = None
+    owns_stream = False
+    if getattr(args, "access_log", None):
+        if args.access_log == "-":
+            access_stream = sys.stderr
+        else:
+            access_stream = open(args.access_log, "a", encoding="utf-8")
+            owns_stream = True
+    front = ServiceFrontEnd(broker, access_log=access_stream)
     try:
-        server.serve_forever()
-    except KeyboardInterrupt:  # pragma: no cover - interactive
-        pass
+        if args.stdio:
+            return serve_stdio(front, sys.stdin, sys.stdout)
+        server = make_http_server(front, args.host, args.port)
+        host, port = server.server_address[:2]
+        print(f"repro service on http://{host}:{port} "
+              f"(POST /query, POST /update, GET /healthz, GET /stats, "
+              f"GET /metrics)")
+        try:
+            server.serve_forever()
+        except KeyboardInterrupt:  # pragma: no cover - interactive
+            pass
+        finally:
+            server.server_close()
+            broker.close()
+        return 0
     finally:
-        server.server_close()
-        broker.close()
-    return 0
+        if owns_stream:
+            access_stream.close()
 
 
 def _cmd_examples(args: argparse.Namespace) -> int:
@@ -767,6 +801,15 @@ def build_parser() -> argparse.ArgumentParser:
     )
     query_cmd.add_argument(
         "--json", action="store_true", help="emit the result as JSON"
+    )
+    query_cmd.add_argument(
+        "--profile",
+        action="store_true",
+        help=(
+            "print the query-lifecycle span tree (per-stage timings and "
+            "the chosen route) after the answer; with --json the tree "
+            "goes to stderr"
+        ),
     )
     query_cmd.set_defaults(handler=_cmd_query)
 
@@ -867,6 +910,16 @@ def build_parser() -> argparse.ArgumentParser:
             "pushdown policy: auto/prefsql = preference-aware SQL for "
             "prioritized requests, sqlite = preference-blind mirror only "
             "(prioritized requests stream in memory), memory = no mirror"
+        ),
+    )
+    serve.add_argument(
+        "--access-log",
+        nargs="?",
+        const="-",
+        metavar="PATH",
+        help=(
+            "write one line per served query (latency, route, answer "
+            "cardinality) to PATH; with no PATH, log to stderr"
         ),
     )
     serve.set_defaults(handler=_cmd_serve)

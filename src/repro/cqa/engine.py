@@ -21,6 +21,7 @@ scan-based reference evaluator instead.
 
 from __future__ import annotations
 
+import time
 from typing import (
     Dict,
     FrozenSet,
@@ -32,6 +33,9 @@ from typing import (
     Tuple,
     Union,
 )
+
+from repro.obs import annotate, observe_query
+from repro.obs import span as obs_span
 
 from repro.constraints.conflict_graph import ConflictGraph, build_conflict_graph
 from repro.constraints.fd import FunctionalDependency
@@ -141,14 +145,15 @@ class CqaEngine:
     def _to_formula(self, query: Union[str, Formula]) -> Formula:
         from repro.query.validate import check_against_schema
 
-        formula = parse_query(query) if isinstance(query, str) else query
-        if isinstance(self.data, Database):
-            schema = self.data.schema
-        else:
-            from repro.relational.schema import DatabaseSchema
+        with obs_span("parse"):
+            formula = parse_query(query) if isinstance(query, str) else query
+            if isinstance(self.data, Database):
+                schema = self.data.schema
+            else:
+                from repro.relational.schema import DatabaseSchema
 
-            schema = DatabaseSchema([self.data.schema])
-        return check_against_schema(formula, schema)
+                schema = DatabaseSchema([self.data.schema])
+            return check_against_schema(formula, schema)
 
     def _shard_plan(self, family: Family):
         """The sharded view of this engine's preferred-repair space."""
@@ -181,19 +186,21 @@ class CqaEngine:
         if workers is not None:
             from repro.service.parallel import run_closed
 
-            merged = run_closed(
-                self._shard_plan(family),
-                formula,
-                workers=workers,
-                naive=self.naive,
-                stop_on_false=True,
-            )
+            with obs_span("shard-fan-out", workers=workers):
+                merged = run_closed(
+                    self._shard_plan(family),
+                    formula,
+                    workers=workers,
+                    naive=self.naive,
+                    stop_on_false=True,
+                )
             return merged.counterexample is None
         constants = constants_of(formula)
-        for repair in self._stream_repairs(family):
-            context = self._context_for(repair, constants)
-            if not evaluate(formula, repair, context=context):
-                return False
+        with obs_span("stream-repairs", route=self._route):
+            for repair in self._stream_repairs(family):
+                context = self._context_for(repair, constants)
+                if not evaluate(formula, repair, context=context):
+                    return False
         return True
 
     def answer(
@@ -209,6 +216,7 @@ class CqaEngine:
         repair match the serial stream exactly for the streaming
         families (Rep, L, S) and agree on content for G and C.
         """
+        started = time.perf_counter()
         family = family or self.family
         formula = self._to_formula(query)
         if not formula.is_closed:
@@ -219,30 +227,40 @@ class CqaEngine:
         if workers is not None:
             from repro.service.parallel import run_closed
 
-            merged = run_closed(
-                self._shard_plan(family),
-                formula,
-                workers=workers,
-                naive=self.naive,
-            )
-            return self._closed_answer_from_counts(
+            with obs_span("shard-fan-out", workers=workers):
+                merged = run_closed(
+                    self._shard_plan(family),
+                    formula,
+                    workers=workers,
+                    naive=self.naive,
+                )
+            result = self._closed_answer_from_counts(
                 family, merged.considered, merged.satisfying,
                 merged.counterexample,
             )
-        considered = 0
-        satisfying = 0
-        counterexample: Optional[Repair] = None
-        constants = constants_of(formula)
-        for repair in self._stream_repairs(family):
-            considered += 1
-            context = self._context_for(repair, constants)
-            if evaluate(formula, repair, context=context):
-                satisfying += 1
-            elif counterexample is None:
-                counterexample = repair
-        return self._closed_answer_from_counts(
-            family, considered, satisfying, counterexample
+        else:
+            considered = 0
+            satisfying = 0
+            counterexample: Optional[Repair] = None
+            constants = constants_of(formula)
+            with obs_span("stream-repairs", route=self._route):
+                for repair in self._stream_repairs(family):
+                    considered += 1
+                    context = self._context_for(repair, constants)
+                    if evaluate(formula, repair, context=context):
+                        satisfying += 1
+                    elif counterexample is None:
+                        counterexample = repair
+                annotate(repairs=considered)
+            result = self._closed_answer_from_counts(
+                family, considered, satisfying, counterexample
+            )
+        annotate(route=result.route, verdict=result.verdict.value)
+        observe_query(
+            "cqa", result.route or self._route, str(family),
+            time.perf_counter() - started,
         )
+        return result
 
     def _closed_answer_from_counts(
         self,
@@ -280,6 +298,7 @@ class CqaEngine:
         (see :meth:`is_consistently_true`); the merged answer sets are
         bit-identical to serial streaming.
         """
+        started = time.perf_counter()
         family = family or self.family
         formula = self._to_formula(query)
         if variables is None:
@@ -290,14 +309,15 @@ class CqaEngine:
         if workers is not None:
             from repro.service.parallel import run_open
 
-            merged = run_open(
-                self._shard_plan(family),
-                formula,
-                tuple(variables),
-                workers=workers,
-                naive=self.naive,
-            )
-            return OpenAnswers(
+            with obs_span("shard-fan-out", workers=workers):
+                merged = run_open(
+                    self._shard_plan(family),
+                    formula,
+                    tuple(variables),
+                    workers=workers,
+                    naive=self.naive,
+                )
+            answers = OpenAnswers(
                 family,
                 tuple(variables),
                 merged.certain,
@@ -305,24 +325,35 @@ class CqaEngine:
                 merged.considered,
                 route=self._route,
             )
-        certain: Optional[FrozenSet[Tuple]] = None
-        possible: FrozenSet[Tuple] = frozenset()
-        considered = 0
-        constants = constants_of(formula)
-        for repair in self._stream_repairs(family):
-            considered += 1
-            context = self._context_for(repair, constants)
-            result = evaluate_answers(formula, repair, variables, context=context)
-            certain = result if certain is None else certain & result
-            possible = possible | result
-        return OpenAnswers(
-            family,
-            variables,
-            certain if certain is not None else frozenset(),
-            possible,
-            considered,
-            route=self._route,
+        else:
+            certain: Optional[FrozenSet[Tuple]] = None
+            possible: FrozenSet[Tuple] = frozenset()
+            considered = 0
+            constants = constants_of(formula)
+            with obs_span("stream-repairs", route=self._route):
+                for repair in self._stream_repairs(family):
+                    considered += 1
+                    context = self._context_for(repair, constants)
+                    result = evaluate_answers(
+                        formula, repair, variables, context=context
+                    )
+                    certain = result if certain is None else certain & result
+                    possible = possible | result
+                annotate(repairs=considered)
+            answers = OpenAnswers(
+                family,
+                variables,
+                certain if certain is not None else frozenset(),
+                possible,
+                considered,
+                route=self._route,
+            )
+        annotate(route=answers.route, certain=len(answers.certain))
+        observe_query(
+            "cqa", answers.route or self._route, str(family),
+            time.perf_counter() - started,
         )
+        return answers
 
     def sql_certain_answers(
         self,

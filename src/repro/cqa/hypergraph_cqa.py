@@ -14,8 +14,11 @@ meaning", so this engine serves the classic ``Rep`` family only.
 
 from __future__ import annotations
 
+import time
 from typing import Iterable, Optional, Sequence, Tuple, Union
 
+from repro.obs import annotate, observe_query
+from repro.obs import span as obs_span
 from repro.constraints.denial import (
     ConflictHypergraph,
     DenialConstraint,
@@ -70,6 +73,7 @@ class DenialCqaEngine:
 
     def answer(self, query: Union[str, Formula]) -> ClosedAnswer:
         """Three-valued consistent answer to a closed query."""
+        started = time.perf_counter()
         formula = self._to_formula(query)
         if not formula.is_closed:
             raise QueryError("answer() requires a closed formula")
@@ -77,19 +81,25 @@ class DenialCqaEngine:
         satisfying = 0
         counterexample = None
         constants = constants_of(formula)
-        for repair in self.repairs():
-            considered += 1
-            context = self._contexts.context_for(repair, constants)
-            if evaluate(formula, repair, context=context):
-                satisfying += 1
-            elif counterexample is None:
-                counterexample = repair
+        with obs_span("hypergraph-repairs", route=self._route):
+            for repair in self.repairs():
+                considered += 1
+                context = self._contexts.context_for(repair, constants)
+                if evaluate(formula, repair, context=context):
+                    satisfying += 1
+                elif counterexample is None:
+                    counterexample = repair
+            annotate(repairs=considered)
         if considered and satisfying == considered:
             verdict = Verdict.TRUE
         elif satisfying == 0 and considered:
             verdict = Verdict.FALSE
         else:
             verdict = Verdict.UNDETERMINED
+        observe_query(
+            "denial", self._route, str(Family.REP),
+            time.perf_counter() - started,
+        )
         return ClosedAnswer(
             Family.REP, verdict, considered, satisfying, counterexample,
             route=self._route,
@@ -101,6 +111,7 @@ class DenialCqaEngine:
         variables: Optional[Tuple[str, ...]] = None,
     ) -> OpenAnswers:
         """Certain/possible answers of an open query over the repairs."""
+        started = time.perf_counter()
         formula = self._to_formula(query)
         if variables is None:
             variables = tuple(sorted(formula.free_variables()))
@@ -108,12 +119,20 @@ class DenialCqaEngine:
         possible = frozenset()
         considered = 0
         constants = constants_of(formula)
-        for repair in self.repairs():
-            considered += 1
-            context = self._contexts.context_for(repair, constants)
-            result = evaluate_answers(formula, repair, variables, context=context)
-            certain = result if certain is None else certain & result
-            possible = possible | result
+        with obs_span("hypergraph-repairs", route=self._route):
+            for repair in self.repairs():
+                considered += 1
+                context = self._contexts.context_for(repair, constants)
+                result = evaluate_answers(
+                    formula, repair, variables, context=context
+                )
+                certain = result if certain is None else certain & result
+                possible = possible | result
+            annotate(repairs=considered)
+        observe_query(
+            "denial", self._route, str(Family.REP),
+            time.perf_counter() - started,
+        )
         return OpenAnswers(
             Family.REP,
             variables,

@@ -28,6 +28,7 @@ from repro.core.optimality import (
     is_locally_optimal,
     is_semi_globally_optimal,
 )
+from repro.obs import observe_cache
 from repro.priorities.priority import Priority, PriorityEdge
 from repro.relational.rows import Row
 from repro.repairs.enumerate import enumerate_repairs, repair_sort_key
@@ -58,6 +59,15 @@ class ComponentRepairCache:
         self._preferred: Dict[FamilyKey, List[Repair]] = {}
         self.hits = 0
         self.misses = 0
+        self.evictions = 0
+
+    def _hit(self) -> None:
+        self.hits += 1
+        observe_cache("component_repair", "hit")
+
+    def _miss(self) -> None:
+        self.misses += 1
+        observe_cache("component_repair", "miss")
 
     # Entry points -------------------------------------------------------------
 
@@ -77,9 +87,9 @@ class ComponentRepairCache:
         """All maximal independent sets of the component."""
         cached = self._fragments.get(component)
         if cached is not None:
-            self.hits += 1
+            self._hit()
             return cached
-        self.misses += 1
+        self._miss()
         subgraph = self.component_graph(graph, component)
         # The component is connected by construction; skip re-factoring.
         fragments = _deterministic(
@@ -109,9 +119,9 @@ class ComponentRepairCache:
         key: FamilyKey = (family, component, active_edges)
         cached = self._preferred.get(key)
         if cached is not None:
-            self.hits += 1
+            self._hit()
             return cached
-        self.misses += 1
+        self._miss()
         fragments = self.repair_fragments(graph, component)
         if family is Family.REP and not active_edges:
             selected = fragments
@@ -144,6 +154,8 @@ class ComponentRepairCache:
     def _remember(self, store: Dict, key, value) -> None:
         if len(store) >= self.max_entries:
             store.pop(next(iter(store)))
+            self.evictions += 1
+            observe_cache("component_repair", "eviction")
         store[key] = value
 
     def clear(self) -> None:
@@ -155,6 +167,7 @@ class ComponentRepairCache:
         return {
             "hits": self.hits,
             "misses": self.misses,
+            "evictions": self.evictions,
             "graphs": len(self._graphs),
             "fragment_sets": len(self._fragments),
             "preferred_sets": len(self._preferred),

@@ -23,6 +23,7 @@ immutable engine's constructor would.
 
 from __future__ import annotations
 
+import time
 from itertools import product
 from typing import (
     Dict,
@@ -48,6 +49,8 @@ from repro.query.evaluator import answers as evaluate_answers
 from repro.query.evaluator import evaluate
 from repro.query.parser import parse_query
 from repro.query.sql import sql_to_formula
+from repro.obs import annotate, observe_query
+from repro.obs import span as obs_span
 from repro.query.validate import check_against_schema
 from repro.relational.database import Database
 from repro.relational.instance import RelationInstance
@@ -266,8 +269,9 @@ class IncrementalCqaEngine:
     # Query plumbing -----------------------------------------------------------
 
     def _to_formula(self, query: Union[str, Formula]) -> Formula:
-        formula = parse_query(query) if isinstance(query, str) else query
-        return check_against_schema(formula, self.schema)
+        with obs_span("parse"):
+            formula = parse_query(query) if isinstance(query, str) else query
+            return check_against_schema(formula, self.schema)
 
     def _witness_index(
         self, formula: Formula, variables: Tuple[str, ...]
@@ -432,11 +436,29 @@ class IncrementalCqaEngine:
         queries) across a process pool; the witness-index fast path
         never materializes repairs, so it ignores the flag.
         """
+        started = time.perf_counter()
+        result = self._answer(query, family, parallel)
+        annotate(route=result.route, verdict=result.verdict.value)
+        observe_query(
+            "incremental",
+            result.route or self._route,
+            str(family or self.family),
+            time.perf_counter() - started,
+        )
+        return result
+
+    def _answer(
+        self,
+        query: Union[str, Formula],
+        family: Optional[Family] = None,
+        parallel: Optional[int] = None,
+    ) -> ClosedAnswer:
         family = family or self.family
         formula = self._to_formula(query)
         if not formula.is_closed:
             raise QueryError("answer() requires a closed formula")
-        components, fragments = self._fragment_table(family)
+        with obs_span("plan"):
+            components, fragments = self._fragment_table(family)
         total = 1
         for options in fragments:
             total *= len(options)
@@ -447,11 +469,15 @@ class IncrementalCqaEngine:
             )
         index = self._witness_index(formula, ())
         if index is None:
-            return self._answer_by_enumeration(formula, family, fragments, parallel)
-        supports = index.supports_for(())
-        relevant, compat, always = self._compatibility(
-            supports, components, fragments
-        )
+            with obs_span("enumerate-repairs", route=self._route):
+                return self._answer_by_enumeration(
+                    formula, family, fragments, parallel
+                )
+        with obs_span("witness-cover"):
+            supports = index.supports_for(())
+            relevant, compat, always = self._compatibility(
+                supports, components, fragments
+            )
         if always:
             return ClosedAnswer(
                 family, Verdict.TRUE, total, total, None, route="witness-index"
@@ -604,44 +630,67 @@ class IncrementalCqaEngine:
         ``parallel`` shards the enumeration fallback across a process
         pool (the witness-index fast path ignores it).
         """
+        started = time.perf_counter()
+        result = self._certain_answers(query, variables, family, parallel)
+        annotate(route=result.route, certain=len(result.certain))
+        observe_query(
+            "incremental",
+            result.route or self._route,
+            str(family or self.family),
+            time.perf_counter() - started,
+        )
+        return result
+
+    def _certain_answers(
+        self,
+        query: Union[str, Formula],
+        variables: Optional[Tuple[str, ...]] = None,
+        family: Optional[Family] = None,
+        parallel: Optional[int] = None,
+    ) -> OpenAnswers:
         family = family or self.family
         formula = self._to_formula(query)
         if variables is None:
             variables = tuple(sorted(formula.free_variables()))
-        components, fragments = self._fragment_table(family)
+        with obs_span("plan"):
+            components, fragments = self._fragment_table(family)
         total = 1
         for options in fragments:
             total *= len(options)
         index = self._witness_index(formula, tuple(variables))
         if index is None or total == 0:
-            return self._certain_answers_by_enumeration(
-                formula, tuple(variables), family, fragments, parallel
-            )
+            with obs_span("enumerate-repairs", route=self._route):
+                return self._certain_answers_by_enumeration(
+                    formula, tuple(variables), family, fragments, parallel
+                )
         certain: Set[Tuple] = set()
         possible: Set[Tuple] = set()
-        for answer in index.answers():
-            relevant, compat, always = self._compatibility(
-                index.supports_for(answer), components, fragments
-            )
-            if always:
-                certain.add(answer)
-                possible.add(answer)
-                continue
-            if not compat:
-                continue
-            # A surviving support is itself contained in some repair
-            # (choose its compatible fragments), so the answer is possible.
-            possible.add(answer)
-            if any(
-                self._cluster_uncovered(
-                    comp_indexes, cluster_supports, fragments, count_all=False
-                )[0]
-                == 0
-                for comp_indexes, cluster_supports in self._clusters(
-                    relevant, compat
+        with obs_span("witness-cover"):
+            for answer in index.answers():
+                relevant, compat, always = self._compatibility(
+                    index.supports_for(answer), components, fragments
                 )
-            ):
-                certain.add(answer)
+                if always:
+                    certain.add(answer)
+                    possible.add(answer)
+                    continue
+                if not compat:
+                    continue
+                # A surviving support is itself contained in some repair
+                # (choose its compatible fragments), so the answer is
+                # possible.
+                possible.add(answer)
+                if any(
+                    self._cluster_uncovered(
+                        comp_indexes, cluster_supports, fragments,
+                        count_all=False,
+                    )[0]
+                    == 0
+                    for comp_indexes, cluster_supports in self._clusters(
+                        relevant, compat
+                    )
+                ):
+                    certain.add(answer)
         return OpenAnswers(
             family,
             tuple(variables),

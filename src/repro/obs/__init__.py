@@ -1,0 +1,120 @@
+"""repro.obs — unified metrics registry and query-lifecycle tracing.
+
+One process-wide :data:`REGISTRY` collects counters, gauges, and latency
+histograms from every layer (engines, broker, locks, shard pool, HTTP
+front end); :mod:`repro.obs.tracing` adds opt-in per-thread span trees
+for ``repro query --profile``.  Both are dependency-free and near-free
+when disabled.
+
+The helpers below define the metric families every layer shares, so
+label vocabularies ("route", "engine", "cache") stay consistent and
+exposition (``GET /metrics``) needs no per-module knowledge.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from .registry import (
+    DEFAULT_LATENCY_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricFamily,
+    MetricsRegistry,
+    REGISTRY,
+)
+from .tracing import (
+    Span,
+    Tracer,
+    annotate,
+    current_tracer,
+    format_tree,
+    span,
+    trace,
+)
+
+__all__ = [
+    "DEFAULT_LATENCY_BUCKETS",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricFamily",
+    "MetricsRegistry",
+    "REGISTRY",
+    "Span",
+    "Tracer",
+    "annotate",
+    "current_tracer",
+    "format_tree",
+    "span",
+    "trace",
+    "observe_query",
+    "observe_cache",
+    "query_histogram",
+]
+
+
+def query_histogram(registry: MetricsRegistry = REGISTRY) -> MetricFamily:
+    """The shared per-route query latency histogram family."""
+    return registry.histogram(
+        "repro_query_seconds",
+        "Query latency by chosen route",
+        labels=("route",),
+    )
+
+
+def observe_query(
+    engine: str,
+    route: str,
+    family: str,
+    seconds: float,
+    registry: MetricsRegistry = REGISTRY,
+) -> None:
+    """Record one answered query: route counter + latency histogram.
+
+    ``route`` is the engine's own label ("prefsql", "sqlite",
+    "witness-index", "indexed", "naive", or "fallback: <reason>"); the
+    fallback reason is split into its own counter so the route label set
+    stays small.
+    """
+    if not registry.enabled:
+        return
+    reason: Optional[str] = None
+    if route.startswith("fallback"):
+        _, _, detail = route.partition(":")
+        reason = detail.strip() or "unspecified"
+        route = "fallback"
+    registry.counter(
+        "repro_queries_total",
+        "Queries answered, by engine, route, and repair family",
+        labels=("engine", "route", "family"),
+    ).labels(engine=engine, route=route, family=family).inc()
+    if reason is not None:
+        registry.counter(
+            "repro_fallbacks_total",
+            "Pushdown fallbacks to in-memory evaluation, by reason",
+            labels=("reason",),
+        ).labels(reason=reason).inc()
+    query_histogram(registry).labels(route=route).observe(seconds)
+
+
+def observe_cache(
+    cache: str,
+    event: str,
+    amount: int = 1,
+    registry: MetricsRegistry = REGISTRY,
+) -> None:
+    """Record a cache event: ``event`` is "hit", "miss", or "eviction".
+
+    ``cache`` names the family: "answer" (broker result cache),
+    "context" (evaluator contexts), or "component_repair" (incremental
+    per-component repair sets).
+    """
+    if not registry.enabled:
+        return
+    registry.counter(
+        "repro_cache_events_total",
+        "Cache hits, misses, and evictions by cache family",
+        labels=("cache", "event"),
+    ).labels(cache=cache, event=event).inc(amount)

@@ -1,0 +1,179 @@
+"""Span-based query-lifecycle tracing.
+
+A :class:`Trace` is a tree of :class:`Span` objects, each recording a
+stage name, wall-clock duration, free-form attributes, and children.
+Engines open spans around their lifecycle stages (parse → plan → route
+decision → edges/winnow → SQL or stream execution → shard fan-out and
+merge); the CLI's ``repro query --profile`` renders the finished tree.
+
+Tracing is *opt-in per thread*: :func:`trace` installs a collector in a
+``threading.local`` slot, and the :func:`span` helper used throughout
+the engines checks that slot first.  When no collector is installed the
+helper returns a shared no-op context manager — a single attribute read
+plus a tuple-free ``with`` block, cheap enough that the bench guard
+keeps the disabled path within 5% of fully uninstrumented code.
+Instrumented code never imports anything but :func:`span` and
+:func:`annotate`, so the instrumentation cannot change answers.
+
+Exports: :meth:`Span.to_dict` (JSON-ready nesting) and
+:func:`format_tree` (the pretty printer behind ``--profile``).
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from contextlib import contextmanager
+from typing import Any, Dict, Iterator, List, Optional
+
+
+class Span:
+    """One timed stage: name, attributes, duration, and child spans."""
+
+    __slots__ = ("name", "attributes", "children", "start", "duration")
+
+    def __init__(self, name: str, attributes: Optional[Dict[str, Any]] = None):
+        self.name = name
+        self.attributes: Dict[str, Any] = dict(attributes or {})
+        self.children: List[Span] = []
+        self.start = 0.0
+        self.duration = 0.0
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-ready nested representation (durations in seconds)."""
+        entry: Dict[str, Any] = {
+            "name": self.name,
+            "duration_s": round(self.duration, 9),
+        }
+        if self.attributes:
+            entry["attributes"] = dict(self.attributes)
+        if self.children:
+            entry["children"] = [child.to_dict() for child in self.children]
+        return entry
+
+
+class Tracer:
+    """Collects one span tree for the thread it is installed on."""
+
+    __slots__ = ("root", "_stack")
+
+    def __init__(self, name: str = "query") -> None:
+        self.root = Span(name)
+        self.root.start = time.perf_counter()
+        self._stack: List[Span] = [self.root]
+
+    @contextmanager
+    def span(self, name: str, **attributes: Any) -> Iterator[Span]:
+        child = Span(name, attributes)
+        child.start = time.perf_counter()
+        self._stack[-1].children.append(child)
+        self._stack.append(child)
+        try:
+            yield child
+        finally:
+            child.duration = time.perf_counter() - child.start
+            self._stack.pop()
+
+    def annotate(self, **attributes: Any) -> None:
+        self._stack[-1].attributes.update(attributes)
+
+    def finish(self) -> Span:
+        self.root.duration = time.perf_counter() - self.root.start
+        return self.root
+
+
+class _NoopSpan:
+    """Shared do-nothing context manager for the untraced fast path."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NoopSpan":
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        return None
+
+
+_NOOP = _NoopSpan()
+_STATE = threading.local()
+
+
+def current_tracer() -> Optional[Tracer]:
+    """The tracer installed on this thread, or None."""
+    return getattr(_STATE, "tracer", None)
+
+
+def span(name: str, **attributes: Any):
+    """Open a child span if tracing is active, else a shared no-op.
+
+    This is the only call instrumented code makes on the hot path; with
+    no tracer installed it costs one ``getattr`` and returns a shared
+    singleton.
+    """
+    tracer = getattr(_STATE, "tracer", None)
+    if tracer is None:
+        return _NOOP
+    return tracer.span(name, **attributes)
+
+
+def annotate(**attributes: Any) -> None:
+    """Attach attributes to the innermost open span (no-op untraced)."""
+    tracer = getattr(_STATE, "tracer", None)
+    if tracer is not None:
+        tracer.annotate(**attributes)
+
+
+@contextmanager
+def trace(name: str = "query") -> Iterator[Tracer]:
+    """Install a tracer on this thread for the duration of the block.
+
+    Nested calls stack: the previous tracer (if any) is restored on
+    exit.  The yielded tracer's root span is finished on exit, so the
+    caller reads ``tracer.root`` afterwards.
+    """
+    previous = getattr(_STATE, "tracer", None)
+    tracer = Tracer(name)
+    _STATE.tracer = tracer
+    try:
+        yield tracer
+    finally:
+        tracer.finish()
+        _STATE.tracer = previous
+
+
+def format_tree(root: Span, indent: str = "") -> str:
+    """Pretty-print a span tree for terminal output.
+
+    Durations render in the most readable unit (µs/ms/s); attributes
+    append as ``key=value`` pairs after the timing.
+    """
+    lines: List[str] = []
+
+    def _render(node: Span, prefix: str, is_last: bool, is_root: bool) -> None:
+        duration = node.duration
+        if duration >= 1.0:
+            timing = f"{duration:.3f}s"
+        elif duration >= 0.001:
+            timing = f"{duration * 1e3:.3f}ms"
+        else:
+            timing = f"{duration * 1e6:.1f}µs"
+        attrs = "".join(
+            f" {key}={value}" for key, value in sorted(node.attributes.items())
+        )
+        if is_root:
+            lines.append(f"{node.name}  [{timing}]{attrs}")
+            child_prefix = ""
+        else:
+            connector = "└─ " if is_last else "├─ "
+            lines.append(f"{prefix}{connector}{node.name}  [{timing}]{attrs}")
+            child_prefix = prefix + ("   " if is_last else "│  ")
+        for position, child in enumerate(node.children):
+            _render(
+                child,
+                child_prefix,
+                position == len(node.children) - 1,
+                False,
+            )
+
+    _render(root, indent, True, True)
+    return "\n".join(lines)

@@ -44,6 +44,7 @@ from __future__ import annotations
 
 import sqlite3
 import threading
+import time
 from collections import OrderedDict
 from dataclasses import replace
 from pathlib import Path
@@ -61,6 +62,8 @@ from repro.core.families import Family
 from repro.cqa.answers import ClosedAnswer, OpenAnswers, Verdict
 from repro.cqa.engine import CqaEngine
 from repro.exceptions import CyclicPriorityError, QueryError
+from repro.obs import annotate, observe_query
+from repro.obs import span as obs_span
 from repro.prefsql.edges import materialize_conflicts, materialize_edges
 from repro.prefsql.winnow import (
     build_survivor_table,
@@ -263,8 +266,9 @@ class PrefSqlCqaEngine:
     # Routing -----------------------------------------------------------------
 
     def _to_formula(self, query: Union[str, Formula]) -> Formula:
-        formula = parse_query(query) if isinstance(query, str) else query
-        return check_against_schema(formula, self.schema)
+        with obs_span("parse"):
+            formula = parse_query(query) if isinstance(query, str) else query
+            return check_against_schema(formula, self.schema)
 
     def explain(
         self,
@@ -345,22 +349,36 @@ class PrefSqlCqaEngine:
         self, query: Union[str, Formula], family: Optional[Family] = None
     ) -> ClosedAnswer:
         """Three-valued verdict of a closed query (Definition 3)."""
+        started = time.perf_counter()
         family = family or self.family
         formula = self._to_formula(query)
         if not formula.is_closed:
             raise QueryError("answer() requires a closed formula")
-        decision = self._decide(formula, (), family)
+        with obs_span("route-decision"):
+            decision = self._decide(formula, (), family)
         if decision.plan is None:
             self.last_route = f"fallback: {decision.reason}"
-            return self._fallback().answer(formula, family)
+            annotate(route="fallback", reason=decision.reason)
+            answer = self._fallback().answer(formula, family)
+            observe_query(
+                "prefsql", self.last_route, str(family),
+                time.perf_counter() - started,
+            )
+            return answer
         self.last_route = decision.route
-        result = decision.plan.run(self._connection)
+        annotate(route=decision.route)
+        with obs_span("winnow-execute", route=decision.route):
+            result = decision.plan.run(self._connection)
         if result.certain:
             verdict = Verdict.TRUE  # true in every preferred repair
         elif result.possible:
             verdict = Verdict.UNDETERMINED  # true in some, false in some
         else:
             verdict = Verdict.FALSE  # true in no preferred repair
+        observe_query(
+            "prefsql", decision.route, str(family),
+            time.perf_counter() - started,
+        )
         return ClosedAnswer(family, verdict, 0, 0, None, route=decision.route)
 
     def is_consistently_true(
@@ -378,16 +396,32 @@ class PrefSqlCqaEngine:
         family: Optional[Family] = None,
     ) -> OpenAnswers:
         """Certain/possible answer sets of an open query."""
+        started = time.perf_counter()
         family = family or self.family
         formula = self._to_formula(query)
         if variables is None:
             variables = tuple(sorted(formula.free_variables()))
-        decision = self._decide(formula, variables, family)
+        with obs_span("route-decision"):
+            decision = self._decide(formula, variables, family)
         if decision.plan is None:
             self.last_route = f"fallback: {decision.reason}"
-            return self._fallback().certain_answers(formula, variables, family)
+            annotate(route="fallback", reason=decision.reason)
+            answers = self._fallback().certain_answers(
+                formula, variables, family
+            )
+            observe_query(
+                "prefsql", self.last_route, str(family),
+                time.perf_counter() - started,
+            )
+            return answers
         self.last_route = decision.route
-        result = decision.plan.run(self._connection)
+        annotate(route=decision.route)
+        with obs_span("winnow-execute", route=decision.route):
+            result = decision.plan.run(self._connection)
+        observe_query(
+            "prefsql", decision.route, str(family),
+            time.perf_counter() - started,
+        )
         return OpenAnswers(
             family,
             tuple(variables),

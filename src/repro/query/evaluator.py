@@ -53,6 +53,7 @@ from typing import (
 )
 
 from repro.exceptions import QueryBindingError
+from repro.obs import observe_cache
 from repro.query.ast import (
     And,
     Atom,
@@ -278,7 +279,10 @@ class ContextCache:
     work, they never corrupt results.
     """
 
-    __slots__ = ("naive", "max_entries", "_contexts", "_lock")
+    __slots__ = (
+        "naive", "max_entries", "_contexts", "_lock",
+        "hits", "misses", "evictions",
+    )
 
     def __init__(self, max_entries: int = 1024, naive: bool = False) -> None:
         if max_entries < 1:
@@ -287,6 +291,9 @@ class ContextCache:
         self.max_entries = max_entries
         self._contexts: Dict[FrozenSet[Row], EvaluationContext] = {}
         self._lock = threading.Lock()
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
 
     def __len__(self) -> int:
         return len(self._contexts)
@@ -298,11 +305,28 @@ class ContextCache:
         with self._lock:
             base = self._contexts.get(rows)
             if base is None:
+                self.misses += 1
+                observe_cache("context", "miss")
                 if len(self._contexts) >= self.max_entries:
                     self._contexts.pop(next(iter(self._contexts)))
+                    self.evictions += 1
+                    observe_cache("context", "eviction")
                 base = EvaluationContext(rows, naive=self.naive)
                 self._contexts[rows] = base
+            else:
+                self.hits += 1
+                observe_cache("context", "hit")
             return base.with_constants(constants)
+
+    def stats(self) -> Dict[str, int]:
+        """Counter snapshot, shaped like the other cache families'."""
+        with self._lock:
+            return {
+                "entries": len(self._contexts),
+                "hits": self.hits,
+                "misses": self.misses,
+                "evictions": self.evictions,
+            }
 
 
 def _resolve(term, binding: Binding) -> Value:

@@ -63,6 +63,7 @@ from repro.core.families import Family
 from repro.cqa.answers import ClosedAnswer, OpenAnswers
 from repro.exceptions import QueryError
 from repro.incremental.engine import IncrementalCqaEngine
+from repro.obs import REGISTRY, observe_cache
 from repro.priorities.priority import PriorityEdge
 from repro.query.ast import Formula, relations_of
 from repro.relational.rows import Row
@@ -157,8 +158,10 @@ class AnswerCache:
             slot = self._entries.get(key)
             if slot is None:
                 self.misses += 1
+                observe_cache("answer", "miss")
             else:
                 self.hits += 1
+                observe_cache("answer", "hit")
             return slot
 
     def put(self, key: Tuple, slot: _CacheSlot) -> None:
@@ -166,6 +169,7 @@ class AnswerCache:
             if key not in self._entries and len(self._entries) >= self.max_entries:
                 self._entries.popitem(last=False)
                 self.evicted += 1
+                observe_cache("answer", "eviction")
             self._entries[key] = slot
 
     def invalidate_components(
@@ -185,6 +189,7 @@ class AnswerCache:
             for key in stale:
                 del self._entries[key]
             self.evicted += len(stale)
+            observe_cache("answer", "eviction", len(stale))
             return len(stale)
 
     def invalidate_database(self, database: str) -> int:
@@ -194,6 +199,7 @@ class AnswerCache:
             for key in stale:
                 del self._entries[key]
             self.evicted += len(stale)
+            observe_cache("answer", "eviction", len(stale))
             return len(stale)
 
     def stats(self) -> Dict[str, int]:
@@ -463,6 +469,12 @@ class RequestBroker:
         route.
         """
         self.batches += 1
+        if REGISTRY.enabled:
+            REGISTRY.histogram(
+                "repro_batch_size",
+                "Requests per submitted batch",
+                buckets=(1, 2, 4, 8, 16, 32, 64, 128, 256),
+            ).observe(len(requests))
         order = sorted(
             range(len(requests)),
             key=lambda position: (-requests[position].priority, position),
@@ -487,6 +499,11 @@ class RequestBroker:
                 if key in in_flight:
                     outcome, engine_label, route = in_flight[key]
                     self.deduplicated += 1
+                    if REGISTRY.enabled:
+                        REGISTRY.counter(
+                            "repro_deduplicated_total",
+                            "Requests shared with identical in-batch work",
+                        ).inc()
                     results[position] = BrokerResult(
                         request, outcome, entry.name, engine_label, route,
                         shared=True,
@@ -537,6 +554,54 @@ class RequestBroker:
 
     # Diagnostics --------------------------------------------------------------
 
+    def backend_of(self, database: Optional[str] = None) -> str:
+        """The engine a read-only query of ``database`` routes to first:
+        ``"prefsql"``, ``"sqlite"`` or ``"incremental"``."""
+        entry = self._entry(database)
+        if entry.mirror is None:
+            return "incremental"
+        if (
+            entry.prefsql_pushdown
+            and self._priority_fingerprint(entry)
+        ):
+            return "prefsql"
+        return "sqlite"
+
+    def cache_stats(self) -> Dict[str, Dict[str, int]]:
+        """All three cache families, uniformly shaped.
+
+        Each family reports ``{entries, hits, misses, evictions}``; the
+        context and component-repair families aggregate across every
+        registered database's engine.
+        """
+        answer = self.cache.stats()
+        families: Dict[str, Dict[str, int]] = {
+            "answer": {
+                "entries": answer["entries"],
+                "hits": answer["hits"],
+                "misses": answer["misses"],
+                "evictions": answer["evicted"],
+            },
+            "context": {"entries": 0, "hits": 0, "misses": 0, "evictions": 0},
+            "component_repair": {
+                "entries": 0, "hits": 0, "misses": 0, "evictions": 0,
+            },
+        }
+        for entry in self._entries.values():
+            context = entry.engine._contexts.stats()
+            for field_name in ("entries", "hits", "misses", "evictions"):
+                families["context"][field_name] += context[field_name]
+            component = entry.engine._cache.stats()
+            families["component_repair"]["hits"] += component["hits"]
+            families["component_repair"]["misses"] += component["misses"]
+            families["component_repair"]["evictions"] += component["evictions"]
+            families["component_repair"]["entries"] += (
+                component["graphs"]
+                + component["fragment_sets"]
+                + component["preferred_sets"]
+            )
+        return families
+
     def stats(self) -> Dict[str, object]:
         """Broker-level counters plus per-database engine summaries."""
         return {
@@ -545,6 +610,7 @@ class RequestBroker:
                     "queries": entry.queries,
                     "updates": entry.updates,
                     "sqlite_mirror": entry.mirror is not None,
+                    "backend": self.backend_of(name),
                     "concurrent_reads": entry.rw.concurrent_reads,
                     "engine": entry.engine.summary(),
                 }
@@ -556,6 +622,7 @@ class RequestBroker:
                 entry.rw.concurrent_reads for entry in self._entries.values()
             ),
             "answer_cache": self.cache.stats(),
+            "caches": self.cache_stats(),
             "parallel": self.parallel,
         }
 

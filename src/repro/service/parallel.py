@@ -35,6 +35,7 @@ from __future__ import annotations
 import atexit
 import multiprocessing
 import os
+import time
 from dataclasses import dataclass
 from typing import (
     Callable,
@@ -54,6 +55,7 @@ from repro.core.optimality import (
     is_locally_optimal,
     is_semi_globally_optimal,
 )
+from repro.obs import REGISTRY
 from repro.priorities.priority import Priority
 from repro.query.ast import Formula
 from repro.query.evaluator import answers as evaluate_answers
@@ -194,10 +196,15 @@ def _run_shard(task: _Task):
     """Evaluate one contiguous index range of the repair space.
 
     Module-level so it imports under ``spawn`` start methods; returns
-    ``(considered, satisfying, first_false)`` for closed queries and
-    ``(considered, certain, possible)`` for open ones.
+    ``(considered, satisfying, first_false, elapsed)`` for closed
+    queries and ``(considered, certain, possible, elapsed)`` for open
+    ones.  ``elapsed`` is the shard's own wall time: workers run in
+    separate processes and cannot write the parent's metrics registry,
+    so durations travel home with the partials and the merge records
+    them.
     """
     base, fragments, formula, variables, start, stop, naive, stop_on_false = task
+    shard_started = time.perf_counter()
     if variables is None:
         considered = satisfying = 0
         first_false: Optional[int] = None
@@ -210,7 +217,8 @@ def _run_shard(task: _Task):
                 first_false = index
                 if stop_on_false:
                     break
-        return considered, satisfying, first_false
+        elapsed = time.perf_counter() - shard_started
+        return considered, satisfying, first_false, elapsed
     certain: Optional[FrozenSet[Tuple[Value, ...]]] = None
     possible: FrozenSet[Tuple[Value, ...]] = frozenset()
     considered = 0
@@ -220,7 +228,8 @@ def _run_shard(task: _Task):
         result = evaluate_answers(formula, repair, variables, naive=naive)
         certain = result if certain is None else certain & result
         possible = possible | result
-    return considered, certain, possible
+    elapsed = time.perf_counter() - shard_started
+    return considered, certain, possible, elapsed
 
 
 # ---------------------------------------------------------------------------
@@ -303,6 +312,30 @@ class OpenMerge:
     possible: FrozenSet[Tuple[Value, ...]]
 
 
+def _record_shards(durations: List[float]) -> None:
+    """Record per-shard wall times and the fan-out's merge skew.
+
+    Skew is ``max - min`` shard duration within one fan-out: the time
+    the merge spends waiting on the slowest shard after the fastest
+    finished — the load-imbalance signal for the future
+    Synchrobench-style sweep.
+    """
+    if not REGISTRY.enabled or not durations:
+        return
+    shard_seconds = REGISTRY.histogram(
+        "repro_shard_seconds", "Per-shard evaluation wall time"
+    )
+    for duration in durations:
+        shard_seconds.observe(duration)
+    REGISTRY.histogram(
+        "repro_merge_skew_seconds",
+        "Slowest minus fastest shard duration per fan-out",
+    ).observe(max(durations) - min(durations))
+    REGISTRY.counter(
+        "repro_fanouts_total", "Sharded parallel fan-outs executed"
+    ).inc()
+
+
 def _tasks_for(
     plan: ShardPlan,
     formula: Formula,
@@ -346,6 +379,7 @@ def run_closed(
     results = _map_tasks(
         _tasks_for(plan, formula, None, workers, naive, stop_on_false), workers
     )
+    _record_shards([result[3] for result in results])
     considered = sum(result[0] for result in results)
     satisfying = sum(result[1] for result in results)
     falsifiers = [result[2] for result in results if result[2] is not None]
@@ -370,10 +404,11 @@ def run_open(
         _tasks_for(plan, formula, tuple(variables), workers, naive, False),
         workers,
     )
+    _record_shards([result[3] for result in results])
     considered = 0
     certain: Optional[FrozenSet[Tuple[Value, ...]]] = None
     possible: FrozenSet[Tuple[Value, ...]] = frozenset()
-    for shard_considered, shard_certain, shard_possible in results:
+    for shard_considered, shard_certain, shard_possible, _ in results:
         if shard_considered == 0:
             continue
         considered += shard_considered

@@ -16,8 +16,22 @@ intra-database read concurrency actually happens.
 from __future__ import annotations
 
 import threading
+import time
 from contextlib import contextmanager
 from typing import Iterator
+
+from repro.obs import REGISTRY
+
+
+def _record_wait(side: str, started: float) -> None:
+    """Wait-time histogram per lock side ("read" / "write")."""
+    if not REGISTRY.enabled:
+        return
+    REGISTRY.histogram(
+        "repro_lock_wait_seconds",
+        "Time spent waiting to acquire the per-database rwlock",
+        labels=("side",),
+    ).labels(side=side).observe(time.perf_counter() - started)
 
 
 class ReadWriteLock:
@@ -35,12 +49,14 @@ class ReadWriteLock:
     # Readers -----------------------------------------------------------------
 
     def acquire_read(self) -> None:
+        started = time.perf_counter()
         with self._condition:
             while self._writer_active or self._waiting_writers:
                 self._condition.wait()
             if self._active_readers:
                 self.concurrent_reads += 1
             self._active_readers += 1
+        _record_wait("read", started)
 
     def release_read(self) -> None:
         with self._condition:
@@ -59,6 +75,7 @@ class ReadWriteLock:
     # Writers -----------------------------------------------------------------
 
     def acquire_write(self) -> None:
+        started = time.perf_counter()
         with self._condition:
             self._waiting_writers += 1
             try:
@@ -67,6 +84,7 @@ class ReadWriteLock:
             finally:
                 self._waiting_writers -= 1
             self._writer_active = True
+        _record_wait("write", started)
 
     def release_write(self) -> None:
         with self._condition:

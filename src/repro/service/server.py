@@ -6,10 +6,16 @@ Two transports share one :class:`ServiceFrontEnd` (a JSON codec over a
 * **JSON over HTTP** — a :class:`ThreadingHTTPServer` with
   ``POST /query`` (single request or batch), ``POST /update``
   (inserts/deletes), and the operational ``GET /healthz`` /
-  ``GET /stats`` endpoints;
+  ``GET /stats`` / ``GET /metrics`` endpoints (the last serves the
+  process metrics registry in Prometheus text exposition format);
 * **JSON lines over stdio** — one request object per input line, one
   response object per output line (``repro serve --stdio``), for
   driving the service from a pipe or a supervisor.
+
+The front end optionally writes a per-request **access log** (one line
+per served query: latency, route, answer cardinality) to any text
+stream; both transports share it because logging happens in
+:meth:`ServiceFrontEnd.handle`.
 
 Everything is standard library (``http.server``, ``json``,
 ``threading``); concurrency safety comes from the broker's per-database
@@ -20,12 +26,14 @@ from __future__ import annotations
 
 import json
 import time
+from datetime import datetime, timezone
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import IO, Dict, List, Optional, Tuple
 
 from repro.core.families import Family
 from repro.cqa.answers import ClosedAnswer, OpenAnswers
 from repro.exceptions import ReproError
+from repro.obs import REGISTRY
 from repro.relational.rows import Row
 from repro.service.broker import BrokerResult, Request, RequestBroker
 
@@ -125,28 +133,73 @@ def encode_result(result: BrokerResult) -> dict:
 
 
 class ServiceFrontEnd:
-    """JSON request dispatch over one broker (transport-agnostic)."""
+    """JSON request dispatch over one broker (transport-agnostic).
 
-    def __init__(self, broker: RequestBroker) -> None:
+    ``access_log`` is an optional text stream; when set, every served
+    query/batch item appends one line with timestamp, database, route,
+    latency, and answer cardinality.  Both transports route through
+    :meth:`handle`, so HTTP and stdio requests log identically.
+    """
+
+    def __init__(
+        self,
+        broker: RequestBroker,
+        access_log: Optional[IO[str]] = None,
+    ) -> None:
         self.broker = broker
         self.started = time.time()
         self.requests_served = 0
+        self.access_log = access_log
 
     # Operations ---------------------------------------------------------------
 
+    def _uptime(self) -> float:
+        """One uptime computation shared by /healthz and /stats, so the
+        two endpoints cannot disagree within a response cycle."""
+        return round(time.time() - self.started, 3)
+
     def health(self) -> dict:
+        from repro import __version__
+
         return {
             "status": "ok",
+            "version": __version__,
             "databases": list(self.broker.databases),
-            "uptime_s": round(time.time() - self.started, 3),
+            "backends": {
+                name: self.broker.backend_of(name)
+                for name in self.broker.databases
+            },
+            "uptime_s": self._uptime(),
             "requests_served": self.requests_served,
         }
 
     def stats(self) -> dict:
         stats = dict(self.broker.stats())
         stats["requests_served"] = self.requests_served
-        stats["uptime_s"] = round(time.time() - self.started, 3)
+        stats["uptime_s"] = self._uptime()
+        stats["metrics"] = REGISTRY.snapshot()
         return stats
+
+    def metrics(self) -> str:
+        """The process metrics registry in Prometheus text format."""
+        return REGISTRY.render()
+
+    def _log_access(self, result: BrokerResult, seconds: float) -> None:
+        if self.access_log is None:
+            return
+        outcome = result.outcome
+        if isinstance(outcome, ClosedAnswer):
+            answers = outcome.verdict.value
+        else:
+            answers = str(len(outcome.certain))
+        stamp = datetime.now(timezone.utc).strftime("%Y-%m-%dT%H:%M:%S.%f")
+        self.access_log.write(
+            f"{stamp}Z db={result.database} engine={result.engine} "
+            f"route={result.route} family={str(outcome.family)} "
+            f"latency_ms={seconds * 1e3:.3f} answers={answers} "
+            f"cached={int(result.cached)} shared={int(result.shared)}\n"
+        )
+        self.access_log.flush()
 
     def _row_from(self, payload: dict) -> Tuple[Row, Optional[str]]:
         database = payload.get("database")
@@ -198,12 +251,18 @@ class ServiceFrontEnd:
                 if not isinstance(requests, list) or not requests:
                     raise ServiceError("'requests' must be a non-empty list")
                 parsed = [_parse_request(entry) for entry in requests]
+                started = time.perf_counter()
                 results = self.broker.submit(parsed)
+                elapsed = time.perf_counter() - started
                 self.requests_served += len(results)
+                for result in results:
+                    self._log_access(result, elapsed / len(results))
                 return {"results": [encode_result(r) for r in results]}
             if op == "query":
+                started = time.perf_counter()
                 result = self.broker.submit([_parse_request(payload)])[0]
                 self.requests_served += 1
+                self._log_access(result, time.perf_counter() - started)
                 return encode_result(result)
             raise ServiceError(f"unknown op {op!r}")
         except (ServiceError, ReproError, TypeError, ValueError, KeyError) as exc:
@@ -240,11 +299,21 @@ class _Handler(BaseHTTPRequestHandler):
         self.end_headers()
         self.wfile.write(encoded)
 
+    def _send_text(self, status: int, text: str) -> None:
+        encoded = text.encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", "text/plain; version=0.0.4")
+        self.send_header("Content-Length", str(len(encoded)))
+        self.end_headers()
+        self.wfile.write(encoded)
+
     def do_GET(self) -> None:  # noqa: N802 - http.server API
         if self.path == "/healthz":
             self._send(200, self.front.health())
         elif self.path == "/stats":
             self._send(200, self.front.stats())
+        elif self.path == "/metrics":
+            self._send_text(200, self.front.metrics())
         else:
             self._send(404, {"error": f"unknown path {self.path!r}"})
 

@@ -1,0 +1,16 @@
+"""Isolate the process-wide registry: every obs test starts empty."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.obs import REGISTRY
+
+
+@pytest.fixture(autouse=True)
+def clean_registry():
+    REGISTRY.reset()
+    REGISTRY.enabled = True
+    yield
+    REGISTRY.reset()
+    REGISTRY.enabled = True

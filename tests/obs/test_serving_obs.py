@@ -1,0 +1,223 @@
+"""Serving-layer observability: /metrics, richer /stats and /healthz,
+the access log, unified broker cache stats, and ``repro query --profile``."""
+
+from __future__ import annotations
+
+import io
+import json
+import re
+import threading
+import urllib.request
+
+import pytest
+
+import repro
+from repro.cli import main
+from repro.datagen.generators import GRID_FDS, grid_instance
+from repro.obs import REGISTRY
+from repro.service.broker import Request, RequestBroker
+from repro.service.server import ServiceFrontEnd, make_http_server
+
+#: One sample per non-comment exposition line: name{labels} value
+_SAMPLE = re.compile(
+    r"^[a-zA-Z_:][a-zA-Z0-9_:]*(\{[^}]*\})? [0-9.e+-]+$|^.* \+Inf.*$"
+)
+
+
+@pytest.fixture
+def broker():
+    broker = RequestBroker()
+    broker.register("grid", grid_instance(3, 2), GRID_FDS)
+    yield broker
+    broker.close()
+
+
+@pytest.fixture
+def front(broker):
+    return ServiceFrontEnd(broker)
+
+
+class TestBrokerObservability:
+    def test_backend_of(self, broker):
+        assert broker.backend_of("grid") in {"sqlite", "prefsql"}
+        memory_only = RequestBroker()
+        memory_only.register(
+            "m", grid_instance(2, 2), GRID_FDS, sqlite_pushdown=False
+        )
+        try:
+            assert memory_only.backend_of("m") == "incremental"
+        finally:
+            memory_only.close()
+
+    def test_cache_stats_uniform_shape(self, broker):
+        broker.submit([Request(query="EXISTS y . R(x, y)")])
+        broker.submit([Request(query="EXISTS y . R(x, y)")])
+        caches = broker.stats()["caches"]
+        assert set(caches) == {"answer", "context", "component_repair"}
+        for family in caches.values():
+            assert set(family) == {"entries", "hits", "misses", "evictions"}
+        assert caches["answer"]["hits"] >= 1
+
+    def test_stats_reports_backend_per_database(self, broker):
+        stats = broker.stats()
+        assert stats["databases"]["grid"]["backend"] == broker.backend_of(
+            "grid"
+        )
+
+
+class TestFrontEndEndpoints:
+    def test_healthz_reports_version_and_backend(self, front):
+        body = front.health()
+        assert body["version"] == repro.__version__
+        assert body["backends"]["grid"] in {
+            "incremental", "sqlite", "prefsql",
+        }
+        assert body["uptime_s"] >= 0
+
+    def test_stats_embeds_metrics_snapshot(self, front):
+        front.handle({"query": "EXISTS y . R(x, y)"})
+        stats = front.handle({"op": "stats"})
+        assert "repro_queries_total" in stats["metrics"]
+        assert "caches" in stats
+
+    def test_metrics_renders_query_families(self, front):
+        front.handle({"query": "EXISTS y . R(x, y)"})
+        text = front.metrics()
+        assert "# TYPE repro_queries_total counter" in text
+        assert "# TYPE repro_query_seconds histogram" in text
+        assert 'le="+Inf"' in text
+        assert "repro_cache_events_total" in text
+
+    def test_metrics_lines_are_well_formed(self, front):
+        front.handle({"query": "EXISTS y . R(x, y)"})
+        for line in front.metrics().splitlines():
+            if line.startswith("#"):
+                assert line.startswith(("# HELP ", "# TYPE "))
+            else:
+                assert _SAMPLE.match(line), f"malformed sample: {line!r}"
+
+
+class TestAccessLog:
+    def test_query_appends_one_line(self, broker):
+        log = io.StringIO()
+        front = ServiceFrontEnd(broker, access_log=log)
+        front.handle({"query": "EXISTS y . R(x, y)"})
+        lines = log.getvalue().splitlines()
+        assert len(lines) == 1
+        assert "db=grid" in lines[0]
+        assert "route=" in lines[0]
+        assert "latency_ms=" in lines[0]
+        assert re.search(r"answers=\d+|answers=(true|false|undetermined)",
+                         lines[0])
+
+    def test_batch_logs_every_item(self, broker):
+        log = io.StringIO()
+        front = ServiceFrontEnd(broker, access_log=log)
+        front.handle(
+            {
+                "op": "batch",
+                "requests": [
+                    {"query": "EXISTS y . R(x, y)"},
+                    {"query": "EXISTS x, y . R(x, y)"},
+                ],
+            }
+        )
+        assert len(log.getvalue().splitlines()) == 2
+
+    def test_no_log_stream_writes_nothing(self, front):
+        front.handle({"query": "EXISTS y . R(x, y)"})  # must not raise
+
+
+class TestHttpMetricsEndpoint:
+    @pytest.fixture
+    def server(self, front):
+        server = make_http_server(front, port=0)
+        thread = threading.Thread(target=server.serve_forever, daemon=True)
+        thread.start()
+        yield server
+        server.shutdown()
+        server.server_close()
+
+    def _url(self, server, path):
+        host, port = server.server_address[:2]
+        return f"http://{host}:{port}{path}"
+
+    def test_get_metrics_prometheus_text(self, server, front):
+        front.handle({"query": "EXISTS y . R(x, y)"})
+        with urllib.request.urlopen(self._url(server, "/metrics")) as response:
+            assert response.status == 200
+            assert response.headers["Content-Type"] == (
+                "text/plain; version=0.0.4"
+            )
+            body = response.read().decode()
+        assert "repro_queries_total" in body
+        assert body.endswith("\n")
+
+    def test_healthz_over_http_reports_version(self, server):
+        with urllib.request.urlopen(self._url(server, "/healthz")) as response:
+            body = json.loads(response.read())
+        assert body["version"] == repro.__version__
+        assert "backends" in body
+
+
+class TestCliProfile:
+    @pytest.fixture
+    def mgr_csv(self, tmp_path):
+        path = tmp_path / "Mgr.csv"
+        path.write_text(
+            "Name,Dept,Salary:number\nMary,RD,40\nMary,IT,20\nJohn,RD,10\n"
+        )
+        return path
+
+    def test_profile_prints_span_tree(self, mgr_csv, capsys):
+        code = main(
+            [
+                "query",
+                "--csv", str(mgr_csv),
+                "--relation", "Mgr",
+                "--fd", "Name -> Dept, Salary",
+                "--query", "EXISTS d, s . Mgr(Mary, d, s)",
+                "--profile",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "└─" in out
+        assert "route=" in out
+        assert "parse" in out
+
+    def test_profile_json_keeps_stdout_machine_readable(self, mgr_csv, capsys):
+        code = main(
+            [
+                "query",
+                "--csv", str(mgr_csv),
+                "--relation", "Mgr",
+                "--fd", "Name -> Dept, Salary",
+                "--query", "EXISTS d, s . Mgr(Mary, d, s)",
+                "--profile",
+                "--json",
+            ]
+        )
+        assert code == 0
+        captured = capsys.readouterr()
+        payload = json.loads(captured.out)
+        assert payload["verdict"] == "true"
+        assert "└─" in captured.err
+
+    def test_profile_prefsql_backend_shows_route(self, mgr_csv, capsys):
+        code = main(
+            [
+                "query",
+                "--csv", str(mgr_csv),
+                "--relation", "Mgr",
+                "--fd", "Name -> Dept, Salary",
+                "--backend", "prefsql",
+                "--prefer-new", "Salary",
+                "--family", "G",
+                "--query", "EXISTS d, s . Mgr(Mary, d, s)",
+                "--profile",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "route=prefsql" in out or "route=sqlite" in out

@@ -1,0 +1,129 @@
+"""Span tracer tests: nesting, ordering, no-op fast path, rendering."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.obs.tracing import (
+    Span,
+    annotate,
+    current_tracer,
+    format_tree,
+    span,
+    trace,
+)
+from repro.obs import tracing as tracing_module
+
+
+class TestNoopFastPath:
+    def test_span_without_tracer_is_shared_noop(self):
+        assert current_tracer() is None
+        first = span("anything", key="value")
+        second = span("else")
+        assert first is second is tracing_module._NOOP
+        with first:
+            pass  # usable as a context manager, records nothing
+
+    def test_annotate_without_tracer_is_silent(self):
+        annotate(route="sqlite")  # must not raise
+
+
+class TestTraceLifecycle:
+    def test_nesting_and_sibling_order(self):
+        with trace("query") as tracer:
+            with span("parse"):
+                pass
+            with span("execute", route="sqlite"):
+                with span("winnow"):
+                    pass
+            with span("merge"):
+                pass
+        root = tracer.root
+        assert root.name == "query"
+        assert [child.name for child in root.children] == [
+            "parse",
+            "execute",
+            "merge",
+        ]
+        execute = root.children[1]
+        assert execute.attributes == {"route": "sqlite"}
+        assert [child.name for child in execute.children] == ["winnow"]
+
+    def test_durations_are_populated(self):
+        with trace() as tracer:
+            with span("work"):
+                pass
+        assert tracer.root.duration > 0
+        assert tracer.root.children[0].duration > 0
+        assert tracer.root.children[0].start >= tracer.root.start
+
+    def test_annotate_targets_innermost_open_span(self):
+        with trace() as tracer:
+            with span("outer"):
+                with span("inner"):
+                    annotate(repairs=4)
+                annotate(route="indexed")
+            annotate(verdict="true")
+        outer = tracer.root.children[0]
+        assert outer.attributes == {"route": "indexed"}
+        assert outer.children[0].attributes == {"repairs": 4}
+        assert tracer.root.attributes == {"verdict": "true"}
+
+    def test_exception_still_closes_span(self):
+        with pytest.raises(RuntimeError):
+            with trace() as tracer:
+                with span("doomed"):
+                    raise RuntimeError("boom")
+        assert tracer.root.children[0].duration > 0
+        assert current_tracer() is None
+
+    def test_nested_trace_restores_previous(self):
+        with trace("outer") as outer:
+            assert current_tracer() is outer
+            with trace("inner") as inner:
+                assert current_tracer() is inner
+                with span("step"):
+                    pass
+            assert current_tracer() is outer
+            # The inner trace collected into its own tree, not ours.
+            assert outer.root.children == []
+            assert [c.name for c in inner.root.children] == ["step"]
+        assert current_tracer() is None
+
+
+class TestSerialization:
+    def test_to_dict_nests(self):
+        with trace("query") as tracer:
+            with span("execute", route="prefsql"):
+                with span("winnow"):
+                    pass
+        entry = tracer.root.to_dict()
+        assert entry["name"] == "query"
+        assert entry["duration_s"] > 0
+        execute = entry["children"][0]
+        assert execute["attributes"] == {"route": "prefsql"}
+        assert execute["children"][0]["name"] == "winnow"
+        assert "attributes" not in execute["children"][0]
+
+    def test_format_tree_golden(self):
+        root = Span("query")
+        root.duration = 1.5
+        parse = Span("parse")
+        parse.duration = 0.002
+        execute = Span("execute", {"route": "sqlite"})
+        execute.duration = 0.25
+        inner = Span("inner")
+        inner.duration = 0.0000005
+        execute.children.append(inner)
+        root.children.extend([parse, execute])
+        assert format_tree(root) == (
+            "query  [1.500s]\n"
+            "├─ parse  [2.000ms]\n"
+            "└─ execute  [250.000ms] route=sqlite\n"
+            "   └─ inner  [0.5µs]"
+        )
+
+    def test_format_tree_sorts_attributes(self):
+        root = Span("q", {"b": 2, "a": 1})
+        root.duration = 2.0
+        assert format_tree(root) == "q  [2.000s] a=1 b=2"
