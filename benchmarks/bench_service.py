@@ -17,6 +17,11 @@ Figure-4 conflict chains (the workload of ``bench_evaluator``):
   full runs regardless of core count — deduplication is algorithmic,
   not hardware, leverage.  A repeat of the same batch measures the
   answer-cache hit path.
+* **route-decision latency** — ``RequestBroker.analyze`` cold (first
+  sight of a query: parse + static analysis, a cache miss in the
+  broker's RouteReport cache) versus cached (every later sight: one
+  dict lookup under the report lock).  This is the per-request routing
+  overhead serving pays before any answer work starts.
 
 Results land in ``BENCH_service.json`` (see ``benchmarks/_cli.py``).
 """
@@ -115,6 +120,40 @@ def measure_broker(length: int, requests: int, distinct: int, repeats: int):
     return statistics.median(loop_samples), first_batch_s, cached_batch_s
 
 
+def measure_route_decisions(length: int, distinct: int, warm_repeats: int):
+    """Broker route-decision time, cold (analysis) vs cached (lookup).
+
+    Every distinct query is analyzed once on a fresh broker (cold: full
+    parse + static analysis, a RouteReport-cache miss) and then
+    ``warm_repeats`` more times (cached: the fingerprint lookup the
+    serving path performs on every request once the report exists).
+    """
+    from repro.service.broker import RequestBroker
+
+    broker = RequestBroker()
+    broker.register("chain", chain_instance(length), CHAIN_FDS)
+    queries = _batch_queries(distinct)
+
+    cold_samples = []
+    for query in queries:
+        start = time.perf_counter()
+        broker.analyze(query)
+        cold_samples.append(time.perf_counter() - start)
+
+    warm_samples = []
+    for _ in range(warm_repeats):
+        for query in queries:
+            start = time.perf_counter()
+            broker.analyze(query)
+            warm_samples.append(time.perf_counter() - start)
+
+    stats = broker.stats()["route_reports"]
+    assert stats["misses"] == distinct, "every distinct query misses once"
+    assert stats["hits"] == distinct * warm_repeats, "repeats all hit"
+    broker.close()
+    return statistics.median(cold_samples), statistics.median(warm_samples)
+
+
 def main(argv=None) -> int:
     parser = bench_parser(__doc__)
     parser.add_argument(
@@ -194,6 +233,16 @@ def main(argv=None) -> int:
         f"{cached_s * 1000:7.2f} ms ({cached_speedup:,.0f}x, all cache hits)"
     )
 
+    cold_s, warm_s = measure_route_decisions(
+        args.batch_length, args.distinct, warm_repeats=max(args.repeats, 2)
+    )
+    route_speedup = cold_s / warm_s if warm_s else float("inf")
+    print(
+        f"[route decision, {args.distinct} distinct] cold analyze "
+        f"{cold_s * 1e6:8.1f} us | cached {warm_s * 1e6:8.1f} us "
+        f"({route_speedup:,.0f}x, RouteReport cache)"
+    )
+
     emit_result(
         __file__,
         {
@@ -208,6 +257,12 @@ def main(argv=None) -> int:
                 "cached_batch_s": round(cached_s, 6),
                 "speedup": round(batch_speedup, 2),
                 "cached_speedup": round(cached_speedup, 2),
+            },
+            "route_decision": {
+                "distinct": args.distinct,
+                "cold_s": round(cold_s, 9),
+                "cached_s": round(warm_s, 9),
+                "speedup": round(route_speedup, 2),
             },
         },
     )

@@ -1,0 +1,44 @@
+"""Static analysis of queries against FD theories and priorities.
+
+The single source of truth for route decisions: every fallback
+condition the engines enforce is a catalogued :class:`Diagnostic`, and
+:func:`analyze` predicts — without touching instance data — the route
+each engine takes, as a cacheable :class:`RouteReport`.
+"""
+
+from .analyzer import analyze, profiled_relations
+from .cforest import recognize_c_forest
+from .model import (
+    CATALOG,
+    FULL_CODES,
+    Diagnostic,
+    RouteReport,
+    Severity,
+    Span,
+    fallback_route,
+    make_diagnostic,
+    theory_fingerprint,
+)
+from .profiles import DirtyProfile, NotRewritable, dirty_profile
+from .shapes import Classification, ConjunctiveShape, classify
+
+__all__ = [
+    "CATALOG",
+    "FULL_CODES",
+    "Classification",
+    "ConjunctiveShape",
+    "Diagnostic",
+    "DirtyProfile",
+    "NotRewritable",
+    "RouteReport",
+    "Severity",
+    "Span",
+    "analyze",
+    "classify",
+    "dirty_profile",
+    "fallback_route",
+    "make_diagnostic",
+    "profiled_relations",
+    "recognize_c_forest",
+    "theory_fingerprint",
+]

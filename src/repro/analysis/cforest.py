@@ -1,0 +1,195 @@
+"""Recognizer for C_forest key-join trees over dirty atoms.
+
+The multi-dirty fallback (``RA201``) is not the end of the story: the
+ConQuer line of work (Fuxman & Miller) proves that conjunctive queries
+whose dirty atoms form *key-join trees* — every join into a dirty atom
+enters through that atom's full key — remain first-order rewritable.
+This pass detects the shape and explains it (``RA011``, informational);
+compiling it is the ROADMAP's open C_forest item, which will cite this
+code.
+
+Detection criteria, over the atoms whose relation has a conflict
+profile (the group attributes of the profile play the role of the key):
+
+* at least two dirty atoms, each over a *distinct* relation (dirty
+  self-joins stay outside C_forest);
+* the variable-sharing graph of the dirty atoms is a forest (acyclic);
+* each tree can be rooted so that for every parent→child edge, every
+  key position of the child holds a constant or a variable of the
+  parent, and every variable the child shares with its parent occurs
+  only in key positions of the child (non-key sharing would correlate
+  repair choices).
+
+Clean atoms join freely — their relations are identical in every
+repair, so they never couple repair choices.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.query.ast import Atom, Const, Var
+
+from .model import Diagnostic, make_diagnostic
+from .profiles import DirtyProfile
+from .shapes import Classification
+
+
+def _atom_variables(atom: Atom) -> Set[str]:
+    return {term.name for term in atom.terms if isinstance(term, Var)}
+
+
+def _key_positions(atom: Atom, profile: DirtyProfile, schema) -> List[int]:
+    relation = schema.relation(atom.relation)
+    group = set(profile.group)
+    return [
+        position
+        for position, attribute in enumerate(relation.attributes)
+        if attribute.name in group
+    ]
+
+
+def _edge_ok(
+    parent: Atom,
+    child: Atom,
+    child_profile: DirtyProfile,
+    schema,
+) -> bool:
+    """Is parent→child a key join? (child entered through its full key)"""
+    parent_vars = _atom_variables(parent)
+    key_positions = set(_key_positions(child, child_profile, schema))
+    for position in key_positions:
+        term = child.terms[position]
+        if isinstance(term, Var) and term.name not in parent_vars:
+            return False
+    shared = parent_vars & _atom_variables(child)
+    for position, term in enumerate(child.terms):
+        if position in key_positions:
+            continue
+        if isinstance(term, Var) and term.name in shared:
+            return False
+    return True
+
+
+def recognize_c_forest(
+    classification: Classification, schema
+) -> Optional[Diagnostic]:
+    """An ``RA011`` diagnostic when the dirty atoms form a key-join
+    forest, else ``None``.
+
+    Only meaningful on classifications whose sole blocker is the
+    multi-dirty interaction (``RA201``): shape defects or mixed-LHS
+    theories leave no per-group class structure to rewrite over.
+    """
+    shape = classification.shape
+    if shape is None or classification.empty_reason is not None:
+        return None
+    blocking = classification.blocking
+    if not blocking or any(d.code != "RA201" for d in blocking):
+        return None
+
+    profiles = classification.profiles
+    dirty = [
+        (index, atom)
+        for index, atom in enumerate(shape.atoms)
+        if atom.relation in profiles
+    ]
+    if len(dirty) < 2:
+        return None
+    relations = [atom.relation for _, atom in dirty]
+    if len(set(relations)) != len(relations):
+        return None  # dirty self-join: outside C_forest
+
+    # Variable-sharing graph over the dirty atoms must be a forest.
+    nodes = list(range(len(dirty)))
+    edges: List[Tuple[int, int]] = []
+    parent_of: Dict[int, int] = {node: node for node in nodes}
+
+    def find(node: int) -> int:
+        while parent_of[node] != node:
+            parent_of[node] = parent_of[parent_of[node]]
+            node = parent_of[node]
+        return node
+
+    for i in nodes:
+        for j in nodes:
+            if i >= j:
+                continue
+            if _atom_variables(dirty[i][1]) & _atom_variables(dirty[j][1]):
+                root_i, root_j = find(i), find(j)
+                if root_i == root_j:
+                    return None  # cycle in the sharing graph
+                parent_of[root_i] = root_j
+                edges.append((i, j))
+
+    adjacency: Dict[int, List[int]] = {node: [] for node in nodes}
+    for i, j in edges:
+        adjacency[i].append(j)
+        adjacency[j].append(i)
+
+    components: Dict[int, List[int]] = {}
+    for node in nodes:
+        components.setdefault(find(node), []).append(node)
+
+    oriented: List[Tuple[int, int]] = []  # (parent, child) over all trees
+    for members in components.values():
+        orientation = _orient_tree(members, adjacency, dirty, profiles, schema)
+        if orientation is None:
+            return None
+        oriented.extend(orientation)
+
+    explanation = _explain(dirty, oriented, profiles)
+    return make_diagnostic("RA011", explanation=explanation)
+
+
+def _orient_tree(
+    members: Sequence[int],
+    adjacency: Dict[int, List[int]],
+    dirty: Sequence[Tuple[int, Atom]],
+    profiles: Dict[str, DirtyProfile],
+    schema,
+) -> Optional[List[Tuple[int, int]]]:
+    """Try each member as root; the trees are tiny, O(n^2) is fine."""
+    for root in members:
+        oriented: List[Tuple[int, int]] = []
+        stack = [root]
+        visited = {root}
+        good = True
+        while stack and good:
+            node = stack.pop()
+            for neighbour in adjacency[node]:
+                if neighbour in visited:
+                    continue
+                child_atom = dirty[neighbour][1]
+                if not _edge_ok(
+                    dirty[node][1],
+                    child_atom,
+                    profiles[child_atom.relation],
+                    schema,
+                ):
+                    good = False
+                    break
+                visited.add(neighbour)
+                oriented.append((node, neighbour))
+                stack.append(neighbour)
+        if good and len(visited) == len(members):
+            return oriented
+    return None
+
+
+def _explain(
+    dirty: Sequence[Tuple[int, Atom]],
+    oriented: Sequence[Tuple[int, int]],
+    profiles: Dict[str, DirtyProfile],
+) -> str:
+    if not oriented:
+        return "isolated dirty atoms (no shared variables)"
+    steps = []
+    for parent, child in oriented:
+        child_atom = dirty[child][1]
+        profile = profiles[child_atom.relation]
+        steps.append(
+            f"{child_atom.relation} joins {dirty[parent][1].relation} "
+            f"through its key {list(profile.group)}"
+        )
+    return "; ".join(steps)

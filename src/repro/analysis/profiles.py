@@ -1,0 +1,75 @@
+"""Conflict profiles of FD-constrained relations.
+
+Historically these lived in :mod:`repro.backend.rewrite`; they moved
+here so the static analyzer, the SQL backend and the preference-aware
+engine all consume one definition (``repro.backend.rewrite`` re-exports
+them for compatibility).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import FrozenSet, Optional, Sequence, Set, Tuple
+
+from repro.constraints.fd import FunctionalDependency
+from repro.relational.schema import RelationSchema
+
+
+class NotRewritable(Exception):
+    """Internal signal: the query escapes the rewritable fragment."""
+
+    def __init__(self, reason: str) -> None:
+        super().__init__(reason)
+        self.reason = reason
+
+
+@dataclass(frozen=True)
+class DirtyProfile:
+    """Conflict structure of one FD-constrained relation.
+
+    ``group`` is the shared left-hand side of all its (violable) FDs;
+    ``classifier`` is the union of their right-hand sides minus the
+    group.  Two rows conflict iff they agree on ``group`` and differ on
+    ``classifier``; a repair keeps, per group, exactly one maximal class
+    of rows agreeing on ``classifier``.
+    """
+
+    relation: str
+    group: Tuple[str, ...]
+    classifier: Tuple[str, ...]
+
+
+def dirty_profile(
+    schema: RelationSchema, dependencies: Sequence[FunctionalDependency]
+) -> Optional[DirtyProfile]:
+    """The relation's conflict profile, or ``None`` when it is clean.
+
+    Raises :class:`NotRewritable` when the relation's dependencies do
+    not share a single left-hand side (its repairs then have no
+    per-group class structure the rewriting could exploit).
+    """
+    lhs: Optional[FrozenSet[str]] = None
+    classifier: Set[str] = set()
+    for dependency in dependencies:
+        if not dependency.applies_to(schema.name):
+            continue
+        dependency.validate_against(schema)
+        effective_rhs = dependency.rhs - dependency.lhs
+        if not effective_rhs:
+            continue  # RHS implied by LHS agreement: never violable
+        if lhs is None:
+            lhs = dependency.lhs
+        elif dependency.lhs != lhs:
+            raise NotRewritable(
+                f"relation {schema.name!r} has dependencies with differing "
+                "left-hand sides; its repairs are not per-group class choices"
+            )
+        classifier |= effective_rhs
+    if lhs is None:
+        return None
+    order = schema.attribute_names
+    return DirtyProfile(
+        schema.name,
+        tuple(attr for attr in order if attr in lhs),
+        tuple(attr for attr in order if attr in classifier),
+    )

@@ -34,6 +34,7 @@ import time
 from pathlib import Path
 from typing import Dict, Iterable, Optional, Sequence, Tuple, Union
 
+from repro.analysis.model import make_diagnostic
 from repro.backend.rewrite import RewriteDecision, analyze_query
 from repro.constraints.fd import FunctionalDependency
 from repro.core.families import Family
@@ -48,10 +49,11 @@ from repro.query.sql import sql_to_formula
 from repro.query.validate import check_against_schema
 from repro.relational.sqlite_io import load_database, load_schema
 
-_PRIORITY_REASON = (
-    "priority edges declared: this engine's rewriting is preference-blind "
-    "— use PrefSqlCqaEngine (repro.prefsql) for the winnow-aware pushdown"
-)
+# The catalogued diagnostic renders the historical reason string
+# verbatim (metric labels and tests pin it); keeping the module-level
+# name preserves the old import surface.
+_PRIORITY_DIAGNOSTIC = make_diagnostic("RA302")
+_PRIORITY_REASON = _PRIORITY_DIAGNOSTIC.message
 
 
 class SqlCqaEngine:
@@ -129,7 +131,9 @@ class SqlCqaEngine:
         self, formula: Formula, variables: Optional[Sequence[str]]
     ) -> RewriteDecision:
         if self.priority_edges:
-            return RewriteDecision(None, _PRIORITY_REASON)
+            return RewriteDecision(
+                None, _PRIORITY_REASON, diagnostics=(_PRIORITY_DIAGNOSTIC,)
+            )
         key = (formula, tuple(variables) if variables is not None else None)
         decision = self._decision_cache.get(key)
         if decision is None:
@@ -161,7 +165,7 @@ class SqlCqaEngine:
         with obs_span("route-decision"):
             decision = self._decide(formula, ())
         if decision.plan is None:
-            self.last_route = f"fallback: {decision.reason}"
+            self.last_route = decision.fallback_route
             annotate(route="fallback", reason=decision.reason)
             answer = self._fallback().answer(formula, family)
             observe_query(
@@ -207,7 +211,7 @@ class SqlCqaEngine:
         with obs_span("route-decision"):
             decision = self._decide(formula, variables)
         if decision.plan is None:
-            self.last_route = f"fallback: {decision.reason}"
+            self.last_route = decision.fallback_route
             annotate(route="fallback", reason=decision.reason)
             answers = self._fallback().certain_answers(
                 formula, variables, family

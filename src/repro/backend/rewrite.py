@@ -53,9 +53,16 @@ conjunct that can never hold under two-domain semantics makes the whole
 conjunction statically unsatisfiable (an *empty* plan — no SQL runs at
 all), and a vacuously true ``!=`` across domains is dropped.
 
-Queries outside the fragment are reported as a :class:`RewriteDecision`
-with a human-readable fallback reason; :class:`~repro.backend.engine.
-SqlCqaEngine` routes those to the in-memory engine.
+Since the ``repro.analysis`` subsystem landed, the *analysis* half of
+this pipeline — shape extraction, safety, theory profiling, the static
+two-domain typing — lives in :func:`repro.analysis.shapes.classify`;
+this module keeps the SQL emission and attaches the classifier's
+:class:`~repro.analysis.model.Diagnostic` records to every
+:class:`RewriteDecision`.  Queries outside the fragment are reported
+with the first blocking diagnostic's message as the fallback reason
+(bit-identical to the historical fail-fast strings);
+:class:`~repro.backend.engine.SqlCqaEngine` routes those to the
+in-memory engine.
 """
 
 from __future__ import annotations
@@ -69,88 +76,26 @@ from typing import (
     List,
     Optional,
     Sequence,
-    Set,
     Tuple,
-    Union,
 )
 
-from repro.constraints.fd import FunctionalDependency
-from repro.exceptions import QueryBindingError
-from repro.query.ast import (
-    And,
-    Atom,
-    Comparison,
-    Const,
-    Exists,
-    Formula,
-    Var,
+# Conflict profiles moved to repro.analysis.profiles; re-exported here
+# because the public import path predates the analysis subsystem.
+from repro.analysis.model import Diagnostic, fallback_route
+from repro.analysis.profiles import (  # noqa: F401  (re-exports)
+    DirtyProfile,
+    NotRewritable,
+    dirty_profile,
 )
-from repro.relational.domain import AttributeType, Value
-from repro.relational.schema import DatabaseSchema, RelationSchema
+from repro.analysis.shapes import Classification, classify
+from repro.constraints.fd import FunctionalDependency
+from repro.query.ast import Comparison, Const, Formula
+from repro.relational.domain import Value
+from repro.relational.schema import DatabaseSchema
 from repro.relational.sqlite_io import quote_identifier
 
 #: SQL spellings of the AST comparison operators.
 _SQL_OPS = {"=": "=", "!=": "<>", "<": "<", ">": ">", "<=": "<=", ">=": ">="}
-
-
-class NotRewritable(Exception):
-    """Internal signal: the query escapes the rewritable fragment."""
-
-    def __init__(self, reason: str) -> None:
-        super().__init__(reason)
-        self.reason = reason
-
-
-@dataclass(frozen=True)
-class DirtyProfile:
-    """Conflict structure of one FD-constrained relation.
-
-    ``group`` is the shared left-hand side of all its (violable) FDs;
-    ``classifier`` is the union of their right-hand sides minus the
-    group.  Two rows conflict iff they agree on ``group`` and differ on
-    ``classifier``; a repair keeps, per group, exactly one maximal class
-    of rows agreeing on ``classifier``.
-    """
-
-    relation: str
-    group: Tuple[str, ...]
-    classifier: Tuple[str, ...]
-
-
-def dirty_profile(
-    schema: RelationSchema, dependencies: Sequence[FunctionalDependency]
-) -> Optional[DirtyProfile]:
-    """The relation's conflict profile, or ``None`` when it is clean.
-
-    Raises :class:`NotRewritable` when the relation's dependencies do
-    not share a single left-hand side (its repairs then have no
-    per-group class structure the rewriting could exploit).
-    """
-    lhs: Optional[FrozenSet[str]] = None
-    classifier: Set[str] = set()
-    for dependency in dependencies:
-        if not dependency.applies_to(schema.name):
-            continue
-        dependency.validate_against(schema)
-        effective_rhs = dependency.rhs - dependency.lhs
-        if not effective_rhs:
-            continue  # RHS implied by LHS agreement: never violable
-        if lhs is None:
-            lhs = dependency.lhs
-        elif dependency.lhs != lhs:
-            raise NotRewritable(
-                f"relation {schema.name!r} has dependencies with differing "
-                "left-hand sides; its repairs are not per-group class choices"
-            )
-        classifier |= effective_rhs
-    if lhs is None:
-        return None
-    order = schema.attribute_names
-    return DirtyProfile(
-        schema.name,
-        tuple(attr for attr in order if attr in lhs),
-        tuple(attr for attr in order if attr in classifier),
-    )
 
 
 @dataclass(frozen=True)
@@ -218,85 +163,20 @@ class RewriteDecision:
     #: participate); ``None`` on fallback decisions and for callers that
     #: do not distinguish routes.
     route: Optional[str] = None
+    #: Every diagnostic the static analysis produced for the query —
+    #: blocking ones first (``reason`` is the first blocker's message),
+    #: informational ones (RA001/RA002/RA011) after.
+    diagnostics: Tuple[Diagnostic, ...] = ()
 
     @property
     def pushed(self) -> bool:
         return self.plan is not None
 
-
-# ---------------------------------------------------------------------------
-# Shape extraction and static typing
-# ---------------------------------------------------------------------------
-
-
-@dataclass
-class _Conjunctive:
-    atoms: List[Atom]
-    comparisons: List[Comparison]
-    answer_variables: Tuple[str, ...]
-
-
-def _extract_conjunctive(
-    formula: Formula, variables: Optional[Sequence[str]]
-) -> _Conjunctive:
-    free = formula.free_variables()
-    if variables is None:
-        answer_variables = tuple(sorted(free))
-    else:
-        unknown = set(variables) - free
-        if unknown:
-            raise QueryBindingError(
-                f"answer variables {sorted(unknown)} are not free in the formula"
-            )
-        answer_variables = tuple(variables)
-
-    body: Formula = formula
-    seen: Set[str] = set(free)
-    while isinstance(body, Exists):
-        for name in body.variables:
-            if name in seen:
-                raise NotRewritable(
-                    f"quantified variable {name!r} shadows an outer variable"
-                )
-            seen.add(name)
-        body = body.body
-
-    parts = body.parts if isinstance(body, And) else (body,)
-    atoms: List[Atom] = []
-    comparisons: List[Comparison] = []
-    for part in parts:
-        if isinstance(part, Atom):
-            atoms.append(part)
-        elif isinstance(part, Comparison):
-            comparisons.append(part)
-        else:
-            raise NotRewritable(
-                f"non-conjunctive construct {type(part).__name__} in the body"
-            )
-    if not atoms:
-        raise NotRewritable("no relational atom (pure active-domain query)")
-
-    atom_variables: Set[str] = set()
-    for atom in atoms:
-        atom_variables |= atom.free_variables()
-    unsafe = seen - atom_variables
-    if unsafe:
-        raise NotRewritable(
-            f"unsafe variable(s) {sorted(unsafe)} occur in no relational atom"
-        )
-    return _Conjunctive(atoms, comparisons, answer_variables)
-
-
-def _term_domain(
-    term: Union[Var, Const], variable_types: Dict[str, AttributeType]
-) -> AttributeType:
-    if isinstance(term, Const):
-        return (
-            AttributeType.NUMBER
-            if isinstance(term.value, int)
-            else AttributeType.NAME
-        )
-    return variable_types[term.name]
+    @property
+    def fallback_route(self) -> str:
+        """The ``last_route`` string of a fallback on this decision."""
+        assert self.reason is not None
+        return fallback_route(self.reason)
 
 
 # ---------------------------------------------------------------------------
@@ -327,7 +207,7 @@ def survivor_condition(alias: str, table: str) -> str:
 
 
 def _render_body(
-    query: _Conjunctive,
+    atoms: Sequence,
     schema: DatabaseSchema,
     aliases: Sequence[str],
     kept_comparisons: Sequence[Comparison],
@@ -340,7 +220,7 @@ def _render_body(
     conditions: List[str] = []
     parameters: List[Value] = []
     canonical: Dict[str, str] = {}
-    for index, atom in enumerate(query.atoms):
+    for index, atom in enumerate(atoms):
         relation = schema.relation(atom.relation)
         for position, term in enumerate(atom.terms):
             column = "{}.{}".format(
@@ -367,10 +247,12 @@ def _render_body(
     return conditions, parameters, canonical
 
 
-def _empty_plan(query: _Conjunctive, why: str) -> RewritePlan:
+def _empty_plan(
+    answer_variables: Tuple[str, ...], why: str
+) -> RewritePlan:
     return RewritePlan(
         kind="empty",
-        answer_variables=query.answer_variables,
+        answer_variables=answer_variables,
         certain_sql=None,
         certain_params=(),
         possible_sql=None,
@@ -380,17 +262,17 @@ def _empty_plan(query: _Conjunctive, why: str) -> RewritePlan:
 
 
 def compile_plan(
-    query: _Conjunctive,
+    classification: Classification,
     schema: DatabaseSchema,
-    profiles: Dict[str, DirtyProfile],
     survivors: Optional[Dict[str, str]] = None,
     resolved: AbstractSet[str] = frozenset(),
 ) -> RewritePlan:
-    """Emit SQL for an analyzed conjunctive query.
+    """Emit SQL for a classified conjunctive query.
 
-    ``profiles`` maps the mentioned dirty relations to their conflict
-    profiles; :class:`NotRewritable` is raised when more than one atom
-    ranges over them.
+    ``classification`` must be unblocked (see
+    :attr:`Classification.blocking`) — the shape, typing and theory
+    analysis all happened in :func:`repro.analysis.shapes.classify`;
+    this function is pure emission.
 
     ``survivors`` (preference-aware mode) maps a dirty relation to the
     side table of rows whose conflict class is preferred under the
@@ -401,72 +283,29 @@ def compile_plan(
     collapses to a plain (``kind="clean"``) evaluation over the
     survivor rows.
     """
-    # Static domain analysis: variables take their type from the atom
-    # columns they bind; mixed-domain joins and cross-domain equalities
-    # can never hold under the paper's two-domain semantics.
-    variable_types: Dict[str, AttributeType] = {}
-    for atom in query.atoms:
-        relation = schema.relation(atom.relation)
-        for position, term in enumerate(atom.terms):
-            attribute = relation.attributes[position]
-            if isinstance(term, Var):
-                known = variable_types.setdefault(term.name, attribute.type)
-                if known is not attribute.type:
-                    return _empty_plan(
-                        query,
-                        f"variable {term.name!r} joins a name column with a "
-                        "number column (disjoint domains)",
-                    )
-            else:
-                if _term_domain(term, variable_types) is not attribute.type:
-                    return _empty_plan(
-                        query,
-                        f"constant {term.value!r} can never occur in "
-                        f"{atom.relation}.{attribute.name}",
-                    )
-
-    kept_comparisons: List[Comparison] = []
-    for comparison in query.comparisons:
-        left = _term_domain(comparison.left, variable_types)
-        right = _term_domain(comparison.right, variable_types)
-        if comparison.op in ("=", "!="):
-            if left is right:
-                kept_comparisons.append(comparison)
-            elif comparison.op == "=":
-                return _empty_plan(
-                    query, f"cross-domain equality {comparison} never holds"
-                )
-            # cross-domain != always holds: drop it.
-        else:
-            if left is AttributeType.NUMBER and right is AttributeType.NUMBER:
-                kept_comparisons.append(comparison)
-            else:
-                # Order comparisons are interpreted over naturals only.
-                return _empty_plan(
-                    query,
-                    f"order comparison {comparison} involves uninterpreted "
-                    "names and is identically false",
-                )
-
-    dirty_indexes = [
-        index
-        for index, atom in enumerate(query.atoms)
-        if atom.relation in profiles
-    ]
-    if len(dirty_indexes) > 1:
-        involved = sorted({query.atoms[i].relation for i in dirty_indexes})
-        raise NotRewritable(
-            "more than one atom over inconsistent relation(s) "
-            f"{involved}; their repair choices interact"
+    blocking = classification.blocking
+    if blocking:  # defensive: callers gate on classification.blocking
+        raise NotRewritable(blocking[0].message)
+    shape = classification.shape
+    assert shape is not None
+    if classification.empty_reason is not None:
+        return _empty_plan(
+            shape.answer_variables, classification.empty_reason
         )
 
-    outer = [f"t{index}" for index in range(len(query.atoms))]
+    atoms = shape.atoms
+    answer_variables = shape.answer_variables
+    kept_comparisons = classification.kept_comparisons
+    profiles = classification.profiles
+    dirty_indexes = classification.dirty_indexes
+
+    outer = [f"t{index}" for index in range(len(atoms))]
     outer_conditions, outer_params, outer_columns = _render_body(
-        query, schema, outer, kept_comparisons
+        atoms, schema, outer, kept_comparisons
     )
     survivor_table = None
     if dirty_indexes and survivors:
-        survivor_table = survivors.get(query.atoms[dirty_indexes[0]].relation)
+        survivor_table = survivors.get(atoms[dirty_indexes[0]].relation)
         if survivor_table is not None:
             # Possible answers and the outer certification witness both
             # range over preferred rows only: a witness row outside every
@@ -476,12 +315,12 @@ def compile_plan(
             )
     from_outer = ", ".join(
         f"{quote_identifier(atom.relation)} AS {alias}"
-        for atom, alias in zip(query.atoms, outer)
+        for atom, alias in zip(atoms, outer)
     )
-    if query.answer_variables:
+    if answer_variables:
         select_list = ", ".join(
             "{} AS {}".format(outer_columns[name], quote_identifier(f"a{pos}"))
-            for pos, name in enumerate(query.answer_variables)
+            for pos, name in enumerate(answer_variables)
         )
         possible_sql = (
             f"SELECT DISTINCT {select_list} FROM {from_outer} "
@@ -496,7 +335,7 @@ def compile_plan(
     if not dirty_indexes:
         return RewritePlan(
             kind="clean",
-            answer_variables=query.answer_variables,
+            answer_variables=answer_variables,
             certain_sql=possible_sql,
             certain_params=tuple(outer_params),
             possible_sql=possible_sql,
@@ -506,14 +345,14 @@ def compile_plan(
         )
 
     dirty = dirty_indexes[0]
-    profile = profiles[query.atoms[dirty].relation]
+    profile = profiles[atoms[dirty].relation]
     if survivor_table is not None and profile.relation in resolved:
         # One surviving class per group: the preferred repair projected
         # onto this relation is unique, so certain = possible = plain
         # evaluation over the survivor rows (the "clean" run path).
         return RewritePlan(
             kind="clean",
-            answer_variables=query.answer_variables,
+            answer_variables=answer_variables,
             certain_sql=possible_sql,
             certain_params=tuple(outer_params),
             possible_sql=possible_sql,
@@ -524,13 +363,13 @@ def compile_plan(
                 f"evaluation over survivor table {survivor_table!r}"
             ),
         )
-    inner = [f"w{index}" for index in range(len(query.atoms))]
+    inner = [f"w{index}" for index in range(len(atoms))]
     inner_conditions, inner_params, inner_columns = _render_body(
-        query, schema, inner, kept_comparisons
+        atoms, schema, inner, kept_comparisons
     )
     from_inner = ", ".join(
         f"{quote_identifier(atom.relation)} AS {alias}"
-        for atom, alias in zip(query.atoms, inner)
+        for atom, alias in zip(atoms, inner)
     )
     same_group_alt = [
         f"g.{quote_identifier(attr)} = {outer[dirty]}.{quote_identifier(attr)}"
@@ -552,7 +391,7 @@ def compile_plan(
     ]
     same_answer = [
         f"{inner_columns[name]} = {outer_columns[name]}"
-        for name in query.answer_variables
+        for name in answer_variables
     ]
     witness_sql = (
         f"SELECT 1 FROM {from_inner} WHERE "
@@ -567,7 +406,7 @@ def compile_plan(
     certified = (
         f"{_conjoin(outer_conditions)} AND NOT EXISTS ({uncertified_class_sql})"
     )
-    if query.answer_variables:
+    if answer_variables:
         certain_sql = (
             f"SELECT DISTINCT {select_list} FROM {from_outer} WHERE {certified}"
         )
@@ -575,7 +414,7 @@ def compile_plan(
         certain_sql = f"SELECT 1 FROM {from_outer} WHERE {certified} LIMIT 1"
     return RewritePlan(
         kind="dirty",
-        answer_variables=query.answer_variables,
+        answer_variables=answer_variables,
         certain_sql=certain_sql,
         certain_params=tuple(outer_params) + tuple(inner_params),
         possible_sql=possible_sql,
@@ -609,15 +448,18 @@ def analyze_query(
     :meth:`CqaEngine.certain_answers` does.  ``survivors`` and
     ``resolved`` switch :func:`compile_plan` into its preference-aware
     mode (see there).
+
+    The returned decision carries the classifier's diagnostics; on
+    fallback, ``reason`` is the first blocker's message — the exact
+    string the historical fail-fast analysis raised.
     """
-    try:
-        query = _extract_conjunctive(formula, variables)
-        profiles: Dict[str, DirtyProfile] = {}
-        for name in sorted({atom.relation for atom in query.atoms}):
-            profile = dirty_profile(schema.relation(name), dependencies)
-            if profile is not None:
-                profiles[name] = profile
-        plan = compile_plan(query, schema, profiles, survivors, resolved)
-        return RewriteDecision(plan, None)
-    except NotRewritable as exc:
-        return RewriteDecision(None, exc.reason)
+    classification = classify(formula, schema, dependencies, variables)
+    blocking = classification.blocking
+    if blocking:
+        return RewriteDecision(
+            None, blocking[0].message, diagnostics=classification.diagnostics
+        )
+    plan = compile_plan(classification, schema, survivors, resolved)
+    return RewriteDecision(
+        plan, None, diagnostics=classification.diagnostics
+    )

@@ -270,6 +270,7 @@ def _explain_decision(args: argparse.Namespace, engine, family) -> int:
             "possible_sql": (
                 decision.plan.possible_sql if decision.pushed else None
             ),
+            "diagnostics": [d.to_dict() for d in decision.diagnostics],
         }
         print(json.dumps(payload))
         return 0
@@ -283,7 +284,85 @@ def _explain_decision(args: argparse.Namespace, engine, family) -> int:
     else:
         print("route: fallback (in-memory repair streaming)")
         print(f"reason: {decision.reason}")
+    _print_diagnostics(decision.diagnostics)
     return 0
+
+
+def _print_diagnostics(diagnostics) -> None:
+    """Render analyzer diagnostics (codes, messages, hints) as text."""
+    if not diagnostics:
+        return
+    print("diagnostics:")
+    for diagnostic in diagnostics:
+        print(f"  {diagnostic.render()}")
+        print(f"    hint: {diagnostic.hint}")
+
+
+def _cmd_analyze(args: argparse.Namespace) -> int:
+    """Static route analysis: no data is read beyond the schema load."""
+    import json
+
+    from repro.query.sql import sql_to_formula
+
+    family = _FAMILY_CODES[args.family]
+    has_priority_flags = bool(args.prefer_new or args.prefer_source)
+    if has_priority_flags:
+        instance, dependencies, _, priority = _build_setting(args)
+        engine = CqaEngine(instance, dependencies, priority, family)
+    else:
+        dependencies = [
+            FunctionalDependency.parse(spec, args.relation) for spec in args.fd
+        ]
+        if args.csv:
+            data = read_instance_csv(args.csv, args.relation)
+        elif args.sqlite:
+            data = (
+                load_instance(args.sqlite, args.relation)
+                if args.relation
+                else load_database(args.sqlite)
+            )
+        else:
+            raise SystemExit("provide --csv or --sqlite")
+        engine = CqaEngine(data, dependencies, None, family)
+
+    if args.sql:
+        formula, variables = sql_to_formula(args.sql, engine.database_schema)
+    else:
+        formula, variables = args.query, None
+    report = engine.route_report(formula, variables)
+
+    if args.json:
+        payload = report.to_dict()
+        payload["expected_last_routes"] = {
+            engine_name: report.expected_last_route(engine_name)
+            for engine_name in report.routes
+        }
+        print(json.dumps(payload))
+        return 0 if not report.errors else 3
+
+    print(f"query: {report.query}")
+    print(f"fingerprint: {report.fingerprint}")
+    print(f"plan: {report.plan_kind or '(blocked: repair streaming)'}")
+    if report.relations:
+        mentioned = ", ".join(report.relations)
+        print(f"relations: {mentioned}")
+    if report.prioritized:
+        print(f"prioritized: {', '.join(report.prioritized)}")
+    print("routes:")
+    for engine_name in ("memory", "sqlite", "prefsql"):
+        label = report.routes[engine_name]
+        if report.blocked(engine_name):
+            blocker = report.blocking(engine_name)[0]
+            print(
+                f"  {engine_name}: fallback "
+                f"(blocked by {blocker.full_code})"
+            )
+        else:
+            print(f"  {engine_name}: {label}")
+    _print_diagnostics(report.diagnostics)
+    # Exit status mirrors `cqa`'s convention: 0 = fully pushable
+    # somewhere, 3 = at least one engine is statically blocked.
+    return 0 if not report.errors else 3
 
 
 def _cmd_query(args: argparse.Namespace) -> int:
@@ -812,6 +891,29 @@ def build_parser() -> argparse.ArgumentParser:
         ),
     )
     query_cmd.set_defaults(handler=_cmd_query)
+
+    analyze_cmd = subparsers.add_parser(
+        "analyze",
+        help="static route analysis: diagnostics without executing",
+        description=(
+            "Classify a query against the schema, FDs, and priority "
+            "theory without executing it: which engine would push it "
+            "down, which would fall back, and every blocking "
+            "diagnostic (with fix hints).  Purely data-independent "
+            "apart from the schema load."
+        ),
+    )
+    _add_data_arguments(analyze_cmd)
+    analyze_cmd.add_argument("--family", choices=_FAMILY_CODES, default="Rep")
+    analyze_target = analyze_cmd.add_mutually_exclusive_group(required=True)
+    analyze_target.add_argument(
+        "--query", help="first-order query (open or closed)"
+    )
+    analyze_target.add_argument("--sql", help="conjunctive SELECT query")
+    analyze_cmd.add_argument(
+        "--json", action="store_true", help="emit the report as JSON"
+    )
+    analyze_cmd.set_defaults(handler=_cmd_analyze)
 
     aggregate = subparsers.add_parser(
         "aggregate", help="range-consistent aggregate answer"

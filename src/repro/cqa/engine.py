@@ -98,6 +98,42 @@ class CqaEngine:
     def _route(self) -> str:
         return "naive" if self.naive else "indexed"
 
+    @property
+    def database_schema(self):
+        """The full database schema, whether built over one relation or
+        many (the analysis layer and validation both need this view)."""
+        if isinstance(self.data, Database):
+            return self.data.schema
+        from repro.relational.schema import DatabaseSchema
+
+        return DatabaseSchema([self.data.schema])
+
+    def route_report(
+        self,
+        query: Union[str, Formula],
+        variables: Optional[Sequence[str]] = None,
+    ):
+        """Static :class:`~repro.analysis.model.RouteReport` for
+        ``query`` under this engine's theory and priority.
+
+        This engine always streams repairs (route ``"naive"`` or
+        ``"indexed"``); the report additionally predicts what the
+        SQLite-pushed engines would do with the same quadruple, so
+        callers can see which answers were one backend switch away from
+        a pushed plan.
+        """
+        from repro.analysis import analyze
+
+        formula = self._to_formula(query)
+        return analyze(
+            self.database_schema,
+            self.dependencies,
+            formula,
+            variables,
+            priority=self.priority.edges,
+            naive=self.naive,
+        )
+
     def _context_for(self, repair: Repair, constants) -> EvaluationContext:
         """Shared per-repair context: indexes and plans live across queries."""
         return self._contexts.context_for(repair, constants)

@@ -79,7 +79,7 @@ class Counter:
     def __init__(self, registry: "MetricsRegistry") -> None:
         self._registry = registry
         self._lock = threading.Lock()
-        self._value = 0.0
+        self._value = 0.0  # guarded-by: _lock
 
     def inc(self, amount: float = 1.0) -> None:
         if not self._registry.enabled:
@@ -91,7 +91,9 @@ class Counter:
 
     @property
     def value(self) -> float:
-        return self._value
+        # Exposition snapshot: a torn read is impossible for a float
+        # attribute swap and staleness is acceptable.
+        return self._value  # lint: unguarded-ok
 
 
 class Gauge:
@@ -102,7 +104,7 @@ class Gauge:
     def __init__(self, registry: "MetricsRegistry") -> None:
         self._registry = registry
         self._lock = threading.Lock()
-        self._value = 0.0
+        self._value = 0.0  # guarded-by: _lock
 
     def set(self, value: float) -> None:
         if not self._registry.enabled:
@@ -121,7 +123,8 @@ class Gauge:
 
     @property
     def value(self) -> float:
-        return self._value
+        # Same snapshot-read contract as Counter.value.
+        return self._value  # lint: unguarded-ok
 
 
 class Histogram:
@@ -148,9 +151,10 @@ class Histogram:
         self._registry = registry
         self._lock = threading.Lock()
         self.bounds = ordered
-        self._counts = [0] * (len(ordered) + 1)  # +1: the +Inf bucket
-        self._sum = 0.0
-        self._count = 0
+        # +1 below: the +Inf overflow bucket.
+        self._counts = [0] * (len(ordered) + 1)  # guarded-by: _lock
+        self._sum = 0.0  # guarded-by: _lock
+        self._count = 0  # guarded-by: _lock
 
     def observe(self, value: float) -> None:
         if not self._registry.enabled:
@@ -163,11 +167,13 @@ class Histogram:
 
     @property
     def count(self) -> int:
-        return self._count
+        # Snapshot read for exposition; pairs of (count, sum) read this
+        # way may be momentarily inconsistent, which render() accepts.
+        return self._count  # lint: unguarded-ok
 
     @property
     def sum(self) -> float:
-        return self._sum
+        return self._sum  # lint: unguarded-ok
 
     def bucket_counts(self) -> List[Tuple[float, int]]:
         """Cumulative ``(upper_bound, count)`` pairs, ending at +Inf."""
@@ -241,7 +247,7 @@ class MetricFamily:
         self.kind = kind
         self.label_names = label_names
         self._registry = registry
-        self._children: Dict[Tuple[str, ...], object] = {}
+        self._children: Dict[Tuple[str, ...], object] = {}  # guarded-by: _lock
         self._lock = threading.Lock()
         self._buckets = tuple(buckets) if buckets else DEFAULT_LATENCY_BUCKETS
 
@@ -253,7 +259,9 @@ class MetricFamily:
                 f"got {tuple(sorted(labels))}"
             )
         key = tuple(str(labels[name]) for name in self.label_names)
-        child = self._children.get(key)
+        # Double-checked fast path: dict.get on a never-shrinking dict
+        # is atomic under the GIL; creation re-checks under the lock.
+        child = self._children.get(key)  # lint: unguarded-ok
         if child is None:
             with self._lock:
                 child = self._children.get(key)
@@ -300,7 +308,7 @@ class MetricsRegistry:
         #: Master switch: when False every record call is a no-op after
         #: one attribute check.  Flip freely at runtime.
         self.enabled = enabled
-        self._families: "Dict[str, MetricFamily]" = {}
+        self._families: "Dict[str, MetricFamily]" = {}  # guarded-by: _lock
         self._lock = threading.Lock()
 
     # Declaration -------------------------------------------------------------
@@ -313,7 +321,8 @@ class MetricsRegistry:
         labels: Sequence[str],
         buckets: Optional[Sequence[float]] = None,
     ) -> MetricFamily:
-        family = self._families.get(name)
+        # Double-checked fast path, same contract as MetricFamily.labels.
+        family = self._families.get(name)  # lint: unguarded-ok
         if family is None:
             with self._lock:
                 family = self._families.get(name)

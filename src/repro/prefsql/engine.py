@@ -50,6 +50,7 @@ from dataclasses import replace
 from pathlib import Path
 from typing import Dict, Iterable, Optional, Sequence, Set, Tuple, Union
 
+from repro.analysis.model import make_diagnostic
 from repro.backend.rewrite import (
     DirtyProfile,
     NotRewritable,
@@ -229,10 +230,9 @@ class PrefSqlCqaEngine:
             f"SELECT COUNT(*) FROM (SELECT DISTINCT * FROM {table})"
         ).fetchone()[0]
         if total != distinct:
-            return (
-                f"prioritized relation {relation!r} stores duplicate rows; "
-                "edge orientation is ambiguous, streaming repairs instead"
-            )
+            # Rendered through the diagnostic catalog so the reason
+            # string (a metric label) has exactly one definition.
+            return make_diagnostic("RA303", relation=relation).message
         return None
 
     def _survivors_for(self, relation: str, family: Family) -> Tuple[str, bool]:
@@ -311,7 +311,13 @@ class PrefSqlCqaEngine:
         mentioned = relations_of(formula)
         blocked = min(mentioned & self._blocked.keys(), default=None)
         if blocked is not None:
-            return RewriteDecision(None, self._blocked[blocked])
+            return RewriteDecision(
+                None,
+                self._blocked[blocked],
+                diagnostics=(
+                    make_diagnostic("RA303", subject=blocked, relation=blocked),
+                ),
+            )
         prioritized = sorted(mentioned & self._edge_counts.keys())
         survivors: Optional[Dict[str, str]] = None
         resolved: Set[str] = set()
@@ -357,7 +363,7 @@ class PrefSqlCqaEngine:
         with obs_span("route-decision"):
             decision = self._decide(formula, (), family)
         if decision.plan is None:
-            self.last_route = f"fallback: {decision.reason}"
+            self.last_route = decision.fallback_route
             annotate(route="fallback", reason=decision.reason)
             answer = self._fallback().answer(formula, family)
             observe_query(
@@ -404,7 +410,7 @@ class PrefSqlCqaEngine:
         with obs_span("route-decision"):
             decision = self._decide(formula, variables, family)
         if decision.plan is None:
-            self.last_route = f"fallback: {decision.reason}"
+            self.last_route = decision.fallback_route
             annotate(route="fallback", reason=decision.reason)
             answers = self._fallback().certain_answers(
                 formula, variables, family

@@ -289,14 +289,16 @@ class ContextCache:
             raise ValueError("max_entries must be positive")
         self.naive = naive
         self.max_entries = max_entries
-        self._contexts: Dict[FrozenSet[Row], EvaluationContext] = {}
+        self._contexts: Dict[FrozenSet[Row], EvaluationContext] = {}  # guarded-by: _lock
         self._lock = threading.Lock()
-        self.hits = 0
-        self.misses = 0
-        self.evictions = 0
+        self.hits = 0  # guarded-by: _lock
+        self.misses = 0  # guarded-by: _lock
+        self.evictions = 0  # guarded-by: _lock
 
     def __len__(self) -> int:
-        return len(self._contexts)
+        # Size probe for tests and diagnostics; len() of a dict is
+        # atomic under the GIL and staleness is harmless.
+        return len(self._contexts)  # lint: unguarded-ok
 
     def context_for(
         self, rows: FrozenSet[Row], constants: FrozenSet[Value] = frozenset()

@@ -57,6 +57,8 @@ from typing import (
     Union,
 )
 
+from repro.analysis import RouteReport
+from repro.analysis import analyze as analyze_routes
 from repro.backend.mirror import SqliteMirror
 from repro.constraints.fd import FunctionalDependency
 from repro.core.families import Family
@@ -144,14 +146,15 @@ class AnswerCache:
         if max_entries < 1:
             raise ValueError("max_entries must be positive")
         self.max_entries = max_entries
-        self._entries: "OrderedDict[Tuple, _CacheSlot]" = OrderedDict()
+        self._entries: "OrderedDict[Tuple, _CacheSlot]" = OrderedDict()  # guarded-by: _lock
         self._lock = threading.Lock()
-        self.hits = 0
-        self.misses = 0
-        self.evicted = 0
+        self.hits = 0  # guarded-by: _lock
+        self.misses = 0  # guarded-by: _lock
+        self.evicted = 0  # guarded-by: _lock
 
     def __len__(self) -> int:
-        return len(self._entries)
+        # Size probe; atomic under the GIL, staleness is harmless.
+        return len(self._entries)  # lint: unguarded-ok
 
     def get(self, key: Tuple) -> Optional[_CacheSlot]:
         with self._lock:
@@ -259,6 +262,15 @@ class RequestBroker:
         self._default: Optional[str] = None
         self._lock = threading.Lock()
         self.cache = AnswerCache(cache_entries)
+        # Static route reports are data-independent (modulo the active
+        # priority edges, which key them), so one analysis serves every
+        # request of the same (database, query, columns, priority
+        # state) — route decisions stop costing per-request work.
+        self._route_reports: "OrderedDict[Tuple, RouteReport]" = OrderedDict()  # guarded-by: _route_report_lock
+        self._route_report_lock = threading.Lock()
+        self._max_route_reports = 1024
+        self.route_report_hits = 0  # guarded-by: _route_report_lock
+        self.route_report_misses = 0  # guarded-by: _route_report_lock
         #: Worker count forwarded to the engines' enumeration paths
         #: (``None`` = serial, ``0`` = hardware width).
         self.parallel = parallel
@@ -390,6 +402,48 @@ class RequestBroker:
             entry.priority_fingerprint = entry.engine.active_priority_edges()
         return entry.priority_fingerprint
 
+    def _route_report(
+        self,
+        entry: _Entry,
+        formula: Formula,
+        variables: Tuple[str, ...],
+        active: FrozenSet[PriorityEdge],
+    ) -> RouteReport:
+        """The cached static route analysis for one work unit.
+
+        Keyed by query + theory fingerprint: schema and dependencies are
+        fixed per registration, so ``(database, formula, columns,
+        active-priority state)`` pins everything the analysis reads.
+        Duplicate-row blocking is data-dependent and deliberately *not*
+        predicted here — the prefsql engine's own probe stays
+        authoritative for it."""
+        key = (entry.name, formula, variables, active)
+        with self._route_report_lock:
+            report = self._route_reports.get(key)
+            if report is not None:
+                self._route_reports.move_to_end(key)
+                self.route_report_hits += 1
+                observe_cache("route_report", "hit")
+                return report
+            self.route_report_misses += 1
+            observe_cache("route_report", "miss")
+        report = analyze_routes(
+            entry.engine.schema,
+            entry.engine.dependencies,
+            formula,
+            variables,
+            priority=tuple(active),
+            naive=entry.engine.naive,
+        )
+        with self._route_report_lock:
+            if (
+                key not in self._route_reports
+                and len(self._route_reports) >= self._max_route_reports
+            ):
+                self._route_reports.popitem(last=False)
+            self._route_reports[key] = report
+        return report
+
     def _execute(
         self,
         entry: _Entry,
@@ -402,20 +456,33 @@ class RequestBroker:
             entry.queries += 1
         if entry.mirror is not None:
             active = self._priority_fingerprint(entry)
+            if active and entry.prefsql_pushdown:
+                target: Optional[str] = "prefsql"
+            elif active:
+                target = None  # prefsql disabled: stream in memory
+            else:
+                target = "sqlite"
+            if target is not None:
+                # Statically blocked queries skip the mirror entirely:
+                # no refresh, no pushed-engine construction, no probe.
+                # The report predicts exactly what explain() would say
+                # for every data-independent condition.
+                report = self._route_report(entry, formula, variables, active)
+                if report.blocked(target):
+                    target = None
+            pushed_engine = None
+            engine_label = "incremental"
             # Lazy snapshot: assembling the Database is O(instance), so
             # hand the mirror a supplier it only calls when dirty.
             # Refresh and engine construction serialize on mirror_lock;
             # the pushed SQL below runs concurrently across readers.
-            if active and entry.prefsql_pushdown:
+            if target == "prefsql":
                 with entry.mirror_lock:
                     pushed_engine = entry.mirror.pref_engine_for(
                         entry.engine.current_database, active
                     )
                 engine_label = "prefsql"
-            elif active:
-                pushed_engine = None  # prefsql disabled: stream in memory
-                engine_label = "incremental"
-            else:
+            elif target == "sqlite":
                 with entry.mirror_lock:
                     pushed_engine = entry.mirror.engine_for(
                         entry.engine.current_database
@@ -552,6 +619,28 @@ class RequestBroker:
             [Request(query, family, variables, database)]
         )[0]
 
+    def analyze(
+        self,
+        query: Union[str, Formula],
+        family: Optional[Family] = None,
+        variables: Optional[Tuple[str, ...]] = None,
+        database: Optional[str] = None,
+    ) -> RouteReport:
+        """Static route analysis of one query — nothing executes.
+
+        Returns the same cached :class:`~repro.analysis.model.
+        RouteReport` the broker consults when serving, so the
+        diagnostics seen here are exactly the routing the next
+        ``submit`` of the same query will follow.
+        """
+        entry = self._entry(database)
+        with entry.rw.read():
+            formula, norm_variables, _ = self._normalize(
+                entry, Request(query, family, variables, database)
+            )
+            active = self._priority_fingerprint(entry)
+            return self._route_report(entry, formula, norm_variables, active)
+
     # Diagnostics --------------------------------------------------------------
 
     def backend_of(self, database: Optional[str] = None) -> str:
@@ -618,6 +707,13 @@ class RequestBroker:
             },
             "batches": self.batches,
             "deduplicated": self.deduplicated,
+            "route_reports": {
+                # Stats snapshot: counter reads are atomic under the
+                # GIL and a slightly stale triple is acceptable.
+                "entries": len(self._route_reports),  # lint: unguarded-ok
+                "hits": self.route_report_hits,  # lint: unguarded-ok
+                "misses": self.route_report_misses,  # lint: unguarded-ok
+            },
             "concurrent_reads": sum(
                 entry.rw.concurrent_reads for entry in self._entries.values()
             ),

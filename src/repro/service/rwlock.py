@@ -39,12 +39,12 @@ class ReadWriteLock:
 
     def __init__(self) -> None:
         self._condition = threading.Condition()
-        self._active_readers = 0
-        self._waiting_writers = 0
-        self._writer_active = False
+        self._active_readers = 0  # guarded-by: _condition
+        self._waiting_writers = 0  # guarded-by: _condition
+        self._writer_active = False  # guarded-by: _condition
         #: Number of read sections that began while another reader was
         #: already inside (monotonic; a concurrency witness, not a gauge).
-        self.concurrent_reads = 0
+        self.concurrent_reads = 0  # guarded-by: _condition
 
     # Readers -----------------------------------------------------------------
 

@@ -264,6 +264,18 @@ class ServiceFrontEnd:
                 self.requests_served += 1
                 self._log_access(result, time.perf_counter() - started)
                 return encode_result(result)
+            if op == "analyze":
+                request = _parse_request(payload)
+                report = self.broker.analyze(
+                    request.query,
+                    family=request.family,
+                    variables=request.variables,
+                    database=request.database,
+                )
+                body = report.to_dict()
+                if request.tag is not None:
+                    body["tag"] = request.tag
+                return body
             raise ServiceError(f"unknown op {op!r}")
         except (ServiceError, ReproError, TypeError, ValueError, KeyError) as exc:
             # Shape errors a type-check in _parse_request missed (e.g. a
@@ -318,7 +330,7 @@ class _Handler(BaseHTTPRequestHandler):
             self._send(404, {"error": f"unknown path {self.path!r}"})
 
     def do_POST(self) -> None:  # noqa: N802 - http.server API
-        if self.path not in ("/query", "/update"):
+        if self.path not in ("/query", "/update", "/analyze"):
             self._send(404, {"error": f"unknown path {self.path!r}"})
             return
         length = int(self.headers.get("Content-Length", 0))
@@ -330,6 +342,8 @@ class _Handler(BaseHTTPRequestHandler):
             return
         if self.path == "/update" and isinstance(payload, dict):
             payload.setdefault("op", "insert")
+        if self.path == "/analyze" and isinstance(payload, dict):
+            payload.setdefault("op", "analyze")
         if isinstance(payload, dict) and "requests" in payload:
             payload.setdefault("op", "batch")
         response = self.front.handle(payload)

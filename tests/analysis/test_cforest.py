@@ -1,0 +1,182 @@
+"""C_forest recognition: multi-atom dirty joins that follow key paths.
+
+The fixtures here are the ≥3 multi-atom shapes the recognizer must
+accept (chain of two, chain of three, branching tree) plus the shapes it
+must reject (non-key join, join cycle, dirty self-join).  Recognition is
+explanation-only: the blocking RA201 stays, RA011 rides along as info,
+and the engine still falls back — which the differential checks pin.
+"""
+
+import sqlite3
+
+import pytest
+
+from repro.analysis import analyze, recognize_c_forest
+from repro.analysis.shapes import classify
+from repro.backend import SqlCqaEngine
+from repro.constraints.fd import FunctionalDependency
+from repro.query.ast import And, Atom, Exists, Var
+from repro.query.validate import check_against_schema
+from repro.relational.database import Database
+from repro.relational.instance import RelationInstance
+from repro.relational.schema import DatabaseSchema, RelationSchema
+from repro.relational.sqlite_io import save_database
+
+R_SCHEMA = RelationSchema("R", ["K", "A", "B"])
+T_SCHEMA = RelationSchema("T", ["A", "C", "D"])
+U_SCHEMA = RelationSchema("U", ["C", "E"])
+W_SCHEMA = RelationSchema("W", ["B", "F"])
+SCHEMA = DatabaseSchema([R_SCHEMA, T_SCHEMA, U_SCHEMA, W_SCHEMA])
+
+#: Every relation dirty, keyed on its first attribute.
+FDS = [
+    FunctionalDependency.parse("K -> A", "R"),
+    FunctionalDependency.parse("A -> C", "T"),
+    FunctionalDependency.parse("C -> E", "U"),
+    FunctionalDependency.parse("B -> F", "W"),
+]
+
+k, a, b, c, d, e, f = (
+    Var("k"), Var("a"), Var("b"), Var("c"), Var("d"), Var("e"), Var("f"),
+)
+
+
+def _report(formula, dependencies=FDS):
+    checked = check_against_schema(formula, SCHEMA)
+    return analyze(SCHEMA, dependencies, checked)
+
+
+def _codes(report):
+    return [diag.full_code for diag in report.diagnostics]
+
+
+CHAIN_OF_TWO = Exists(
+    ["k", "a", "b", "c", "d"],
+    And([Atom("R", [k, a, b]), Atom("T", [a, c, d])]),
+)
+
+CHAIN_OF_THREE = Exists(
+    ["k", "a", "b", "c", "d", "e"],
+    And([Atom("R", [k, a, b]), Atom("T", [a, c, d]), Atom("U", [c, e])]),
+)
+
+BRANCHING_TREE = Exists(
+    ["k", "a", "b", "c", "d", "f"],
+    And([Atom("R", [k, a, b]), Atom("T", [a, c, d]), Atom("W", [b, f])]),
+)
+
+RECOGNIZED = [
+    ("chain-of-two", CHAIN_OF_TWO, "T joins R through its key ['A']"),
+    ("chain-of-three", CHAIN_OF_THREE, "U joins T through its key ['C']"),
+    ("branching-tree", BRANCHING_TREE, "W joins R through its key ['B']"),
+]
+
+
+class TestRecognizedShapes:
+    @pytest.mark.parametrize(
+        "label,query,phrase",
+        RECOGNIZED,
+        ids=[case[0] for case in RECOGNIZED],
+    )
+    def test_ra011_with_explanation(self, label, query, phrase):
+        report = _report(query)
+        assert "RA011-rewritable-c-forest" in _codes(report), label
+        info = next(d for d in report.diagnostics if d.code == "RA011")
+        assert phrase in info.message, (label, info.message)
+        # Recognition explains; it does not unblock.
+        assert report.blocked("sqlite"), label
+        assert report.blocking("sqlite")[0].code == "RA201", label
+
+    @pytest.mark.parametrize(
+        "label,query,phrase",
+        RECOGNIZED,
+        ids=[case[0] for case in RECOGNIZED],
+    )
+    def test_engine_still_falls_back_as_predicted(self, label, query, phrase):
+        database = Database(
+            [
+                RelationInstance.from_values(
+                    R_SCHEMA, [("k1", "a1", "b1"), ("k1", "a2", "b1")]
+                ),
+                RelationInstance.from_values(
+                    T_SCHEMA, [("a1", "c1", "d1"), ("a1", "c2", "d1")]
+                ),
+                RelationInstance.from_values(U_SCHEMA, [("c1", "e1")]),
+                RelationInstance.from_values(W_SCHEMA, [("b1", "f1")]),
+            ]
+        )
+        connection = sqlite3.connect(":memory:")
+        save_database(database, connection, FDS)
+        report = _report(query)
+        with SqlCqaEngine(connection, FDS) as engine:
+            engine.answer(query)
+            assert report.expected_last_route("sqlite") == engine.last_route, label
+
+
+class TestRejectedShapes:
+    def test_non_key_join_is_not_recognized(self):
+        # T joins R through D (a non-key position of T).
+        query = Exists(
+            ["k", "a", "b", "x", "c"],
+            And([Atom("R", [k, a, b]), Atom("T", [Var("x"), c, a])]),
+        )
+        report = _report(query)
+        assert report.blocking("sqlite")[0].code == "RA201"
+        assert "RA011-rewritable-c-forest" not in _codes(report)
+
+    def test_shared_variable_outside_key_is_not_recognized(self):
+        # The key of T is covered, but a second shared variable lands in
+        # a non-key position — repair choices would correlate.
+        query = Exists(
+            ["k", "a", "b", "d"],
+            And([Atom("R", [k, a, b]), Atom("T", [a, b, d])]),
+        )
+        report = _report(query)
+        assert report.blocking("sqlite")[0].code == "RA201"
+        assert "RA011-rewritable-c-forest" not in _codes(report)
+
+    def test_dirty_self_join_is_not_recognized(self):
+        query = Exists(
+            ["k", "a", "b", "a2", "b2"],
+            And([Atom("R", [k, a, b]), Atom("R", [k, Var("a2"), Var("b2")])]),
+        )
+        report = _report(query)
+        assert report.blocking("sqlite")[0].code == "RA201"
+        assert "RA011-rewritable-c-forest" not in _codes(report)
+
+    def test_join_cycle_is_not_recognized(self):
+        # R-T share a; T-U share c; U-R share k: a cycle, not a forest.
+        query = Exists(
+            ["k", "a", "b", "c", "d"],
+            And(
+                [
+                    Atom("R", [k, a, b]),
+                    Atom("T", [a, c, d]),
+                    Atom("U", [c, k]),
+                ]
+            ),
+        )
+        report = _report(query)
+        assert report.blocking("sqlite")[0].code == "RA201"
+        assert "RA011-rewritable-c-forest" not in _codes(report)
+
+    def test_clean_query_has_no_recognition(self):
+        query = Exists(["z"], Atom("R", [k, a, Var("z")]))
+        classification = classify(
+            check_against_schema(query, SCHEMA), SCHEMA, FDS
+        )
+        assert recognize_c_forest(classification, SCHEMA) is None
+
+
+class TestConstantsInKeys:
+    def test_constant_key_position_counts_as_covered(self):
+        # T's key position holds a constant: still a key join.
+        query = Exists(
+            ["k", "a", "b", "c", "d"],
+            And([Atom("R", [k, a, b]), Atom("T", ["a1", c, d])]),
+        )
+        report = _report(query)
+        # No shared variables at all: the atoms are isolated trees.
+        assert "RA011-rewritable-c-forest" in _codes(report)
+        info = next(d for d in report.diagnostics if d.code == "RA011")
+        assert "isolated dirty atoms" in info.message

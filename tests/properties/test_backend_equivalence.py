@@ -27,6 +27,7 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
+from repro.analysis import analyze
 from repro.backend import SqlCqaEngine
 from repro.backend.rewrite import analyze_query
 from repro.constraints.fd import FunctionalDependency
@@ -142,6 +143,15 @@ def _engines(database, dependencies, family=Family.REP):
     return sql_engine, memory_engine
 
 
+def _predicted_route(formula, dependencies, variables=None):
+    """The static analyzer's prediction of ``last_route`` (differential
+    oracle: the analyzer must BE the routing logic, so its prediction is
+    compared against the engine on every example)."""
+    checked = check_against_schema(formula, SCHEMA)
+    report = analyze(SCHEMA, dependencies, checked, variables)
+    return report.expected_last_route("sqlite")
+
+
 class TestShapesArePushed:
     @pytest.mark.parametrize(
         "label,formula,variables",
@@ -173,6 +183,10 @@ class TestOpenQueryEquivalence:
                 for label, formula, variables in REWRITABLE_SHAPES:
                     pushed = sql_engine.certain_answers(formula, variables)
                     assert sql_engine.last_route == "sqlite", label
+                    assert (
+                        _predicted_route(formula, dependencies, variables)
+                        == sql_engine.last_route
+                    ), label
                     reference = memory_engine.certain_answers(formula, variables)
                     assert pushed.certain == reference.certain, label
                     assert pushed.possible == reference.possible, label
@@ -189,6 +203,10 @@ class TestClosedQueryEquivalence:
                 for label, formula in CLOSED_SHAPES:
                     pushed = sql_engine.answer(formula)
                     assert sql_engine.last_route == "sqlite", label
+                    assert (
+                        _predicted_route(formula, dependencies)
+                        == sql_engine.last_route
+                    ), label
                     reference = memory_engine.answer(formula)
                     assert pushed.verdict is reference.verdict, label
 

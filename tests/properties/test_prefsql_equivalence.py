@@ -20,20 +20,23 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
+from repro.analysis import analyze
 from repro.constraints.conflict_graph import build_conflict_graph
 from repro.constraints.fd import FunctionalDependency
 from repro.core.families import Family
 from repro.cqa.engine import CqaEngine
 from repro.prefsql import PrefSqlCqaEngine
 from repro.query.ast import And, Atom, Comparison, Exists, Var
+from repro.query.validate import check_against_schema
 from repro.relational.database import Database
 from repro.relational.instance import RelationInstance
 from repro.relational.rows import sorted_rows
-from repro.relational.schema import RelationSchema
+from repro.relational.schema import DatabaseSchema, RelationSchema
 from repro.relational.sqlite_io import save_database
 
 R_SCHEMA = RelationSchema("R", ["K", "A:number", "B"])
 S_SCHEMA = RelationSchema("S", ["A:number", "C"])
+SCHEMA = DatabaseSchema([R_SCHEMA, S_SCHEMA])
 
 FD_VARIANTS = {
     "key-like": [FunctionalDependency.parse("K -> A", "R")],
@@ -139,6 +142,19 @@ class TestPrefsqlEquivalence:
                     assert got.variables == reference.variables, label
                 expected = "prefsql" if priority else "sqlite"
                 assert pushed.last_route == expected, label
+                # Differential against the static analyzer: its
+                # prediction must match the engine on every drawn
+                # database, FD variant, family, and priority.
+                report = analyze(
+                    SCHEMA,
+                    dependencies,
+                    check_against_schema(formula, SCHEMA),
+                    priority=priority,
+                )
+                assert (
+                    report.expected_last_route("prefsql")
+                    == pushed.last_route
+                ), label
 
 
 class TestWinnowRouteParity:

@@ -1,0 +1,257 @@
+"""Unit tests for the guarded-by concurrency lint (tools/lint)."""
+
+import sys
+import textwrap
+from pathlib import Path
+
+import pytest
+
+ROOT = Path(__file__).resolve().parent.parent.parent
+sys.path.insert(0, str(ROOT / "tools" / "lint"))
+
+import guarded_by  # noqa: E402
+
+
+def _lint(code: str):
+    source = textwrap.dedent(code)
+    return guarded_by.lint_source(Path("probe.py"), source)
+
+
+class TestGuardedByPass:
+    def test_access_under_lock_is_clean(self):
+        violations, _, guarded = _lint(
+            """
+            import threading
+
+            class Box:
+                def __init__(self):
+                    self._lock = threading.Lock()
+                    self._items = []  # guarded-by: _lock
+
+                def add(self, x):
+                    with self._lock:
+                        self._items.append(x)
+            """
+        )
+        assert guarded == 1
+        assert violations == []
+
+    def test_unguarded_access_is_flagged(self):
+        violations, _, _ = _lint(
+            """
+            import threading
+
+            class Box:
+                def __init__(self):
+                    self._lock = threading.Lock()
+                    self._items = []  # guarded-by: _lock
+
+                def bad(self):
+                    return len(self._items)
+            """
+        )
+        assert len(violations) == 1
+        assert "Box._items" in violations[0].message
+        assert "_lock" in violations[0].message
+
+    def test_wrong_lock_is_flagged(self):
+        violations, _, _ = _lint(
+            """
+            import threading
+
+            class Box:
+                def __init__(self):
+                    self._lock = threading.Lock()
+                    self._other = threading.Lock()
+                    self._items = []  # guarded-by: _lock
+
+                def bad(self):
+                    with self._other:
+                        return len(self._items)
+            """
+        )
+        assert len(violations) == 1
+
+    def test_suppression_comment_is_honoured(self):
+        violations, _, _ = _lint(
+            """
+            import threading
+
+            class Box:
+                def __init__(self):
+                    self._lock = threading.Lock()
+                    self._items = []  # guarded-by: _lock
+
+                def snapshot(self):
+                    return len(self._items)  # lint: unguarded-ok
+            """
+        )
+        assert violations == []
+
+    def test_init_is_exempt(self):
+        violations, _, _ = _lint(
+            """
+            import threading
+
+            class Box:
+                def __init__(self):
+                    self._lock = threading.Lock()
+                    self._items = []  # guarded-by: _lock
+                    self._items.append(0)
+            """
+        )
+        assert violations == []
+
+    def test_access_after_with_block_is_flagged(self):
+        violations, _, _ = _lint(
+            """
+            import threading
+
+            class Box:
+                def __init__(self):
+                    self._lock = threading.Lock()
+                    self._items = []  # guarded-by: _lock
+
+                def leaky(self):
+                    with self._lock:
+                        pass
+                    return self._items
+            """
+        )
+        assert len(violations) == 1
+
+    def test_nested_control_flow_under_lock_is_clean(self):
+        violations, _, _ = _lint(
+            """
+            import threading
+
+            class Box:
+                def __init__(self):
+                    self._lock = threading.Lock()
+                    self._items = []  # guarded-by: _lock
+
+                def churn(self):
+                    with self._lock:
+                        for x in list(self._items):
+                            try:
+                                if x:
+                                    self._items.remove(x)
+                            except ValueError:
+                                self._items.clear()
+            """
+        )
+        assert violations == []
+
+    def test_nested_function_does_not_inherit_lock(self):
+        violations, _, _ = _lint(
+            """
+            import threading
+
+            class Box:
+                def __init__(self):
+                    self._lock = threading.Lock()
+                    self._items = []  # guarded-by: _lock
+
+                def escape(self):
+                    with self._lock:
+                        def later():
+                            return self._items
+                        return later
+            """
+        )
+        assert len(violations) == 1
+
+    def test_rwlock_style_context_counts_as_held(self):
+        violations, _, _ = _lint(
+            """
+            class Box:
+                def __init__(self, rw):
+                    self.rw = rw
+                    self._items = []  # guarded-by: rw
+
+                def read_all(self):
+                    with self.rw.read():
+                        return list(self._items)
+            """
+        )
+        assert violations == []
+
+
+class TestLockOrderPass:
+    def test_consistent_order_is_acyclic(self):
+        _, edges, _ = _lint(
+            """
+            class Safe:
+                def one(self):
+                    with self.a_lock:
+                        with self.b_lock:
+                            pass
+
+                def two(self):
+                    with self.a_lock:
+                        with self.b_lock:
+                            pass
+            """
+        )
+        assert guarded_by._find_cycle(edges) is None
+        assert len(edges) >= 1
+
+    def test_inverted_order_is_a_cycle(self):
+        _, edges, _ = _lint(
+            """
+            class Deadlock:
+                def one(self):
+                    with self.a_lock:
+                        with self.b_lock:
+                            pass
+
+                def two(self):
+                    with self.b_lock:
+                        with self.a_lock:
+                            pass
+            """
+        )
+        cycle = guarded_by._find_cycle(edges)
+        assert cycle is not None
+        assert cycle[0] == cycle[-1]
+
+    def test_non_lock_contexts_are_ignored(self):
+        _, edges, _ = _lint(
+            """
+            class Files:
+                def copy(self):
+                    with self.reader:
+                        with self.writer:
+                            pass
+            """
+        )
+        assert edges == set()
+
+    def test_rw_read_call_produces_edge(self):
+        _, edges, _ = _lint(
+            """
+            class Broker:
+                def serve(self, entry):
+                    with entry.rw.read():
+                        with entry.compute_lock:
+                            pass
+            """
+        )
+        assert ("entry.rw", "entry.compute_lock") in {
+            (held, acquired) for held, acquired, _ in edges
+        }
+
+
+class TestDefaultModules:
+    def test_threaded_repro_modules_are_clean(self):
+        status = guarded_by.run(
+            [guarded_by.ROOT / name for name in guarded_by.DEFAULT_FILES]
+        )
+        assert status == 0
+
+    def test_default_files_exist(self):
+        for name in guarded_by.DEFAULT_FILES:
+            assert (guarded_by.ROOT / name).is_file(), name
+
+    def test_cli_flags_missing_file(self):
+        assert guarded_by.main(["/nonexistent/nope.py"]) == 2
