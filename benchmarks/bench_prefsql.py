@@ -69,6 +69,23 @@ QUERY = Exists(
 )
 VARIABLES = ("x", "y")
 
+# --- C_forest tier: BOTH relations dirty, joined through S's key -----------
+S_SCHEMA = RelationSchema("S", ["A:number", "C"])
+FOREST_FDS = FDS + [FunctionalDependency.parse("A -> C", "S")]
+
+#: EXISTS b . R(x, y, b) AND S(y, c) — certain (K, A, C); compiled as a
+#: two-atom C_forest over the per-family class-survivor tables.
+FOREST_QUERY = Exists(
+    ["b"],
+    And(
+        [
+            Atom("R", [Var("x"), Var("y"), Var("b")]),
+            Atom("S", [Var("y"), Var("c")]),
+        ]
+    ),
+)
+FOREST_VARIABLES = ("x", "y", "c")
+
 
 def build_workload(
     groups: int, clean_rows: int
@@ -94,31 +111,57 @@ def build_workload(
     )
 
 
-def persist(database: Database, directory: str, tag: str) -> str:
+def build_forest_workload(
+    groups: int, clean_rows: int
+) -> Tuple[Database, List[Tuple[Row, Row]]]:
+    """The R workload of :func:`build_workload` plus a dirty S keyed on
+    ``A``: groups ``A=1`` and ``A=2`` hold two classes, ``A=1`` carries
+    a priority edge (winnowed), ``A=2`` stays disputed."""
+    database, priority = build_workload(groups, clean_rows)
+    s_values: List[Tuple[int, str]] = [(a, f"s{a}") for a in range(51)]
+    s_alt = [Row(S_SCHEMA, (1, "alt1")), Row(S_SCHEMA, (2, "alt2"))]
+    s_values.extend(tuple(row.values) for row in s_alt)
+    priority = list(priority)
+    priority.append((Row(S_SCHEMA, (1, "s1")), s_alt[0]))
+    random.Random(bench_seed()).shuffle(s_values)
+    return (
+        Database(
+            list(database)
+            + [RelationInstance.from_values(S_SCHEMA, s_values)]
+        ),
+        priority,
+    )
+
+
+def persist(database: Database, directory: str, tag: str, fds=None) -> str:
     path = os.path.join(directory, f"bench_prefsql_{tag}.sqlite")
-    save_database(database, path, FDS)
+    save_database(database, path, FDS if fds is None else fds)
     return path
 
 
-def time_prefsql(path: str, priority, repeats: int):
+def time_prefsql(path: str, priority, repeats: int, fds=None,
+                 query=QUERY, variables=VARIABLES):
     """End-to-end engine construction + certain answers, from the file."""
     samples, result = [], None
     for _ in range(repeats):
         start = time.perf_counter()
-        with PrefSqlCqaEngine(path, FDS, priority, FAMILY) as engine:
-            result = engine.certain_answers(QUERY, VARIABLES)
+        with PrefSqlCqaEngine(
+            path, FDS if fds is None else fds, priority, FAMILY
+        ) as engine:
+            result = engine.certain_answers(query, variables)
             route = engine.last_route
         samples.append(time.perf_counter() - start)
     assert route == "prefsql", f"expected prefsql route, got {route!r}"
     return statistics.median(samples), result
 
 
-def time_memory(path: str, priority):
+def time_memory(path: str, priority, fds=None, query=QUERY,
+                variables=VARIABLES):
     """End-to-end load + engine + prioritized repair streaming."""
     start = time.perf_counter()
     database = load_database(path)
-    engine = CqaEngine(database, FDS, priority, FAMILY)
-    result = engine.certain_answers(QUERY, VARIABLES)
+    engine = CqaEngine(database, FDS if fds is None else fds, priority, FAMILY)
+    result = engine.certain_answers(query, variables)
     return time.perf_counter() - start, result
 
 
@@ -150,6 +193,8 @@ def main(argv=None) -> int:
 
     speedups: List[float] = []
     measurements: List[dict] = []
+    forest_speedups: List[float] = []
+    forest_measurements: List[dict] = []
     with tempfile.TemporaryDirectory() as directory:
         for clean_rows in args.sizes:
             database, priority = build_workload(args.groups, clean_rows)
@@ -197,6 +242,44 @@ def main(argv=None) -> int:
                   f"prefsql: {prefsql_s * 1000:7.2f} ms | "
                   f"certain answers: {len(prefsql_result.certain)}")
 
+        # C_forest tier: the key join with BOTH relations dirty — the
+        # recursive certification runs over class-survivor tables.
+        print(f"\nC_forest tier: R(K,A,B) fd K -> A joined with S(A,C) "
+              f"fd A -> C through S's key, prioritized on both sides, "
+              "query: certain (K, A, C)")
+        for clean_rows in args.sizes:
+            database, priority = build_forest_workload(args.groups, clean_rows)
+            total = clean_rows + 3 * args.groups + 53
+            path = persist(database, directory,
+                           f"forest_{clean_rows}", FOREST_FDS)
+            prefsql_s, prefsql_result = time_prefsql(
+                path, priority, args.repeats, FOREST_FDS,
+                FOREST_QUERY, FOREST_VARIABLES,
+            )
+            memory_s, memory_result = time_memory(
+                path, priority, FOREST_FDS, FOREST_QUERY, FOREST_VARIABLES
+            )
+            assert prefsql_result.certain == memory_result.certain, (
+                f"forest certain answers diverged at size {total}"
+            )
+            assert prefsql_result.possible == memory_result.possible, (
+                f"forest possible answers diverged at size {total}"
+            )
+            speedup = memory_s / prefsql_s
+            forest_speedups.append(speedup)
+            forest_measurements.append(
+                {
+                    "rows": total,
+                    "memory_s": round(memory_s, 6),
+                    "prefsql_s": round(prefsql_s, 6),
+                    "speedup": round(speedup, 2),
+                }
+            )
+            print(f"[{total:>7} rows] memory: {memory_s * 1000:9.1f} ms | "
+                  f"prefsql: {prefsql_s * 1000:7.2f} ms | "
+                  f"speedup: {speedup:7.1f}x | "
+                  f"certain answers: {len(prefsql_result.certain)}")
+
     emit_result(
         __file__,
         {
@@ -204,6 +287,10 @@ def main(argv=None) -> int:
             "family": str(FAMILY),
             "measurements": measurements,
             "best_speedup": round(max(speedups), 2) if speedups else None,
+            "forest_measurements": forest_measurements,
+            "forest_best_speedup": (
+                round(max(forest_speedups), 2) if forest_speedups else None
+            ),
         },
     )
     if not args.no_assert and not args.smoke:
@@ -211,7 +298,13 @@ def main(argv=None) -> int:
         assert best >= 10, (
             f"best prefsql speedup {best:.1f}x below the 10x criterion"
         )
-        print(f"criterion met: >={best:.0f}x speedup over the prioritized "
+        forest_best = max(forest_speedups)
+        assert forest_best >= 10, (
+            f"best C_forest prefsql speedup {forest_best:.1f}x below "
+            "the 10x criterion"
+        )
+        print(f"criterion met: >={best:.0f}x single-atom and "
+              f">={forest_best:.0f}x C_forest speedup over the prioritized "
               "in-memory route with identical answers")
     return 0
 

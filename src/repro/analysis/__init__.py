@@ -7,7 +7,7 @@ each engine takes, as a cacheable :class:`RouteReport`.
 """
 
 from .analyzer import analyze, profiled_relations
-from .cforest import recognize_c_forest
+from .cforest import CForest, plan_forest, recognize_c_forest
 from .model import (
     CATALOG,
     FULL_CODES,
@@ -24,6 +24,7 @@ from .shapes import Classification, ConjunctiveShape, classify
 
 __all__ = [
     "CATALOG",
+    "CForest",
     "FULL_CODES",
     "Classification",
     "ConjunctiveShape",
@@ -38,6 +39,7 @@ __all__ = [
     "dirty_profile",
     "fallback_route",
     "make_diagnostic",
+    "plan_forest",
     "profiled_relations",
     "recognize_c_forest",
     "theory_fingerprint",

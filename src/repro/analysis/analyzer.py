@@ -42,7 +42,6 @@ from repro.constraints.fd import FunctionalDependency
 from repro.query.ast import Formula, relations_of
 from repro.relational.schema import DatabaseSchema
 
-from .cforest import recognize_c_forest
 from .model import (
     MEMORY,
     PREFSQL,
@@ -175,11 +174,10 @@ def analyze(
             )
         )
 
+    # Classification diagnostics include the C_forest verdict: a sound
+    # multi-dirty key-join forest arrives as informational RA011 (both
+    # pushed engines compile it), anything else as blocking RA201.
     diagnostics.extend(classification.diagnostics)
-
-    c_forest = recognize_c_forest(classification, schema)
-    if c_forest is not None:
-        diagnostics.append(c_forest)
 
     prioritized_mentioned = tuple(
         sorted(

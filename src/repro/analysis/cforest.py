@@ -1,38 +1,79 @@
-"""Recognizer for C_forest key-join trees over dirty atoms.
+"""Recognizer and structural planner for C_forest key-join trees.
 
 The multi-dirty fallback (``RA201``) is not the end of the story: the
 ConQuer line of work (Fuxman & Miller) proves that conjunctive queries
-whose dirty atoms form *key-join trees* — every join into a dirty atom
-enters through that atom's full key — remain first-order rewritable.
-This pass detects the shape and explains it (``RA011``, informational);
-compiling it is the ROADMAP's open C_forest item, which will cite this
-code.
+whose dirty atoms form *key-join trees* — every join path into a dirty
+atom enters through that atom's full key — remain first-order
+rewritable.  :func:`plan_forest` detects the shape and, when it holds,
+returns the oriented structure the compiler
+(:func:`repro.backend.rewrite.compile_plan`) turns into recursive
+``NOT EXISTS`` certifications; :func:`classify` attaches the matching
+``RA011`` explanation and drops the ``RA201`` blocker.
 
-Detection criteria, over the atoms whose relation has a conflict
-profile (the group attributes of the profile play the role of the key):
+Detection criteria, over **all** atoms of the conjunction (clean atoms
+included — two dirty atoms correlated through a chain of clean atoms
+couple their repair choices just as surely as a direct join, the
+historical blind spot this analysis closes):
 
 * at least two dirty atoms, each over a *distinct* relation (dirty
   self-joins stay outside C_forest);
-* the variable-sharing graph of the dirty atoms is a forest (acyclic);
-* each tree can be rooted so that for every parent→child edge, every
-  key position of the child holds a constant or a variable of the
-  parent, and every variable the child shares with its parent occurs
-  only in key positions of the child (non-key sharing would correlate
-  repair choices).
+* every connected component of the variable-sharing graph that contains
+  a dirty atom is a tree (acyclic — in particular no variable occurs in
+  three atoms of such a component);
+* each such tree can be rooted so that for every tree edge whose child
+  is a dirty atom, every key position of the child holds a constant or
+  a variable of the parent atom, and every variable the child shares
+  with its parent occurs only in key positions of the child (non-key
+  sharing would correlate repair choices);
+* every retained comparison is evaluable in a single certification
+  region (see below) or in the outer scope alone.
 
-Clean atoms join freely — their relations are identical in every
-repair, so they never couple repair choices.
+Clean-only components are unconstrained: consistent relations are
+identical in every repair and never couple repair choices.
+
+The resulting :class:`CForest` partitions the atoms into *regions*: a
+dirty atom ``d`` owns itself plus the clean atoms below it (until the
+next dirty atom), which quantify together in ``d``'s certification
+scope; each dirty descendant hangs off a parent-region atom and is
+certified recursively, correlated only through its full key.  Atoms
+above every dirty atom stay in the outer scope.
 """
 
 from __future__ import annotations
 
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Set, Tuple
 
-from repro.query.ast import Atom, Const, Var
+from repro.query.ast import Atom, Comparison, Const, Var
 
-from .model import Diagnostic, make_diagnostic
+from .model import Diagnostic
 from .profiles import DirtyProfile
-from .shapes import Classification
+
+
+@dataclass(frozen=True)
+class CForest:
+    """The oriented key-join structure of a multi-dirty conjunction.
+
+    All indexes are positions into the classified shape's ``atoms``.
+    """
+
+    #: Dirty atoms with no dirty ancestor — certified from the outer
+    #: scope, keyed on their own outer alias; in body order.
+    roots: Tuple[int, ...]
+    #: Certification scope per dirty atom: itself first, then the clean
+    #: atoms it quantifies together with, in body order.
+    regions: Dict[int, Tuple[int, ...]]
+    #: Dirty descendants per dirty atom, as ``(child, attach)`` pairs:
+    #: ``child`` is the dirty atom certified recursively, ``attach`` the
+    #: parent-region atom its key terms are read from.
+    children: Dict[int, Tuple[Tuple[int, int], ...]]
+    #: Comparisons that must be re-checked inside a dirty atom's
+    #: certification scope (they constrain re-quantified variables).
+    region_comparisons: Dict[int, Tuple[Comparison, ...]]
+    #: ``(attach, child)`` key-join entries over all trees (explanation).
+    keyed: Tuple[Tuple[int, int], ...]
+    #: Human-readable account of the structure (the ``RA011`` message).
+    explanation: str
 
 
 def _atom_variables(atom: Atom) -> Set[str]:
@@ -71,125 +112,223 @@ def _edge_ok(
     return True
 
 
-def recognize_c_forest(
-    classification: Classification, schema
-) -> Optional[Diagnostic]:
-    """An ``RA011`` diagnostic when the dirty atoms form a key-join
-    forest, else ``None``.
-
-    Only meaningful on classifications whose sole blocker is the
-    multi-dirty interaction (``RA201``): shape defects or mixed-LHS
-    theories leave no per-group class structure to rewrite over.
-    """
-    shape = classification.shape
-    if shape is None or classification.empty_reason is not None:
-        return None
-    blocking = classification.blocking
-    if not blocking or any(d.code != "RA201" for d in blocking):
-        return None
-
-    profiles = classification.profiles
-    dirty = [
-        (index, atom)
-        for index, atom in enumerate(shape.atoms)
-        if atom.relation in profiles
-    ]
-    if len(dirty) < 2:
-        return None
-    relations = [atom.relation for _, atom in dirty]
-    if len(set(relations)) != len(relations):
-        return None  # dirty self-join: outside C_forest
-
-    # Variable-sharing graph over the dirty atoms must be a forest.
-    nodes = list(range(len(dirty)))
-    edges: List[Tuple[int, int]] = []
-    parent_of: Dict[int, int] = {node: node for node in nodes}
-
-    def find(node: int) -> int:
-        while parent_of[node] != node:
-            parent_of[node] = parent_of[parent_of[node]]
-            node = parent_of[node]
-        return node
-
-    for i in nodes:
-        for j in nodes:
-            if i >= j:
-                continue
-            if _atom_variables(dirty[i][1]) & _atom_variables(dirty[j][1]):
-                root_i, root_j = find(i), find(j)
-                if root_i == root_j:
-                    return None  # cycle in the sharing graph
-                parent_of[root_i] = root_j
-                edges.append((i, j))
-
-    adjacency: Dict[int, List[int]] = {node: [] for node in nodes}
-    for i, j in edges:
-        adjacency[i].append(j)
-        adjacency[j].append(i)
-
-    components: Dict[int, List[int]] = {}
-    for node in nodes:
-        components.setdefault(find(node), []).append(node)
-
-    oriented: List[Tuple[int, int]] = []  # (parent, child) over all trees
-    for members in components.values():
-        orientation = _orient_tree(members, adjacency, dirty, profiles, schema)
-        if orientation is None:
-            return None
-        oriented.extend(orientation)
-
-    explanation = _explain(dirty, oriented, profiles)
-    return make_diagnostic("RA011", explanation=explanation)
-
-
 def _orient_tree(
     members: Sequence[int],
-    adjacency: Dict[int, List[int]],
-    dirty: Sequence[Tuple[int, Atom]],
+    adjacency: Dict[int, Set[int]],
+    atoms: Sequence[Atom],
     profiles: Dict[str, DirtyProfile],
+    dirty_set: Set[int],
     schema,
-) -> Optional[List[Tuple[int, int]]]:
-    """Try each member as root; the trees are tiny, O(n^2) is fine."""
-    for root in members:
-        oriented: List[Tuple[int, int]] = []
+) -> Optional[Dict[int, Optional[int]]]:
+    """Parent pointers for one tree, or ``None`` when no rooting makes
+    every entry into a dirty atom a key join.  Edges into *clean*
+    children are unconstrained (consistent relations join freely); the
+    trees are tiny, trying every root is fine."""
+    for root in sorted(members):
+        parent: Dict[int, Optional[int]] = {root: None}
         stack = [root]
-        visited = {root}
         good = True
         while stack and good:
             node = stack.pop()
-            for neighbour in adjacency[node]:
-                if neighbour in visited:
+            for neighbour in sorted(adjacency[node]):
+                if neighbour in parent:
                     continue
-                child_atom = dirty[neighbour][1]
-                if not _edge_ok(
-                    dirty[node][1],
-                    child_atom,
-                    profiles[child_atom.relation],
+                if neighbour in dirty_set and not _edge_ok(
+                    atoms[node],
+                    atoms[neighbour],
+                    profiles[atoms[neighbour].relation],
                     schema,
                 ):
                     good = False
                     break
-                visited.add(neighbour)
-                oriented.append((node, neighbour))
+                parent[neighbour] = node
                 stack.append(neighbour)
-        if good and len(visited) == len(members):
-            return oriented
+        if good and len(parent) == len(members):
+            return parent
     return None
 
 
+def _comparison_variables(comparison: Comparison) -> Set[str]:
+    return {
+        term.name
+        for term in (comparison.left, comparison.right)
+        if isinstance(term, Var)
+    }
+
+
+def plan_forest(
+    shape,
+    profiles: Dict[str, DirtyProfile],
+    kept_comparisons: Sequence[Comparison],
+    schema,
+) -> Optional[CForest]:
+    """The :class:`CForest` structure of ``shape``, or ``None`` when the
+    conjunction is outside the (conservatively recognized) fragment.
+
+    ``shape`` is a :class:`~repro.analysis.shapes.ConjunctiveShape`
+    that already passed the shape, safety, theory and typing analyses.
+    """
+    atoms = shape.atoms
+    answers = set(shape.answer_variables)
+    dirty = [
+        index for index, atom in enumerate(atoms) if atom.relation in profiles
+    ]
+    if len(dirty) < 2:
+        return None
+    relations = [atoms[index].relation for index in dirty]
+    if len(set(relations)) != len(relations):
+        return None  # dirty self-join: outside C_forest
+    dirty_set = set(dirty)
+
+    # Variable-sharing graph over ALL atoms: a clean chain between two
+    # dirty atoms correlates them exactly like a direct edge.
+    occurrences: Dict[str, List[int]] = {}
+    for index, atom in enumerate(atoms):
+        for name in _atom_variables(atom):
+            occurrences.setdefault(name, []).append(index)
+    edges: Set[Tuple[int, int]] = set()
+    for indexes in occurrences.values():
+        for a in indexes:
+            for b in indexes:
+                if a < b:
+                    edges.add((a, b))
+    adjacency: Dict[int, Set[int]] = {i: set() for i in range(len(atoms))}
+    for a, b in edges:
+        adjacency[a].add(b)
+        adjacency[b].add(a)
+
+    visited: Set[int] = set()
+    parent: Dict[int, Optional[int]] = {}
+    for start in range(len(atoms)):
+        if start in visited:
+            continue
+        component = []
+        stack = [start]
+        visited.add(start)
+        while stack:
+            node = stack.pop()
+            component.append(node)
+            for neighbour in adjacency[node]:
+                if neighbour not in visited:
+                    visited.add(neighbour)
+                    stack.append(neighbour)
+        if not (set(component) & dirty_set):
+            continue  # clean-only component: outer scope, unconstrained
+        member_set = set(component)
+        component_edges = [edge for edge in edges if edge[0] in member_set]
+        if len(component_edges) != len(component) - 1:
+            return None  # join cycle through a dirty component
+        orientation = _orient_tree(
+            component, adjacency, atoms, profiles, dirty_set, schema
+        )
+        if orientation is None:
+            return None
+        parent.update(orientation)
+
+    def owner(index: int) -> Optional[int]:
+        """Nearest dirty strict ancestor in the oriented forest."""
+        node = parent.get(index)
+        while node is not None and node not in dirty_set:
+            node = parent[node]
+        return node
+
+    roots = tuple(d for d in dirty if owner(d) is None)
+    regions: Dict[int, Tuple[int, ...]] = {}
+    children: Dict[int, Tuple[Tuple[int, int], ...]] = {}
+    for d in dirty:
+        regions[d] = (d,) + tuple(
+            index
+            for index in sorted(parent)
+            if index not in dirty_set and owner(index) == d
+        )
+        children[d] = tuple(
+            (child, parent[child])
+            for child in dirty
+            if owner(child) == d
+        )
+
+    # Comparison placement: a comparison constraining a variable that a
+    # certification scope re-quantifies must be evaluable inside that
+    # one scope (its other operands available there or pinned answers);
+    # a comparison needing two scopes would correlate them outside the
+    # key paths, so the whole plan is rejected.
+    region_variables: Dict[int, Set[str]] = {}
+    requantified: Dict[int, Set[str]] = {}
+    for d in dirty:
+        region_variables[d] = set()
+        for index in regions[d]:
+            region_variables[d] |= _atom_variables(atoms[index])
+        key_variables = {
+            atoms[d].terms[position].name
+            for position in _key_positions(
+                atoms[d], profiles[atoms[d].relation], schema
+            )
+            if isinstance(atoms[d].terms[position], Var)
+        }
+        requantified[d] = region_variables[d] - key_variables - answers
+    placed: Dict[int, List[Comparison]] = {d: [] for d in dirty}
+    for comparison in kept_comparisons:
+        names = _comparison_variables(comparison)
+        requiring = [d for d in dirty if names & requantified[d]]
+        if len(requiring) > 1:
+            return None
+        if requiring:
+            d = requiring[0]
+            if not names <= region_variables[d] | answers:
+                return None
+            placed[d].append(comparison)
+
+    keyed = tuple(
+        sorted(
+            (parent[d], d)
+            for d in dirty
+            if parent[d] is not None
+        )
+    )
+    return CForest(
+        roots=roots,
+        regions=regions,
+        children=children,
+        region_comparisons={d: tuple(placed[d]) for d in dirty},
+        keyed=keyed,
+        explanation=_explain(atoms, dirty, keyed, profiles),
+    )
+
+
 def _explain(
-    dirty: Sequence[Tuple[int, Atom]],
-    oriented: Sequence[Tuple[int, int]],
+    atoms: Sequence[Atom],
+    dirty: Sequence[int],
+    keyed: Sequence[Tuple[int, int]],
     profiles: Dict[str, DirtyProfile],
 ) -> str:
-    if not oriented:
-        return "isolated dirty atoms (no shared variables)"
+    if not keyed:
+        involved = ", ".join(atoms[d].relation for d in dirty)
+        return (
+            f"independent dirty atoms {involved}: no join path links "
+            "their repair choices, so per-atom certification composes "
+            "as a cross product"
+        )
     steps = []
-    for parent, child in oriented:
-        child_atom = dirty[child][1]
-        profile = profiles[child_atom.relation]
+    for attach, child in sorted(keyed, key=lambda edge: edge[1]):
+        profile = profiles[atoms[child].relation]
         steps.append(
-            f"{child_atom.relation} joins {dirty[parent][1].relation} "
+            f"{atoms[child].relation} joins {atoms[attach].relation} "
             f"through its key {list(profile.group)}"
         )
-    return "; ".join(steps)
+    return "multi-atom dirty join follows key paths: " + "; ".join(steps)
+
+
+def recognize_c_forest(classification, schema) -> Optional[Diagnostic]:
+    """The ``RA011`` diagnostic of a classification, when the dirty
+    atoms form a key-join forest, else ``None``.
+
+    The forest analysis itself runs inside
+    :func:`repro.analysis.shapes.classify` (it also decides whether
+    ``RA201`` blocks); this accessor is kept for callers that hold a
+    :class:`~repro.analysis.shapes.Classification`.
+    """
+    del schema  # retained for signature compatibility
+    for diagnostic in classification.diagnostics:
+        if diagnostic.code == "RA011":
+            return diagnostic
+    return None

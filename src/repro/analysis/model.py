@@ -103,10 +103,10 @@ CATALOG: Dict[str, DiagnosticSpec] = {
         ),
         _spec(
             "RA011", "rewritable-c-forest", Severity.INFO, (),
-            "multi-atom dirty join follows key paths: {explanation}",
+            "{explanation}",
             "C_forest key-join trees are first-order rewritable "
-            "(Fuxman-Miller); compilation is tracked in ROADMAP — until it "
-            "lands the query streams repairs in memory",
+            "(Fuxman-Miller); the pushdown compiles them to recursive "
+            "NOT EXISTS certifications — no action needed",
         ),
         # --- query-shape blockers (both pushed engines) --------------------
         _spec(
@@ -136,9 +136,10 @@ CATALOG: Dict[str, DiagnosticSpec] = {
             "RA201", "self-join-dirty", Severity.ERROR, _PUSHED,
             "more than one atom over inconsistent relation(s) "
             "{involved}; their repair choices interact",
-            "keep at most one atom over an inconsistent relation "
-            "(RA011 marks the key-join-tree shapes a future compilation "
-            "will push)",
+            "C_forest key-join trees push (RA011); outside that class "
+            "— join cycles, non-key correlation, dirty self-joins — "
+            "keep at most one atom over an inconsistent relation or "
+            "accept repair streaming",
         ),
         # --- theory blockers -----------------------------------------------
         _spec(
@@ -259,7 +260,8 @@ class RouteReport:
     fingerprint: str
     routes: Mapping[str, str]
     diagnostics: Tuple[Diagnostic, ...]
-    #: ``"clean"`` / ``"dirty"`` / ``"empty"`` when rewritable, else None.
+    #: ``"clean"`` / ``"dirty"`` / ``"forest"`` / ``"empty"`` when
+    #: rewritable, else None.
     plan_kind: Optional[str] = None
     #: Relations the query mentions (diagnostic convenience).
     relations: Tuple[str, ...] = ()

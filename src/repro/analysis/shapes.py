@@ -25,7 +25,12 @@ The precedence, inherited from ``_extract_conjunctive`` +
    the plan *empty* (``RA002``, info) and, crucially, pre-empts the
    multi-dirty check exactly like the legacy compiler did: a statically
    empty multi-dirty query still pushes;
-7. ``RA201`` multiple atoms over inconsistent relations.
+7. multiple atoms over inconsistent relations: the C_forest analysis
+   (:func:`repro.analysis.cforest.plan_forest`) runs over the full join
+   graph; when the dirty atoms form a key-join forest the oriented
+   structure is stored on the classification (``RA011``, info — the
+   compiler emits recursive ``NOT EXISTS`` certifications for it),
+   otherwise ``RA201`` blocks both pushed engines.
 """
 
 from __future__ import annotations
@@ -47,6 +52,7 @@ from repro.query.ast import (
 from repro.relational.domain import AttributeType
 from repro.relational.schema import DatabaseSchema
 
+from .cforest import CForest, plan_forest
 from .model import Diagnostic, Severity, make_diagnostic
 from .profiles import DirtyProfile, NotRewritable, dirty_profile
 
@@ -84,6 +90,9 @@ class Classification:
     empty_reason: Optional[str] = None
     #: Positions of atoms over dirty relations, in body order.
     dirty_indexes: Tuple[int, ...] = ()
+    #: The oriented C_forest structure when several dirty atoms form a
+    #: key-join forest (the compiler's input for the multi-dirty path).
+    forest: Optional[CForest] = None
 
     @property
     def blocking(self) -> Tuple[Diagnostic, ...]:
@@ -95,11 +104,14 @@ class Classification:
 
     @property
     def plan_kind(self) -> Optional[str]:
-        """``"empty"``/``"dirty"``/``"clean"`` when rewritable, else None."""
+        """``"empty"``/``"forest"``/``"dirty"``/``"clean"`` when
+        rewritable, else None."""
         if self.blocking:
             return None
         if self.empty_reason is not None:
             return "empty"
+        if self.forest is not None:
+            return "forest"
         return "dirty" if self.dirty_indexes else "clean"
 
 
@@ -212,20 +224,33 @@ def classify(
         if classification.empty_reason is None:
             dirty_indexes = classification.dirty_indexes
             if len(dirty_indexes) > 1:
-                involved = sorted(
-                    {shape.atoms[i].relation for i in dirty_indexes}
+                classification.forest = plan_forest(
+                    shape,
+                    classification.profiles,
+                    classification.kept_comparisons,
+                    schema,
                 )
-                diagnostics.append(
-                    make_diagnostic(
-                        "RA201", subject=involved[0], involved=involved
+                if classification.forest is None:
+                    involved = sorted(
+                        {shape.atoms[i].relation for i in dirty_indexes}
                     )
-                )
+                    diagnostics.append(
+                        make_diagnostic(
+                            "RA201", subject=involved[0], involved=involved
+                        )
+                    )
 
     # Informational verdicts for unblocked queries.
     if not any(d.severity is Severity.ERROR for d in diagnostics):
         if classification.empty_reason is not None:
             diagnostics.append(
                 make_diagnostic("RA002", why=classification.empty_reason)
+            )
+        elif classification.forest is not None:
+            diagnostics.append(
+                make_diagnostic(
+                    "RA011", explanation=classification.forest.explanation
+                )
             )
         else:
             kind = "dirty" if classification.dirty_indexes else "clean"

@@ -13,11 +13,12 @@ where it is sound and complete under this library's semantics:
   in first-order syntax);
 * every quantified or answer variable occurs in at least one atom
   (safety);
-* at most one atom ranges over a *dirty* relation — one whose
-  functional dependencies can actually be violated — and all FDs of
-  that relation share one left-hand side ``K`` (so each ``K``-group's
-  repairs are exactly its maximal classes of rows agreeing on the
-  combined right-hand side ``Y``);
+* the atoms over *dirty* relations — those whose functional
+  dependencies can actually be violated — either number at most one, or
+  form a C_forest key-join forest (see below); every dirty relation's
+  FDs share one left-hand side ``K`` (so each ``K``-group's repairs are
+  exactly its maximal classes of rows agreeing on the combined
+  right-hand side ``Y``);
 * comparisons respect the paper's two-domain semantics (see below).
 
 For such a query the certain answers have a closed form: a tuple is
@@ -44,6 +45,30 @@ entirely inside SQLite:
 *Possible* answers of such a query are simply its answers over the full
 (unrepaired) instance: conjunctive queries are monotone and any single
 row extends to some repair.
+
+Several dirty atoms push too, when they form a *C_forest* — the
+ConQuer/Fuxman-Miller class of key-join forests recognized by
+:func:`repro.analysis.cforest.plan_forest`: every join path into a
+dirty atom (clean chains included) enters through that atom's full key.
+The certification then recurses down each tree — one ``NOT EXISTS``
+pair per dirty atom, a child certification correlated with its parent
+scope only through the child's key — so independent repair choices
+factor instead of multiplying:
+
+.. code-block:: sql
+
+    SELECT DISTINCT <answers t>
+    FROM R t0, C t1, S t2, ...         -- all atoms, clean ones free
+    WHERE <body over t*>
+      AND NOT EXISTS (                 -- per root dirty atom R ...
+        SELECT 1 FROM R g0 WHERE g0.K = t0.K
+          AND NOT EXISTS (             -- ... every class witnesses:
+            SELECT 1 FROM R w0_0, C w0_1   -- R's region (clean below)
+            WHERE <region body> AND w0_0.K = t0.K AND w0_0.Y = g0.Y
+              AND <answers w> = <answers t>
+              AND NOT EXISTS (         -- dirty child S, keyed from C
+                SELECT 1 FROM S g1 WHERE g1.K2 = w0_1.B
+                  AND NOT EXISTS (SELECT 1 FROM S w1_0 WHERE ...))))
 
 Domain semantics: the paper's values split into uninterpreted names and
 naturals, and SQLite's comparison affinity rules do not match them (a
@@ -114,7 +139,7 @@ class PlanResult:
 class RewritePlan:
     """A compiled certain-answer query, ready to run on a connection."""
 
-    kind: str  #: ``"clean"`` | ``"dirty"`` | ``"empty"``
+    kind: str  #: ``"clean"`` | ``"dirty"`` | ``"forest"`` | ``"empty"``
     answer_variables: Tuple[str, ...]
     certain_sql: Optional[str]
     certain_params: Tuple[Value, ...]
@@ -293,6 +318,12 @@ def compile_plan(
             shape.answer_variables, classification.empty_reason
         )
 
+    if classification.forest is not None:
+        # Several dirty atoms in a certified key-join forest: the
+        # recursive multi-dirty emission (single-dirty plans keep the
+        # historical shape below, bit for bit).
+        return _compile_forest(classification, schema, survivors)
+
     atoms = shape.atoms
     answer_variables = shape.answer_variables
     kept_comparisons = classification.kept_comparisons
@@ -427,6 +458,227 @@ def compile_plan(
             + (
                 f" over preferred classes (survivor table {survivor_table!r})"
                 if survivor_table is not None
+                else ""
+            )
+        ),
+    )
+
+
+def _compile_forest(
+    classification: Classification,
+    schema: DatabaseSchema,
+    survivors: Optional[Dict[str, str]] = None,
+) -> RewritePlan:
+    """Emit SQL for a C_forest classification (several dirty atoms).
+
+    One certification per dirty atom, nested along the oriented trees of
+    ``classification.forest``: a dirty atom quantifies together with the
+    clean atoms of its region, and each dirty child is certified inside
+    the parent's witness scope, correlated only through the child's full
+    key (read from the attach atom's witness row).  Root certifications
+    key on the outer witness directly, exactly like the single-dirty
+    plan.
+
+    With ``survivors``, every dirty alias scope — outer witnesses and
+    each certification's class enumeration — ranges over preferred rows
+    only; relations whose priority resolves them to one class per group
+    simply certify trivially (no special casing, unlike the single-dirty
+    collapse).
+    """
+    shape = classification.shape
+    forest = classification.forest
+    assert shape is not None and forest is not None
+    atoms = shape.atoms
+    answer_variables = shape.answer_variables
+    profiles = classification.profiles
+    survivor_map = survivors or {}
+
+    outer = [f"t{index}" for index in range(len(atoms))]
+    outer_conditions, outer_params, outer_columns = _render_body(
+        atoms, schema, outer, classification.kept_comparisons
+    )
+    used_survivors = []
+    for index in classification.dirty_indexes:
+        table = survivor_map.get(atoms[index].relation)
+        if table is not None:
+            outer_conditions.append(survivor_condition(outer[index], table))
+            used_survivors.append(table)
+    from_outer = ", ".join(
+        f"{quote_identifier(atom.relation)} AS {alias}"
+        for atom, alias in zip(atoms, outer)
+    )
+    if answer_variables:
+        select_list = ", ".join(
+            "{} AS {}".format(outer_columns[name], quote_identifier(f"a{pos}"))
+            for pos, name in enumerate(answer_variables)
+        )
+        possible_sql = (
+            f"SELECT DISTINCT {select_list} FROM {from_outer} "
+            f"WHERE {_conjoin(outer_conditions)}"
+        )
+    else:
+        possible_sql = (
+            f"SELECT 1 FROM {from_outer} "
+            f"WHERE {_conjoin(outer_conditions)} LIMIT 1"
+        )
+
+    params: List[Value] = list(outer_params)
+    cert_counter = [0]
+
+    def emit_cert(
+        dirty: int,
+        key_exprs: Sequence[Tuple[str, Tuple[Value, ...]]],
+        is_root: bool,
+    ) -> str:
+        """Certification condition for one dirty atom.
+
+        ``key_exprs`` gives, per group attribute, the SQL expression of
+        the key value in the caller's scope (plus its parameters, which
+        are re-appended at every textual use so ``params`` stays in
+        placeholder order).
+
+        A *child* certification must also assert its key group is
+        non-empty: "every class extends to a witness" is vacuously true
+        over an empty group, but no repair of an empty group holds any
+        row at all.  Root certifications key on an outer witness row,
+        which already inhabits the group.
+        """
+        number = cert_counter[0]
+        cert_counter[0] += 1
+        profile = profiles[atoms[dirty].relation]
+        g_alias = f"g{number}"
+        exists_sql = None
+        if not is_root:
+            exists_alias = f"e{number}"
+            exists_conditions = []
+            for attribute, (expr, expr_params) in zip(
+                profile.group, key_exprs
+            ):
+                exists_conditions.append(
+                    f"{exists_alias}.{quote_identifier(attribute)} = {expr}"
+                )
+                params.extend(expr_params)
+            exists_sql = (
+                f"EXISTS (SELECT 1 FROM "
+                f"{quote_identifier(profile.relation)} AS {exists_alias} "
+                f"WHERE {_conjoin(exists_conditions)})"
+            )
+        group_conditions = []
+        for attribute, (expr, expr_params) in zip(profile.group, key_exprs):
+            group_conditions.append(
+                f"{g_alias}.{quote_identifier(attribute)} = {expr}"
+            )
+            params.extend(expr_params)
+        table = survivor_map.get(profile.relation)
+        if table is not None:
+            # Certification quantifies over *preferred* classes only.
+            group_conditions.append(survivor_condition(g_alias, table))
+
+        region = forest.regions[dirty]
+        region_aliases = [f"w{number}_{k}" for k in range(len(region))]
+        conditions, region_params, canonical = _render_body(
+            [atoms[index] for index in region], schema, region_aliases, ()
+        )
+        params.extend(region_params)
+        witness = region_aliases[0]  # the dirty atom leads its region
+        for attribute, (expr, expr_params) in zip(profile.group, key_exprs):
+            conditions.append(
+                f"{witness}.{quote_identifier(attribute)} = {expr}"
+            )
+            params.extend(expr_params)
+        for attribute in profile.classifier:
+            conditions.append(
+                f"{witness}.{quote_identifier(attribute)} = "
+                f"{g_alias}.{quote_identifier(attribute)}"
+            )
+        for name in answer_variables:
+            if name in canonical:
+                conditions.append(f"{canonical[name]} = {outer_columns[name]}")
+        scope = dict(canonical)
+        for name in answer_variables:
+            # Answer values are pinned, so reading them from the outer
+            # witness is sound even outside the region's atoms.
+            scope.setdefault(name, outer_columns[name])
+        for comparison in forest.region_comparisons.get(dirty, ()):
+            operands: List[str] = []
+            for term in (comparison.left, comparison.right):
+                if isinstance(term, Const):
+                    operands.append("?")
+                    params.append(term.value)
+                else:
+                    operands.append(scope[term.name])
+            conditions.append(
+                f"{operands[0]} {_SQL_OPS[comparison.op]} {operands[1]}"
+            )
+        for child, attach in forest.children.get(dirty, ()):
+            child_profile = profiles[atoms[child].relation]
+            relation = schema.relation(atoms[child].relation)
+            positions = {
+                attribute.name: position
+                for position, attribute in enumerate(relation.attributes)
+            }
+            child_keys: List[Tuple[str, Tuple[Value, ...]]] = []
+            for attribute in child_profile.group:
+                term = atoms[child].terms[positions[attribute]]
+                if isinstance(term, Const):
+                    child_keys.append(("?", (term.value,)))
+                else:
+                    child_keys.append((scope[term.name], ()))
+            conditions.append(emit_cert(child, child_keys, is_root=False))
+        from_region = ", ".join(
+            f"{quote_identifier(atoms[index].relation)} AS {alias}"
+            for index, alias in zip(region, region_aliases)
+        )
+        witness_sql = (
+            f"SELECT 1 FROM {from_region} WHERE {_conjoin(conditions)}"
+        )
+        certification = (
+            f"NOT EXISTS (SELECT 1 FROM "
+            f"{quote_identifier(profile.relation)} AS {g_alias} "
+            f"WHERE {_conjoin(group_conditions)} "
+            f"AND NOT EXISTS ({witness_sql}))"
+        )
+        if exists_sql is not None:
+            return f"({exists_sql} AND {certification})"
+        return certification
+
+    certifications = []
+    for root in forest.roots:
+        profile = profiles[atoms[root].relation]
+        certifications.append(
+            emit_cert(
+                root,
+                [
+                    (f"{outer[root]}.{quote_identifier(attribute)}", ())
+                    for attribute in profile.group
+                ],
+                is_root=True,
+            )
+        )
+    certified = _conjoin(outer_conditions + certifications)
+    if answer_variables:
+        certain_sql = (
+            f"SELECT DISTINCT {select_list} FROM {from_outer} WHERE {certified}"
+        )
+    else:
+        certain_sql = f"SELECT 1 FROM {from_outer} WHERE {certified} LIMIT 1"
+    involved = [atoms[index].relation for index in classification.dirty_indexes]
+    return RewritePlan(
+        kind="forest",
+        answer_variables=answer_variables,
+        certain_sql=certain_sql,
+        certain_params=tuple(params),
+        possible_sql=possible_sql,
+        possible_params=tuple(outer_params),
+        description=(
+            f"{len(involved)} inconsistent atoms over {involved} in a "
+            f"C_forest key-join forest ({len(forest.roots)} tree(s)); "
+            "certain answers via recursive NOT EXISTS certification "
+            "per dirty atom"
+            + (
+                " over preferred classes (survivor tables "
+                f"{sorted(set(used_survivors))})"
+                if used_survivors
                 else ""
             )
         ),

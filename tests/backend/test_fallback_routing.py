@@ -2,7 +2,8 @@
 
 ROADMAP records the query shapes the SQLite pushdown cannot rewrite:
 disjunction, negation, universal quantification, implication, self-joins
-of a dirty relation, joins of two dirty relations, relations whose FDs
+of a dirty relation, non-key joins of two dirty relations (key-join
+forests push since the C_forest compilation), relations whose FDs
 have differing left-hand sides, unsafe (active-domain) variables, pure
 active-domain queries, shadowed quantifiers, and any declared priority.
 Each gets a test asserting (a) ``explain()`` reports no plan with the
@@ -107,10 +108,12 @@ UNREWRITABLE_SHAPES = [
         "more than one atom over inconsistent relation(s) ['R']",
     ),
     (
-        "two-dirty-relations-join",
+        # A key join of two dirty relations is C_forest and pushes; the
+        # fallback shape is the join through S's NON-key column C.
+        "two-dirty-non-key-join",
         Exists(
             ["k", "a", "b", "c"],
-            And([Atom("R", [k, a, b]), Atom("S", [a, Var("c")])]),
+            And([Atom("R", [k, a, b]), Atom("S", [Var("c"), b])]),
         ),
         BOTH_DIRTY_FDS,
         "more than one atom over inconsistent relation(s) ['R', 'S']",

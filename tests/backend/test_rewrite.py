@@ -111,7 +111,9 @@ class TestFallbackShapes:
         )
         assert "more than one atom" in self._reason(formula)
 
-    def test_two_dirty_relations(self):
+    def test_two_dirty_relations_key_join_compiles_as_forest(self):
+        # Both dirty atoms share the key variable x — a C_forest star,
+        # compiled since the multi-dirty emission landed.
         schema = DatabaseSchema(
             [R_SCHEMA, RelationSchema("T", ["K", "A:number"])]
         )
@@ -119,6 +121,22 @@ class TestFallbackShapes:
         formula = Exists(
             ["x", "y", "z", "w"],
             And([r_atom(), Atom("T", [Var("x"), Var("w")])]),
+        )
+        decision = analyze_query(formula, schema, fds)
+        assert decision.pushed
+        assert decision.plan.kind == "forest"
+        assert "C_forest" in decision.plan.description
+
+    def test_two_dirty_relations_non_key_join_falls_back(self):
+        # The shared variable lands in T's non-key position: repair
+        # choices correlate outside any key path.
+        schema = DatabaseSchema(
+            [R_SCHEMA, RelationSchema("T", ["K", "A:number"])]
+        )
+        fds = FDS + [FunctionalDependency.parse("K -> A", "T")]
+        formula = Exists(
+            ["x", "y", "z", "w"],
+            And([r_atom(), Atom("T", [Var("w"), Var("y")])]),
         )
         decision = analyze_query(formula, schema, fds)
         assert not decision.pushed

@@ -18,7 +18,10 @@ each shape of the rewritable fragment:
 * everything above for each FD variant that keeps one left-hand side
   (single FD, merged same-LHS FDs) and for every repair family (with no
   priority all families coincide with Rep — the property the pushdown
-  relies on).
+  relies on);
+* C_forest shapes — *both* relations dirty, joined through ``S``'s full
+  key (or not joined at all): the multi-dirty recursive certification
+  must agree with repair streaming on every drawn instance.
 """
 
 import sqlite3
@@ -82,6 +85,63 @@ REWRITABLE_SHAPES = [
     ("cross-domain-inequality", Exists(["z"], And([_r(x, y, z), Comparison("!=", y, "k0")])), None),
     ("order-on-names", Exists(["z"], And([_r(x, y, z), Comparison("<", x, z)])), None),
     ("repeated-variable", Exists(["y"], _r(x, y, x)), None),
+]
+
+#: Both relations dirty: R(K -> A) joins S(A -> C) through S's full key.
+BOTH_DIRTY_FDS = [
+    FunctionalDependency.parse("K -> A", "R"),
+    FunctionalDependency.parse("A -> C", "S"),
+]
+
+#: (label, formula, explicit answer variables or None) — every entry is
+#: a C_forest under BOTH_DIRTY_FDS and must compile (kind "forest").
+C_FOREST_SHAPES = [
+    ("key-join", Exists(["z"], And([_r(x, y, z), _s(y, c)])), None),
+    (
+        "key-join-projected",
+        Exists(["z", "c"], And([_r(x, y, z), _s(y, c)])),
+        None,
+    ),
+    (
+        "key-join-variable-subset",
+        Exists(["z"], And([_r(x, y, z), _s(y, c)])),
+        ("x", "c"),
+    ),
+    (
+        "independent-trees",
+        Exists(["z"], And([_r(x, y, z), _s(1, c)])),
+        None,
+    ),
+    (
+        "key-join-child-comparison",
+        Exists(
+            ["z", "c"],
+            And([_r(x, y, z), _s(y, c), Comparison("!=", c, "c0")]),
+        ),
+        None,
+    ),
+    (
+        "key-join-root-comparison",
+        Exists(["z"], And([_r(x, y, z), _s(y, c), Comparison(">=", y, 1)])),
+        None,
+    ),
+]
+
+C_FOREST_CLOSED_SHAPES = [
+    (
+        "closed-key-join",
+        Exists(
+            ["k", "a", "b", "cc"],
+            And([_r(Var("k"), Var("a"), Var("b")), _s(Var("a"), Var("cc"))]),
+        ),
+    ),
+    (
+        "closed-independent-trees",
+        Exists(
+            ["k", "a", "b", "cc"],
+            And([_r(Var("k"), Var("a"), Var("b")), _s(0, Var("cc"))]),
+        ),
+    ),
 ]
 
 CLOSED_SHAPES = [
@@ -209,6 +269,54 @@ class TestClosedQueryEquivalence:
                     ), label
                     reference = memory_engine.answer(formula)
                     assert pushed.verdict is reference.verdict, label
+
+
+class TestCForestEquivalence:
+    """Multi-dirty key-join forests: the recursive NOT EXISTS
+    certification must be bit-identical to repair streaming."""
+
+    @pytest.mark.parametrize(
+        "label,formula,variables",
+        C_FOREST_SHAPES,
+        ids=[shape[0] for shape in C_FOREST_SHAPES],
+    )
+    def test_forest_shape_compiles(self, label, formula, variables):
+        checked = check_against_schema(formula, SCHEMA)
+        decision = analyze_query(checked, SCHEMA, BOTH_DIRTY_FDS, variables)
+        assert decision.pushed, decision.reason
+        assert decision.plan.kind == "forest", label
+
+    @given(databases())
+    @settings(max_examples=30, deadline=None)
+    def test_certain_and_possible_answers_agree(self, database):
+        sql_engine, memory_engine = _engines(database, BOTH_DIRTY_FDS)
+        with sql_engine:
+            for label, formula, variables in C_FOREST_SHAPES:
+                pushed = sql_engine.certain_answers(formula, variables)
+                assert sql_engine.last_route == "sqlite", label
+                assert (
+                    _predicted_route(formula, BOTH_DIRTY_FDS, variables)
+                    == sql_engine.last_route
+                ), label
+                reference = memory_engine.certain_answers(formula, variables)
+                assert pushed.certain == reference.certain, label
+                assert pushed.possible == reference.possible, label
+                assert pushed.variables == reference.variables, label
+
+    @given(databases())
+    @settings(max_examples=30, deadline=None)
+    def test_closed_verdicts_agree(self, database):
+        sql_engine, memory_engine = _engines(database, BOTH_DIRTY_FDS)
+        with sql_engine:
+            for label, formula in C_FOREST_CLOSED_SHAPES:
+                pushed = sql_engine.answer(formula)
+                assert sql_engine.last_route == "sqlite", label
+                assert (
+                    _predicted_route(formula, BOTH_DIRTY_FDS)
+                    == sql_engine.last_route
+                ), label
+                reference = memory_engine.answer(formula)
+                assert pushed.verdict is reference.verdict, label
 
 
 class TestFamilyInvariance:

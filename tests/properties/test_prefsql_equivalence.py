@@ -63,6 +63,52 @@ SHAPES = [
 ]
 
 
+#: Both relations dirty: R(K -> A) joins S(A -> C) through S's full key.
+BOTH_DIRTY_FDS = [
+    FunctionalDependency.parse("K -> A", "R"),
+    FunctionalDependency.parse("A -> C", "S"),
+]
+
+#: C_forest shapes under BOTH_DIRTY_FDS: the multi-dirty recursive
+#: certification runs over each dirty atom's class-survivor table.
+C_FOREST_SHAPES = [
+    ("key-join", Exists(["z"], And([Atom("R", [x, y, z]), Atom("S", [y, c])]))),
+    (
+        "key-join-projected",
+        Exists(["z", "c"], And([Atom("R", [x, y, z]), Atom("S", [y, c])])),
+    ),
+    (
+        "independent-trees",
+        Exists(["z"], And([Atom("R", [x, y, z]), Atom("S", [1, c])])),
+    ),
+    (
+        "key-join-comparison",
+        Exists(
+            ["z", "c"],
+            And(
+                [
+                    Atom("R", [x, y, z]),
+                    Atom("S", [y, c]),
+                    Comparison("!=", c, "c0"),
+                ]
+            ),
+        ),
+    ),
+    (
+        "closed-key-join",
+        Exists(
+            ["k", "a", "b", "cc"],
+            And(
+                [
+                    Atom("R", [Var("k"), Var("a"), Var("b")]),
+                    Atom("S", [Var("a"), Var("cc")]),
+                ]
+            ),
+        ),
+    ),
+]
+
+
 @st.composite
 def prioritized_settings(draw):
     """A database, an FD variant, and an acyclic priority over its
@@ -95,6 +141,11 @@ def prioritized_settings(draw):
         ]
     )
     dependencies = FD_VARIANTS[draw(st.sampled_from(sorted(FD_VARIANTS)))]
+    priority = _draw_acyclic_priority(draw, database, dependencies)
+    return database, dependencies, priority
+
+
+def _draw_acyclic_priority(draw, database, dependencies):
     graph = build_conflict_graph(database, dependencies)
     edges = sorted(tuple(sorted_rows(pair)) for pair in graph.edges())
     oriented = draw(
@@ -103,12 +154,46 @@ def prioritized_settings(draw):
     vertices = sorted_rows(graph.vertices)
     ranks = draw(st.permutations(range(len(vertices))))
     position = {row: ranks[index] for index, row in enumerate(vertices)}
-    priority = [
+    return [
         (first, second) if position[first] < position[second] else (second, first)
         for (first, second), keep in zip(edges, oriented)
         if keep
     ]
-    return database, dependencies, priority
+
+
+@st.composite
+def both_dirty_settings(draw):
+    """A database and an acyclic priority whose conflicts now span both
+    relations (S is dirty under ``A -> C`` as well)."""
+    r_rows = draw(
+        st.lists(
+            st.tuples(
+                st.sampled_from(["k0", "k1", "k2"]),
+                st.integers(min_value=0, max_value=2),
+                st.sampled_from(["u", "v"]),
+            ),
+            max_size=8,
+            unique=True,
+        )
+    )
+    s_rows = draw(
+        st.lists(
+            st.tuples(
+                st.integers(min_value=0, max_value=2),
+                st.sampled_from(["c0", "c1"]),
+            ),
+            max_size=4,
+            unique=True,
+        )
+    )
+    database = Database(
+        [
+            RelationInstance.from_values(R_SCHEMA, r_rows),
+            RelationInstance.from_values(S_SCHEMA, s_rows),
+        ]
+    )
+    priority = _draw_acyclic_priority(draw, database, BOTH_DIRTY_FDS)
+    return database, priority
 
 
 def _engines(database, dependencies, priority, family):
@@ -148,6 +233,45 @@ class TestPrefsqlEquivalence:
                 report = analyze(
                     SCHEMA,
                     dependencies,
+                    check_against_schema(formula, SCHEMA),
+                    priority=priority,
+                )
+                assert (
+                    report.expected_last_route("prefsql")
+                    == pushed.last_route
+                ), label
+
+
+class TestCForestPrefsqlEquivalence:
+    """Key-join forests over TWO dirty relations: the recursive
+    certification composed with class-survivor tables must agree with
+    preference-aware repair streaming for every family and priority."""
+
+    @pytest.mark.parametrize(
+        "family", list(Family), ids=[family.name for family in Family]
+    )
+    @given(both_dirty_settings())
+    @settings(max_examples=15, deadline=None)
+    def test_forest_shapes_agree(self, family, setting):
+        database, priority = setting
+        pushed, memory = _engines(database, BOTH_DIRTY_FDS, priority, family)
+        with pushed:
+            for label, formula in C_FOREST_SHAPES:
+                if formula.is_closed:
+                    got = pushed.answer(formula)
+                    reference = memory.answer(formula)
+                    assert got.verdict is reference.verdict, label
+                else:
+                    got = pushed.certain_answers(formula)
+                    reference = memory.certain_answers(formula)
+                    assert got.certain == reference.certain, label
+                    assert got.possible == reference.possible, label
+                    assert got.variables == reference.variables, label
+                expected = "prefsql" if priority else "sqlite"
+                assert pushed.last_route == expected, label
+                report = analyze(
+                    SCHEMA,
+                    BOTH_DIRTY_FDS,
                     check_against_schema(formula, SCHEMA),
                     priority=priority,
                 )

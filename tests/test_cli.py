@@ -450,6 +450,112 @@ class TestExplainFlag:
         assert "route: memory" in capsys.readouterr().out
 
 
+@pytest.fixture
+def forest_sqlite(tmp_path):
+    """R(K, A:number, B) and S(A:number, C) — BOTH dirty — in SQLite."""
+    from repro.constraints.fd import FunctionalDependency
+    from repro.relational.database import Database
+    from repro.relational.instance import RelationInstance
+    from repro.relational.schema import RelationSchema
+    from repro.relational.sqlite_io import save_database
+
+    r_schema = RelationSchema("R", ["K", "A:number", "B"])
+    s_schema = RelationSchema("S", ["A:number", "C"])
+    path = tmp_path / "forest.sqlite"
+    save_database(
+        Database(
+            [
+                RelationInstance.from_values(
+                    r_schema, [("k1", 0, "x"), ("k1", 1, "x"), ("k2", 5, "y")]
+                ),
+                RelationInstance.from_values(
+                    s_schema, [(0, "c0"), (0, "c1"), (5, "c5")]
+                ),
+            ]
+        ),
+        path,
+        [
+            FunctionalDependency.parse("K -> A", "R"),
+            FunctionalDependency.parse("A -> C", "S"),
+        ],
+    )
+    return path
+
+
+FOREST_FDS = ["--fd", "R: K -> A", "--fd", "S: A -> C"]
+
+
+class TestAnalyzeCommand:
+    """Exit codes and ``--json`` for ``repro analyze`` on RA011 shapes:
+    key-join forests are informational now, not blocking (exit 0)."""
+
+    def test_forest_shape_exits_zero(self, forest_sqlite, capsys):
+        code = main(
+            [
+                "analyze", "--sqlite", str(forest_sqlite), *FOREST_FDS,
+                "--query", "EXISTS b . R(x, y, b) AND S(y, c)",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "plan: forest" in out
+        assert "sqlite: sqlite" in out
+        assert "RA011" in out
+        assert "RA201" not in out
+
+    def test_forest_shape_json(self, forest_sqlite, capsys):
+        import json
+
+        code = main(
+            [
+                "analyze", "--sqlite", str(forest_sqlite), *FOREST_FDS,
+                "--json",
+                "--query", "EXISTS b . R(x, y, b) AND S(y, c)",
+            ]
+        )
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["plan"] == "forest"
+        assert payload["expected_last_routes"]["sqlite"] == "sqlite"
+        codes = [d["code"] for d in payload["diagnostics"]]
+        assert any(c.startswith("RA011") for c in codes)
+        assert not any(d["blocks"] for d in payload["diagnostics"])
+
+    def test_isolated_trees_are_informational(self, forest_sqlite, capsys):
+        import json
+
+        code = main(
+            [
+                "analyze", "--sqlite", str(forest_sqlite), *FOREST_FDS,
+                "--json",
+                "--query", "EXISTS b . R(x, y, b) AND S(5, c)",
+            ]
+        )
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["plan"] == "forest"
+        ra011 = [
+            d for d in payload["diagnostics"] if d["code"].startswith("RA011")
+        ]
+        assert ra011 and "independent dirty atoms" in ra011[0]["message"]
+
+    def test_non_key_join_still_exits_three(self, forest_sqlite, capsys):
+        import json
+
+        code = main(
+            [
+                "analyze", "--sqlite", str(forest_sqlite), *FOREST_FDS,
+                "--json",
+                "--query", "EXISTS a, c . R(x, a, b) AND S(c, b)",
+            ]
+        )
+        assert code == 3
+        payload = json.loads(capsys.readouterr().out)
+        codes = [d["code"] for d in payload["diagnostics"]]
+        assert any(c.startswith("RA201") for c in codes)
+        assert payload["expected_last_routes"]["sqlite"].startswith("fallback")
+
+
 class TestServeBackendFlag:
     def test_no_pushdown_conflicts_with_pushdown_backends(self, mgr_csv):
         for backend in ("sqlite", "prefsql"):
