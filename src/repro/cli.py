@@ -461,26 +461,36 @@ def _cmd_query(args: argparse.Namespace) -> int:
         return 0
 
     if not getattr(args, "profile", False):
-        return _execute_query(args, engine, route, family)
+        code, payload = _execute_query(args, engine, route, family)
+        if payload is not None:
+            print(json.dumps(payload))
+        return code
 
     # --profile: collect the query-lifecycle span tree while executing,
-    # then render it after the normal output (to stderr under --json so
-    # stdout stays machine-readable).
+    # then render it after the normal output.  Under --json the tree is
+    # embedded as the payload's "trace" key (stdout stays one JSON
+    # object) and pretty-printed to stderr for humans.
     from repro.obs import format_tree, trace
 
     with trace("query") as tracer:
-        code = _execute_query(args, engine, route, family)
+        code, payload = _execute_query(args, engine, route, family)
     tracer.root.attributes.setdefault("backend", args.backend)
     tracer.root.attributes.setdefault("route", route())
+    if payload is not None:
+        payload["trace"] = tracer.root.to_dict()
+        print(json.dumps(payload))
     stream = sys.stderr if args.json else sys.stdout
     print(format_tree(tracer.root), file=stream)
     return code
 
 
-def _execute_query(args: argparse.Namespace, engine, route, family) -> int:
-    """Execute the (already routed) query and print the answer."""
-    import json
+def _execute_query(args: argparse.Namespace, engine, route, family):
+    """Execute the (already routed) query and print/return the answer.
 
+    Returns ``(exit_code, payload)`` — ``payload`` is the JSON body
+    under ``--json`` (printed by the caller, which may first attach a
+    span tree) and None in text mode (already printed here).
+    """
     from repro.query.parser import parse_query
 
     if args.sql:
@@ -489,43 +499,34 @@ def _execute_query(args: argparse.Namespace, engine, route, family) -> int:
         formula = parse_query(args.query)
         if formula.is_closed:
             answer = engine.answer(formula, family)
+            code = 0 if answer.verdict.value != "undetermined" else 2
             if args.json:
-                print(
-                    json.dumps(
-                        {
-                            "backend": route(),
-                            "family": str(family),
-                            "verdict": answer.verdict.value,
-                        }
-                    )
-                )
-            else:
-                print(f"backend: {route()}")
-                print(f"family={family} verdict={answer.verdict.value}")
-            return 0 if answer.verdict.value != "undetermined" else 2
+                return code, {
+                    "backend": route(),
+                    "family": str(family),
+                    "verdict": answer.verdict.value,
+                }
+            print(f"backend: {route()}")
+            print(f"family={family} verdict={answer.verdict.value}")
+            return code, None
         result = engine.certain_answers(formula, family=family)
 
     if args.json:
-        print(
-            json.dumps(
-                {
-                    "backend": route(),
-                    "family": str(family),
-                    "variables": list(result.variables),
-                    "certain": list(map(list, _sorted_answers(result.certain))),
-                    "possible": list(map(list, _sorted_answers(result.possible))),
-                }
-            )
-        )
-        return 0
+        return 0, {
+            "backend": route(),
+            "family": str(family),
+            "variables": list(result.variables),
+            "certain": list(map(list, _sorted_answers(result.certain))),
+            "possible": list(map(list, _sorted_answers(result.possible))),
+        }
     print(f"backend: {route()}")
     if not result.variables:
         print(f"family={family} verdict={_open_answers_verdict(result)}")
-        return 0 if _open_answers_verdict(result) != "undetermined" else 2
+        return (0 if _open_answers_verdict(result) != "undetermined" else 2), None
     print(f"variables: {', '.join(result.variables)}")
     print(f"certain: {_format_answer_tuples(result.certain)}")
     print(f"possible: {_format_answer_tuples(result.possible)}")
-    return 0
+    return 0, None
 
 
 def _cmd_aggregate(args: argparse.Namespace) -> int:
@@ -743,6 +744,7 @@ def _cmd_session(args: argparse.Namespace) -> int:
 
 def _cmd_serve(args: argparse.Namespace) -> int:
     """Run the batched CQA service over one loaded instance."""
+    from repro.obs import RECORDER
     from repro.service.broker import RequestBroker
     from repro.service.server import (
         ServiceFrontEnd,
@@ -758,6 +760,14 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             f"--no-pushdown disables the mirror that --backend {backend} "
             "requires; drop one of the two flags"
         )
+    if args.trace_sample is not None:
+        if not 0.0 <= args.trace_sample <= 1.0:
+            raise SystemExit("--trace-sample must be in [0, 1]")
+        RECORDER.configure(sample_rate=args.trace_sample)
+    if args.slow_ms is not None:
+        if args.slow_ms < 0:
+            raise SystemExit("--slow-ms must be >= 0")
+        RECORDER.configure(slow_ms=args.slow_ms)
     broker = RequestBroker(parallel=args.parallel)
     broker.register(
         args.name,
@@ -784,7 +794,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         host, port = server.server_address[:2]
         print(f"repro service on http://{host}:{port} "
               f"(POST /query, POST /update, GET /healthz, GET /stats, "
-              f"GET /metrics)")
+              f"GET /metrics, GET /debug/queries)")
         try:
             server.serve_forever()
         except KeyboardInterrupt:  # pragma: no cover - interactive
@@ -796,6 +806,92 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     finally:
         if owns_stream:
             access_stream.close()
+
+
+def _debug_fetch(url: str):
+    """GET a debug endpoint of a running service; SystemExit on failure."""
+    import json
+    from urllib.error import HTTPError, URLError
+    from urllib.request import urlopen
+
+    try:
+        with urlopen(url) as response:
+            return json.load(response)
+    except HTTPError as exc:
+        try:
+            detail = json.load(exc).get("error", str(exc))
+        except Exception:
+            detail = str(exc)
+        raise SystemExit(f"{url}: {detail}")
+    except URLError as exc:
+        raise SystemExit(
+            f"cannot reach {url}: {exc.reason} (is `repro serve` running?)"
+        )
+
+
+def _cmd_top(args: argparse.Namespace) -> int:
+    """Table of recent/slowest recorded queries from a running service."""
+    import json
+    from urllib.parse import urlencode
+
+    params = {"limit": args.limit}
+    if args.route:
+        params["route"] = args.route
+    if args.min_ms is not None:
+        params["min_ms"] = args.min_ms
+    if args.slowest:
+        params["order"] = "slowest"
+    body = _debug_fetch(
+        f"{args.url.rstrip('/')}/debug/queries?{urlencode(params)}"
+    )
+    if args.json:
+        print(json.dumps(body))
+        return 0
+    queries = body.get("queries", [])
+    if not queries:
+        print("no recorded queries (is sampling enabled on the server?)")
+        return 0
+    print(
+        f"{'TRACE':<18} {'ROUTE':<14} {'ENGINE':<12} {'FAM':<4} "
+        f"{'MS':>10} {'SLOW':<4} QUERY"
+    )
+    for query in queries:
+        print(
+            f"{query['trace_id']:<18} {query['route']:<14} "
+            f"{query['engine']:<12} {query['family']:<4} "
+            f"{query['millis']:>10.3f} {'*' if query['slow'] else '':<4} "
+            f"{query['query']}"
+        )
+    return 0
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    """One recorded query's span tree, fetched from a running service."""
+    import json
+
+    from repro.obs import Span, format_tree
+
+    body = _debug_fetch(
+        f"{args.url.rstrip('/')}/debug/queries/{args.trace_id}"
+    )
+    if args.json:
+        print(json.dumps(body))
+        return 0
+    print(f"trace {body['trace_id']}: {body['query']}")
+    print(
+        f"engine={body['engine']} route={body['route']} "
+        f"family={body['family']} latency_ms={body['millis']:.3f} "
+        f"db={body.get('database') or '-'}"
+    )
+    if body.get("fingerprint"):
+        print(f"fingerprint: {body['fingerprint']}")
+    if body.get("blocking"):
+        print(f"blocking: {', '.join(body['blocking'])}")
+    if body.get("trace"):
+        print(format_tree(Span.from_dict(body["trace"])))
+    else:
+        print("(no span tree retained for this record)")
+    return 0
 
 
 def _cmd_examples(args: argparse.Namespace) -> int:
@@ -1021,10 +1117,82 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="PATH",
         help=(
             "write one line per served query (latency, route, answer "
-            "cardinality) to PATH; with no PATH, log to stderr"
+            "cardinality, trace id) to PATH; with no PATH, log to stderr"
+        ),
+    )
+    serve.add_argument(
+        "--trace-sample",
+        type=float,
+        default=None,
+        metavar="RATE",
+        help=(
+            "flight-recorder sampling rate in [0, 1]: fraction of "
+            "executed queries whose trace record is retained "
+            "(default: 1.0, record everything)"
+        ),
+    )
+    serve.add_argument(
+        "--slow-ms",
+        type=float,
+        default=None,
+        metavar="N",
+        help=(
+            "retain every query at or above N milliseconds "
+            "unconditionally (slow-query reservoir), regardless of "
+            "the sampling rate"
         ),
     )
     serve.set_defaults(handler=_cmd_serve)
+
+    top = subparsers.add_parser(
+        "top",
+        help="recent/slowest recorded queries of a running service",
+        description=(
+            "Fetch the flight recorder's retained queries from a running "
+            "`repro serve` instance (GET /debug/queries) and render them "
+            "as a table: trace id, route, engine, family, latency.  Use "
+            "`repro trace <id>` on any trace id for the full span tree."
+        ),
+    )
+    top.add_argument(
+        "--url", default="http://127.0.0.1:8080", help="service base URL"
+    )
+    top.add_argument("--route", help="only queries served by this route")
+    top.add_argument(
+        "--min-ms", type=float, default=None, metavar="N",
+        help="only queries at or above N milliseconds",
+    )
+    top.add_argument(
+        "--limit", type=int, default=20, help="maximum rows (default: 20)"
+    )
+    top.add_argument(
+        "--slowest",
+        action="store_true",
+        help="order by descending latency instead of recency",
+    )
+    top.add_argument(
+        "--json", action="store_true", help="emit the raw records as JSON"
+    )
+    top.set_defaults(handler=_cmd_top)
+
+    trace_cmd = subparsers.add_parser(
+        "trace",
+        help="span tree of one recorded query (by trace id)",
+        description=(
+            "Fetch one retained query record from a running `repro serve` "
+            "instance (GET /debug/queries/<trace_id>) and pretty-print "
+            "its span tree — per-stage timings including per-shard spans "
+            "shipped home from parallel workers."
+        ),
+    )
+    trace_cmd.add_argument("trace_id", help="trace id (see `repro top`)")
+    trace_cmd.add_argument(
+        "--url", default="http://127.0.0.1:8080", help="service base URL"
+    )
+    trace_cmd.add_argument(
+        "--json", action="store_true", help="emit the raw record as JSON"
+    )
+    trace_cmd.set_defaults(handler=_cmd_trace)
 
     examples = subparsers.add_parser("examples", help="show the paper's examples")
     examples.add_argument("--name", help="scenario name (default: all)")

@@ -15,6 +15,7 @@ from __future__ import annotations
 
 from typing import Optional
 
+from .recorder import FlightRecorder, QueryRecord, RECORDER
 from .registry import (
     DEFAULT_LATENCY_BUCKETS,
     Counter,
@@ -23,6 +24,7 @@ from .registry import (
     MetricFamily,
     MetricsRegistry,
     REGISTRY,
+    query_histogram,
 )
 from .tracing import (
     Span,
@@ -30,6 +32,9 @@ from .tracing import (
     annotate,
     current_tracer,
     format_tree,
+    install_tracer,
+    new_trace_id,
+    restore_tracer,
     span,
     trace,
 )
@@ -37,31 +42,28 @@ from .tracing import (
 __all__ = [
     "DEFAULT_LATENCY_BUCKETS",
     "Counter",
+    "FlightRecorder",
     "Gauge",
     "Histogram",
     "MetricFamily",
     "MetricsRegistry",
+    "QueryRecord",
+    "RECORDER",
     "REGISTRY",
     "Span",
     "Tracer",
     "annotate",
     "current_tracer",
     "format_tree",
+    "install_tracer",
+    "new_trace_id",
+    "restore_tracer",
     "span",
     "trace",
     "observe_query",
     "observe_cache",
     "query_histogram",
 ]
-
-
-def query_histogram(registry: MetricsRegistry = REGISTRY) -> MetricFamily:
-    """The shared per-route query latency histogram family."""
-    return registry.histogram(
-        "repro_query_seconds",
-        "Query latency by chosen route",
-        labels=("route",),
-    )
 
 
 def observe_query(
@@ -76,8 +78,10 @@ def observe_query(
     ``route`` is the engine's own label ("prefsql", "sqlite",
     "witness-index", "indexed", "naive", or "fallback: <reason>"); the
     fallback reason is split into its own counter so the route label set
-    stays small.
+    stays small.  The same call feeds the flight recorder's open capture
+    (if any), so recorded queries carry the serving engine and route.
     """
+    RECORDER.note(engine=engine, route=route, family=family, seconds=seconds)
     if not registry.enabled:
         return
     reason: Optional[str] = None

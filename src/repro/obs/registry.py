@@ -138,7 +138,10 @@ class Histogram:
     between — plenty for latency reporting.
     """
 
-    __slots__ = ("_registry", "_lock", "bounds", "_counts", "_sum", "_count")
+    __slots__ = (
+        "_registry", "_lock", "bounds", "_counts", "_sum", "_count",
+        "_exemplars",
+    )
 
     def __init__(
         self,
@@ -155,8 +158,12 @@ class Histogram:
         self._counts = [0] * (len(ordered) + 1)  # guarded-by: _lock
         self._sum = 0.0  # guarded-by: _lock
         self._count = 0  # guarded-by: _lock
+        #: bucket position -> (trace_id, value): the last recorded trace
+        #: whose observation landed in that bucket, so histogram tails
+        #: link directly to a retained flight-recorder trace.
+        self._exemplars: Dict[int, Tuple[str, float]] = {}  # guarded-by: _lock
 
-    def observe(self, value: float) -> None:
+    def observe(self, value: float, exemplar: Optional[str] = None) -> None:
         if not self._registry.enabled:
             return
         position = bisect_left(self.bounds, value)
@@ -164,6 +171,33 @@ class Histogram:
             self._counts[position] += 1
             self._sum += value
             self._count += 1
+            if exemplar is not None:
+                self._exemplars[position] = (exemplar, value)
+
+    def attach_exemplar(self, value: float, trace_id: str) -> None:
+        """Link ``trace_id`` to the bucket ``value`` falls in, without
+        counting a new observation (the observation already happened —
+        this back-fills the exemplar once a trace is known to be
+        retained)."""
+        if not self._registry.enabled:
+            return
+        position = bisect_left(self.bounds, value)
+        with self._lock:
+            self._exemplars[position] = (trace_id, value)
+
+    def exemplars(self) -> Dict[str, Dict[str, object]]:
+        """Per-bucket last-trace exemplars keyed by the bucket's upper
+        bound (``"+Inf"`` for the overflow bucket)."""
+        with self._lock:
+            taken = dict(self._exemplars)
+        bounds = self.bounds + (math.inf,)
+        return {
+            _format_number(bounds[position]): {
+                "trace_id": trace_id,
+                "value": round(value, 9),
+            }
+            for position, (trace_id, value) in sorted(taken.items())
+        }
 
     @property
     def count(self) -> int:
@@ -289,8 +323,8 @@ class MetricFamily:
     def set(self, value: float) -> None:
         self._solo().set(value)
 
-    def observe(self, value: float) -> None:
-        self._solo().observe(value)
+    def observe(self, value: float, exemplar: Optional[str] = None) -> None:
+        self._solo().observe(value, exemplar)
 
     @property
     def value(self) -> float:
@@ -414,13 +448,17 @@ class MetricsRegistry:
             for key, child in sorted(family.children().items()):
                 label = ",".join(key)
                 if isinstance(child, Histogram):
-                    values[label] = {
+                    entry: Dict[str, object] = {
                         "count": child.count,
                         "sum": round(child.sum, 9),
                         "p50": round(child.percentile(0.50), 9),
                         "p95": round(child.percentile(0.95), 9),
                         "p99": round(child.percentile(0.99), 9),
                     }
+                    exemplars = child.exemplars()
+                    if exemplars:
+                        entry["exemplars"] = exemplars
+                    values[label] = entry
                 else:
                     values[label] = child.value
             if values:
@@ -430,3 +468,16 @@ class MetricsRegistry:
 
 #: The process-wide default registry every layer records into.
 REGISTRY = MetricsRegistry()
+
+
+def query_histogram(registry: MetricsRegistry = REGISTRY) -> MetricFamily:
+    """The shared per-route query latency histogram family.
+
+    Lives here (not in the package ``__init__``) so the flight recorder
+    can back-fill exemplars without importing the package facade.
+    """
+    return registry.histogram(
+        "repro_query_seconds",
+        "Query latency by chosen route",
+        labels=("route",),
+    )

@@ -15,22 +15,48 @@ keeps the disabled path within 5% of fully uninstrumented code.
 Instrumented code never imports anything but :func:`span` and
 :func:`annotate`, so the instrumentation cannot change answers.
 
-Exports: :meth:`Span.to_dict` (JSON-ready nesting) and
-:func:`format_tree` (the pretty printer behind ``--profile``).
+Exports: :meth:`Span.to_dict` / :meth:`Span.from_dict` (a JSON-ready
+round trip, the wire format workers use to ship shard span trees home)
+and :func:`format_tree` (the pretty printer behind ``--profile``).
+
+Every span carries a stable id and a wall-clock start timestamp.  Ids
+are unique per process (a random prefix drawn at import time plus a
+counter), so trees grafted together from several worker processes never
+collide; they survive the dict round trip, which lets a retained trace
+reference the same span across serializations.
 """
 
 from __future__ import annotations
 
+import itertools
 import threading
 import time
+import uuid
 from contextlib import contextmanager
 from typing import Any, Dict, Iterator, List, Optional
+
+#: Per-process prefix keeping span ids unique across the worker pool
+#: (each pooled process re-imports this module and draws its own).
+_ID_PREFIX = uuid.uuid4().hex[:6]
+_ID_COUNTER = itertools.count(1)
+
+
+def _next_span_id() -> str:
+    return f"{_ID_PREFIX}-{next(_ID_COUNTER):x}"
+
+
+def new_trace_id() -> str:
+    """A fresh 16-hex-digit trace id (one per recorded query)."""
+    return uuid.uuid4().hex[:16]
 
 
 class Span:
     """One timed stage: name, attributes, duration, and child spans."""
 
-    __slots__ = ("name", "attributes", "children", "start", "duration")
+    __slots__ = (
+        "name", "attributes", "children", "start", "duration",
+        "span_id", "started_at",
+    )
 
     def __init__(self, name: str, attributes: Optional[Dict[str, Any]] = None):
         self.name = name
@@ -38,18 +64,41 @@ class Span:
         self.children: List[Span] = []
         self.start = 0.0
         self.duration = 0.0
+        self.span_id = _next_span_id()
+        #: Wall-clock (epoch) start; 0.0 for hand-built spans.
+        self.started_at = 0.0
 
     def to_dict(self) -> Dict[str, Any]:
         """JSON-ready nested representation (durations in seconds)."""
         entry: Dict[str, Any] = {
             "name": self.name,
+            "span_id": self.span_id,
             "duration_s": round(self.duration, 9),
         }
+        if self.started_at:
+            entry["started_at"] = round(self.started_at, 6)
         if self.attributes:
             entry["attributes"] = dict(self.attributes)
         if self.children:
             entry["children"] = [child.to_dict() for child in self.children]
         return entry
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, Any]) -> "Span":
+        """Rebuild a span tree from :meth:`to_dict` output.
+
+        The original ``span_id`` is preserved, so a tree shipped across
+        a process boundary keeps the ids its worker assigned.
+        """
+        span = cls(str(payload["name"]), payload.get("attributes"))
+        span.duration = float(payload.get("duration_s", 0.0))
+        span.started_at = float(payload.get("started_at", 0.0))
+        if "span_id" in payload:
+            span.span_id = str(payload["span_id"])
+        span.children = [
+            cls.from_dict(child) for child in payload.get("children", ())
+        ]
+        return span
 
 
 class Tracer:
@@ -60,12 +109,14 @@ class Tracer:
     def __init__(self, name: str = "query") -> None:
         self.root = Span(name)
         self.root.start = time.perf_counter()
+        self.root.started_at = time.time()
         self._stack: List[Span] = [self.root]
 
     @contextmanager
     def span(self, name: str, **attributes: Any) -> Iterator[Span]:
         child = Span(name, attributes)
         child.start = time.perf_counter()
+        child.started_at = time.time()
         self._stack[-1].children.append(child)
         self._stack.append(child)
         try:
@@ -76,6 +127,14 @@ class Tracer:
 
     def annotate(self, **attributes: Any) -> None:
         self._stack[-1].attributes.update(attributes)
+
+    def graft(self, span: Span) -> None:
+        """Attach an already-finished span tree under the open span.
+
+        This is how shard span trees shipped home from worker processes
+        land beneath the parent's ``shard-fan-out`` span.
+        """
+        self._stack[-1].children.append(span)
 
     def finish(self) -> Span:
         self.root.duration = time.perf_counter() - self.root.start
@@ -101,6 +160,22 @@ _STATE = threading.local()
 def current_tracer() -> Optional[Tracer]:
     """The tracer installed on this thread, or None."""
     return getattr(_STATE, "tracer", None)
+
+
+def install_tracer(tracer: Tracer) -> Optional[Tracer]:
+    """Install ``tracer`` on this thread; returns the previous one.
+
+    Low-level hook for collectors (the flight recorder) that cannot use
+    the :func:`trace` context manager; pair with :func:`restore_tracer`.
+    """
+    previous = getattr(_STATE, "tracer", None)
+    _STATE.tracer = tracer
+    return previous
+
+
+def restore_tracer(previous: Optional[Tracer]) -> None:
+    """Undo :func:`install_tracer`."""
+    _STATE.tracer = previous
 
 
 def span(name: str, **attributes: Any):

@@ -44,6 +44,7 @@ from __future__ import annotations
 import contextlib
 import sqlite3
 import threading
+import time
 from collections import OrderedDict
 from dataclasses import dataclass, field
 from typing import (
@@ -65,7 +66,7 @@ from repro.core.families import Family
 from repro.cqa.answers import ClosedAnswer, OpenAnswers
 from repro.exceptions import QueryError
 from repro.incremental.engine import IncrementalCqaEngine
-from repro.obs import REGISTRY, observe_cache
+from repro.obs import RECORDER, REGISTRY, observe_cache
 from repro.priorities.priority import PriorityEdge
 from repro.query.ast import Formula, relations_of
 from repro.relational.rows import Row
@@ -121,6 +122,13 @@ class BrokerResult:
     cached: bool = False
     #: Deduplicated against an identical request in the same batch.
     shared: bool = False
+    #: Actual per-request service time (normalize + route + execute),
+    #: measured by the broker — what the access log should attribute to
+    #: *this* request, not a batch average.
+    seconds: float = 0.0
+    #: Trace id of the flight-recorder record retained for this
+    #: execution; None for cache hits, dedups, and unsampled queries.
+    trace_id: Optional[str] = None
 
 
 @dataclass
@@ -551,6 +559,7 @@ class RequestBroker:
         for position in order:
             request = requests[position]
             entry = self._entry(request.database)
+            started = time.perf_counter()
             with entry.rw.read():
                 formula, variables, family = self._normalize(entry, request)
                 fingerprint = self._fingerprint(entry)
@@ -574,6 +583,7 @@ class RequestBroker:
                     results[position] = BrokerResult(
                         request, outcome, entry.name, engine_label, route,
                         shared=True,
+                        seconds=time.perf_counter() - started,
                     )
                     continue
                 slot = self.cache.get(key)
@@ -582,11 +592,28 @@ class RequestBroker:
                     results[position] = BrokerResult(
                         request, slot.outcome, entry.name, slot.engine,
                         slot.route, cached=True,
+                        seconds=time.perf_counter() - started,
                     )
                     continue
-                outcome, engine_label, route = self._execute(
-                    entry, formula, variables, family
+                # The flight recorder wraps only actual executions —
+                # cache hits and dedups never re-run, so there is no
+                # trace to collect.  The report provider hands the
+                # record the analysis layer's fingerprint and blocking
+                # diagnostics lazily (dropped records never pay for it).
+                capture = RECORDER.capture(
+                    str(formula),
+                    database=entry.name,
+                    report_provider=lambda: self._route_report(
+                        entry, formula, variables, priority_fingerprint
+                    ),
                 )
+                with capture:
+                    outcome, engine_label, route = self._execute(
+                        entry, formula, variables, family
+                    )
+                    capture.note(
+                        engine=engine_label, route=route, family=str(family)
+                    )
                 in_flight[key] = (outcome, engine_label, route)
                 # Dependencies drive eviction only (lookups are content
                 # keyed), so they can be narrowed to the components of
@@ -603,7 +630,9 @@ class RequestBroker:
                     key, _CacheSlot(outcome, engine_label, route, depends_on)
                 )
                 results[position] = BrokerResult(
-                    request, outcome, entry.name, engine_label, route
+                    request, outcome, entry.name, engine_label, route,
+                    seconds=time.perf_counter() - started,
+                    trace_id=capture.trace_id if capture.recorded else None,
                 )
         return [result for result in results if result is not None]
 

@@ -55,7 +55,7 @@ from repro.core.optimality import (
     is_locally_optimal,
     is_semi_globally_optimal,
 )
-from repro.obs import REGISTRY
+from repro.obs import REGISTRY, Span, current_tracer, trace
 from repro.priorities.priority import Priority
 from repro.query.ast import Formula
 from repro.query.evaluator import answers as evaluate_answers
@@ -178,8 +178,8 @@ def plan_from_fragments(
 # ---------------------------------------------------------------------------
 
 #: Task payload: (base, fragments, formula, variables|None, start, stop,
-#: naive, stop_on_false).  Everything in it pickles: rows reconstruct
-#: through their schema, formulas are frozen dataclasses.
+#: naive, stop_on_false, traced).  Everything in it pickles: rows
+#: reconstruct through their schema, formulas are frozen dataclasses.
 _Task = Tuple[
     FrozenSet[Row],
     Tuple[Tuple[Repair, ...], ...],
@@ -189,6 +189,7 @@ _Task = Tuple[
     int,
     bool,
     bool,
+    bool,
 ]
 
 
@@ -196,14 +197,46 @@ def _run_shard(task: _Task):
     """Evaluate one contiguous index range of the repair space.
 
     Module-level so it imports under ``spawn`` start methods; returns
-    ``(considered, satisfying, first_false, elapsed)`` for closed
-    queries and ``(considered, certain, possible, elapsed)`` for open
-    ones.  ``elapsed`` is the shard's own wall time: workers run in
-    separate processes and cannot write the parent's metrics registry,
-    so durations travel home with the partials and the merge records
-    them.
+    ``(considered, satisfying, first_false, elapsed, span)`` for closed
+    queries and ``(considered, certain, possible, elapsed, span)`` for
+    open ones.  ``elapsed`` is the shard's own wall time: workers run
+    in separate processes and cannot write the parent's metrics
+    registry, so durations travel home with the partials and the merge
+    records them.  When the parent was tracing (``traced``), the shard
+    runs its own tracer and ``span`` is the finished tree in
+    :meth:`~repro.obs.tracing.Span.to_dict` form — a pickle-safe dict
+    the parent grafts under its fan-out span; otherwise ``span`` is
+    None.
     """
-    base, fragments, formula, variables, start, stop, naive, stop_on_false = task
+    (
+        base, fragments, formula, variables,
+        start, stop, naive, stop_on_false, traced,
+    ) = task
+    if not traced:
+        return _eval_shard(
+            base, fragments, formula, variables, start, stop, naive,
+            stop_on_false,
+        ) + (None,)
+    with trace("shard") as tracer:
+        tracer.annotate(start=start, stop=stop, pid=os.getpid())
+        partial = _eval_shard(
+            base, fragments, formula, variables, start, stop, naive,
+            stop_on_false,
+        )
+        tracer.annotate(considered=partial[0])
+    return partial + (tracer.root.to_dict(),)
+
+
+def _eval_shard(
+    base: FrozenSet[Row],
+    fragments: Tuple[Tuple[Repair, ...], ...],
+    formula: Formula,
+    variables: Optional[Tuple[str, ...]],
+    start: int,
+    stop: int,
+    naive: bool,
+    stop_on_false: bool,
+):
     shard_started = time.perf_counter()
     if variables is None:
         considered = satisfying = 0
@@ -336,6 +369,24 @@ def _record_shards(durations: List[float]) -> None:
     ).inc()
 
 
+def _graft_shards(results: List) -> None:
+    """Attach shipped shard span trees under the caller's open span.
+
+    Each traced shard returns its finished span tree as a dict (the
+    pickle-safe wire format); rebuilt here and grafted in shard order,
+    the parent's ``shard-fan-out`` span gains one ``shard`` child per
+    chunk — making merge skew attributable to a specific index range
+    and worker pid.
+    """
+    tracer = current_tracer()
+    if tracer is None:
+        return
+    for result in results:
+        payload = result[4]
+        if payload is not None:
+            tracer.graft(Span.from_dict(payload))
+
+
 def _tasks_for(
     plan: ShardPlan,
     formula: Formula,
@@ -344,6 +395,7 @@ def _tasks_for(
     naive: bool,
     stop_on_false: bool,
 ) -> List[_Task]:
+    traced = current_tracer() is not None
     return [
         (
             plan.base,
@@ -354,6 +406,7 @@ def _tasks_for(
             stop,
             naive,
             stop_on_false,
+            traced,
         )
         for start, stop in _chunks(plan.total, workers)
     ]
@@ -379,6 +432,7 @@ def run_closed(
     results = _map_tasks(
         _tasks_for(plan, formula, None, workers, naive, stop_on_false), workers
     )
+    _graft_shards(results)
     _record_shards([result[3] for result in results])
     considered = sum(result[0] for result in results)
     satisfying = sum(result[1] for result in results)
@@ -404,11 +458,12 @@ def run_open(
         _tasks_for(plan, formula, tuple(variables), workers, naive, False),
         workers,
     )
+    _graft_shards(results)
     _record_shards([result[3] for result in results])
     considered = 0
     certain: Optional[FrozenSet[Tuple[Value, ...]]] = None
     possible: FrozenSet[Tuple[Value, ...]] = frozenset()
-    for shard_considered, shard_certain, shard_possible, _ in results:
+    for shard_considered, shard_certain, shard_possible, _, _ in results:
         if shard_considered == 0:
             continue
         considered += shard_considered

@@ -7,15 +7,21 @@ Two transports share one :class:`ServiceFrontEnd` (a JSON codec over a
   ``POST /query`` (single request or batch), ``POST /update``
   (inserts/deletes), and the operational ``GET /healthz`` /
   ``GET /stats`` / ``GET /metrics`` endpoints (the last serves the
-  process metrics registry in Prometheus text exposition format);
+  process metrics registry in Prometheus text exposition format), plus
+  the flight-recorder debug surface: ``GET /debug/queries`` (recent or
+  slowest retained queries, filterable by ``route`` / ``min_ms`` /
+  ``limit``) and ``GET /debug/queries/<trace_id>`` (one record with its
+  full span tree);
 * **JSON lines over stdio** — one request object per input line, one
   response object per output line (``repro serve --stdio``), for
   driving the service from a pipe or a supervisor.
 
 The front end optionally writes a per-request **access log** (one line
-per served query: latency, route, answer cardinality) to any text
-stream; both transports share it because logging happens in
-:meth:`ServiceFrontEnd.handle`.
+per served query: latency, route, answer cardinality, trace id) to any
+text stream; both transports share it because logging happens in
+:meth:`ServiceFrontEnd.handle`.  Logged latency is the broker's own
+per-request service time (``BrokerResult.seconds``), so every request
+in a batch reports what *it* cost, not the batch average.
 
 Everything is standard library (``http.server``, ``json``,
 ``threading``); concurrency safety comes from the broker's per-database
@@ -29,11 +35,12 @@ import time
 from datetime import datetime, timezone
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import IO, Dict, List, Optional, Tuple
+from urllib.parse import parse_qs, urlparse
 
 from repro.core.families import Family
 from repro.cqa.answers import ClosedAnswer, OpenAnswers
 from repro.exceptions import ReproError
-from repro.obs import REGISTRY
+from repro.obs import RECORDER, REGISTRY, FlightRecorder
 from repro.relational.rows import Row
 from repro.service.broker import BrokerResult, Request, RequestBroker
 
@@ -107,6 +114,8 @@ def encode_result(result: BrokerResult) -> dict:
         "cached": result.cached,
         "shared": result.shared,
     }
+    if result.trace_id is not None:
+        body["trace_id"] = result.trace_id
     if result.request.tag is not None:
         body["tag"] = result.request.tag
     if isinstance(outcome, ClosedAnswer):
@@ -145,11 +154,13 @@ class ServiceFrontEnd:
         self,
         broker: RequestBroker,
         access_log: Optional[IO[str]] = None,
+        recorder: Optional[FlightRecorder] = None,
     ) -> None:
         self.broker = broker
         self.started = time.time()
         self.requests_served = 0
         self.access_log = access_log
+        self.recorder = recorder if recorder is not None else RECORDER
 
     # Operations ---------------------------------------------------------------
 
@@ -178,13 +189,37 @@ class ServiceFrontEnd:
         stats["requests_served"] = self.requests_served
         stats["uptime_s"] = self._uptime()
         stats["metrics"] = REGISTRY.snapshot()
+        stats["recorder"] = self.recorder.summary()
         return stats
 
     def metrics(self) -> str:
         """The process metrics registry in Prometheus text format."""
         return REGISTRY.render()
 
-    def _log_access(self, result: BrokerResult, seconds: float) -> None:
+    def debug_queries(
+        self,
+        route: Optional[str] = None,
+        min_ms: Optional[float] = None,
+        limit: Optional[int] = None,
+        slowest: bool = False,
+    ) -> dict:
+        """Retained flight-recorder records (``GET /debug/queries``)."""
+        records = self.recorder.records(
+            route=route, min_ms=min_ms, limit=limit, slowest=slowest
+        )
+        return {
+            "count": len(records),
+            "queries": [record.to_dict() for record in records],
+        }
+
+    def debug_query(self, trace_id: str) -> dict:
+        """One retained record (``GET /debug/queries/<trace_id>``)."""
+        record = self.recorder.get(trace_id)
+        if record is None:
+            raise ServiceError(f"no recorded query with trace id {trace_id!r}")
+        return record.to_dict()
+
+    def _log_access(self, result: BrokerResult) -> None:
         if self.access_log is None:
             return
         outcome = result.outcome
@@ -196,8 +231,9 @@ class ServiceFrontEnd:
         self.access_log.write(
             f"{stamp}Z db={result.database} engine={result.engine} "
             f"route={result.route} family={str(outcome.family)} "
-            f"latency_ms={seconds * 1e3:.3f} answers={answers} "
-            f"cached={int(result.cached)} shared={int(result.shared)}\n"
+            f"latency_ms={result.seconds * 1e3:.3f} answers={answers} "
+            f"cached={int(result.cached)} shared={int(result.shared)} "
+            f"trace={result.trace_id or '-'}\n"
         )
         self.access_log.flush()
 
@@ -251,18 +287,15 @@ class ServiceFrontEnd:
                 if not isinstance(requests, list) or not requests:
                     raise ServiceError("'requests' must be a non-empty list")
                 parsed = [_parse_request(entry) for entry in requests]
-                started = time.perf_counter()
                 results = self.broker.submit(parsed)
-                elapsed = time.perf_counter() - started
                 self.requests_served += len(results)
                 for result in results:
-                    self._log_access(result, elapsed / len(results))
+                    self._log_access(result)
                 return {"results": [encode_result(r) for r in results]}
             if op == "query":
-                started = time.perf_counter()
                 result = self.broker.submit([_parse_request(payload)])[0]
                 self.requests_served += 1
-                self._log_access(result, time.perf_counter() - started)
+                self._log_access(result)
                 return encode_result(result)
             if op == "analyze":
                 request = _parse_request(payload)
@@ -319,13 +352,46 @@ class _Handler(BaseHTTPRequestHandler):
         self.end_headers()
         self.wfile.write(encoded)
 
+    def _debug_queries(self, parsed) -> None:
+        params = parse_qs(parsed.query)
+
+        def first(name: str) -> Optional[str]:
+            values = params.get(name)
+            return values[0] if values else None
+
+        try:
+            min_ms = float(first("min_ms")) if first("min_ms") else None
+            limit = int(first("limit")) if first("limit") else None
+        except ValueError as exc:
+            self._send(400, {"error": f"bad query parameter: {exc}"})
+            return
+        self._send(
+            200,
+            self.front.debug_queries(
+                route=first("route"),
+                min_ms=min_ms,
+                limit=limit,
+                slowest=first("order") == "slowest",
+            ),
+        )
+
     def do_GET(self) -> None:  # noqa: N802 - http.server API
-        if self.path == "/healthz":
+        parsed = urlparse(self.path)
+        path = parsed.path
+        if path == "/healthz":
             self._send(200, self.front.health())
-        elif self.path == "/stats":
+        elif path == "/stats":
             self._send(200, self.front.stats())
-        elif self.path == "/metrics":
+        elif path == "/metrics":
             self._send_text(200, self.front.metrics())
+        elif path == "/debug/queries":
+            self._debug_queries(parsed)
+        elif path.startswith("/debug/queries/"):
+            trace_id = path[len("/debug/queries/"):]
+            try:
+                self._send(200, self.front.debug_query(trace_id))
+            except ServiceError as exc:
+                self._send(404, {"error": str(exc)})
         else:
             self._send(404, {"error": f"unknown path {self.path!r}"})
 

@@ -1,16 +1,25 @@
-"""Isolate the process-wide registry: every obs test starts empty."""
+"""Isolate process-wide obs state: every test starts with an empty
+metrics registry and a fresh, fully sampling flight recorder."""
 
 from __future__ import annotations
 
 import pytest
 
-from repro.obs import REGISTRY
+from repro.obs import RECORDER, REGISTRY
+
+
+def _reset_obs() -> None:
+    REGISTRY.reset()
+    REGISTRY.enabled = True
+    RECORDER.reset()
+    RECORDER.enabled = True
+    RECORDER.configure(
+        sample_rate=1.0, slow_ms=None, capacity=256, slow_capacity=64
+    )
 
 
 @pytest.fixture(autouse=True)
-def clean_registry():
-    REGISTRY.reset()
-    REGISTRY.enabled = True
+def clean_obs():
+    _reset_obs()
     yield
-    REGISTRY.reset()
-    REGISTRY.enabled = True
+    _reset_obs()

@@ -1,0 +1,436 @@
+"""Flight recorder: sampling, slow capture, eviction, thread safety.
+
+Covers the ISSUE 9 tentpole contracts: ring-buffer FIFO eviction with a
+slow reservoir that survives wraparound, deterministic seeded sampling,
+two-thread stress, the ``QueryRecord`` dict round trip, recorded span
+trees containing per-shard worker spans under ``parallel=4``, and a
+differential check that recording changes no answer on any of the five
+engines.
+"""
+
+from __future__ import annotations
+
+import os
+import random
+import sqlite3
+import threading
+import time
+
+import pytest
+
+from repro.backend import SqlCqaEngine
+from repro.constraints.conflict_graph import build_conflict_graph
+from repro.constraints.denial import fd_as_denial
+from repro.core.families import Family
+from repro.cqa.engine import CqaEngine
+from repro.cqa.hypergraph_cqa import DenialCqaEngine
+from repro.datagen.generators import GRID_FDS, GRID_SCHEMA, grid_instance
+from repro.incremental import IncrementalCqaEngine
+from repro.obs import RECORDER, REGISTRY, FlightRecorder, QueryRecord
+from repro.obs.recorder import _NoCapture
+from repro.priorities.builders import priority_from_ranking
+from repro.query.parser import parse_query
+from repro.relational.database import Database
+from repro.relational.sqlite_io import save_database
+
+OPEN = parse_query("EXISTS y . R(x, y)")
+CLOSED = parse_query("EXISTS x, y . R(x, y)")
+
+
+def _record(trace_id: str, seconds: float, slow: bool = False, route: str = "indexed"):
+    return QueryRecord(
+        trace_id=trace_id,
+        query="q",
+        engine="incremental",
+        route=route,
+        family="Rep",
+        seconds=seconds,
+        started_at=float(int(trace_id.rsplit("-", 1)[-1], 36)),
+        slow=slow,
+    )
+
+
+class TestCaptureBasics:
+    def test_capture_records_with_noted_details(self):
+        recorder = FlightRecorder(seed=0)
+        with recorder.capture("EXISTS y . R(x, y)", database="db") as capture:
+            recorder.note(engine="sqlite", route="sqlite", family="Rep")
+        assert capture.recorded
+        record = recorder.get(capture.trace_id)
+        assert record is not None
+        assert record.engine == "sqlite"
+        assert record.route == "sqlite"
+        assert record.family == "Rep"
+        assert record.database == "db"
+        assert record.query == "EXISTS y . R(x, y)"
+        assert record.seconds > 0.0
+        assert record.trace is not None and record.trace["name"] == "query"
+        assert record.trace["attributes"]["trace_id"] == capture.trace_id
+
+    def test_engine_spans_and_observe_query_feed_the_capture(self):
+        # observe_query feeds the process-wide RECORDER (reset by the
+        # obs conftest), so the engine's own instrumentation lands in
+        # whatever capture is open on this thread.
+        instance = grid_instance(2, 2)
+        engine = CqaEngine(instance, GRID_FDS)
+        with RECORDER.capture("closed") as capture:
+            engine.answer(CLOSED)
+        record = RECORDER.get(capture.trace_id)
+        assert record.engine == "cqa"
+        assert record.route != "?"  # whatever the engine chose was noted
+        names = {child["name"] for child in record.trace["children"]}
+        assert "parse" in names  # the engine's own spans were collected
+
+    def test_nested_capture_is_noop_and_outer_owns_the_record(self):
+        recorder = FlightRecorder(seed=0)
+        with recorder.capture("outer") as outer:
+            inner = recorder.capture("inner")
+            assert isinstance(inner, _NoCapture)
+            with inner:
+                pass
+        assert recorder.summary()["recorded"] == 1
+        assert recorder.get(outer.trace_id).query == "outer"
+
+    def test_disabled_recorder_returns_shared_noop(self):
+        recorder = FlightRecorder(enabled=False)
+        capture = recorder.capture("q")
+        assert isinstance(capture, _NoCapture)
+        assert recorder.summary()["started"] == 0
+
+    def test_exception_drops_the_record(self):
+        recorder = FlightRecorder(seed=0)
+        with pytest.raises(RuntimeError):
+            with recorder.capture("boom"):
+                raise RuntimeError("query failed")
+        summary = recorder.summary()
+        assert summary["recorded"] == 0
+        assert summary["dropped"] == 1
+
+    def test_report_provider_feeds_fingerprint_and_blocking(self):
+        recorder = FlightRecorder(seed=0)
+
+        class _Diag:
+            full_code = "RA201-self-join-dirty"
+
+        class _Report:
+            fingerprint = "abc123"
+            errors = (_Diag(),)
+
+        with recorder.capture("q", report_provider=lambda: _Report()) as capture:
+            pass
+        record = recorder.get(capture.trace_id)
+        assert record.fingerprint == "abc123"
+        assert record.blocking == ("RA201-self-join-dirty",)
+
+
+class TestSampling:
+    def test_seeded_sampling_is_deterministic(self):
+        kept_runs = []
+        for _ in range(2):
+            recorder = FlightRecorder(sample_rate=0.5, seed=42)
+            kept = []
+            for index in range(40):
+                with recorder.capture(f"q{index}") as capture:
+                    pass
+                kept.append(capture.recorded)
+            kept_runs.append(kept)
+        assert kept_runs[0] == kept_runs[1]
+        # And the keep pattern is exactly the seeded RNG's draw sequence.
+        reference = random.Random(42)
+        assert kept_runs[0] == [reference.random() < 0.5 for _ in range(40)]
+        assert True in kept_runs[0] and False in kept_runs[0]
+
+    def test_sample_rate_zero_without_slow_capture_records_nothing(self):
+        recorder = FlightRecorder(sample_rate=0.0, seed=0)
+        capture = recorder.capture("q")
+        assert isinstance(capture, _NoCapture)
+        assert recorder.summary()["started"] == 1
+
+    def test_slow_threshold_overrides_a_losing_sample_draw(self):
+        recorder = FlightRecorder(sample_rate=0.0, slow_ms=0.0, seed=0)
+        with recorder.capture("slow query") as capture:
+            time.sleep(0.001)
+        record = recorder.get(capture.trace_id)
+        assert record is not None
+        assert record.slow and not record.sampled
+        assert record.trace is not None  # slow capture always traces
+
+    def test_configure_validates_and_reseeds(self):
+        recorder = FlightRecorder()
+        with pytest.raises(ValueError):
+            recorder.configure(sample_rate=1.5)
+        with pytest.raises(ValueError):
+            recorder.configure(capacity=0)
+        recorder.configure(sample_rate=0.25, slow_ms=12.5, seed=7)
+        summary = recorder.summary()
+        assert summary["sample_rate"] == 0.25
+        assert summary["slow_ms"] == 12.5
+
+
+class TestRetention:
+    def test_ring_evicts_fifo_at_capacity(self):
+        recorder = FlightRecorder(capacity=3, seed=0)
+        ids = []
+        for index in range(5):
+            with recorder.capture(f"q{index}") as capture:
+                pass
+            ids.append(capture.trace_id)
+        summary = recorder.summary()
+        assert summary["ring_entries"] == 3
+        assert summary["evicted"] == 2
+        assert recorder.get(ids[0]) is None and recorder.get(ids[1]) is None
+        assert all(recorder.get(trace_id) for trace_id in ids[2:])
+
+    def test_slow_records_survive_ring_wraparound(self):
+        recorder = FlightRecorder(capacity=2, slow_capacity=4, seed=0)
+        slow = _record("slow-1", seconds=2.0, slow=True)
+        recorder._store(slow)
+        for index in range(10):
+            recorder._store(_record(f"fast-{index}", seconds=0.001))
+        assert recorder.summary()["ring_entries"] == 2
+        retained = recorder.get("slow-1")
+        assert retained is not None and retained.seconds == 2.0
+        assert retained in recorder.records(min_ms=1000.0)
+
+    def test_slow_reservoir_keeps_the_slowest_when_full(self):
+        recorder = FlightRecorder(slow_capacity=2, seed=0)
+        recorder._store(_record("s-1", seconds=1.0, slow=True))
+        recorder._store(_record("s-2", seconds=3.0, slow=True))
+        # Slower than the fastest resident: evicts it.
+        recorder._store(_record("s-3", seconds=2.0, slow=True))
+        # Faster than every resident: dropped from the reservoir (but
+        # still rides the ring until wraparound).
+        recorder._store(_record("s-4", seconds=0.5, slow=True))
+        assert recorder.summary()["slow_entries"] == 2
+        for index in range(recorder.capacity):
+            recorder._store(_record(f"f-{index}", seconds=0.001))
+        assert recorder.get("s-1") is None
+        assert recorder.get("s-4") is None
+        assert recorder.get("s-2").seconds == 3.0
+        assert recorder.get("s-3").seconds == 2.0
+
+    def test_records_filters_and_orders(self):
+        recorder = FlightRecorder(seed=0)
+        recorder._store(_record("a-1", seconds=0.010, route="sqlite"))
+        recorder._store(_record("a-2", seconds=0.050, route="indexed"))
+        recorder._store(_record("a-3", seconds=0.002, route="indexed"))
+        assert [r.trace_id for r in recorder.records()] == ["a-3", "a-2", "a-1"]
+        assert [r.trace_id for r in recorder.records(slowest=True)] == [
+            "a-2", "a-1", "a-3",
+        ]
+        assert [r.trace_id for r in recorder.records(route="indexed")] == [
+            "a-3", "a-2",
+        ]
+        assert [r.trace_id for r in recorder.records(min_ms=5.0)] == [
+            "a-2", "a-1",
+        ]
+        assert len(recorder.records(limit=2)) == 2
+
+    def test_reset_clears_everything(self):
+        recorder = FlightRecorder(seed=0)
+        with recorder.capture("q"):
+            pass
+        recorder.reset()
+        summary = recorder.summary()
+        assert summary["recorded"] == 0 and summary["ring_entries"] == 0
+
+
+class TestRoundTrip:
+    def test_query_record_dict_round_trip(self):
+        original = QueryRecord(
+            trace_id="t-1",
+            query="EXISTS y . R(x, y)",
+            engine="incremental",
+            route="witness-index",
+            family="G",
+            seconds=0.25,
+            started_at=1700000000.5,
+            database="grid",
+            fingerprint="deadbeef",
+            blocking=("RA201-self-join-dirty",),
+            sampled=True,
+            slow=True,
+            trace={"name": "query", "span_id": "x-1", "duration_s": 0.25},
+        )
+        rebuilt = QueryRecord.from_dict(original.to_dict())
+        assert rebuilt == original
+        assert rebuilt.span_tree().span_id == "x-1"
+
+    def test_record_without_trace_round_trips(self):
+        original = _record("t-2", seconds=0.01)
+        rebuilt = QueryRecord.from_dict(original.to_dict())
+        assert rebuilt == original
+        assert rebuilt.span_tree() is None
+
+
+class TestExemplars:
+    def test_kept_record_attaches_exemplar_to_latency_bucket(self):
+        recorder = FlightRecorder(seed=0, registry=REGISTRY)
+        with recorder.capture("q") as capture:
+            recorder.note(engine="cqa", route="indexed", family="Rep")
+        snapshot = REGISTRY.snapshot()
+        series = snapshot["repro_query_seconds"]["values"]["indexed"]
+        assert any(
+            entry["trace_id"] == capture.trace_id
+            for entry in series["exemplars"].values()
+        )
+
+    def test_dropped_record_attaches_no_exemplar(self):
+        recorder = FlightRecorder(sample_rate=0.0, seed=0, registry=REGISTRY)
+        capture = recorder.capture("q")
+        with capture:
+            recorder.note(engine="cqa", route="indexed", family="Rep")
+        assert "repro_query_seconds" not in REGISTRY.snapshot()
+
+
+class TestThreadSafety:
+    def test_two_thread_stress_keeps_counters_consistent(self):
+        recorder = FlightRecorder(capacity=8, sample_rate=0.7, slow_ms=None, seed=3)
+        iterations = 200
+        errors = []
+
+        def worker(name: str) -> None:
+            try:
+                for index in range(iterations):
+                    with recorder.capture(f"{name}-{index}"):
+                        recorder.note(engine="cqa", route="indexed")
+                    recorder.records(limit=4)
+                    recorder.records(slowest=True)
+                    recorder.summary()
+            except Exception as exc:  # pragma: no cover - failure path
+                errors.append(exc)
+
+        threads = [
+            threading.Thread(target=worker, args=(f"t{n}",)) for n in range(2)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert not errors
+        summary = recorder.summary()
+        assert summary["started"] == 2 * iterations
+        assert summary["dropped"] == 0
+        assert 0 < summary["recorded"] <= 2 * iterations
+        assert summary["recorded"] == summary["sampled"]
+        assert summary["ring_entries"] <= 8
+        assert summary["recorded"] == summary["ring_entries"] + summary["evicted"]
+
+    def test_captures_are_thread_local(self):
+        recorder = FlightRecorder(seed=0)
+        seen = {}
+
+        def other_thread() -> None:
+            seen["active"] = recorder.active_trace_id()
+
+        with recorder.capture("q"):
+            thread = threading.Thread(target=other_thread)
+            thread.start()
+            thread.join()
+            assert recorder.active_trace_id() is not None
+        assert seen["active"] is None
+
+
+class TestParallelSpanPropagation:
+    def test_recorded_trace_contains_worker_shard_spans(self):
+        from tests.conftest import TWO_FDS, TWO_FD_SCHEMA
+        from repro.relational.instance import RelationInstance
+
+        values = [
+            (a, b, c, d)
+            for a in range(2) for b in range(2)
+            for c in range(2) for d in range(2)
+        ]
+        instance = RelationInstance.from_values(TWO_FD_SCHEMA, values)
+        engine = CqaEngine(instance, TWO_FDS)
+        query = parse_query("EXISTS a, b, c, d . R(a, b, c, d) AND b = 0")
+        recorder = FlightRecorder(seed=0)
+        with recorder.capture("parallel closed") as capture:
+            engine.answer(query, parallel=4)
+        record = recorder.get(capture.trace_id)
+
+        def find(span, name):
+            if span["name"] == name:
+                return span
+            for child in span.get("children", ()):
+                found = find(child, name)
+                if found is not None:
+                    return found
+            return None
+
+        fan_out = find(record.trace, "shard-fan-out")
+        assert fan_out is not None
+        shards = [
+            child for child in fan_out["children"] if child["name"] == "shard"
+        ]
+        assert len(shards) >= 2
+        # The spans were shipped home from pool worker processes.
+        worker_pids = {shard["attributes"]["pid"] for shard in shards}
+        assert worker_pids and os.getpid() not in worker_pids
+        # Shard ranges tile the repair space in order.
+        starts = sorted(shard["attributes"]["start"] for shard in shards)
+        assert starts[0] == 0
+        assert all(shard["duration_s"] >= 0.0 for shard in shards)
+        assert all(shard["span_id"] for shard in shards)
+
+
+class TestDifferential:
+    def test_recorded_and_unrecorded_answers_identical_on_all_engines(self):
+        instance = grid_instance(3, 2)
+        graph_priority = priority_from_ranking(
+            build_conflict_graph(instance, GRID_FDS), lambda row: row["B"]
+        )
+
+        def run_all():
+            collected = []
+            for family in (Family.REP, Family.GLOBAL):
+                engine = CqaEngine(instance, GRID_FDS, graph_priority, family)
+                with RECORDER.capture(f"closed[{family}]"):
+                    answer = engine.answer(CLOSED)
+                with RECORDER.capture(f"open[{family}]"):
+                    result = engine.certain_answers(OPEN)
+                collected.append(
+                    (str(family), answer.verdict.value,
+                     sorted(result.certain), sorted(result.possible))
+                )
+            incremental = IncrementalCqaEngine(
+                instance, GRID_FDS, graph_priority.edges, Family.GLOBAL
+            )
+            with RECORDER.capture("open[incremental]"):
+                result = incremental.certain_answers(OPEN)
+            collected.append(("incremental", sorted(result.certain)))
+            connection = sqlite3.connect(":memory:")
+            save_database(Database.single(instance), connection, GRID_FDS)
+            with SqlCqaEngine(connection, GRID_FDS) as engine:
+                with RECORDER.capture("open[sql]"):
+                    result = engine.certain_answers(OPEN)
+                collected.append(("sql", sorted(result.certain)))
+            connection = sqlite3.connect(":memory:")
+            save_database(Database.single(instance), connection, GRID_FDS)
+            from repro.prefsql import PrefSqlCqaEngine
+
+            with PrefSqlCqaEngine(
+                connection, GRID_FDS, graph_priority.dominance_rows(),
+                Family.GLOBAL,
+            ) as engine:
+                with RECORDER.capture("open[prefsql]"):
+                    result = engine.certain_answers(OPEN)
+                collected.append(("prefsql", sorted(result.certain)))
+            denials = [fd_as_denial(fd, GRID_SCHEMA) for fd in GRID_FDS]
+            with RECORDER.capture("closed[denial]"):
+                answer = DenialCqaEngine(instance, denials).answer(CLOSED)
+            collected.append(("denial", answer.verdict.value))
+            return collected
+
+        RECORDER.enabled = False
+        unrecorded = run_all()
+        assert RECORDER.summary()["recorded"] == 0
+
+        RECORDER.reset(seed=0)
+        RECORDER.enabled = True
+        RECORDER.configure(sample_rate=1.0)
+        recorded = run_all()
+        assert recorded == unrecorded
+        assert RECORDER.summary()["recorded"] == 8
+        for record in RECORDER.records():
+            assert record.engine in {"cqa", "incremental", "sql", "prefsql", "denial"}

@@ -7,6 +7,7 @@ import io
 import json
 import re
 import threading
+import urllib.error
 import urllib.request
 
 import pytest
@@ -14,9 +15,9 @@ import pytest
 import repro
 from repro.cli import main
 from repro.datagen.generators import GRID_FDS, grid_instance
-from repro.obs import REGISTRY
+from repro.obs import RECORDER, REGISTRY
 from repro.service.broker import Request, RequestBroker
-from repro.service.server import ServiceFrontEnd, make_http_server
+from repro.service.server import ServiceError, ServiceFrontEnd, make_http_server
 
 #: One sample per non-comment exposition line: name{labels} value
 _SAMPLE = re.compile(
@@ -160,6 +161,180 @@ class TestHttpMetricsEndpoint:
         assert "backends" in body
 
 
+class TestFlightRecorderServing:
+    def test_stats_embeds_recorder_summary(self, front):
+        front.handle({"query": "EXISTS y . R(x, y)"})
+        recorder = front.handle({"op": "stats"})["recorder"]
+        assert recorder["enabled"] is True
+        assert recorder["recorded"] >= 1
+        assert recorder["ring_entries"] >= 1
+
+    def test_query_result_carries_trace_id(self, front):
+        body = front.handle({"query": "EXISTS y . R(x, y)"})
+        trace_id = body["trace_id"]
+        record = RECORDER.get(trace_id)
+        assert record is not None
+        assert record.database == "grid"
+        assert record.engine == body["engine"]
+        assert record.route == body["route"]
+
+    def test_cached_result_has_no_trace_id(self, front):
+        first = front.handle({"query": "EXISTS y . R(x, y)"})
+        second = front.handle({"query": "EXISTS y . R(x, y)"})
+        assert "trace_id" in first
+        assert second["cached"] is True
+        assert "trace_id" not in second
+
+    def test_debug_queries_lists_the_record(self, front):
+        body = front.handle({"query": "EXISTS y . R(x, y)"})
+        listing = front.debug_queries()
+        assert listing["count"] >= 1
+        match = next(
+            q for q in listing["queries"] if q["trace_id"] == body["trace_id"]
+        )
+        # The broker records the parsed formula's canonical form.
+        assert "R(x, y)" in match["query"] and "EXISTS y" in match["query"]
+        assert match["trace"]["name"] == "query"
+        assert front.debug_query(body["trace_id"]) == match
+
+    def test_debug_query_unknown_id_raises(self, front):
+        with pytest.raises(ServiceError, match="no recorded query"):
+            front.debug_query("nope-123")
+
+    def test_batch_access_log_has_per_request_latency_and_trace(self, broker):
+        log = io.StringIO()
+        front = ServiceFrontEnd(broker, access_log=log)
+        front.handle(
+            {
+                "op": "batch",
+                "requests": [
+                    {"query": "EXISTS y . R(x, y)"},
+                    {"query": "EXISTS x, y . R(x, y)"},
+                ],
+            }
+        )
+        lines = log.getvalue().splitlines()
+        assert len(lines) == 2
+        latencies = [
+            float(re.search(r"latency_ms=([0-9.]+)", line).group(1))
+            for line in lines
+        ]
+        # Per-request timing, not the batch total split evenly.
+        assert all(value > 0 for value in latencies)
+        assert latencies[0] != latencies[1]
+        traces = [
+            re.search(r"trace=(\S+)", line).group(1) for line in lines
+        ]
+        for token in traces:
+            assert token == "-" or RECORDER.get(token) is not None
+        assert any(token != "-" for token in traces)
+
+
+class TestHttpDebugEndpoints:
+    @pytest.fixture
+    def server(self, front):
+        server = make_http_server(front, port=0)
+        thread = threading.Thread(target=server.serve_forever, daemon=True)
+        thread.start()
+        yield server
+        server.shutdown()
+        server.server_close()
+
+    def _url(self, server, path):
+        host, port = server.server_address[:2]
+        return f"http://{host}:{port}{path}"
+
+    def _get(self, server, path):
+        with urllib.request.urlopen(self._url(server, path)) as response:
+            return response.status, json.loads(response.read())
+
+    def test_slow_query_record_over_http_with_span_tree(self, server, front):
+        # Acceptance pin: a slow query's record — full span tree included
+        # — is retrievable over HTTP filtered by minimum latency.
+        RECORDER.configure(sample_rate=0.0, slow_ms=0.0)
+        body = front.handle({"query": "EXISTS y . R(x, y)"})
+        status, listing = self._get(
+            server, f"/debug/queries?min_ms=0&route={body['route']}"
+        )
+        assert status == 200
+        match = next(
+            q for q in listing["queries"] if q["trace_id"] == body["trace_id"]
+        )
+        assert match["slow"] is True and match["sampled"] is False
+        tree = match["trace"]
+        assert tree["name"] == "query"
+        assert tree["attributes"]["trace_id"] == body["trace_id"]
+        assert tree["children"], "span tree lost its children over HTTP"
+
+        status, record = self._get(
+            server, f"/debug/queries/{body['trace_id']}"
+        )
+        assert status == 200
+        assert record == match
+
+    def test_debug_queries_filters_and_errors(self, server, front):
+        front.handle({"query": "EXISTS y . R(x, y)"})
+        status, listing = self._get(server, "/debug/queries?limit=1")
+        assert status == 200 and listing["count"] <= 1
+        status, empty = self._get(server, "/debug/queries?min_ms=1e9")
+        assert status == 200 and empty["count"] == 0
+
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            self._get(server, "/debug/queries?min_ms=banana")
+        assert excinfo.value.code == 400
+
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            self._get(server, "/debug/queries/unknown-id")
+        assert excinfo.value.code == 404
+        assert "error" in json.loads(excinfo.value.read())
+
+
+class TestCliTopTrace:
+    @pytest.fixture
+    def server(self, front):
+        server = make_http_server(front, port=0)
+        thread = threading.Thread(target=server.serve_forever, daemon=True)
+        thread.start()
+        host, port = server.server_address[:2]
+        yield f"http://{host}:{port}", front
+        server.shutdown()
+        server.server_close()
+
+    def test_top_renders_recorded_queries(self, server, capsys):
+        url, front = server
+        body = front.handle({"query": "EXISTS y . R(x, y)"})
+        assert main(["top", "--url", url]) == 0
+        out = capsys.readouterr().out
+        assert body["trace_id"] in out
+        assert "ROUTE" in out and "R(x, y)" in out
+
+    def test_top_json_and_empty_listing(self, server, capsys):
+        url, front = server
+        assert main(["top", "--url", url, "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload == {"count": 0, "queries": []}
+        assert main(["top", "--url", url]) == 0
+        assert "no recorded queries" in capsys.readouterr().out
+
+    def test_trace_renders_span_tree(self, server, capsys):
+        url, front = server
+        body = front.handle({"query": "EXISTS y . R(x, y)"})
+        assert main(["trace", body["trace_id"], "--url", url]) == 0
+        out = capsys.readouterr().out
+        assert f"trace {body['trace_id']}" in out
+        assert "└─" in out
+        assert "engine=" in out and "route=" in out
+
+    def test_trace_unknown_id_exits_with_error(self, server):
+        url, _ = server
+        with pytest.raises(SystemExit, match="no recorded query"):
+            main(["trace", "unknown-id", "--url", url])
+
+    def test_top_unreachable_server_explains(self):
+        with pytest.raises(SystemExit, match="repro serve"):
+            main(["top", "--url", "http://127.0.0.1:1"])
+
+
 class TestCliProfile:
     @pytest.fixture
     def mgr_csv(self, tmp_path):
@@ -203,6 +378,21 @@ class TestCliProfile:
         payload = json.loads(captured.out)
         assert payload["verdict"] == "true"
         assert "└─" in captured.err
+        # The span tree ships inside the machine-readable payload too.
+        assert payload["trace"]["name"] == "query"
+        assert payload["trace"]["children"]
+
+    def test_serve_rejects_bad_recorder_flags(self, mgr_csv):
+        base = [
+            "serve",
+            "--csv", str(mgr_csv),
+            "--relation", "Mgr",
+            "--fd", "Name -> Dept, Salary",
+        ]
+        with pytest.raises(SystemExit, match="--trace-sample"):
+            main(base + ["--trace-sample", "1.5"])
+        with pytest.raises(SystemExit, match="--slow-ms"):
+            main(base + ["--slow-ms", "-3"])
 
     def test_profile_prefsql_backend_shows_route(self, mgr_csv, capsys):
         code = main(
