@@ -1,0 +1,208 @@
+"""Benchmark: serving under load — the BENCH_serve_scale sweep.
+
+A Synchrobench-style grid for the serving layer: the load generator
+(:mod:`repro.service.loadgen`) replays a fixed recorded-style workload
+against an in-process front end, sweeping **concurrency levels ×
+read/write mixes** with a seeded RNG.  Each swept cell reports
+throughput and p50/p95/p99 latency plus flight-recorder trace ids of
+its slowest executions (tail exemplars), and every replayed answer is
+asserted **bit-identical** to a serial reference pass — the sweep
+measures nothing it has not verified.
+
+The workload is the Fig. 5 conjunctive self-join family over Figure-4
+conflict chains (closed probes at several selectivities plus the open
+per-group query), with churn writes against a scratch relation the
+queries never mention: writes exercise the exclusive write path
+(per-database write lock, fingerprint recomputation, invalidation
+bookkeeping) without making answers timing-dependent, so bit-identical
+verification stays sound at every mix.
+
+Each cell runs on a **fresh broker** (cold answer cache, reset flight
+recorder), so its exemplars and latency distribution belong to that
+cell alone and cells cannot warm each other.
+
+This is the baseline trajectory the ROADMAP's async/multi-process
+front-end rewrite must beat.  Results land in
+``BENCH_serve_scale.json`` (see ``benchmarks/_cli.py``);
+``tools/bench_compare.py`` warns when throughput halves or p95 doubles
+against a committed baseline.
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+from typing import List
+
+if not __package__:
+    import pathlib
+
+    sys.path.insert(0, str(pathlib.Path(__file__).resolve().parent.parent))
+
+from benchmarks._cli import apply_seed, bench_parser, emit_result
+
+from repro.datagen.generators import CHAIN_FDS, chain_instance
+from repro.obs import RECORDER
+from repro.obs.workload import Workload, WorkloadEntry, normalize_entries
+from repro.relational.database import Database
+from repro.relational.instance import RelationInstance
+from repro.relational.schema import RelationSchema
+from repro.service.broker import RequestBroker
+from repro.service.loadgen import CellSpec, InProcessTarget, LoadGenerator
+from repro.service.server import ServiceFrontEnd
+
+#: Scratch relation the churn writes cycle through; no query mentions
+#: it, so answers are independent of write interleaving.
+SCRATCH = RelationSchema("W", ["K:number", "V:number"])
+
+
+def build_workload(distinct: int) -> Workload:
+    """Closed probes at ``distinct`` selectivities + the open query +
+    one churn entry (weights emulate a recorded skew: low thresholds —
+    the common probes — draw more often)."""
+    entries = [
+        WorkloadEntry(
+            kind="query",
+            query=(
+                "EXISTS a, b1, b2, c1, c2, d1, d2 . "
+                "R(a, b1, c1, d1) AND R(a, b2, c2, d2) AND b1 != b2 "
+                f"AND a >= {threshold}"
+            ),
+            weight=distinct - threshold,
+        )
+        for threshold in range(distinct)
+    ]
+    entries.append(
+        WorkloadEntry(
+            kind="query",
+            query=(
+                "EXISTS b1, b2, c1, c2, d1, d2 . "
+                "R(a, b1, c1, d1) AND R(a, b2, c2, d2) AND b1 != b2"
+            ),
+            variables=("a",),
+        )
+    )
+    entries.append(WorkloadEntry(kind="churn", relation="W", values=(0, 0)))
+    return Workload(normalize_entries(entries), name="serve-scale")
+
+
+def run_cell(
+    length: int, workload: Workload, spec: CellSpec
+) -> dict:
+    """One swept cell on a fresh broker: serial reference, then replay."""
+    RECORDER.reset()
+    RECORDER.configure(sample_rate=1.0)
+    database = Database([chain_instance(length), RelationInstance(SCRATCH)])
+    with RequestBroker() as broker:
+        broker.register("chain", database, CHAIN_FDS)
+        generator = LoadGenerator(
+            InProcessTarget(ServiceFrontEnd(broker)),
+            workload,
+            recorder=RECORDER,
+        )
+        result = generator.run_cell(spec)
+        admission = broker.admission.stats()
+    assert result.verified, (
+        f"cell c={spec.concurrency} w={spec.write_fraction}: "
+        f"{len(result.mismatches)} answer mismatches, "
+        f"{result.errors} errors — replay diverged from the serial "
+        f"reference"
+    )
+    assert result.trace_exemplars, (
+        f"cell c={spec.concurrency} w={spec.write_fraction}: no flight-"
+        f"recorder exemplars retained (sampling misconfigured?)"
+    )
+    cell = result.to_dict()
+    cell["rejected_by_admission"] = admission["rejected"]
+    return cell
+
+
+def main(argv=None) -> int:
+    parser = bench_parser(__doc__)
+    parser.add_argument(
+        "--length", type=int, default=24,
+        help="conflict-chain length behind the service",
+    )
+    parser.add_argument(
+        "--distinct", type=int, default=5,
+        help="distinct closed probes in the workload",
+    )
+    parser.add_argument(
+        "--concurrency", type=int, nargs="+", default=[1, 2, 4, 8],
+        help="worker counts to sweep",
+    )
+    parser.add_argument(
+        "--write-fraction", type=float, nargs="+", default=[0.0, 0.1, 0.5],
+        help="write fractions to sweep",
+    )
+    parser.add_argument(
+        "--requests", type=int, default=300,
+        help="operations per swept cell",
+    )
+    args = parser.parse_args(argv)
+    seed = apply_seed(args)
+
+    if args.smoke:
+        # Seconds-long CI tier; still >= 2 concurrency x >= 2 mixes so
+        # the committed artifact satisfies the sweep-shape criterion.
+        args.length = 12
+        args.concurrency = [1, 4]
+        args.write_fraction = [0.0, 0.2]
+        args.requests = 80
+
+    workload = build_workload(args.distinct)
+    print(
+        f"serve-scale sweep: chain {args.length}, "
+        f"{len(workload.reads)} query entries, seed {seed}, "
+        f"{args.requests} ops/cell"
+    )
+    print(
+        f"{'CONC':>4} {'WRITES':>6} {'RPS':>10} {'P50MS':>8} "
+        f"{'P95MS':>8} {'P99MS':>8}  EXEMPLARS"
+    )
+    cells: List[dict] = []
+    started = time.perf_counter()
+    for write_fraction in args.write_fraction:
+        for concurrency in args.concurrency:
+            spec = CellSpec(
+                concurrency=concurrency,
+                write_fraction=write_fraction,
+                requests=args.requests,
+                seed=seed,
+            )
+            cell = run_cell(args.length, workload, spec)
+            cells.append(cell)
+            print(
+                f"{cell['concurrency']:>4} {cell['write_fraction']:>6.2f} "
+                f"{cell['throughput_rps']:>10.1f} {cell['p50_ms']:>8.3f} "
+                f"{cell['p95_ms']:>8.3f} {cell['p99_ms']:>8.3f}  "
+                f"{','.join(cell['trace_exemplars'][:2])}"
+            )
+
+    read_only = [cell for cell in cells if cell["write_fraction"] == 0.0]
+    best_rps = max(cell["throughput_rps"] for cell in cells)
+    emit_result(
+        __file__,
+        {
+            "length": args.length,
+            "requests_per_cell": args.requests,
+            "concurrency_levels": args.concurrency,
+            "write_fractions": args.write_fraction,
+            "verified": all(cell["verified"] for cell in cells),
+            "best_throughput_rps": best_rps,
+            "read_only_peak_rps": max(
+                (cell["throughput_rps"] for cell in read_only), default=0.0
+            ),
+            "cells": cells,
+        },
+    )
+    print(
+        f"{len(cells)} cells in {time.perf_counter() - started:.1f}s, "
+        f"all verified bit-identical to the serial reference "
+        f"(peak {best_rps:,.0f} rps)"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -768,7 +768,13 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         if args.slow_ms < 0:
             raise SystemExit("--slow-ms must be >= 0")
         RECORDER.configure(slow_ms=args.slow_ms)
-    broker = RequestBroker(parallel=args.parallel)
+    if args.max_inflight is not None and args.max_inflight < 1:
+        raise SystemExit("--max-inflight must be >= 1")
+    broker = RequestBroker(
+        parallel=args.parallel,
+        max_inflight=args.max_inflight,
+        max_queue=args.max_queue,
+    )
     broker.register(
         args.name,
         instance,
@@ -829,8 +835,8 @@ def _debug_fetch(url: str):
         )
 
 
-def _cmd_top(args: argparse.Namespace) -> int:
-    """Table of recent/slowest recorded queries from a running service."""
+def _render_top(args: argparse.Namespace) -> None:
+    """One fetch-and-print round of the `repro top` table."""
     import json
     from urllib.parse import urlencode
 
@@ -846,11 +852,11 @@ def _cmd_top(args: argparse.Namespace) -> int:
     )
     if args.json:
         print(json.dumps(body))
-        return 0
+        return
     queries = body.get("queries", [])
     if not queries:
         print("no recorded queries (is sampling enabled on the server?)")
-        return 0
+        return
     print(
         f"{'TRACE':<18} {'ROUTE':<14} {'ENGINE':<12} {'FAM':<4} "
         f"{'MS':>10} {'SLOW':<4} QUERY"
@@ -862,6 +868,32 @@ def _cmd_top(args: argparse.Namespace) -> int:
             f"{query['millis']:>10.3f} {'*' if query['slow'] else '':<4} "
             f"{query['query']}"
         )
+
+
+def _cmd_top(args: argparse.Namespace) -> int:
+    """Table of recent/slowest recorded queries from a running service."""
+    import time as _time
+    from datetime import datetime, timezone
+
+    if args.watch is None:
+        _render_top(args)
+        return 0
+    if args.watch <= 0:
+        raise SystemExit("--watch needs a positive refresh interval")
+    rounds = 0
+    try:
+        while True:
+            if not args.json:
+                stamp = datetime.now(timezone.utc).strftime("%H:%M:%S")
+                print(f"--- repro top @ {stamp}Z "
+                      f"(refresh {args.watch:g}s, ctrl-c to stop) ---")
+            _render_top(args)
+            rounds += 1
+            if args.iterations is not None and rounds >= args.iterations:
+                break
+            _time.sleep(args.watch)
+    except KeyboardInterrupt:  # pragma: no cover - interactive
+        pass
     return 0
 
 
@@ -871,8 +903,22 @@ def _cmd_trace(args: argparse.Namespace) -> int:
 
     from repro.obs import Span, format_tree
 
+    trace_id = args.trace_id
+    if trace_id in ("latest", "slowest"):
+        # Shorthands: resolve through the listing endpoint so tail
+        # attribution during a sweep needs no copied trace ids.
+        suffix = "&order=slowest" if trace_id == "slowest" else ""
+        listing = _debug_fetch(
+            f"{args.url.rstrip('/')}/debug/queries?limit=1{suffix}"
+        )
+        queries = listing.get("queries", [])
+        if not queries:
+            raise SystemExit(
+                "no recorded queries (is sampling enabled on the server?)"
+            )
+        trace_id = queries[0]["trace_id"]
     body = _debug_fetch(
-        f"{args.url.rstrip('/')}/debug/queries/{args.trace_id}"
+        f"{args.url.rstrip('/')}/debug/queries/{trace_id}"
     )
     if args.json:
         print(json.dumps(body))
@@ -892,6 +938,208 @@ def _cmd_trace(args: argparse.Namespace) -> int:
     else:
         print("(no span tree retained for this record)")
     return 0
+
+
+def _parse_churn_spec(spec: str):
+    """``"W:1,2"`` → a churn WorkloadEntry over relation W."""
+    from repro.obs.workload import WorkloadEntry, WorkloadError
+
+    relation, _, raw = spec.partition(":")
+    if not relation or not raw:
+        raise SystemExit(
+            f"bad --churn spec {spec!r} (expected RELATION:v1,v2,...)"
+        )
+    values = []
+    for chunk in raw.split(","):
+        chunk = chunk.strip()
+        try:
+            values.append(int(chunk))
+        except ValueError:
+            values.append(chunk)
+    try:
+        return WorkloadEntry(kind="churn", relation=relation, values=tuple(values))
+    except WorkloadError as exc:
+        raise SystemExit(f"bad --churn spec {spec!r}: {exc}")
+
+
+def _cmd_workload(args: argparse.Namespace) -> int:
+    """Export recorded traffic to a workload file, or inspect one."""
+    import json
+
+    from repro.obs import workload as wl
+
+    if args.action == "show":
+        try:
+            loaded = wl.load(args.file)
+        except (OSError, wl.WorkloadError) as exc:
+            raise SystemExit(f"{args.file}: {exc}")
+        if args.json:
+            print(json.dumps({
+                "header": loaded.header(),
+                "entries": [entry.to_dict() for entry in loaded.entries],
+            }))
+            return 0
+        read_weight = sum(entry.weight for entry in loaded.reads)
+        write_weight = sum(entry.weight for entry in loaded.writes)
+        total = read_weight + write_weight
+        print(f"workload {loaded.name!r}: {len(loaded.entries)} entries "
+              f"({len(loaded.reads)} query, {len(loaded.writes)} churn), "
+              f"mix {read_weight}/{total} read")
+        if loaded.source:
+            print(f"source: {loaded.source}")
+        print(f"{'KIND':<6} {'WEIGHT':>6} {'FAM':<4} DETAIL")
+        for entry in loaded.entries:
+            if entry.is_read:
+                detail = entry.query
+            else:
+                detail = (f"{entry.relation}{list(entry.values or ())} "
+                          f"(unique col {entry.unique_column})")
+            print(f"{entry.kind:<6} {entry.weight:>6} "
+                  f"{entry.family or '-':<4} {detail}")
+        return 0
+
+    # export
+    if args.url:
+        from urllib.parse import urlencode
+
+        payload = _debug_fetch(
+            f"{args.url.rstrip('/')}/debug/queries?"
+            f"{urlencode({'limit': args.limit})}"
+        )
+        source = args.url
+    elif args.from_json:
+        try:
+            with open(args.from_json, "r", encoding="utf-8") as handle:
+                payload = json.load(handle)
+        except (OSError, json.JSONDecodeError) as exc:
+            raise SystemExit(f"{args.from_json}: {exc}")
+        source = args.from_json
+    else:
+        raise SystemExit("workload export needs --url or --from-json")
+    churn = [_parse_churn_spec(spec) for spec in args.churn]
+    try:
+        exported = wl.export_from_debug_payload(
+            payload, name=args.name, source=source
+        )
+        if churn:
+            exported = wl.Workload(
+                wl.normalize_entries(exported.entries + tuple(churn)),
+                name=exported.name,
+                source=exported.source,
+            )
+    except wl.WorkloadError as exc:
+        raise SystemExit(str(exc))
+    if args.output:
+        exported.save(args.output)
+        print(f"wrote {len(exported.entries)} entries to {args.output}")
+    else:
+        sys.stdout.write(exported.dumps())
+    return 0
+
+
+def _churn_schemas(loaded):
+    """Empty relation instances for a workload's churn relations, typed
+    from the spec values (number vs text)."""
+    from repro.relational.schema import RelationSchema
+
+    instances = []
+    for entry in loaded.writes:
+        attributes = [
+            f"c{index}:{'number' if isinstance(value, (int, float)) else 'text'}"
+            for index, value in enumerate(entry.values or ())
+        ]
+        instances.append(
+            RelationInstance(RelationSchema(entry.relation, attributes))
+        )
+    return instances
+
+
+def _cmd_loadtest(args: argparse.Namespace) -> int:
+    """Replay a workload file across a concurrency × mix sweep."""
+    import json
+
+    from repro.obs import RECORDER
+    from repro.obs import workload as wl
+    from repro.service.loadgen import (
+        HttpTarget,
+        InProcessTarget,
+        LoadGenError,
+        LoadGenerator,
+    )
+
+    try:
+        loaded = wl.load(args.workload)
+    except (OSError, wl.WorkloadError) as exc:
+        raise SystemExit(f"{args.workload}: {exc}")
+    try:
+        concurrencies = [int(c) for c in args.concurrency.split(",")]
+        write_fractions = [float(f) for f in args.write_fraction.split(",")]
+    except ValueError as exc:
+        raise SystemExit(f"bad sweep grid: {exc}")
+
+    recorder = None
+    broker = None
+    if args.url:
+        target = HttpTarget(args.url)
+    else:
+        from repro.relational.database import Database
+        from repro.service.broker import RequestBroker
+        from repro.service.server import ServiceFrontEnd
+
+        instance, dependencies, _, priority = _build_setting(args)
+        database = Database([instance] + _churn_schemas(loaded))
+        broker = RequestBroker(parallel=args.parallel)
+        broker.register(
+            "default",
+            database,
+            dependencies,
+            priority.edges,
+            _FAMILY_CODES[args.family],
+        )
+        target = InProcessTarget(ServiceFrontEnd(broker))
+        RECORDER.reset()
+        RECORDER.configure(sample_rate=1.0)
+        recorder = RECORDER
+
+    generator = LoadGenerator(target, loaded, recorder=recorder)
+    try:
+        results = generator.sweep(
+            concurrencies,
+            write_fractions,
+            requests=args.requests,
+            mode=args.mode,
+            rate=args.rate,
+            seed=args.seed,
+        )
+    except LoadGenError as exc:
+        raise SystemExit(str(exc))
+    finally:
+        if broker is not None:
+            broker.close()
+    if args.json:
+        print(json.dumps({
+            "workload": loaded.name,
+            "cells": [result.to_dict() for result in results],
+        }))
+    else:
+        print(f"{'CONC':>4} {'WRITES':>6} {'MODE':<6} {'DONE':>6} "
+              f"{'REJ':>4} {'RPS':>10} {'P50MS':>8} {'P95MS':>8} "
+              f"{'P99MS':>8} {'VERIFIED':<8}")
+        for result in results:
+            cell = result.to_dict()
+            print(
+                f"{cell['concurrency']:>4} {cell['write_fraction']:>6.2f} "
+                f"{cell['mode']:<6} {cell['completed']:>6} "
+                f"{cell['rejected']:>4} {cell['throughput_rps']:>10.1f} "
+                f"{cell['p50_ms']:>8.3f} {cell['p95_ms']:>8.3f} "
+                f"{cell['p99_ms']:>8.3f} "
+                f"{'yes' if cell['verified'] else 'NO':<8}"
+            )
+        for result in results:
+            for mismatch in result.mismatches[:3]:
+                print(f"MISMATCH {mismatch.query}: expected "
+                      f"{mismatch.expected} got {mismatch.actual}")
+    return 0 if all(result.verified for result in results) else 1
 
 
 def _cmd_examples(args: argparse.Namespace) -> int:
@@ -1121,6 +1369,27 @@ def build_parser() -> argparse.ArgumentParser:
         ),
     )
     serve.add_argument(
+        "--max-inflight",
+        type=int,
+        default=None,
+        metavar="N",
+        help=(
+            "admission control: serve at most N requests concurrently; "
+            "excess waits in a bounded queue (see --max-queue) and "
+            "overflow is rejected with HTTP 503 (default: unlimited)"
+        ),
+    )
+    serve.add_argument(
+        "--max-queue",
+        type=int,
+        default=None,
+        metavar="N",
+        help=(
+            "accept-queue bound used with --max-inflight "
+            "(default: equal to --max-inflight)"
+        ),
+    )
+    serve.add_argument(
         "--trace-sample",
         type=float,
         default=None,
@@ -1173,6 +1442,20 @@ def build_parser() -> argparse.ArgumentParser:
     top.add_argument(
         "--json", action="store_true", help="emit the raw records as JSON"
     )
+    top.add_argument(
+        "--watch",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="refresh the table every SECONDS until interrupted",
+    )
+    top.add_argument(
+        "--iterations",
+        type=int,
+        default=None,
+        metavar="N",
+        help="with --watch, stop after N refreshes (default: run forever)",
+    )
     top.set_defaults(handler=_cmd_top)
 
     trace_cmd = subparsers.add_parser(
@@ -1185,7 +1468,13 @@ def build_parser() -> argparse.ArgumentParser:
             "shipped home from parallel workers."
         ),
     )
-    trace_cmd.add_argument("trace_id", help="trace id (see `repro top`)")
+    trace_cmd.add_argument(
+        "trace_id",
+        help=(
+            "trace id (see `repro top`), or the shorthands 'latest' / "
+            "'slowest' for the most recent / highest-latency record"
+        ),
+    )
     trace_cmd.add_argument(
         "--url", default="http://127.0.0.1:8080", help="service base URL"
     )
@@ -1193,6 +1482,112 @@ def build_parser() -> argparse.ArgumentParser:
         "--json", action="store_true", help="emit the raw record as JSON"
     )
     trace_cmd.set_defaults(handler=_cmd_trace)
+
+    workload_cmd = subparsers.add_parser(
+        "workload",
+        help="export recorded traffic to a replayable workload file",
+        description=(
+            "Turn the flight recorder's retained queries into a "
+            "versioned JSON-lines workload file (`export`, from a "
+            "running service's /debug/queries or a saved copy of that "
+            "payload), or validate and summarize an existing file "
+            "(`show`).  Workload files drive `repro loadtest`."
+        ),
+    )
+    workload_sub = workload_cmd.add_subparsers(dest="action", required=True)
+    workload_export = workload_sub.add_parser(
+        "export", help="write a workload file from recorded traffic"
+    )
+    workload_export.add_argument(
+        "--url", help="base URL of a running service to scrape"
+    )
+    workload_export.add_argument(
+        "--from-json",
+        metavar="FILE",
+        help="a saved /debug/queries JSON payload instead of a live URL",
+    )
+    workload_export.add_argument(
+        "--limit", type=int, default=500, help="records to scrape (default: 500)"
+    )
+    workload_export.add_argument(
+        "--name", default="recorded", help="workload name in the header"
+    )
+    workload_export.add_argument(
+        "--churn",
+        action="append",
+        default=[],
+        metavar="SPEC",
+        help=(
+            "append a write op 'RELATION:v1,v2,...' — replay inserts "
+            "then deletes one unique row per draw (repeatable)"
+        ),
+    )
+    workload_export.add_argument(
+        "-o", "--output", help="output file (default: stdout)"
+    )
+    workload_show = workload_sub.add_parser(
+        "show", help="validate and summarize a workload file"
+    )
+    workload_show.add_argument("file", help="workload file to inspect")
+    workload_show.add_argument(
+        "--json", action="store_true", help="emit header and entries as JSON"
+    )
+    workload_cmd.set_defaults(handler=_cmd_workload)
+
+    loadtest = subparsers.add_parser(
+        "loadtest",
+        help="replay a workload across a concurrency × mix sweep",
+        description=(
+            "Drive a workload file against a live service (--url) or an "
+            "in-process broker (data arguments), sweeping concurrency "
+            "levels × read/write mixes with a seeded RNG.  Every "
+            "replayed answer is verified bit-identical against a serial "
+            "reference pass; exit status 1 if any cell fails "
+            "verification.  Churn relations named by the workload are "
+            "registered automatically for in-process runs."
+        ),
+    )
+    loadtest.add_argument("workload", help="workload file (see `repro workload`)")
+    loadtest.add_argument(
+        "--url", help="base URL of a running service (default: in-process)"
+    )
+    _add_data_arguments(loadtest)
+    loadtest.add_argument("--family", choices=_FAMILY_CODES, default="Rep")
+    loadtest.add_argument(
+        "--parallel", type=int, default=None, metavar="N",
+        help="in-process broker worker count (0 = all cores)",
+    )
+    loadtest.add_argument(
+        "--concurrency",
+        default="1,4",
+        metavar="LIST",
+        help="comma-separated worker counts to sweep (default: 1,4)",
+    )
+    loadtest.add_argument(
+        "--write-fraction",
+        default="0,0.2",
+        metavar="LIST",
+        help="comma-separated write fractions to sweep (default: 0,0.2)",
+    )
+    loadtest.add_argument(
+        "--requests", type=int, default=200,
+        help="operations per swept cell (default: 200)",
+    )
+    loadtest.add_argument(
+        "--mode", choices=["closed", "open"], default="closed",
+        help="closed = issue on completion; open = fixed arrival rate",
+    )
+    loadtest.add_argument(
+        "--rate", type=float, default=None, metavar="OPS",
+        help="open-loop offered rate in ops/second (whole cell)",
+    )
+    loadtest.add_argument(
+        "--seed", type=int, default=0, help="RNG seed (default: 0)"
+    )
+    loadtest.add_argument(
+        "--json", action="store_true", help="emit per-cell results as JSON"
+    )
+    loadtest.set_defaults(handler=_cmd_loadtest)
 
     examples = subparsers.add_parser("examples", help="show the paper's examples")
     examples.add_argument("--name", help="scenario name (default: all)")

@@ -67,3 +67,8 @@ class CleaningError(ReproError):
 
 class UpdateError(ReproError):
     """Raised by the incremental subsystem on invalid instance updates."""
+
+
+class AdmissionError(ReproError):
+    """Raised when the service rejects a request at admission control
+    (in-flight limit reached and the bounded accept queue is full)."""

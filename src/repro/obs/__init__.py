@@ -62,6 +62,7 @@ __all__ = [
     "trace",
     "observe_query",
     "observe_cache",
+    "observe_process",
     "query_histogram",
 ]
 
@@ -122,3 +123,61 @@ def observe_cache(
         "Cache hits, misses, and evictions by cache family",
         labels=("cache", "event"),
     ).labels(cache=cache, event=event).inc(amount)
+
+
+def _resident_bytes() -> Optional[int]:
+    """Current RSS in bytes, or ``None`` where /proc is unavailable."""
+    try:
+        with open("/proc/self/statm", "r", encoding="ascii") as handle:
+            pages = int(handle.read().split()[1])
+        import resource
+
+        return pages * resource.getpagesize()
+    except (OSError, ValueError, IndexError, ImportError):
+        try:
+            import resource
+
+            # ru_maxrss is the peak, in KiB on Linux / bytes on macOS;
+            # a peak beats nothing when /proc is missing.
+            peak = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+            import sys
+
+            return peak if sys.platform == "darwin" else peak * 1024
+        except Exception:
+            return None
+
+
+def observe_process(registry: MetricsRegistry = REGISTRY) -> None:
+    """Refresh the process-level saturation gauges.
+
+    Called on every ``/metrics`` and ``/stats`` scrape (pull-model
+    sampling: the gauges are only as fresh as the last scrape, which is
+    exactly what Prometheus-style collection expects).  Exposes resident
+    set size, per-generation GC collection counts, and live thread
+    count — the signals that tell a load sweep *why* tails grew
+    (memory pressure, collector churn, thread pile-up).
+    """
+    if not registry.enabled:
+        return
+    import gc
+    import threading as _threading
+
+    registry.gauge(
+        "repro_process_threads",
+        "Live threads in the serving process",
+    ).set(_threading.active_count())
+    collections = registry.gauge(
+        "repro_process_gc_collections",
+        "Garbage collections completed, by generation",
+        labels=("generation",),
+    )
+    for generation, stats in enumerate(gc.get_stats()):
+        collections.labels(generation=str(generation)).set(
+            stats.get("collections", 0)
+        )
+    rss = _resident_bytes()
+    if rss is not None:
+        registry.gauge(
+            "repro_process_resident_bytes",
+            "Resident set size of the serving process",
+        ).set(rss)

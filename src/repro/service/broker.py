@@ -64,7 +64,7 @@ from repro.backend.mirror import SqliteMirror
 from repro.constraints.fd import FunctionalDependency
 from repro.core.families import Family
 from repro.cqa.answers import ClosedAnswer, OpenAnswers
-from repro.exceptions import QueryError
+from repro.exceptions import AdmissionError, QueryError
 from repro.incremental.engine import IncrementalCqaEngine
 from repro.obs import RECORDER, REGISTRY, observe_cache
 from repro.priorities.priority import PriorityEdge
@@ -223,6 +223,107 @@ class AnswerCache:
             }
 
 
+class AdmissionController:
+    """Bounded-concurrency admission for the serving path.
+
+    One *submission* (one :meth:`RequestBroker.submit` call — i.e. one
+    HTTP request or one stdio line, single query or batch) occupies one
+    in-flight slot for its whole service time.  With ``max_inflight``
+    set, at most that many submissions execute concurrently; up to
+    ``max_queue`` more wait in a bounded accept queue (FIFO via the
+    condition variable), and arrivals beyond the queue bound are
+    rejected immediately with :class:`~repro.exceptions.AdmissionError`
+    — the caller sheds load instead of queueing unboundedly.  With
+    ``max_inflight=None`` (the default) nothing blocks or rejects; the
+    controller only maintains the saturation gauges.
+
+    Gauges/counters (when the registry is enabled):
+    ``repro_inflight_requests``, ``repro_accept_queue_depth``, and
+    ``repro_rejected_total``.
+    """
+
+    def __init__(
+        self,
+        max_inflight: Optional[int] = None,
+        max_queue: Optional[int] = None,
+    ) -> None:
+        if max_inflight is not None and max_inflight < 1:
+            raise ValueError("max_inflight must be positive")
+        if max_queue is not None and max_queue < 0:
+            raise ValueError("max_queue must be >= 0")
+        self.max_inflight = max_inflight
+        #: Accept-queue bound; defaults to ``max_inflight`` when a limit
+        #: is armed (a saturated service tolerates one extra wave).
+        self.max_queue = (
+            max_queue if max_queue is not None else (max_inflight or 0)
+        )
+        self._condition = threading.Condition()
+        self.inflight = 0  # guarded-by: _condition
+        self.queued = 0  # guarded-by: _condition
+        self.rejected = 0  # guarded-by: _condition
+
+    def _set_gauges(self) -> None:
+        """Mirror the counters into the registry (caller holds the
+        condition lock, so reads here are consistent)."""
+        if not REGISTRY.enabled:
+            return
+        REGISTRY.gauge(
+            "repro_inflight_requests",
+            "Submissions currently being served",
+        ).set(self.inflight)  # lint: unguarded-ok
+        REGISTRY.gauge(
+            "repro_accept_queue_depth",
+            "Submissions waiting in the bounded accept queue",
+        ).set(self.queued)  # lint: unguarded-ok
+
+    def admit(self) -> "AdmissionController":
+        """``with controller.admit():`` — hold one in-flight slot."""
+        return self
+
+    def __enter__(self) -> "AdmissionController":
+        with self._condition:
+            if (
+                self.max_inflight is not None
+                and self.inflight >= self.max_inflight
+            ):
+                if self.queued >= self.max_queue:
+                    self.rejected += 1
+                    if REGISTRY.enabled:
+                        REGISTRY.counter(
+                            "repro_rejected_total",
+                            "Submissions rejected at admission control",
+                        ).inc()
+                    raise AdmissionError(
+                        f"service saturated: {self.inflight} in flight, "
+                        f"{self.queued} queued (limits: "
+                        f"{self.max_inflight}/{self.max_queue}); retry later"
+                    )
+                self.queued += 1
+                self._set_gauges()
+                while self.inflight >= self.max_inflight:
+                    self._condition.wait()
+                self.queued -= 1
+            self.inflight += 1
+            self._set_gauges()
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        with self._condition:
+            self.inflight -= 1
+            self._set_gauges()
+            self._condition.notify()
+
+    def stats(self) -> Dict[str, object]:
+        with self._condition:
+            return {
+                "max_inflight": self.max_inflight,
+                "max_queue": self.max_queue if self.max_inflight else 0,
+                "inflight": self.inflight,
+                "queued": self.queued,
+                "rejected": self.rejected,
+            }
+
+
 @dataclass
 class _Entry:
     """One registered database: engines plus its lock hierarchy.
@@ -265,8 +366,13 @@ class RequestBroker:
         self,
         cache_entries: int = 1024,
         parallel: Optional[int] = None,
+        max_inflight: Optional[int] = None,
+        max_queue: Optional[int] = None,
     ) -> None:
         self._entries: Dict[str, _Entry] = {}
+        #: Saturation tracking and (with ``max_inflight``) admission
+        #: control; every ``submit`` call holds one slot end to end.
+        self.admission = AdmissionController(max_inflight, max_queue)
         self._default: Optional[str] = None
         self._lock = threading.Lock()
         self.cache = AnswerCache(cache_entries)
@@ -542,7 +648,17 @@ class RequestBroker:
         answer columns and family) are computed once per batch; repeats
         across batches hit the answer cache and report the original
         route.
+
+        Each call occupies one admission slot; when the broker was
+        built with ``max_inflight`` and both the in-flight limit and
+        the accept queue are full, the call raises
+        :class:`~repro.exceptions.AdmissionError` without serving
+        anything.
         """
+        with self.admission.admit():
+            return self._submit(requests)
+
+    def _submit(self, requests: Sequence[Request]) -> List[BrokerResult]:
         self.batches += 1
         if REGISTRY.enabled:
             REGISTRY.histogram(
@@ -550,6 +666,10 @@ class RequestBroker:
                 "Requests per submitted batch",
                 buckets=(1, 2, 4, 8, 16, 32, 64, 128, 256),
             ).observe(len(requests))
+            REGISTRY.counter(
+                "repro_requests_total",
+                "Requests served (accepted submissions, by batch size)",
+            ).inc(len(requests))
         order = sorted(
             range(len(requests)),
             key=lambda position: (-requests[position].priority, position),
@@ -749,6 +869,7 @@ class RequestBroker:
             "answer_cache": self.cache.stats(),
             "caches": self.cache_stats(),
             "parallel": self.parallel,
+            "admission": self.admission.stats(),
         }
 
     def close(self) -> None:

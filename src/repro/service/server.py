@@ -39,8 +39,8 @@ from urllib.parse import parse_qs, urlparse
 
 from repro.core.families import Family
 from repro.cqa.answers import ClosedAnswer, OpenAnswers
-from repro.exceptions import ReproError
-from repro.obs import RECORDER, REGISTRY, FlightRecorder
+from repro.exceptions import AdmissionError, ReproError
+from repro.obs import RECORDER, REGISTRY, FlightRecorder, observe_process
 from repro.relational.rows import Row
 from repro.service.broker import BrokerResult, Request, RequestBroker
 
@@ -185,6 +185,7 @@ class ServiceFrontEnd:
         }
 
     def stats(self) -> dict:
+        observe_process()
         stats = dict(self.broker.stats())
         stats["requests_served"] = self.requests_served
         stats["uptime_s"] = self._uptime()
@@ -193,7 +194,12 @@ class ServiceFrontEnd:
         return stats
 
     def metrics(self) -> str:
-        """The process metrics registry in Prometheus text format."""
+        """The process metrics registry in Prometheus text format.
+
+        Process gauges (RSS, GC, threads) refresh here — pull-model
+        sampling, so they are as fresh as the scrape that reads them.
+        """
+        observe_process()
         return REGISTRY.render()
 
     def debug_queries(
@@ -310,6 +316,11 @@ class ServiceFrontEnd:
                     body["tag"] = request.tag
                 return body
             raise ServiceError(f"unknown op {op!r}")
+        except AdmissionError as exc:
+            # Load shedding, not a malformed request: the "rejected"
+            # marker lets HTTP answer 503 (retryable) instead of 400.
+            op = payload.get("op", "query") if isinstance(payload, dict) else "?"
+            return {"error": str(exc), "op": op, "rejected": True}
         except (ServiceError, ReproError, TypeError, ValueError, KeyError) as exc:
             # Shape errors a type-check in _parse_request missed (e.g. a
             # non-iterable 'variables') must degrade to an error object
@@ -413,7 +424,13 @@ class _Handler(BaseHTTPRequestHandler):
         if isinstance(payload, dict) and "requests" in payload:
             payload.setdefault("op", "batch")
         response = self.front.handle(payload)
-        self._send(400 if "error" in response else 200, response)
+        if response.get("rejected"):
+            status = 503
+        elif "error" in response:
+            status = 400
+        else:
+            status = 200
+        self._send(status, response)
 
 
 def make_http_server(

@@ -334,6 +334,41 @@ class TestCliTopTrace:
         with pytest.raises(SystemExit, match="repro serve"):
             main(["top", "--url", "http://127.0.0.1:1"])
 
+    def test_top_watch_refreshes_until_iterations(self, server, capsys):
+        url, front = server
+        front.handle({"query": "EXISTS y . R(x, y)"})
+        assert main(
+            ["top", "--url", url, "--watch", "0.01", "--iterations", "2"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert out.count("repro top @") == 2
+        assert out.count("ROUTE") == 2
+
+    def test_top_watch_rejects_nonpositive_interval(self, server):
+        url, _ = server
+        with pytest.raises(SystemExit, match="positive"):
+            main(["top", "--url", url, "--watch", "0"])
+
+    def test_trace_latest_shorthand(self, server, capsys):
+        url, front = server
+        front.handle({"query": "EXISTS y . R(x, y)"})
+        latest = front.handle({"query": "EXISTS x, y . R(x, y)"})
+        assert main(["trace", "latest", "--url", url]) == 0
+        assert f"trace {latest['trace_id']}" in capsys.readouterr().out
+
+    def test_trace_slowest_shorthand(self, server, capsys):
+        url, front = server
+        front.handle({"query": "EXISTS y . R(x, y)"})
+        front.handle({"query": "EXISTS x, y . R(x, y)"})
+        slowest = front.debug_queries(slowest=True, limit=1)["queries"][0]
+        assert main(["trace", "slowest", "--url", url]) == 0
+        assert f"trace {slowest['trace_id']}" in capsys.readouterr().out
+
+    def test_trace_shorthand_with_empty_recorder_explains(self, server):
+        url, _ = server
+        with pytest.raises(SystemExit, match="no recorded queries"):
+            main(["trace", "latest", "--url", url])
+
 
 class TestCliProfile:
     @pytest.fixture

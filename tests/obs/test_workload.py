@@ -1,0 +1,170 @@
+"""Workload capture: entry validation, deterministic export, the
+versioned JSON-lines format, and loader rejection of malformed files."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.obs.recorder import QueryRecord
+from repro.obs.workload import (
+    FORMAT_NAME,
+    FORMAT_VERSION,
+    Workload,
+    WorkloadEntry,
+    WorkloadError,
+    export_from_debug_payload,
+    export_from_records,
+    load,
+    loads,
+    normalize_entries,
+)
+
+
+def _record(query: str, family: str = "G-Rep", database: str = "db") -> QueryRecord:
+    return QueryRecord(
+        trace_id="t", query=query, engine="sqlite", route="sqlite",
+        family=family, seconds=0.001, started_at=1.0, database=database,
+    )
+
+
+class TestWorkloadEntry:
+    def test_query_entry_roundtrips(self):
+        entry = WorkloadEntry(
+            kind="query", query="EXISTS y . R(x, y)", family="G",
+            variables=("x",), weight=3,
+        )
+        assert WorkloadEntry.from_dict(entry.to_dict()) == entry
+        assert entry.is_read
+
+    def test_churn_entry_roundtrips_and_draws_unique_rows(self):
+        entry = WorkloadEntry(kind="churn", relation="W", values=(0, 9))
+        assert WorkloadEntry.from_dict(entry.to_dict()) == entry
+        assert not entry.is_read
+        assert entry.churn_values(0) == [1_000_000, 9]
+        assert entry.churn_values(5) == [1_000_005, 9]
+
+    def test_family_aliases_accept_str_family_forms(self):
+        entry = WorkloadEntry.from_dict(
+            {"kind": "query", "query": "Q", "family": "G-Rep"}
+        )
+        assert entry.family == "G"
+
+    @pytest.mark.parametrize(
+        "payload",
+        [
+            {"kind": "nope", "query": "Q"},
+            {"kind": "query", "query": ""},
+            {"kind": "query", "query": "Q", "weight": 0},
+            {"kind": "query", "query": "Q", "weight": True},
+            {"kind": "query", "query": "Q", "family": "Z"},
+            {"kind": "churn"},
+            {"kind": "churn", "relation": "W", "values": []},
+            {"kind": "churn", "relation": "W", "values": [1], "unique_column": 3},
+        ],
+    )
+    def test_malformed_entries_are_rejected(self, payload):
+        with pytest.raises(WorkloadError):
+            WorkloadEntry.from_dict(payload)
+
+
+class TestNormalize:
+    def test_duplicates_merge_weights_in_stable_order(self):
+        entries = [
+            WorkloadEntry(kind="query", query="B", weight=1),
+            WorkloadEntry(kind="query", query="A", weight=2),
+            WorkloadEntry(kind="query", query="B", weight=4),
+        ]
+        merged = normalize_entries(entries)
+        assert [(e.query, e.weight) for e in merged] == [("A", 2), ("B", 5)]
+
+    def test_order_is_input_independent(self):
+        a = WorkloadEntry(kind="query", query="A")
+        b = WorkloadEntry(kind="churn", relation="W", values=(1,))
+        assert normalize_entries([a, b]) == normalize_entries([b, a])
+
+
+class TestExport:
+    def test_records_aggregate_by_identity_with_occurrence_weights(self):
+        records = [_record("Q1"), _record("Q1"), _record("Q2", family="C-Rep")]
+        workload = export_from_records(records, name="caught")
+        assert workload.name == "caught"
+        weights = {e.query: (e.weight, e.family) for e in workload.entries}
+        assert weights == {"Q1": (2, "G"), "Q2": (1, "C")}
+
+    def test_export_is_deterministic_bytes(self):
+        records = [_record("Q2"), _record("Q1"), _record("Q2")]
+        first = export_from_records(records).dumps()
+        second = export_from_records(list(reversed(records))).dumps()
+        assert first == second
+
+    def test_debug_payload_export(self):
+        payload = {"queries": [_record("Q").to_dict()]}
+        workload = export_from_debug_payload(payload)
+        assert workload.entries[0].query == "Q"
+
+    def test_empty_sources_are_errors(self):
+        with pytest.raises(WorkloadError):
+            export_from_records([])
+        with pytest.raises(WorkloadError):
+            export_from_debug_payload({"queries": []})
+
+
+class TestFileFormat:
+    def _workload(self) -> Workload:
+        return Workload(
+            entries=(
+                WorkloadEntry(kind="query", query="Q", family="G"),
+                WorkloadEntry(kind="churn", relation="W", values=(0, 1)),
+            ),
+            name="demo",
+            source="test",
+        )
+
+    def test_roundtrip_through_text(self):
+        workload = self._workload()
+        again = loads(workload.dumps())
+        assert again == workload
+
+    def test_roundtrip_through_disk(self, tmp_path):
+        path = str(tmp_path / "w.jsonl")
+        self._workload().save(path)
+        assert load(path) == self._workload()
+
+    def test_header_carries_magic_and_version(self):
+        header = json.loads(self._workload().dumps().splitlines()[0])
+        assert header["workload"] == FORMAT_NAME
+        assert header["version"] == FORMAT_VERSION
+        assert header["entries"] == 2
+
+    def test_missing_header_is_rejected(self):
+        with pytest.raises(WorkloadError, match="header"):
+            loads('{"kind": "query", "query": "Q"}')
+
+    def test_unknown_version_is_rejected(self):
+        text = self._workload().dumps().replace('"version": 1', '"version": 99')
+        with pytest.raises(WorkloadError, match="version"):
+            loads(text)
+
+    def test_entry_errors_carry_line_numbers(self):
+        lines = self._workload().dumps().splitlines()
+        lines[1] = '{"kind": "query", "query": ""}'
+        with pytest.raises(WorkloadError, match="line 2"):
+            loads("\n".join(lines))
+
+    def test_declared_count_mismatch_is_rejected(self):
+        lines = self._workload().dumps().splitlines()[:-1]
+        with pytest.raises(WorkloadError, match="declares"):
+            loads("\n".join(lines))
+
+    def test_empty_file_and_empty_workload_are_rejected(self):
+        with pytest.raises(WorkloadError):
+            loads("")
+        with pytest.raises(WorkloadError):
+            Workload(entries=())
+
+    def test_reads_writes_split(self):
+        workload = self._workload()
+        assert len(workload.reads) == 1
+        assert len(workload.writes) == 1

@@ -262,3 +262,50 @@ class TestServeCli:
         assert exit_code == 0
         stats = json.loads(capsys.readouterr().out.splitlines()[0])
         assert stats["parallel"] == 2
+
+    def test_serve_max_inflight_flag_arms_admission(
+        self, tmp_path, monkeypatch, capsys
+    ):
+        from repro.cli import main
+
+        csv = tmp_path / "r.csv"
+        csv.write_text("A,B\n1,2\n1,3\n")
+        script = json.dumps({"op": "stats"})
+        monkeypatch.setattr("sys.stdin", io.StringIO(script))
+        exit_code = main(
+            [
+                "serve",
+                "--stdio",
+                "--max-inflight",
+                "3",
+                "--max-queue",
+                "5",
+                "--csv",
+                str(csv),
+                "--fd",
+                "A -> B",
+            ]
+        )
+        assert exit_code == 0
+        stats = json.loads(capsys.readouterr().out.splitlines()[0])
+        assert stats["admission"]["max_inflight"] == 3
+        assert stats["admission"]["max_queue"] == 5
+
+    def test_serve_rejects_bad_max_inflight(self, tmp_path):
+        from repro.cli import main
+
+        csv = tmp_path / "r.csv"
+        csv.write_text("A,B\n1,2\n")
+        with pytest.raises(SystemExit, match="max-inflight"):
+            main(
+                [
+                    "serve",
+                    "--stdio",
+                    "--max-inflight",
+                    "0",
+                    "--csv",
+                    str(csv),
+                    "--fd",
+                    "A -> B",
+                ]
+            )

@@ -59,6 +59,25 @@ class TestCompare:
         assert len(warnings) == 1 and "sql_speedup" in warnings[0]
         assert any("REGRESSION" in line for line in lines)
 
+    def test_halved_throughput_warns(self, tmp_path):
+        committed = _write(
+            tmp_path, "a.json",
+            {"cells": {"c4": {"throughput_rps": 5000.0}}, "best_throughput_rps": 6000.0},
+        )
+        fresh = _write(
+            tmp_path, "b.json",
+            {"cells": {"c4": {"throughput_rps": 2000.0}}, "best_throughput_rps": 5900.0},
+        )
+        lines, warnings = compare_file(committed, fresh)
+        assert len(warnings) == 1 and "throughput_rps" in warnings[0]
+        assert any("throughput halved" in line for line in lines)
+
+    def test_stable_throughput_does_not_warn(self, tmp_path):
+        committed = _write(tmp_path, "a.json", {"throughput_rps": 5000.0})
+        fresh = _write(tmp_path, "b.json", {"throughput_rps": 3000.0})
+        _, warnings = compare_file(committed, fresh)
+        assert not warnings
+
     def test_doubled_p95_warns(self, tmp_path):
         committed = _write(tmp_path, "a.json", {"open": {"p95": 0.01}})
         fresh = _write(tmp_path, "b.json", {"open": {"p95": 0.05}})

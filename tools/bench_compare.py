@@ -8,11 +8,14 @@ of each.  CI runs the smoke tier into a scratch directory
 metric against the committed baseline, so the perf trajectory of a PR
 is visible in the log without gating merges on noisy numbers.
 
-Per-metric output: committed value, fresh value, and the ratio.  Two
+Per-metric output: committed value, fresh value, and the ratio.  Three
 metric classes get **regression warnings** at a 2x threshold:
 
 * ``*speedup`` metrics (higher is better) warn when the fresh value
   falls below half the committed one;
+* ``*throughput*`` / ``*_rps`` metrics (higher is better, e.g. the
+  per-cell rates of ``BENCH_serve_scale.json``) warn the same way when
+  throughput halves;
 * ``*p95*`` latency metrics (lower is better) warn when the fresh value
   exceeds twice the committed one.
 
@@ -66,6 +69,11 @@ def _is_speedup(metric: str) -> bool:
     return metric.rsplit(".", 1)[-1].endswith("speedup")
 
 
+def _is_throughput(metric: str) -> bool:
+    leaf = metric.rsplit(".", 1)[-1]
+    return "throughput" in leaf or leaf.endswith("_rps")
+
+
 def _is_p95(metric: str) -> bool:
     return "p95" in metric.rsplit(".", 1)[-1]
 
@@ -92,6 +100,11 @@ def compare_file(
             marker = "  << REGRESSION (speedup halved)"
             warnings.append(
                 f"{committed.name}:{metric} speedup {before:g} -> {after:g}"
+            )
+        elif _is_throughput(metric) and ratio < 1.0 / REGRESSION_FACTOR:
+            marker = "  << REGRESSION (throughput halved)"
+            warnings.append(
+                f"{committed.name}:{metric} throughput {before:g} -> {after:g}"
             )
         elif _is_p95(metric) and ratio > REGRESSION_FACTOR:
             marker = "  << REGRESSION (p95 doubled)"

@@ -52,6 +52,7 @@ ROOT = Path(__file__).resolve().parent.parent.parent
 #: carries no annotations — scanning it asserts exactly that.
 DEFAULT_FILES = (
     "src/repro/service/broker.py",
+    "src/repro/service/loadgen.py",
     "src/repro/service/rwlock.py",
     "src/repro/obs/registry.py",
     "src/repro/obs/recorder.py",
